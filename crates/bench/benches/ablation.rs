@@ -1,0 +1,170 @@
+//! Ablation and scaling benches for the design choices DESIGN.md calls
+//! out:
+//!
+//! * `cache/{on,off}` — the §4.4 "aggressive caching" of intermediate
+//!   subterm liftings (added for the industrial proof engineer's ten-second
+//!   budget);
+//! * `scaling/enum_N` — repair latency as the number of constructors grows
+//!   (the §6.1.3 Enum stress-test, parameterized);
+//! * `scaling/term_size_N` — lifting latency as the proof term grows
+//!   (repairing `app_assoc`-style lemmas over ever larger literal lists).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pumpkin_pi::case_studies;
+use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap};
+use pumpkin_pi::pumpkin_kernel::env::Env;
+use pumpkin_pi::pumpkin_kernel::term::{ElimData, Term};
+use pumpkin_pi::pumpkin_stdlib as stdlib;
+use stdlib::nat::nat_lit;
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let base = stdlib::std_env();
+    let mut group = c.benchmark_group("cache");
+    for (label, cached) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut env| {
+                    let lifting = pumpkin_core::search::swap::configure(
+                        &mut env,
+                        &"Old.Term".into(),
+                        &"New.Term".into(),
+                        NameMap::prefix("Old.", "New."),
+                    )
+                    .unwrap();
+                    let mut st = if cached {
+                        LiftState::new()
+                    } else {
+                        LiftState::without_cache()
+                    };
+                    pumpkin_core::repair_module(
+                        &mut env,
+                        &lifting,
+                        &mut st,
+                        case_studies::REPLICA_CONSTANTS,
+                    )
+                    .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Builds an environment with two n-constructor enums and a function
+/// `enumf : EnumA → nat` to repair across a rotation.
+fn enum_env(n: usize) -> (Env, Vec<usize>) {
+    let mut env = stdlib::std_env();
+    env.declare_inductive(stdlib::replica::enum_decl("EnumA", n))
+        .unwrap();
+    env.declare_inductive(stdlib::replica::enum_decl("EnumB", n))
+        .unwrap();
+    let body = Term::lambda(
+        "e",
+        Term::ind("EnumA"),
+        Term::elim(ElimData {
+            ind: "EnumA".into(),
+            params: vec![],
+            motive: Term::lambda("x", Term::ind("EnumA"), Term::ind("nat")),
+            cases: (0..n).map(|j| nat_lit(j as u64)).collect(),
+            scrutinee: Term::rel(0),
+        }),
+    );
+    env.define(
+        "EnumA.f",
+        Term::arrow(Term::ind("EnumA"), Term::ind("nat")),
+        body,
+    )
+    .unwrap();
+    let perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+    (env, perm)
+}
+
+fn bench_enum_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_enum");
+    for n in [5usize, 10, 20, 30] {
+        let (base, perm) = enum_env(n);
+        group.bench_function(format!("enum_{n}"), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut env| {
+                    let lifting = pumpkin_core::search::swap::configure_with(
+                        &mut env,
+                        &"EnumA".into(),
+                        &"EnumB".into(),
+                        &perm,
+                        NameMap::prefix("EnumA.", "EnumB."),
+                    )
+                    .unwrap();
+                    let mut st = LiftState::new();
+                    pumpkin_core::repair(&mut env, &lifting, &mut st, &"EnumA.f".into()).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Builds an environment with a lemma instantiating `Old.app_assoc` on
+/// literal lists of length `n` (a proof term that grows linearly with `n`).
+fn term_size_env(n: usize) -> Env {
+    let mut env = stdlib::std_env();
+    let elems: Vec<Term> = (0..n as u64).map(nat_lit).collect();
+    let l = stdlib::list::list_lit("Old.list", Term::ind("nat"), &elems);
+    let body = Term::app(
+        Term::const_("Old.app_assoc"),
+        [Term::ind("nat"), l.clone(), l.clone(), l.clone()],
+    );
+    let app = |x: Term, y: Term| {
+        Term::app(Term::const_("Old.app"), [Term::ind("nat"), x, y])
+    };
+    let ty = Term::app(
+        Term::ind("eq"),
+        [
+            Term::app(Term::ind("Old.list"), [Term::ind("nat")]),
+            app(l.clone(), app(l.clone(), l.clone())),
+            app(app(l.clone(), l.clone()), l),
+        ],
+    );
+    env.define("Old.assoc_inst", ty, body).unwrap();
+    env
+}
+
+fn bench_term_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_term_size");
+    for n in [4usize, 16, 64] {
+        let base = term_size_env(n);
+        group.bench_function(format!("list_len_{n}"), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut env| {
+                    let lifting = pumpkin_core::search::swap::configure(
+                        &mut env,
+                        &"Old.list".into(),
+                        &"New.list".into(),
+                        NameMap::prefix("Old.", "New."),
+                    )
+                    .unwrap();
+                    let mut st = LiftState::new();
+                    pumpkin_core::repair(&mut env, &lifting, &mut st, &"Old.assoc_inst".into())
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = ablation;
+    config = config();
+    targets = bench_cache_ablation, bench_enum_scaling, bench_term_size_scaling
+}
+criterion_main!(ablation);

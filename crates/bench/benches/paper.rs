@@ -1,0 +1,135 @@
+//! The paper's evaluation timings (§6), one Criterion group per
+//! experiment. The paper reports wall-clock budgets rather than tables of
+//! numbers; EXPERIMENTS.md records paper-vs-measured for each entry:
+//!
+//! * `swap_list_module`   — §2/§6.1 `Swap.v`: whole list module (< 90 s).
+//! * `replica_variant/*`  — §6.1: each REPLICA variant (< 5 s each).
+//! * `enum_30_configure`  — §6.1.3: 30-constructor Enum permutation.
+//! * `ornament_zip`       — §6.2: zip development to Σ-packed vectors.
+//! * `binary_nat`         — §6.3 `nonorn.v` (< 1 s).
+//! * `galois_round_trip`  — §6.4 (≤ 10 s interactive budget).
+//! * `decompile_rev_app_distr` — §5: decompile + validate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pumpkin_pi::case_studies;
+use pumpkin_pi::pumpkin_core::{self, NameMap};
+use pumpkin_pi::pumpkin_stdlib as stdlib;
+use pumpkin_pi::pumpkin_tactics;
+
+fn bench_swap_module(c: &mut Criterion) {
+    let base = stdlib::std_env();
+    c.bench_function("swap_list_module", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut env| case_studies::swap_list_module(&mut env).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_replica_variants(c: &mut Criterion) {
+    let mut base = stdlib::std_env();
+    let variants = case_studies::declare_replica_variants(&mut base).unwrap();
+    let mut group = c.benchmark_group("replica_variant");
+    group.bench_function("swap_int_eq", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut env| case_studies::replica_variant(&mut env, "New.Term", "New.").unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    for (ty, prefix) in variants {
+        let label = ty.trim_end_matches(".Term").to_lowercase();
+        group.bench_function(&label, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut env| case_studies::replica_variant(&mut env, &ty, &prefix).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_enum_30(c: &mut Criterion) {
+    let mut base = stdlib::std_env();
+    base.declare_inductive(stdlib::replica::enum_decl("Enum", 30))
+        .unwrap();
+    base.declare_inductive(stdlib::replica::enum_decl("Enum2", 30))
+        .unwrap();
+    let perm: Vec<usize> = (0..30).map(|i| (i + 7) % 30).collect();
+    c.bench_function("enum_30_configure", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut env| {
+                pumpkin_core::search::swap::configure_with(
+                    &mut env,
+                    &"Enum".into(),
+                    &"Enum2".into(),
+                    &perm,
+                    NameMap::prefix("Enum.", "Enum2."),
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ornament(c: &mut Criterion) {
+    let base = stdlib::std_env();
+    c.bench_function("ornament_zip", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut env| case_studies::ornament_zip(&mut env).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_binary(c: &mut Criterion) {
+    let base = stdlib::std_env();
+    c.bench_function("binary_nat", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut env| case_studies::binary_nat(&mut env).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_galois(c: &mut Criterion) {
+    let base = stdlib::std_env();
+    c.bench_function("galois_round_trip", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut env| case_studies::galois_round_trip(&mut env).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_decompile(c: &mut Criterion) {
+    let mut env = stdlib::std_env();
+    case_studies::swap_list_module(&mut env).unwrap();
+    c.bench_function("decompile_rev_app_distr", |b| {
+        b.iter(|| {
+            let (goal, raw) =
+                pumpkin_tactics::decompile_constant(&env, "New.rev_app_distr").unwrap();
+            let script = pumpkin_tactics::second_pass(&raw);
+            pumpkin_tactics::prove(&env, &goal, &script).unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = paper;
+    config = config();
+    targets = bench_swap_module, bench_replica_variants, bench_enum_30,
+              bench_ornament, bench_binary, bench_galois, bench_decompile
+}
+criterion_main!(paper);

@@ -1,0 +1,1 @@
+//! Benchmark support library for pumpkin-pi-rs.

@@ -1,0 +1,76 @@
+//! Errors for the repair engine.
+
+use std::fmt;
+
+use pumpkin_kernel::error::KernelError;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::term::Term;
+
+/// Errors produced while configuring or running a repair.
+#[derive(Clone, Debug)]
+pub enum RepairError {
+    /// The kernel rejected a generated term — a bug in a configuration or a
+    /// violation of the correctness criteria (paper Fig. 12).
+    Kernel(KernelError),
+    /// The surface language rejected an embedded source snippet.
+    Lang(String),
+    /// A search procedure could not discover a configuration.
+    SearchFailed { from: GlobalName, to: GlobalName, reason: String },
+    /// A constructor mapping was invalid (wrong length, not a permutation,
+    /// or type-incorrect).
+    BadMapping(String),
+    /// The requested lifting direction is not supported by this
+    /// configuration's unification heuristics (paper §4.2.1: heuristics are
+    /// incomplete).
+    UnsupportedDirection(String),
+    /// The termination guard rejected a self-referential lift
+    /// (paper §4.4 "Termination & Intent").
+    NonTerminating { constant: GlobalName },
+    /// A subterm could not be unified with the configuration and no fallback
+    /// applied.
+    UnificationFailed { term: Term, reason: String },
+    /// A constant that must exist (part of a configuration) is missing.
+    MissingDependency(GlobalName),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Kernel(e) => write!(f, "kernel: {e}"),
+            RepairError::Lang(e) => write!(f, "language: {e}"),
+            RepairError::SearchFailed { from, to, reason } => {
+                write!(f, "search for a configuration {from} ≃ {to} failed: {reason}")
+            }
+            RepairError::BadMapping(m) => write!(f, "bad constructor mapping: {m}"),
+            RepairError::UnsupportedDirection(m) => {
+                write!(f, "unsupported lifting direction: {m}")
+            }
+            RepairError::NonTerminating { constant } => {
+                write!(f, "termination guard tripped while lifting `{constant}`")
+            }
+            RepairError::UnificationFailed { term, reason } => {
+                write!(f, "could not unify `{term}` with the configuration: {reason}")
+            }
+            RepairError::MissingDependency(n) => {
+                write!(f, "configuration depends on missing global `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<KernelError> for RepairError {
+    fn from(e: KernelError) -> Self {
+        RepairError::Kernel(e)
+    }
+}
+
+impl From<pumpkin_lang::LangError> for RepairError {
+    fn from(e: pumpkin_lang::LangError) -> Self {
+        RepairError::Lang(e.to_string())
+    }
+}
+
+/// The crate's result type.
+pub type Result<T> = std::result::Result<T, RepairError>;

@@ -1,0 +1,18 @@
+//! # pumpkin-core
+//!
+//! The heart of the Pumpkin Pi reproduction: the configurable proof term
+//! transformation (paper §4), the search procedures for automatic
+//! configuration (§3.3), and the repair driver.
+
+pub mod config;
+pub mod error;
+pub mod lift;
+pub mod manual;
+pub mod repair;
+pub mod search;
+pub mod smartelim;
+
+pub use config::{Lifting, NameMap};
+pub use error::{RepairError, Result};
+pub use lift::{lift_term, repair_constant, LiftState};
+pub use repair::{repair, repair_all, repair_module, RepairReport};

@@ -1,0 +1,283 @@
+//! The configurable proof term transformation (paper Fig. 10).
+//!
+//! [`lift_term`] walks a term, unifying subterms with the source side of the
+//! configuration (Dep-Constr, Dep-Elim, Eta/proj, Iota, Equivalence rules)
+//! and substituting the target side; everything else is transformed
+//! structurally. Global constants that (transitively) mention the source
+//! type are repaired on demand and cached ([`repair_constant`]), which is
+//! how `Repair` updates dependencies automatically (paper §2) — and every
+//! repaired constant is re-checked by the kernel when it is defined, so a
+//! successful repair is well-typed by construction.
+//!
+//! Caching mirrors paper §4.4: intermediate *closed* subterm liftings are
+//! memoized (`cache_enabled`), and the whole-constant mapping is always
+//! cached.
+
+use std::collections::{HashMap, HashSet};
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::error::KernelError;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::term::{Binder, ElimData, Term, TermData};
+
+use crate::config::{Lifting, MatchedElim, MatchedProj};
+use crate::error::{RepairError, Result};
+
+/// Counters exposed for the benchmark harness (cache ablation, §6.4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiftStats {
+    /// Closed-subterm cache hits.
+    pub cache_hits: u64,
+    /// Closed-subterm cache misses (entries inserted).
+    pub cache_misses: u64,
+    /// Constants repaired on demand.
+    pub constants_lifted: u64,
+    /// Total subterm visits.
+    pub visits: u64,
+}
+
+/// Mutable state threaded through a repair session.
+#[derive(Default)]
+pub struct LiftState {
+    /// Already-repaired constants: old name → new name.
+    pub const_map: HashMap<GlobalName, GlobalName>,
+    /// Memoized liftings of closed subterms.
+    term_cache: HashMap<Term, Term>,
+    /// Whether the closed-subterm cache is consulted (ablatable).
+    pub cache_enabled: bool,
+    /// Constants currently being repaired (cycle/termination guard).
+    in_progress: HashSet<GlobalName>,
+    /// Memoized relevance: does a constant transitively mention the source?
+    relevant: HashMap<GlobalName, bool>,
+    /// Counters.
+    pub stats: LiftStats,
+}
+
+impl LiftState {
+    /// Fresh state with the subterm cache enabled (the default, as in the
+    /// paper's tool).
+    pub fn new() -> Self {
+        LiftState {
+            cache_enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Fresh state with the subterm cache disabled (for the ablation bench).
+    pub fn without_cache() -> Self {
+        LiftState {
+            cache_enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Pre-seeds a constant mapping (used to stop repair at a boundary or to
+    /// supply a hand-written replacement).
+    pub fn map_constant(&mut self, from: impl Into<GlobalName>, to: impl Into<GlobalName>) {
+        self.const_map.insert(from.into(), to.into());
+    }
+}
+
+/// Does constant `name` (transitively) mention the source type? Memoized.
+fn is_relevant(env: &Env, l: &Lifting, st: &mut LiftState, name: &GlobalName) -> bool {
+    if let Some(&r) = st.relevant.get(name) {
+        return r;
+    }
+    if st.const_map.contains_key(name) {
+        return true;
+    }
+    // Mark as not-relevant during computation; constants cannot be cyclic.
+    let decl = match env.const_decl(name) {
+        Ok(d) => d.clone(),
+        Err(_) => return false,
+    };
+    let mut mentioned: Vec<GlobalName> = decl.ty.constants();
+    if let Some(b) = &decl.body {
+        mentioned.extend(b.constants());
+    }
+    let direct = decl.ty.mentions_global(&l.a_name)
+        || decl
+            .body
+            .as_ref()
+            .is_some_and(|b| b.mentions_global(&l.a_name));
+    let r = direct
+        || mentioned
+            .iter()
+            .filter(|c| *c != name)
+            .any(|c| is_relevant(env, l, st, c));
+    st.relevant.insert(name.clone(), r);
+    r
+}
+
+/// Lifts a term across the configured equivalence.
+///
+/// # Errors
+///
+/// Fails if a builder rejects a matched form (unsupported direction), the
+/// termination guard trips, or a repaired dependency fails to type check.
+pub fn lift_term(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Result<Term> {
+    st.stats.visits += 1;
+
+    let cacheable = st.cache_enabled && t.is_closed();
+    if cacheable {
+        if let Some(hit) = st.term_cache.get(t) {
+            st.stats.cache_hits += 1;
+            return Ok(hit.clone());
+        }
+    }
+
+    let out = lift_uncached(env, l, st, t)?;
+
+    if cacheable {
+        st.stats.cache_misses += 1;
+        st.term_cache.insert(t.clone(), out.clone());
+    }
+    Ok(out)
+}
+
+fn lift_uncached(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Result<Term> {
+    // Iota first: Iota markers are constants whose types mention the source
+    // type, and must not be repaired as ordinary dependencies.
+    if let Some((j, args)) = l.matcher.match_iota(env, t) {
+        let args = lift_all(env, l, st, &args)?;
+        return l.builder.build_iota(env, j, args);
+    }
+    // Dep-Elim.
+    if let Some(me) = l.matcher.match_elim(env, t) {
+        let lifted = MatchedElim {
+            type_args: lift_all(env, l, st, &me.type_args)?,
+            motive: lift_term(env, l, st, &me.motive)?,
+            cases: lift_all(env, l, st, &me.cases)?,
+            scrutinee: lift_term(env, l, st, &me.scrutinee)?,
+        };
+        return l.builder.build_elim(env, lifted);
+    }
+    // Dep-Constr.
+    if let Some((j, args)) = l.matcher.match_constr(env, t) {
+        let args = lift_all(env, l, st, &args)?;
+        return l.builder.build_constr(env, j, args);
+    }
+    // Eta / projections.
+    if let Some(mp) = l.matcher.match_proj(env, t) {
+        let lifted = MatchedProj {
+            field: mp.field,
+            target: lift_term(env, l, st, &mp.target)?,
+        };
+        return l.builder.build_proj(env, lifted);
+    }
+    // Equivalence (the type itself).
+    if let Some(args) = l.matcher.match_type(env, t) {
+        let args = lift_all(env, l, st, &args)?;
+        return l.builder.build_type(env, args);
+    }
+
+    // Structural rules.
+    match t.data() {
+        TermData::Rel(_) | TermData::Sort(_) => Ok(t.clone()),
+        TermData::Const(name) => {
+            if let Some(mapped) = st.const_map.get(name) {
+                return Ok(Term::const_(mapped.clone()));
+            }
+            if is_relevant(env, l, st, name) {
+                let new_name = repair_constant(env, l, st, name)?;
+                Ok(Term::const_(new_name))
+            } else {
+                Ok(t.clone())
+            }
+        }
+        TermData::Ind(_) | TermData::Construct(_, _) => Ok(t.clone()),
+        TermData::App(h, args) => {
+            let h = lift_term(env, l, st, h)?;
+            let args = lift_all(env, l, st, args)?;
+            Ok(Term::app(h, args))
+        }
+        TermData::Lambda(b, body) => Ok(Term::new(TermData::Lambda(
+            Binder {
+                name: b.name.clone(),
+                ty: lift_term(env, l, st, &b.ty)?,
+            },
+            lift_term(env, l, st, body)?,
+        ))),
+        TermData::Pi(b, body) => Ok(Term::new(TermData::Pi(
+            Binder {
+                name: b.name.clone(),
+                ty: lift_term(env, l, st, &b.ty)?,
+            },
+            lift_term(env, l, st, body)?,
+        ))),
+        TermData::Let(b, v, body) => Ok(Term::new(TermData::Let(
+            Binder {
+                name: b.name.clone(),
+                ty: lift_term(env, l, st, &b.ty)?,
+            },
+            lift_term(env, l, st, v)?,
+            lift_term(env, l, st, body)?,
+        ))),
+        TermData::Elim(e) => {
+            // An eliminator over some *other* inductive: structural.
+            Ok(Term::elim(ElimData {
+                ind: e.ind.clone(),
+                params: lift_all(env, l, st, &e.params)?,
+                motive: lift_term(env, l, st, &e.motive)?,
+                cases: lift_all(env, l, st, &e.cases)?,
+                scrutinee: lift_term(env, l, st, &e.scrutinee)?,
+            }))
+        }
+    }
+}
+
+fn lift_all(env: &mut Env, l: &Lifting, st: &mut LiftState, ts: &[Term]) -> Result<Vec<Term>> {
+    ts.iter().map(|t| lift_term(env, l, st, t)).collect()
+}
+
+/// Repairs a single constant across the equivalence, registering the result
+/// in the environment under the configuration's renaming policy and caching
+/// the mapping. Dependencies are repaired on demand.
+///
+/// # Errors
+///
+/// Fails if the constant is unknown, the termination guard trips, or the
+/// repaired definition does not type check.
+pub fn repair_constant(
+    env: &mut Env,
+    l: &Lifting,
+    st: &mut LiftState,
+    name: &GlobalName,
+) -> Result<GlobalName> {
+    if let Some(mapped) = st.const_map.get(name) {
+        return Ok(mapped.clone());
+    }
+    if st.in_progress.contains(name) {
+        return Err(RepairError::NonTerminating {
+            constant: name.clone(),
+        });
+    }
+    st.in_progress.insert(name.clone());
+    let result = (|| {
+        let decl = env.const_decl(name)?.clone();
+        let new_ty = lift_term(env, l, st, &decl.ty)?;
+        let new_body = match &decl.body {
+            Some(b) => Some(lift_term(env, l, st, b)?),
+            None => None,
+        };
+        let new_name = l.names.rename(name);
+        if env.contains(new_name.as_str()) {
+            // Idempotence: accept an existing identical definition.
+            let existing = env.const_decl(&new_name)?;
+            if existing.ty == new_ty && existing.body == new_body {
+                return Ok(new_name);
+            }
+            return Err(RepairError::Kernel(KernelError::Redeclaration(new_name)));
+        }
+        match new_body {
+            Some(b) => env.define(new_name.clone(), new_ty, b)?,
+            None => env.assume(new_name.clone(), new_ty)?,
+        }
+        st.stats.constants_lifted += 1;
+        Ok(new_name)
+    })();
+    st.in_progress.remove(name);
+    let new_name = result?;
+    st.const_map.insert(name.clone(), new_name.clone());
+    Ok(new_name)
+}

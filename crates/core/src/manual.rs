@@ -1,0 +1,273 @@
+//! Manual configuration (the paper's `Configure` command, §3.3 right
+//! workflow) for the unary → binary naturals case study (§6.3, `nonorn.v`).
+//!
+//! The configuration is supplied by hand rather than discovered:
+//!
+//! * `DepConstr(0/1, N)` are `N0` and `N.succ`;
+//! * `DepElim(N)` is `N.peano_rect`;
+//! * `Iota(1, N)` rewrites along `N.peano_rect_succ` — the propositional
+//!   ι needed because `N`'s inductive structure differs from `nat`'s
+//!   (Magaud & Bertot's observation, encoded as a configuration);
+//! * `Iota(1, nat)` is the identity, since ι over `nat` is definitional.
+//!
+//! Proofs that rely on definitional ι over `nat` must first be *expanded*
+//! to apply `nat.iota_succ` explicitly (the paper's "manual expansion step,
+//! formulaic but tricky to write", §6.3.2); [`ADD_N_SM_EXPANDED_SRC`]
+//! contains the expanded `add_n_Sm`.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::term::{Term, TermData};
+use pumpkin_lang::load_source;
+
+use crate::config::{EquivalenceNames, Lifting, MatchedElim, NameMap, SideBuild, SideMatch};
+use crate::error::{RepairError, Result};
+
+/// The explicit configuration terms for both sides.
+pub const CONFIG_SRC: &str = r#"
+Definition nat.dep_elim : forall (P : nat -> Type 1),
+    P O -> (forall (m : nat), P m -> P (S m)) -> forall (n : nat), P n :=
+  fun (P : nat -> Type 1) (p0 : P O)
+      (pS : forall (m : nat), P m -> P (S m)) (n : nat) =>
+    elim n : nat return (fun (x : nat) => P x) with
+    | p0
+    | fun (m : nat) (ih : P m) => pS m ih
+    end.
+
+(* Iota(1, nat): definitional, so the identity. *)
+Definition nat.iota_succ : forall (P : nat -> Type 1) (p0 : P O)
+    (pS : forall (m : nat), P m -> P (S m)) (n : nat)
+    (Q : P (S n) -> Type 1),
+    Q (pS n (nat.dep_elim P p0 pS n)) -> Q (nat.dep_elim P p0 pS (S n)) :=
+  fun (P : nat -> Type 1) (p0 : P O)
+      (pS : forall (m : nat), P m -> P (S m)) (n : nat)
+      (Q : P (S n) -> Type 1)
+      (H : Q (pS n (nat.dep_elim P p0 pS n))) => H.
+
+(* Iota(1, N): propositional — a rewrite along N.peano_rect_succ
+   (paper section 6.3.1's iota_1). *)
+Definition N.iota_succ : forall (P : N -> Type 1) (p0 : P N0)
+    (pS : forall (m : N), P m -> P (N.succ m)) (n : N)
+    (Q : P (N.succ n) -> Type 1),
+    Q (pS n (N.peano_rect P p0 pS n)) -> Q (N.peano_rect P p0 pS (N.succ n)) :=
+  fun (P : N -> Type 1) (p0 : P N0)
+      (pS : forall (m : N), P m -> P (N.succ m)) (n : N)
+      (Q : P (N.succ n) -> Type 1)
+      (H : Q (pS n (N.peano_rect P p0 pS n))) =>
+    eq_rect (P (N.succ n))
+      (pS n (N.peano_rect P p0 pS n))
+      Q
+      H
+      (N.peano_rect P p0 pS (N.succ n))
+      (eq_sym (P (N.succ n))
+        (N.peano_rect P p0 pS (N.succ n))
+        (pS n (N.peano_rect P p0 pS n))
+        (N.peano_rect_succ P p0 pS n)).
+"#;
+
+/// `add_n_Sm` with ι over `nat` made explicit — the manual expansion the
+/// §6.3 case study requires before `Repair` can port it to `N`.
+pub const ADD_N_SM_EXPANDED_SRC: &str = r#"
+Definition add_n_Sm_expanded : forall (n m : nat),
+    eq nat (S (add n m)) (add n (S m)) :=
+  fun (n m : nat) =>
+    elim n : nat
+      return (fun (x : nat) => eq nat (S (add x m)) (add x (S m)))
+    with
+    | eq_refl nat (S m)
+    | fun (p : nat) (ih : eq nat (S (add p m)) (add p (S m))) =>
+        nat.iota_succ (fun (x : nat) => nat) m
+          (fun (q : nat) (ih2 : nat) => S ih2) p
+          (fun (z : nat) => eq nat (S z) (add (S p) (S m)))
+          (nat.iota_succ (fun (x : nat) => nat) (S m)
+            (fun (q : nat) (ih2 : nat) => S ih2) p
+            (fun (z : nat) => eq nat (S (S (add p m))) z)
+            (f_equal nat nat S (S (add p m)) (add p (S m)) ih))
+    end.
+"#;
+
+struct NatMatch;
+
+impl SideMatch for NatMatch {
+    fn match_type(&self, _env: &Env, t: &Term) -> Option<Vec<Term>> {
+        let (name, args) = t.as_ind_app()?;
+        (name.as_str() == "nat" && args.is_empty()).then(Vec::new)
+    }
+
+    fn match_constr(&self, _env: &Env, t: &Term) -> Option<(usize, Vec<Term>)> {
+        let (name, j, args) = t.as_construct_app()?;
+        (name.as_str() == "nat").then(|| (j, args.to_vec()))
+    }
+
+    fn match_elim(&self, _env: &Env, t: &Term) -> Option<MatchedElim> {
+        match t.data() {
+            TermData::Elim(e) if e.ind.as_str() == "nat" => Some(MatchedElim {
+                type_args: Vec::new(),
+                motive: e.motive.clone(),
+                cases: e.cases.clone(),
+                scrutinee: e.scrutinee.clone(),
+            }),
+            _ => {
+                // Also recognize the named dependent eliminator, fully
+                // applied: nat.dep_elim P p0 pS n.
+                let (c, args) = t.as_const_app()?;
+                (c.as_str() == "nat.dep_elim" && args.len() == 4).then(|| MatchedElim {
+                    type_args: Vec::new(),
+                    motive: args[0].clone(),
+                    cases: vec![args[1].clone(), args[2].clone()],
+                    scrutinee: args[3].clone(),
+                })
+            }
+        }
+    }
+
+    fn match_iota(&self, _env: &Env, t: &Term) -> Option<(usize, Vec<Term>)> {
+        let (c, args) = t.as_const_app()?;
+        (c.as_str() == "nat.iota_succ").then(|| (1, args.to_vec()))
+    }
+}
+
+struct BinBuild;
+
+impl SideBuild for BinBuild {
+    fn build_type(&self, _env: &Env, _args: Vec<Term>) -> Result<Term> {
+        Ok(Term::ind("N"))
+    }
+
+    fn build_constr(&self, _env: &Env, j: usize, args: Vec<Term>) -> Result<Term> {
+        match j {
+            0 => Ok(Term::construct("N", 0)),
+            1 => Ok(Term::app(Term::const_("N.succ"), args)),
+            _ => Err(RepairError::BadMapping(format!("nat has no constructor #{j}"))),
+        }
+    }
+
+    fn build_elim(&self, _env: &Env, me: MatchedElim) -> Result<Term> {
+        let mut args = vec![me.motive];
+        args.extend(me.cases);
+        args.push(me.scrutinee);
+        Ok(Term::app(Term::const_("N.peano_rect"), args))
+    }
+
+    fn build_iota(&self, _env: &Env, j: usize, args: Vec<Term>) -> Result<Term> {
+        if j != 1 {
+            return Err(RepairError::BadMapping(format!(
+                "only the successor case has a nontrivial Iota, got #{j}"
+            )));
+        }
+        Ok(Term::app(Term::const_("N.iota_succ"), args))
+    }
+}
+
+/// Builds the manual nat → N configuration, loading the explicit `Iota`
+/// terms and reusing the equivalence proofs from the standard library
+/// (`N.of_nat` / `N.to_nat` with section and retraction).
+///
+/// # Errors
+///
+/// Fails if the binary-naturals module is missing or a configuration term
+/// fails to check.
+pub fn configure_nat_to_bin(env: &mut Env, names: NameMap) -> Result<Lifting> {
+    for dep in ["N.peano_rect", "N.peano_rect_succ", "N.of_to_section"] {
+        if !env.contains(dep) {
+            return Err(RepairError::MissingDependency(GlobalName::new(dep)));
+        }
+    }
+    if !env.contains("N.iota_succ") {
+        load_source(env, CONFIG_SRC)?;
+    }
+    Ok(Lifting {
+        a_name: "nat".into(),
+        b_name: "N".into(),
+        matcher: Box::new(NatMatch),
+        builder: Box::new(BinBuild),
+        names,
+        equivalence: Some(EquivalenceNames {
+            f: "N.of_nat".into(),
+            g: "N.to_nat".into(),
+            section: "N.of_to_section".into(),
+            retraction: "N.to_of_retraction".into(),
+        }),
+    })
+}
+
+/// Loads the manually ι-expanded `add_n_Sm` (idempotent).
+///
+/// # Errors
+///
+/// Fails if the expansion does not type check (it relies on the definitional
+/// ι of `nat`).
+pub fn load_expanded_add_n_sm(env: &mut Env) -> Result<()> {
+    if !env.contains("add_n_Sm_expanded") {
+        load_source(env, ADD_N_SM_EXPANDED_SRC)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::LiftState;
+    use crate::repair::{check_source_free, repair};
+    use pumpkin_kernel::reduce::normalize;
+    use pumpkin_stdlib as stdlib;
+    use pumpkin_stdlib::bin::{n_lit, n_value};
+    use pumpkin_stdlib::nat::nat_lit;
+
+    fn setup() -> (Env, Lifting) {
+        let mut env = stdlib::std_env();
+        let names = NameMap::prefix("add_n_Sm_expanded", "slow_add_n_Sm")
+            .with_rule("add", "slow_add")
+            .with_rule("", "Bin.");
+        let l = configure_nat_to_bin(&mut env, names).unwrap();
+        (env, l)
+    }
+
+    #[test]
+    fn config_loads_and_iota_checks() {
+        let (env, l) = setup();
+        assert!(env.contains("N.iota_succ"));
+        assert!(env.contains("nat.iota_succ"));
+        assert_eq!(l.b_name.as_str(), "N");
+    }
+
+    #[test]
+    fn repair_add_gives_slow_binary_addition() {
+        let (mut env, l) = setup();
+        let mut st = LiftState::new();
+        let new = repair(&mut env, &l, &mut st, &"add".into()).unwrap();
+        assert_eq!(new.as_str(), "slow_add");
+        check_source_free(&env, &l, &new).unwrap();
+        // slow_add computes the same sums as fast N.add.
+        for (a, b) in [(0u64, 0u64), (1, 2), (9, 14), (31, 33)] {
+            let slow = Term::app(Term::const_("slow_add"), [n_lit(a), n_lit(b)]);
+            assert_eq!(n_value(&normalize(&env, &slow)), Some(a + b), "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn expanded_proof_typechecks_over_nat() {
+        let (mut env, _) = setup();
+        load_expanded_add_n_sm(&mut env).unwrap();
+        // Behaves like the original lemma.
+        let inst = Term::app(
+            Term::const_("add_n_Sm_expanded"),
+            [nat_lit(2), nat_lit(3)],
+        );
+        assert!(pumpkin_kernel::typecheck::infer_closed(&env, &inst).is_ok());
+    }
+
+    #[test]
+    fn repair_expanded_proof_to_binary() {
+        let (mut env, l) = setup();
+        load_expanded_add_n_sm(&mut env).unwrap();
+        let mut st = LiftState::new();
+        let new = repair(&mut env, &l, &mut st, &"add_n_Sm_expanded".into()).unwrap();
+        assert_eq!(new.as_str(), "slow_add_n_Sm");
+        check_source_free(&env, &l, &new).unwrap();
+        // The ported statement: ∀ n m, N.succ (slow_add n m) = slow_add n (N.succ m).
+        let ty = env.const_decl(&new).unwrap().ty.clone();
+        assert!(ty.mentions_global(&"slow_add".into()));
+        assert!(ty.mentions_global(&"N.succ".into()));
+    }
+}

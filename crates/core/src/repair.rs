@@ -1,0 +1,370 @@
+//! The command-level repair driver: the analogue of the paper's
+//! `Repair Old.list New.list in rev_app_distr` and `Repair module` commands
+//! (paper §2).
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+
+use crate::config::Lifting;
+use crate::error::{RepairError, Result};
+use crate::lift::{repair_constant, LiftState};
+
+/// The result of a module repair: the constants repaired (old → new), in
+/// completion order.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// Mapping from each repaired source constant to its repaired name.
+    pub repaired: Vec<(GlobalName, GlobalName)>,
+}
+
+impl RepairReport {
+    /// Looks up where a source constant went.
+    pub fn renamed(&self, from: &str) -> Option<&GlobalName> {
+        self.repaired
+            .iter()
+            .find(|(a, _)| a.as_str() == from)
+            .map(|(_, b)| b)
+    }
+}
+
+/// `Repair A B in name`: repairs a single constant (dependencies are
+/// repaired on demand) and returns the new constant's name.
+///
+/// # Errors
+///
+/// Propagates configuration, unification, and kernel errors; on error the
+/// environment may contain successfully repaired dependencies (they are
+/// type-correct and harmless).
+pub fn repair(
+    env: &mut Env,
+    lifting: &Lifting,
+    state: &mut LiftState,
+    name: &GlobalName,
+) -> Result<GlobalName> {
+    repair_constant(env, lifting, state, name)
+}
+
+/// `Repair module`: repairs every listed constant (the paper repairs the
+/// entire list module at once; the work list is the module's constants in
+/// any order — dependencies resolve on demand and are shared through the
+/// cache).
+pub fn repair_module(
+    env: &mut Env,
+    lifting: &Lifting,
+    state: &mut LiftState,
+    names: &[&str],
+) -> Result<RepairReport> {
+    let mut report = RepairReport::default();
+    for n in names {
+        let from = GlobalName::new(*n);
+        let to = repair_constant(env, lifting, state, &from)?;
+        report.repaired.push((from, to));
+    }
+    Ok(report)
+}
+
+/// Repairs *every* constant in the environment that (transitively) mentions
+/// the source type, in declaration order — the fully automatic reading of
+/// `Repair module` (the paper repairs "the entire list module ... all at
+/// once"). The configuration's own artifacts (the equivalence functions and
+/// anything already mapped in `state`) are skipped.
+///
+/// # Errors
+///
+/// Propagates the first repair failure; earlier repairs remain (they are
+/// type-correct).
+pub fn repair_all(
+    env: &mut Env,
+    lifting: &Lifting,
+    state: &mut LiftState,
+    extra_exclusions: &[&str],
+) -> Result<RepairReport> {
+    let mut excluded: Vec<GlobalName> = extra_exclusions
+        .iter()
+        .map(|s| GlobalName::new(*s))
+        .collect();
+    if let Some(eqv) = &lifting.equivalence {
+        excluded.extend([
+            eqv.f.clone(),
+            eqv.g.clone(),
+            eqv.section.clone(),
+            eqv.retraction.clone(),
+        ]);
+    }
+    let order: Vec<GlobalName> = env
+        .order()
+        .iter()
+        .filter_map(|r| match r {
+            pumpkin_kernel::env::GlobalRef::Const(n) => Some(n.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut report = RepairReport::default();
+    for name in order {
+        if excluded.contains(&name) || state.const_map.contains_key(&name) {
+            continue;
+        }
+        let decl = match env.const_decl(&name) {
+            Ok(d) => d.clone(),
+            Err(_) => continue,
+        };
+        let mentions = decl.ty.mentions_global(&lifting.a_name)
+            || decl
+                .body
+                .as_ref()
+                .is_some_and(|b| b.mentions_global(&lifting.a_name));
+        if !mentions {
+            continue;
+        }
+        let to = repair_constant(env, lifting, state, &name)?;
+        report.repaired.push((name, to));
+    }
+    Ok(report)
+}
+
+/// Checks that a repaired constant no longer refers to the source type —
+/// the defining property of repair vs. plain reuse (paper §3.2: "the old
+/// version of the specification may be removed").
+///
+/// # Errors
+///
+/// Returns an error naming the offending constant if any reachable
+/// definition still mentions the source type.
+pub fn check_source_free(env: &Env, lifting: &Lifting, name: &GlobalName) -> Result<()> {
+    let mut visited = std::collections::HashSet::new();
+    let mut queue = vec![name.clone()];
+    while let Some(c) = queue.pop() {
+        if !visited.insert(c.clone()) {
+            continue;
+        }
+        let decl = env
+            .const_decl(&c)
+            .map_err(|_| RepairError::MissingDependency(c.clone()))?;
+        let mut mentions = decl.ty.mentions_global(&lifting.a_name);
+        if let Some(b) = &decl.body {
+            mentions = mentions || b.mentions_global(&lifting.a_name);
+        }
+        if mentions {
+            return Err(RepairError::UnificationFailed {
+                term: pumpkin_kernel::term::Term::const_(c.clone()),
+                reason: format!("repaired constant `{c}` still mentions `{}`", lifting.a_name),
+            });
+        }
+        queue.extend(decl.ty.constants());
+        if let Some(b) = &decl.body {
+            queue.extend(b.constants());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NameMap;
+    use crate::search::swap;
+    use pumpkin_kernel::reduce::normalize;
+    use pumpkin_kernel::term::Term;
+    use pumpkin_stdlib as stdlib;
+    use pumpkin_stdlib::list::list_lit;
+    use pumpkin_stdlib::nat::{nat_lit, nat_value};
+
+    fn swapped_env_and_report() -> (pumpkin_kernel::env::Env, RepairReport) {
+        let mut env = stdlib::std_env();
+        let lifting = swap::configure(
+            &mut env,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        let mut st = LiftState::new();
+        let report = repair_module(
+            &mut env,
+            &lifting,
+            &mut st,
+            stdlib::swap::OLD_MODULE_CONSTANTS,
+        )
+        .unwrap();
+        (env, report)
+    }
+
+    fn new_list(env: &pumpkin_kernel::env::Env, elems: &[u64]) -> Term {
+        let _ = env;
+        // New.list has cons at 0, nil at 1.
+        let elem_ty = Term::ind("nat");
+        let mut t = Term::app(Term::construct("New.list", 1), [elem_ty.clone()]);
+        for &e in elems.iter().rev() {
+            t = Term::app(
+                Term::construct("New.list", 0),
+                [elem_ty.clone(), nat_lit(e), t],
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn repairs_whole_list_module() {
+        let (env, report) = swapped_env_and_report();
+        for c in stdlib::swap::OLD_MODULE_CONSTANTS {
+            let to = report.renamed(c).unwrap();
+            assert!(env.contains(to.as_str()), "missing {to}");
+        }
+        assert_eq!(report.renamed("Old.rev").unwrap().as_str(), "New.rev");
+    }
+
+    #[test]
+    fn repaired_functions_behave_correctly() {
+        let (env, _) = swapped_env_and_report();
+        // New.rev reverses New.lists.
+        let l = new_list(&env, &[1, 2, 3]);
+        let r = Term::app(Term::const_("New.rev"), [Term::ind("nat"), l]);
+        assert_eq!(normalize(&env, &r), new_list(&env, &[3, 2, 1]));
+        // New.length agrees.
+        let n = Term::app(
+            Term::const_("New.length"),
+            [Term::ind("nat"), new_list(&env, &[9, 9])],
+        );
+        assert_eq!(nat_value(&normalize(&env, &n)), Some(2));
+    }
+
+    #[test]
+    fn repaired_proofs_do_not_mention_old_type() {
+        let (env, report) = swapped_env_and_report();
+        let mut env2 = env.clone();
+        let lifting = swap::configure(
+            &mut env2,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        for (_, to) in &report.repaired {
+            check_source_free(&env, &lifting, to).unwrap();
+        }
+    }
+
+    #[test]
+    fn transport_commutes_with_append() {
+        // ∀ l1 l2, f (l1 ++ l2) = (f l1) ++ (f l2) — checked by normalization
+        // on concrete values (paper §3.2's equality up to transport, tested
+        // behaviourally).
+        let mut env = stdlib::std_env();
+        let lifting = swap::configure(
+            &mut env,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        let mut st = LiftState::new();
+        repair(&mut env, &lifting, &mut st, &"Old.app".into()).unwrap();
+        let f = lifting.equivalence.as_ref().unwrap().f.clone();
+        let nat = Term::ind("nat");
+        let l1 = list_lit("Old.list", nat.clone(), &[nat_lit(1), nat_lit(2)]);
+        let l2 = list_lit("Old.list", nat.clone(), &[nat_lit(3)]);
+        let lhs = Term::app(
+            Term::const_(f.clone()),
+            [
+                nat.clone(),
+                Term::app(
+                    Term::const_("Old.app"),
+                    [nat.clone(), l1.clone(), l2.clone()],
+                ),
+            ],
+        );
+        let rhs = Term::app(
+            Term::const_("New.app"),
+            [
+                nat.clone(),
+                Term::app(Term::const_(f.clone()), [nat.clone(), l1]),
+                Term::app(Term::const_(f), [nat, l2]),
+            ],
+        );
+        assert_eq!(normalize(&env, &lhs), normalize(&env, &rhs));
+    }
+
+    #[test]
+    fn cache_ablation_gives_same_result() {
+        let mut env1 = stdlib::std_env();
+        let l1 = swap::configure(
+            &mut env1,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        let mut st1 = LiftState::new();
+        repair_module(&mut env1, &l1, &mut st1, stdlib::swap::OLD_MODULE_CONSTANTS).unwrap();
+
+        let mut env2 = stdlib::std_env();
+        let l2 = swap::configure(
+            &mut env2,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        let mut st2 = LiftState::without_cache();
+        repair_module(&mut env2, &l2, &mut st2, stdlib::swap::OLD_MODULE_CONSTANTS).unwrap();
+
+        assert!(st1.stats.cache_hits > 0);
+        assert_eq!(st2.stats.cache_hits, 0);
+        for c in stdlib::swap::OLD_MODULE_CONSTANTS {
+            let n = GlobalName::new(c.replace("Old.", "New."));
+            assert_eq!(
+                env1.const_decl(&n).unwrap().body,
+                env2.const_decl(&n).unwrap().body,
+                "cache changed the result of {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_replica_term_module() {
+        let mut env = stdlib::std_env();
+        let lifting = swap::configure(
+            &mut env,
+            &"Old.Term".into(),
+            &"New.Term".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        let mut st = LiftState::new();
+        let report = repair_module(
+            &mut env,
+            &lifting,
+            &mut st,
+            &[
+                "Old.size",
+                "Old.eval",
+                "Old.swap_eq_args",
+                "Old.swap_eq_args_involutive",
+                "Old.eval_eq_true_or_false",
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.repaired.len(), 5);
+        // The repaired eval computes the same values through the equivalence.
+        let f = lifting.equivalence.as_ref().unwrap().f.clone();
+        let old_t = pumpkin_lang::term(
+            &env,
+            "Old.Plus (Old.Int (S (S O))) (Old.Times (Old.Int (S O)) (Old.Int (S (S (S O)))))",
+        )
+        .unwrap();
+        let env_fn = pumpkin_lang::term(&env, "fun (i : Id) => O").unwrap();
+        let old_v = Term::app(
+            Term::const_("Old.eval"),
+            [env_fn.clone(), old_t.clone()],
+        );
+        let new_v = Term::app(
+            Term::const_("New.eval"),
+            [env_fn, Term::app(Term::const_(f), [old_t])],
+        );
+        assert_eq!(
+            nat_value(&normalize(&env, &old_v)),
+            nat_value(&normalize(&env, &new_v))
+        );
+        assert_eq!(nat_value(&normalize(&env, &old_v)), Some(5));
+    }
+}

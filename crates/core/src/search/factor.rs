@@ -1,0 +1,390 @@
+//! Automatic configuration for factoring constructors out to `bool`
+//! (paper Fig. 4 and §3.1.1): `I` with two nullary constructors is
+//! equivalent to `J` with a single constructor over `bool`, once the proof
+//! engineer says which constructor maps to `true` and which to `false`.
+//!
+//! The dependent constructors of `J` are `makeJ true` / `makeJ false`, and
+//! its dependent eliminator cases on the wrapped `bool` — exactly the
+//! repaired `and`/`demorgan_1` shapes shown in the paper.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::subst::lift;
+use pumpkin_kernel::term::{ElimData, Term, TermData};
+
+use crate::config::{EquivalenceNames, Lifting, MatchedElim, NameMap, SideBuild, SideMatch};
+use crate::error::{RepairError, Result};
+
+struct FactorMatch {
+    a: GlobalName,
+}
+
+impl SideMatch for FactorMatch {
+    fn match_type(&self, _env: &Env, t: &Term) -> Option<Vec<Term>> {
+        let (name, args) = t.as_ind_app()?;
+        (name == &self.a && args.is_empty()).then(Vec::new)
+    }
+
+    fn match_constr(&self, _env: &Env, t: &Term) -> Option<(usize, Vec<Term>)> {
+        let (name, j, args) = t.as_construct_app()?;
+        (name == &self.a && args.is_empty()).then(|| (j, Vec::new()))
+    }
+
+    fn match_elim(&self, _env: &Env, t: &Term) -> Option<MatchedElim> {
+        match t.data() {
+            TermData::Elim(e) if e.ind == self.a => Some(MatchedElim {
+                type_args: Vec::new(),
+                motive: e.motive.clone(),
+                cases: e.cases.clone(),
+                scrutinee: e.scrutinee.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+struct FactorBuild {
+    b: GlobalName,
+    /// `bool_of[j]` = index of the `bool` constructor for `I`'s ctor `j`
+    /// (0 = `true`, 1 = `false`).
+    bool_of: Vec<usize>,
+}
+
+impl FactorBuild {
+    fn make(&self, bool_ctor: usize) -> Term {
+        Term::app(
+            Term::construct(self.b.clone(), 0),
+            [Term::construct("bool", bool_ctor)],
+        )
+    }
+}
+
+impl SideBuild for FactorBuild {
+    fn build_type(&self, _env: &Env, _args: Vec<Term>) -> Result<Term> {
+        Ok(Term::ind(self.b.clone()))
+    }
+
+    fn build_constr(&self, _env: &Env, j: usize, _args: Vec<Term>) -> Result<Term> {
+        let k = *self
+            .bool_of
+            .get(j)
+            .ok_or_else(|| RepairError::BadMapping(format!("no constructor #{j}")))?;
+        Ok(self.make(k))
+    }
+
+    fn build_elim(&self, _env: &Env, me: MatchedElim) -> Result<Term> {
+        // Elim[J](s; P){ fun b => Elim[bool](b; fun b => P (makeJ b)){…} }
+        let p = me.motive;
+        let mut bool_cases = vec![Term::prop(); me.cases.len()];
+        for (j, c) in me.cases.into_iter().enumerate() {
+            bool_cases[self.bool_of[j]] = lift(&c, 1);
+        }
+        let inner_motive = Term::lambda(
+            "b",
+            Term::ind("bool"),
+            Term::app(
+                lift(&p, 2),
+                [Term::app(
+                    Term::construct(self.b.clone(), 0),
+                    [Term::rel(0)],
+                )],
+            ),
+        );
+        let case = Term::lambda(
+            "b",
+            Term::ind("bool"),
+            Term::elim(ElimData {
+                ind: "bool".into(),
+                params: vec![],
+                motive: inner_motive,
+                cases: bool_cases,
+                scrutinee: Term::rel(0),
+            }),
+        );
+        Ok(Term::elim(ElimData {
+            ind: self.b.clone(),
+            params: vec![],
+            motive: p,
+            cases: vec![case],
+            scrutinee: me.scrutinee,
+        }))
+    }
+}
+
+/// Configures `I ≃ J` for the given constructor-to-`bool` mapping
+/// (paper §3.1.1: "as long as she first tells Pumpkin Pi which constructor
+/// of I maps to true and which maps to false"). Generates and checks the
+/// induced equivalence.
+///
+/// # Errors
+///
+/// Fails unless `a` has exactly two nullary constructors, `b` has exactly
+/// one constructor over `bool`, and the mapping is a bijection.
+pub fn configure_with(
+    env: &mut Env,
+    a_name: &GlobalName,
+    b_name: &GlobalName,
+    bool_of: [usize; 2],
+    names: NameMap,
+) -> Result<Lifting> {
+    let a = env.inductive(a_name)?.clone();
+    let b = env.inductive(b_name)?.clone();
+    if a.ctors.len() != 2 || a.ctors.iter().any(|c| !c.args.is_empty()) || a.nparams() != 0 {
+        return Err(RepairError::SearchFailed {
+            from: a_name.clone(),
+            to: b_name.clone(),
+            reason: "source must have exactly two nullary constructors".into(),
+        });
+    }
+    let b_ok = b.ctors.len() == 1
+        && b.nparams() == 0
+        && b.ctors[0].args.len() == 1
+        && b.ctors[0].args[0].ty == Term::ind("bool");
+    if !b_ok {
+        return Err(RepairError::SearchFailed {
+            from: a_name.clone(),
+            to: b_name.clone(),
+            reason: "target must have one constructor over bool".into(),
+        });
+    }
+    if !(bool_of == [0, 1] || bool_of == [1, 0]) {
+        return Err(RepairError::BadMapping(format!("{bool_of:?} is not a bijection onto bool")));
+    }
+
+    let builder = FactorBuild {
+        b: b_name.clone(),
+        bool_of: bool_of.to_vec(),
+    };
+
+    // f : I → J.
+    let f_name = GlobalName::new(format!("{a_name}_to_{b_name}"));
+    let g_name = GlobalName::new(format!("{b_name}_to_{a_name}"));
+    let section_name = GlobalName::new(format!("{f_name}_section"));
+    let retraction_name = GlobalName::new(format!("{f_name}_retraction"));
+    let ind_a = Term::ind(a_name.clone());
+    let ind_b = Term::ind(b_name.clone());
+
+    if !env.contains(f_name.as_str()) {
+        let f = Term::lambda(
+            "x",
+            ind_a.clone(),
+            Term::elim(ElimData {
+                ind: a_name.clone(),
+                params: vec![],
+                motive: Term::lambda("_x", ind_a.clone(), ind_b.clone()),
+                cases: vec![builder.make(bool_of[0]), builder.make(bool_of[1])],
+                scrutinee: Term::rel(0),
+            }),
+        );
+        env.define(f_name.clone(), Term::arrow(ind_a.clone(), ind_b.clone()), f)?;
+    }
+    if !env.contains(g_name.as_str()) {
+        // g : J → I, casing on the wrapped bool.
+        let mut bool_cases = vec![Term::prop(); 2];
+        bool_cases[bool_of[0]] = Term::construct(a_name.clone(), 0);
+        bool_cases[bool_of[1]] = Term::construct(a_name.clone(), 1);
+        let g = Term::lambda(
+            "x",
+            ind_b.clone(),
+            Term::elim(ElimData {
+                ind: b_name.clone(),
+                params: vec![],
+                motive: Term::lambda("_x", ind_b.clone(), ind_a.clone()),
+                cases: vec![Term::lambda(
+                    "b",
+                    Term::ind("bool"),
+                    Term::elim(ElimData {
+                        ind: "bool".into(),
+                        params: vec![],
+                        motive: Term::lambda("_b", Term::ind("bool"), lift(&ind_a, 2)),
+                        cases: bool_cases,
+                        scrutinee: Term::rel(0),
+                    }),
+                )],
+                scrutinee: Term::rel(0),
+            }),
+        );
+        env.define(g_name.clone(), Term::arrow(ind_b.clone(), ind_a.clone()), g)?;
+    }
+
+    let eq_app = |ty: &Term, x: Term, y: Term| Term::app(Term::ind("eq"), [ty.clone(), x, y]);
+    let round = |outer: &GlobalName, inner: &GlobalName, x: Term| {
+        Term::app(
+            Term::const_(outer.clone()),
+            [Term::app(Term::const_(inner.clone()), [x])],
+        )
+    };
+    if !env.contains(section_name.as_str()) {
+        // ∀ x : I, g (f x) = x — both cases reflexive.
+        let ty = Term::pi(
+            "x",
+            ind_a.clone(),
+            eq_app(&ind_a, round(&g_name, &f_name, Term::rel(0)), Term::rel(0)),
+        );
+        let body = Term::lambda(
+            "x",
+            ind_a.clone(),
+            Term::elim(ElimData {
+                ind: a_name.clone(),
+                params: vec![],
+                motive: Term::lambda(
+                    "x",
+                    lift(&ind_a, 1),
+                    eq_app(&ind_a, round(&g_name, &f_name, Term::rel(0)), Term::rel(0)),
+                ),
+                cases: vec![
+                    Term::app(
+                        Term::construct("eq", 0),
+                        [ind_a.clone(), Term::construct(a_name.clone(), 0)],
+                    ),
+                    Term::app(
+                        Term::construct("eq", 0),
+                        [ind_a.clone(), Term::construct(a_name.clone(), 1)],
+                    ),
+                ],
+                scrutinee: Term::rel(0),
+            }),
+        );
+        env.define(section_name.clone(), ty, body)?;
+    }
+    if !env.contains(retraction_name.as_str()) {
+        // ∀ j : J, f (g j) = j — case on the wrapped bool, both reflexive.
+        let ty = Term::pi(
+            "x",
+            ind_b.clone(),
+            eq_app(&ind_b, round(&f_name, &g_name, Term::rel(0)), Term::rel(0)),
+        );
+        let refl_at = |k: usize| {
+            Term::app(
+                Term::construct("eq", 0),
+                [ind_b.clone(), builder.make(k)],
+            )
+        };
+        let body = Term::lambda(
+            "x",
+            ind_b.clone(),
+            Term::elim(ElimData {
+                ind: b_name.clone(),
+                params: vec![],
+                motive: Term::lambda(
+                    "x",
+                    lift(&ind_b, 1),
+                    eq_app(&ind_b, round(&f_name, &g_name, Term::rel(0)), Term::rel(0)),
+                ),
+                cases: vec![Term::lambda(
+                    "b",
+                    Term::ind("bool"),
+                    Term::elim(ElimData {
+                        ind: "bool".into(),
+                        params: vec![],
+                        motive: Term::lambda(
+                            "b",
+                            Term::ind("bool"),
+                            eq_app(
+                                &lift(&ind_b, 3),
+                                round(
+                                    &f_name,
+                                    &g_name,
+                                    Term::app(
+                                        Term::construct(b_name.clone(), 0),
+                                        [Term::rel(0)],
+                                    ),
+                                ),
+                                Term::app(
+                                    Term::construct(b_name.clone(), 0),
+                                    [Term::rel(0)],
+                                ),
+                            ),
+                        ),
+                        cases: vec![refl_at(0), refl_at(1)],
+                        scrutinee: Term::rel(0),
+                    }),
+                )],
+                scrutinee: Term::rel(0),
+            }),
+        );
+        env.define(retraction_name.clone(), ty, body)?;
+    }
+
+    Ok(Lifting {
+        a_name: a_name.clone(),
+        b_name: b_name.clone(),
+        matcher: Box::new(FactorMatch { a: a_name.clone() }),
+        builder: Box::new(builder),
+        names,
+        equivalence: Some(EquivalenceNames {
+            f: f_name,
+            g: g_name,
+            section: section_name,
+            retraction: retraction_name,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::LiftState;
+    use crate::repair::repair_module;
+    use pumpkin_kernel::reduce::normalize;
+    use pumpkin_stdlib as stdlib;
+
+    fn configured() -> (Env, Lifting) {
+        let mut env = stdlib::std_env();
+        let l = configure_with(
+            &mut env,
+            &"I".into(),
+            &"J".into(),
+            [0, 1], // A ↦ true, B ↦ false (constr_refactor.v's mapping)
+            NameMap::prefix("I.", "J."),
+        )
+        .unwrap();
+        (env, l)
+    }
+
+    #[test]
+    fn equivalence_checks_and_computes() {
+        let (env, l) = configured();
+        let eqv = l.equivalence.as_ref().unwrap();
+        let fa = Term::app(Term::const_(eqv.f.clone()), [Term::construct("I", 0)]);
+        let expect = pumpkin_lang::term(&env, "makeJ true").unwrap();
+        assert_eq!(normalize(&env, &fa), normalize(&env, &expect));
+    }
+
+    #[test]
+    fn repairs_demorgan_development() {
+        let (mut env, l) = configured();
+        let mut st = LiftState::new();
+        let report = repair_module(
+            &mut env,
+            &l,
+            &mut st,
+            &["I.neg", "I.and", "I.or", "I.demorgan_1", "I.demorgan_2"],
+        )
+        .unwrap();
+        assert_eq!(report.repaired.len(), 5);
+        // J.and behaves like I.and through the equivalence.
+        let f = l.equivalence.as_ref().unwrap().f.clone();
+        for (x, y) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+            let old = Term::app(
+                Term::const_("I.and"),
+                [Term::construct("I", x), Term::construct("I", y)],
+            );
+            let new = Term::app(
+                Term::const_("J.and"),
+                [
+                    Term::app(Term::const_(f.clone()), [Term::construct("I", x)]),
+                    Term::app(Term::const_(f.clone()), [Term::construct("I", y)]),
+                ],
+            );
+            let transported = Term::app(Term::const_(f.clone()), [old]);
+            assert_eq!(
+                normalize(&env, &transported),
+                normalize(&env, &new),
+                "and {x} {y}"
+            );
+        }
+        // The repaired proofs no longer mention I.
+        crate::repair::check_source_free(&env, &l, &"J.demorgan_1".into()).unwrap();
+    }
+}

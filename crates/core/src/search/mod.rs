@@ -1,0 +1,9 @@
+//! Search procedures for automatic configuration (paper §3.3): each
+//! submodule discovers the configuration for one class of equivalences and
+//! generates + checks the equivalence proofs (Fig. 3).
+
+pub mod factor;
+pub mod ornament;
+pub mod swap;
+pub mod unpack;
+pub mod tuple_record;

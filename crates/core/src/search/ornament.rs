@@ -1,0 +1,367 @@
+//! Automatic configuration for algebraic ornaments (paper §3.3 search
+//! procedure 3, case study §6.2): porting from a base inductive to its
+//! indexed refinement packed in a Σ type — `list T ≃ Σ(n : nat). vector T n`
+//! — the Devoid class of equivalences.
+//!
+//! The discovered configuration (paper §6.2.1) is registered as transparent
+//! constants so repaired terms stay readable:
+//!
+//! * `sig_vector T`     — the packed type `Σ(n). vector T n`;
+//! * `list_sig.dep_constr_0/1` — pack the index into an existential;
+//! * `list_sig.eta`     — propositional η for Σ;
+//! * `list_sig.dep_elim` — eliminate over the projections.
+//!
+//! Like Devoid (and unlike the syntactic configurations), this direction is
+//! A→B only: the paper notes complete B→A heuristics remain open (§6.2.3).
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::term::{Term, TermData};
+use pumpkin_lang::load_source;
+
+use crate::config::{EquivalenceNames, Lifting, MatchedElim, NameMap, SideBuild, SideMatch};
+use crate::error::{RepairError, Result};
+
+/// The configuration discovered for `list ≃ Σ(n). vector n`, plus the
+/// generated equivalence (all kernel-checked at load).
+pub const CONFIG_SRC: &str = r#"
+Definition sig_vector : Type 1 -> Type 1 :=
+  fun (T : Type 1) => sigT nat (fun (n : nat) => vector T n).
+
+Definition list_sig.dep_constr_0 : forall (T : Type 1), sig_vector T :=
+  fun (T : Type 1) =>
+    existT nat (fun (n : nat) => vector T n) O (vnil T).
+
+Definition list_sig.dep_constr_1 :
+    forall (T : Type 1) (t : T) (s : sig_vector T), sig_vector T :=
+  fun (T : Type 1) (t : T) (s : sig_vector T) =>
+    existT nat (fun (n : nat) => vector T n)
+      (S (projT1 nat (fun (n : nat) => vector T n) s))
+      (vcons T t
+        (projT1 nat (fun (n : nat) => vector T n) s)
+        (projT2 nat (fun (n : nat) => vector T n) s)).
+
+(* Propositional eta for the packed type (paper section 4.1.2). *)
+Definition list_sig.eta : forall (T : Type 1), sig_vector T -> sig_vector T :=
+  fun (T : Type 1) (s : sig_vector T) =>
+    existT nat (fun (n : nat) => vector T n)
+      (projT1 nat (fun (n : nat) => vector T n) s)
+      (projT2 nat (fun (n : nat) => vector T n) s).
+
+(* The dependent eliminator: eliminate over the projections
+   (paper section 6.2.1). *)
+Definition list_sig.dep_elim : forall (T : Type 1) (P : sig_vector T -> Type 1)
+    (pnil : P (list_sig.dep_constr_0 T))
+    (pcons : forall (t : T) (s : sig_vector T),
+       P (list_sig.eta T s) -> P (list_sig.dep_constr_1 T t s))
+    (s : sig_vector T),
+    P (list_sig.eta T s) :=
+  fun (T : Type 1) (P : sig_vector T -> Type 1)
+      (pnil : P (list_sig.dep_constr_0 T))
+      (pcons : forall (t : T) (s : sig_vector T),
+         P (list_sig.eta T s) -> P (list_sig.dep_constr_1 T t s))
+      (s : sig_vector T) =>
+    elim (projT2 nat (fun (n : nat) => vector T n) s) : vector T
+      return (fun (n : nat) (v : vector T n) =>
+        P (existT nat (fun (k : nat) => vector T k) n v))
+    with
+    | pnil
+    | fun (t : T) (n : nat) (v : vector T n)
+          (ih : P (existT nat (fun (k : nat) => vector T k) n v)) =>
+        pcons t (existT nat (fun (k : nat) => vector T k) n v) ih
+    end.
+
+(* The equivalence (paper Fig. 3's shape, for the ornament). *)
+Definition list_to_sig_vector : forall (T : Type 1), list T -> sig_vector T :=
+  fun (T : Type 1) (l : list T) =>
+    elim l : list T return (fun (x : list T) => sig_vector T) with
+    | list_sig.dep_constr_0 T
+    | fun (t : T) (l' : list T) (ih : sig_vector T) =>
+        list_sig.dep_constr_1 T t ih
+    end.
+
+Definition sig_vector_to_list : forall (T : Type 1), sig_vector T -> list T :=
+  fun (T : Type 1) (s : sig_vector T) =>
+    list_sig.dep_elim T (fun (x : sig_vector T) => list T)
+      (nil T)
+      (fun (t : T) (s' : sig_vector T) (ih : list T) => cons T t ih)
+      s.
+
+Definition list_to_sig_vector_section : forall (T : Type 1) (l : list T),
+    eq (list T) (sig_vector_to_list T (list_to_sig_vector T l)) l :=
+  fun (T : Type 1) (l : list T) =>
+    elim l : list T
+      return (fun (x : list T) =>
+        eq (list T) (sig_vector_to_list T (list_to_sig_vector T x)) x)
+    with
+    | eq_refl (list T) (nil T)
+    | fun (t : T) (l' : list T)
+          (ih : eq (list T) (sig_vector_to_list T (list_to_sig_vector T l')) l') =>
+        f_equal (list T) (list T) (cons T t)
+          (sig_vector_to_list T (list_to_sig_vector T l')) l' ih
+    end.
+
+Definition list_to_sig_vector_retraction : forall (T : Type 1) (s : sig_vector T),
+    eq (sig_vector T) (list_to_sig_vector T (sig_vector_to_list T s)) s :=
+  fun (T : Type 1) (s : sig_vector T) =>
+    elim s : sigT nat (fun (n : nat) => vector T n)
+      return (fun (x : sigT nat (fun (n : nat) => vector T n)) =>
+        eq (sig_vector T) (list_to_sig_vector T (sig_vector_to_list T x)) x)
+    with
+    | fun (n : nat) (v : vector T n) =>
+        elim v : vector T
+          return (fun (m : nat) (w : vector T m) =>
+            eq (sig_vector T)
+               (list_to_sig_vector T (sig_vector_to_list T
+                 (existT nat (fun (k : nat) => vector T k) m w)))
+               (existT nat (fun (k : nat) => vector T k) m w))
+        with
+        | eq_refl (sig_vector T) (existT nat (fun (k : nat) => vector T k) O (vnil T))
+        | fun (t : T) (m : nat) (w : vector T m)
+              (ih : eq (sig_vector T)
+                 (list_to_sig_vector T (sig_vector_to_list T
+                   (existT nat (fun (k : nat) => vector T k) m w)))
+                 (existT nat (fun (k : nat) => vector T k) m w)) =>
+            f_equal (sig_vector T) (sig_vector T)
+              (fun (s' : sig_vector T) => list_sig.dep_constr_1 T t s')
+              (list_to_sig_vector T (sig_vector_to_list T
+                (existT nat (fun (k : nat) => vector T k) m w)))
+              (existT nat (fun (k : nat) => vector T k) m w)
+              ih
+        end
+    end.
+"#;
+
+struct OrnamentMatch {
+    a: GlobalName,
+}
+
+impl SideMatch for OrnamentMatch {
+    fn match_type(&self, _env: &Env, t: &Term) -> Option<Vec<Term>> {
+        let (name, args) = t.as_ind_app()?;
+        (name == &self.a).then(|| args.to_vec())
+    }
+
+    fn match_constr(&self, _env: &Env, t: &Term) -> Option<(usize, Vec<Term>)> {
+        let (name, j, args) = t.as_construct_app()?;
+        (name == &self.a).then(|| (j, args.to_vec()))
+    }
+
+    fn match_elim(&self, _env: &Env, t: &Term) -> Option<MatchedElim> {
+        match t.data() {
+            TermData::Elim(e) if e.ind == self.a => Some(MatchedElim {
+                type_args: e.params.clone(),
+                motive: e.motive.clone(),
+                cases: e.cases.clone(),
+                scrutinee: e.scrutinee.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+struct OrnamentBuild;
+
+impl SideBuild for OrnamentBuild {
+    fn build_type(&self, _env: &Env, args: Vec<Term>) -> Result<Term> {
+        Ok(Term::app(Term::const_("sig_vector"), args))
+    }
+
+    fn build_constr(&self, _env: &Env, j: usize, args: Vec<Term>) -> Result<Term> {
+        let name = match j {
+            0 => "list_sig.dep_constr_0",
+            1 => "list_sig.dep_constr_1",
+            _ => {
+                return Err(RepairError::BadMapping(format!(
+                    "ornament source has no constructor #{j}"
+                )))
+            }
+        };
+        Ok(Term::app(Term::const_(name), args))
+    }
+
+    fn build_elim(&self, _env: &Env, me: MatchedElim) -> Result<Term> {
+        let mut args = me.type_args;
+        args.push(me.motive);
+        args.extend(me.cases);
+        args.push(me.scrutinee);
+        Ok(Term::app(Term::const_("list_sig.dep_elim"), args))
+    }
+}
+
+/// Configures the ornament lifting `list → Σ(n). vector n`, loading (and
+/// kernel-checking) the discovered configuration and equivalence.
+///
+/// # Errors
+///
+/// Fails if `list`/`vector`/`sigT`/`nat` are missing or have unexpected
+/// shapes, or if the configuration fails to check.
+pub fn configure(env: &mut Env, names: NameMap) -> Result<Lifting> {
+    // Validate the expected shapes.
+    let list = env.inductive(&"list".into())?;
+    if list.ctors.len() != 2 || list.nparams() != 1 || list.nindices() != 0 {
+        return Err(RepairError::SearchFailed {
+            from: "list".into(),
+            to: "vector".into(),
+            reason: "source is not a list-shaped inductive".into(),
+        });
+    }
+    let vector = env.inductive(&"vector".into())?;
+    if vector.ctors.len() != 2 || vector.nparams() != 1 || vector.nindices() != 1 {
+        return Err(RepairError::SearchFailed {
+            from: "list".into(),
+            to: "vector".into(),
+            reason: "target is not an indexed refinement of the source".into(),
+        });
+    }
+    if !env.contains("list_sig.dep_elim") {
+        load_source(env, CONFIG_SRC)?;
+    }
+    Ok(Lifting {
+        a_name: "list".into(),
+        b_name: "sig_vector".into(),
+        matcher: Box::new(OrnamentMatch { a: "list".into() }),
+        builder: Box::new(OrnamentBuild),
+        names,
+        equivalence: Some(EquivalenceNames {
+            f: "list_to_sig_vector".into(),
+            g: "sig_vector_to_list".into(),
+            section: "list_to_sig_vector_section".into(),
+            retraction: "list_to_sig_vector_retraction".into(),
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::LiftState;
+    use crate::repair::{check_source_free, repair_module};
+    use pumpkin_kernel::reduce::normalize;
+    use pumpkin_stdlib as stdlib;
+    use pumpkin_stdlib::nat::nat_lit;
+
+    fn configured() -> (Env, Lifting) {
+        let mut env = stdlib::std_env();
+        let l = configure(&mut env, NameMap::prefix("", "Sig.")).unwrap();
+        (env, l)
+    }
+
+    #[test]
+    fn config_loads_and_equivalence_checks() {
+        let (env, l) = configured();
+        assert!(env.contains("list_sig.dep_elim"));
+        assert!(env.contains("list_to_sig_vector_section"));
+        assert!(env.contains("list_to_sig_vector_retraction"));
+        assert_eq!(l.b_name.as_str(), "sig_vector");
+    }
+
+    #[test]
+    fn transport_packs_lists_into_vectors() {
+        let (env, _) = configured();
+        let l = stdlib::list::list_lit("list", Term::ind("nat"), &[nat_lit(4), nat_lit(5)]);
+        let packed = Term::app(
+            Term::const_("list_to_sig_vector"),
+            [Term::ind("nat"), l.clone()],
+        );
+        // projT1 of the packed value is the length.
+        let len = Term::app(
+            Term::const_("projT1"),
+            [
+                Term::ind("nat"),
+                Term::lambda(
+                    "n",
+                    Term::ind("nat"),
+                    Term::app(Term::ind("vector"), [Term::ind("nat"), Term::rel(0)]),
+                ),
+                packed.clone(),
+            ],
+        );
+        assert_eq!(
+            stdlib::nat::nat_value(&normalize(&env, &len)),
+            Some(2)
+        );
+        // And the round trip is the identity.
+        let back = Term::app(
+            Term::const_("sig_vector_to_list"),
+            [Term::ind("nat"), packed],
+        );
+        assert_eq!(normalize(&env, &back), l);
+    }
+
+    #[test]
+    fn repairs_zip_development_to_packed_vectors() {
+        let (mut env, l) = configured();
+        let mut st = LiftState::new();
+        let report = repair_module(
+            &mut env,
+            &l,
+            &mut st,
+            &["zip", "zip_with", "zip_with_is_zip"],
+        )
+        .unwrap();
+        assert_eq!(report.renamed("zip").unwrap().as_str(), "Sig.zip");
+        // The repaired lemma mentions sig_vector, not list.
+        for (_, to) in &report.repaired {
+            check_source_free(&env, &l, to).unwrap();
+        }
+        // Sig.zip computes: zip [1,2] [3,4] has length 2.
+        let nat = Term::ind("nat");
+        let pack = |elems: &[u64]| {
+            let lst = stdlib::list::list_lit(
+                "list",
+                nat.clone(),
+                &elems.iter().map(|&e| nat_lit(e)).collect::<Vec<_>>(),
+            );
+            Term::app(Term::const_("list_to_sig_vector"), [nat.clone(), lst])
+        };
+        let zipped = Term::app(
+            Term::const_("Sig.zip"),
+            [nat.clone(), nat.clone(), pack(&[1, 2]), pack(&[3, 4, 5])],
+        );
+        let pair_ty = Term::app(Term::ind("prod"), [nat.clone(), nat.clone()]);
+        let len = Term::app(
+            Term::const_("projT1"),
+            [
+                nat.clone(),
+                Term::lambda(
+                    "n",
+                    nat.clone(),
+                    Term::app(Term::ind("vector"), [pumpkin_kernel::subst::lift(&pair_ty, 1), Term::rel(0)]),
+                ),
+                zipped,
+            ],
+        );
+        assert_eq!(stdlib::nat::nat_value(&normalize(&env, &len)), Some(2));
+    }
+
+    #[test]
+    fn repaired_list_module_functions_work_over_sig_vector() {
+        // Also repair app/rev (paper: Devoid-style reuse over ornaments).
+        let (mut env, l) = configured();
+        let mut st = LiftState::new();
+        repair_module(&mut env, &l, &mut st, &["app", "rev", "length"]).unwrap();
+        let nat = Term::ind("nat");
+        let pack = |elems: &[u64]| {
+            let lst = stdlib::list::list_lit(
+                "list",
+                nat.clone(),
+                &elems.iter().map(|&e| nat_lit(e)).collect::<Vec<_>>(),
+            );
+            Term::app(Term::const_("list_to_sig_vector"), [nat.clone(), lst])
+        };
+        // Sig.rev (Sig.app [1] [2,3]) unpacks back to [3,2,1].
+        let appd = Term::app(
+            Term::const_("Sig.app"),
+            [nat.clone(), pack(&[1]), pack(&[2, 3])],
+        );
+        let revd = Term::app(Term::const_("Sig.rev"), [nat.clone(), appd]);
+        let back = Term::app(Term::const_("sig_vector_to_list"), [nat.clone(), revd]);
+        let expect = stdlib::list::list_lit(
+            "list",
+            nat.clone(),
+            &[nat_lit(3), nat_lit(2), nat_lit(1)],
+        );
+        assert_eq!(normalize(&env, &back), expect);
+    }
+}

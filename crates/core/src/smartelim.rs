@@ -1,0 +1,184 @@
+//! Smart eliminators (paper §4.4): custom eliminators for types refined by
+//! equalities, like `Σ(l : list T). length l = n`, that let the proof
+//! engineer "break them into parts and reason separately about the
+//! projections".
+//!
+//! [`packed_list`] generates the refined type, its eliminator, the smart
+//! introduction combinators that pair a list function with its length
+//! invariant (`pzip`, `pzip_with`), and the projection lemmas — the
+//! machinery §6.2.2 uses to state `zip_with_is_zip` over lists at a given
+//! length before repairing to vectors.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_lang::load_source;
+
+use crate::error::Result;
+
+/// The generated smart-eliminator module for length-refined lists.
+pub const PACKED_LIST_SRC: &str = r#"
+(* Σ(l : list T). length l = n *)
+Definition packed_list : forall (T : Type 1), nat -> Type 1 :=
+  fun (T : Type 1) (n : nat) =>
+    sigT (list T) (fun (l : list T) => eq nat (length T l) n).
+
+(* The smart eliminator: eliminate the refinement into its parts. *)
+Definition packed_list_elim : forall (T : Type 1) (n : nat)
+    (P : packed_list T n -> Type 1),
+    (forall (l : list T) (H : eq nat (length T l) n),
+      P (existT (list T) (fun (l0 : list T) => eq nat (length T l0) n) l H)) ->
+    forall (p : packed_list T n), P p :=
+  fun (T : Type 1) (n : nat) (P : packed_list T n -> Type 1)
+      (f : forall (l : list T) (H : eq nat (length T l) n),
+        P (existT (list T) (fun (l0 : list T) => eq nat (length T l0) n) l H))
+      (p : packed_list T n) =>
+    elim p : sigT (list T) (fun (l : list T) => eq nat (length T l) n)
+      return (fun (x : packed_list T n) => P x)
+    with
+    | f
+    end.
+
+Definition packed_list_val : forall (T : Type 1) (n : nat),
+    packed_list T n -> list T :=
+  fun (T : Type 1) (n : nat) (p : packed_list T n) =>
+    projT1 (list T) (fun (l : list T) => eq nat (length T l) n) p.
+
+Definition packed_list_invariant : forall (T : Type 1) (n : nat)
+    (p : packed_list T n),
+    eq nat (length T (packed_list_val T n p)) n :=
+  fun (T : Type 1) (n : nat) (p : packed_list T n) =>
+    projT2 (list T) (fun (l : list T) => eq nat (length T l) n) p.
+
+(* Smart introductions: combine the list functions with their length
+   invariants (paper section 6.2.2). *)
+Definition pzip : forall (A : Type 1) (B : Type 1) (n : nat),
+    packed_list A n -> packed_list B n -> packed_list (prod A B) n :=
+  fun (A : Type 1) (B : Type 1) (n : nat)
+      (p1 : packed_list A n) (p2 : packed_list B n) =>
+    existT (list (prod A B))
+      (fun (l : list (prod A B)) => eq nat (length (prod A B) l) n)
+      (zip A B (packed_list_val A n p1) (packed_list_val B n p2))
+      (zip_length A B (packed_list_val A n p1) (packed_list_val B n p2) n
+        (packed_list_invariant A n p1)
+        (packed_list_invariant B n p2)).
+
+Definition pzip_with : forall (A : Type 1) (B : Type 1) (C : Type 1)
+    (f : A -> B -> C) (n : nat),
+    packed_list A n -> packed_list B n -> packed_list C n :=
+  fun (A : Type 1) (B : Type 1) (C : Type 1) (f : A -> B -> C) (n : nat)
+      (p1 : packed_list A n) (p2 : packed_list B n) =>
+    existT (list C)
+      (fun (l : list C) => eq nat (length C l) n)
+      (zip_with A B C f (packed_list_val A n p1) (packed_list_val B n p2))
+      (zip_with_length A B C f
+        (packed_list_val A n p1) (packed_list_val B n p2) n
+        (packed_list_invariant A n p1)
+        (packed_list_invariant B n p2)).
+
+(* The refined lemma at the level of underlying values: zip_with pair and
+   zip agree on the list components (paper section 6.2.2's lemma, stated
+   through the smart projections). *)
+Definition pzip_with_is_zip_val : forall (A : Type 1) (B : Type 1) (n : nat)
+    (p1 : packed_list A n) (p2 : packed_list B n),
+    eq (list (prod A B))
+       (packed_list_val (prod A B) n (pzip_with A B (prod A B) (pair A B) n p1 p2))
+       (packed_list_val (prod A B) n (pzip A B n p1 p2)) :=
+  fun (A : Type 1) (B : Type 1) (n : nat)
+      (p1 : packed_list A n) (p2 : packed_list B n) =>
+    zip_with_is_zip A B (packed_list_val A n p1) (packed_list_val B n p2).
+"#;
+
+/// Generates the smart eliminator module for length-refined lists
+/// (idempotent).
+///
+/// # Errors
+///
+/// Fails if the list module is missing or a generated term fails to check.
+pub fn packed_list(env: &mut Env) -> Result<()> {
+    if !env.contains("packed_list_elim") {
+        load_source(env, PACKED_LIST_SRC)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_kernel::reduce::normalize;
+    use pumpkin_kernel::term::Term;
+    use pumpkin_stdlib as stdlib;
+    use pumpkin_stdlib::list::list_lit;
+    use pumpkin_stdlib::nat::{nat_lit, nat_value};
+
+    #[test]
+    fn smart_eliminator_module_checks() {
+        let mut env = stdlib::std_env();
+        packed_list(&mut env).unwrap();
+        for n in [
+            "packed_list",
+            "packed_list_elim",
+            "pzip",
+            "pzip_with",
+            "pzip_with_is_zip_val",
+        ] {
+            assert!(env.contains(n), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn packed_zip_computes_and_preserves_invariant() {
+        let mut env = stdlib::std_env();
+        packed_list(&mut env).unwrap();
+        let nat = Term::ind("nat");
+        let pack = |elems: &[u64]| {
+            let l = list_lit(
+                "list",
+                nat.clone(),
+                &elems.iter().map(|&e| nat_lit(e)).collect::<Vec<_>>(),
+            );
+            // existT (list nat) (fun l => length l = n) l (eq_refl n)
+            Term::app(
+                Term::construct("sigT", 0),
+                [
+                    Term::app(Term::ind("list"), [nat.clone()]),
+                    Term::lambda(
+                        "l",
+                        Term::app(Term::ind("list"), [nat.clone()]),
+                        Term::app(
+                            Term::ind("eq"),
+                            [
+                                nat.clone(),
+                                Term::app(
+                                    Term::const_("length"),
+                                    [nat.clone(), Term::rel(0)],
+                                ),
+                                nat_lit(elems.len() as u64),
+                            ],
+                        ),
+                    ),
+                    l,
+                    Term::app(
+                        Term::construct("eq", 0),
+                        [nat.clone(), nat_lit(elems.len() as u64)],
+                    ),
+                ],
+            )
+        };
+        let zipped = Term::app(
+            Term::const_("pzip"),
+            [nat.clone(), nat.clone(), nat_lit(2), pack(&[1, 2]), pack(&[3, 4])],
+        );
+        let val = Term::app(
+            Term::const_("packed_list_val"),
+            [
+                Term::app(Term::ind("prod"), [nat.clone(), nat.clone()]),
+                nat_lit(2),
+                zipped,
+            ],
+        );
+        let len = Term::app(
+            Term::const_("length"),
+            [Term::app(Term::ind("prod"), [nat.clone(), nat.clone()]), val],
+        );
+        assert_eq!(nat_value(&normalize(&env, &len)), Some(2));
+    }
+}

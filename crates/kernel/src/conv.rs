@@ -1,0 +1,199 @@
+//! Definitional equality (conversion) and cumulativity.
+
+use crate::env::Env;
+use crate::reduce::whnf;
+use crate::subst::lift;
+use crate::term::{Term, TermData};
+
+/// Are `t` and `u` definitionally equal (βδιζη-convertible)?
+pub fn conv(env: &Env, t: &Term, u: &Term) -> bool {
+    if t == u {
+        return true;
+    }
+    let t = whnf(env, t);
+    let u = whnf(env, u);
+    conv_whnf(env, &t, &u)
+}
+
+/// Cumulativity: is `t ≤ u` as types? Identical to conversion except sorts
+/// compare with `≤` and products compare codomains with `≤`.
+pub fn conv_leq(env: &Env, t: &Term, u: &Term) -> bool {
+    if t == u {
+        return true;
+    }
+    let t = whnf(env, t);
+    let u = whnf(env, u);
+    match (t.data(), u.data()) {
+        (TermData::Sort(s1), TermData::Sort(s2)) => s1.leq(*s2),
+        (TermData::Pi(b1, c1), TermData::Pi(b2, c2)) => {
+            conv(env, &b1.ty, &b2.ty) && conv_leq(env, c1, c2)
+        }
+        _ => conv_whnf(env, &t, &u),
+    }
+}
+
+/// Conversion on terms already in weak head normal form.
+fn conv_whnf(env: &Env, t: &Term, u: &Term) -> bool {
+    if conv_whnf_structural(env, t, u) {
+        return true;
+    }
+    // Surjective pairing (definitional η for single-constructor,
+    // non-recursive inductives — Coq's "primitive records"):
+    // `C (proj₀ z) … (projₙ z) ≡ z`.
+    record_eta(env, t, u) || record_eta(env, u, t)
+}
+
+/// Does `t = Construct(I, 0) params (proj₀ z) … (projₙ z)` for a record-like
+/// inductive `I`, with `z ≡ u`?
+fn record_eta(env: &Env, t: &Term, u: &Term) -> bool {
+    let Some((ind, 0, args)) = t.as_construct_app() else {
+        return false;
+    };
+    let Ok(decl) = env.inductive(ind) else {
+        return false;
+    };
+    if decl.ctors.len() != 1 || decl.nindices() != 0 {
+        return false;
+    }
+    let p = decl.nparams();
+    let nfields = decl.ctors[0].args.len();
+    if nfields == 0 || args.len() != p + nfields {
+        return false;
+    }
+    // No recursive fields (otherwise η is unsound for this check).
+    if decl.recursive_flags(0).iter().any(|&r| r) {
+        return false;
+    }
+    let mut scrutinee: Option<Term> = None;
+    for i in 0..nfields {
+        let w = whnf(env, &args[p + i]);
+        let TermData::Elim(e) = w.data() else {
+            return false;
+        };
+        if &e.ind != ind || e.cases.len() != 1 {
+            return false;
+        }
+        // The case must select field i.
+        let (binders, body) = e.cases[0].strip_lambdas();
+        if binders.len() != nfields || body != Term::rel(nfields - 1 - i) {
+            return false;
+        }
+        // Parameters must agree with the constructor's.
+        if e.params.len() != p
+            || !e.params.iter().zip(args.iter()).all(|(x, y)| conv(env, x, y))
+        {
+            return false;
+        }
+        match &scrutinee {
+            None => scrutinee = Some(e.scrutinee.clone()),
+            Some(s) => {
+                if !conv(env, s, &e.scrutinee) {
+                    return false;
+                }
+            }
+        }
+    }
+    match scrutinee {
+        Some(s) => conv(env, &s, u),
+        None => false,
+    }
+}
+
+fn conv_whnf_structural(env: &Env, t: &Term, u: &Term) -> bool {
+    if t == u {
+        return true;
+    }
+    match (t.data(), u.data()) {
+        (TermData::Rel(i), TermData::Rel(j)) => i == j,
+        (TermData::Sort(s1), TermData::Sort(s2)) => s1 == s2,
+        // Opaque or bodyless constants are compared by name; transparent
+        // ones were unfolded by whnf already.
+        (TermData::Const(n1), TermData::Const(n2)) => n1 == n2,
+        (TermData::Ind(n1), TermData::Ind(n2)) => n1 == n2,
+        (TermData::Construct(n1, j1), TermData::Construct(n2, j2)) => n1 == n2 && j1 == j2,
+        (TermData::Pi(b1, c1), TermData::Pi(b2, c2)) => {
+            conv(env, &b1.ty, &b2.ty) && conv(env, c1, c2)
+        }
+        (TermData::Lambda(b1, c1), TermData::Lambda(b2, c2)) => {
+            conv(env, &b1.ty, &b2.ty) && conv(env, c1, c2)
+        }
+        // η: fun x => b  ≡  u  when  b ≡ u x.
+        (TermData::Lambda(_, body), _) => {
+            let expanded = Term::app(lift(u, 1), [Term::rel(0)]);
+            conv(env, body, &expanded)
+        }
+        (_, TermData::Lambda(_, body)) => {
+            let expanded = Term::app(lift(t, 1), [Term::rel(0)]);
+            conv(env, &expanded, body)
+        }
+        (TermData::App(h1, a1), TermData::App(h2, a2)) => {
+            a1.len() == a2.len()
+                && conv_whnf(env, h1, h2)
+                && a1.iter().zip(a2.iter()).all(|(x, y)| conv(env, x, y))
+        }
+        (TermData::Elim(e1), TermData::Elim(e2)) => {
+            e1.ind == e2.ind
+                && e1.params.len() == e2.params.len()
+                && e1.cases.len() == e2.cases.len()
+                && e1
+                    .params
+                    .iter()
+                    .zip(e2.params.iter())
+                    .all(|(x, y)| conv(env, x, y))
+                && conv(env, &e1.motive, &e2.motive)
+                && e1
+                    .cases
+                    .iter()
+                    .zip(e2.cases.iter())
+                    .all(|(x, y)| conv(env, x, y))
+                && conv(env, &e1.scrutinee, &e2.scrutinee)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Sort;
+
+    #[test]
+    fn eta_conversion() {
+        let env = Env::new();
+        // fun (x : Set) => f x  ≡  f
+        let f = Term::const_("f");
+        let mut env2 = env.clone();
+        env2.assume("f", Term::arrow(Term::set(), Term::set())).unwrap();
+        let etad = Term::lambda("x", Term::set(), Term::app(f.clone(), [Term::rel(0)]));
+        assert!(conv(&env2, &etad, &f));
+        assert!(conv(&env2, &f, &etad));
+    }
+
+    #[test]
+    fn cumulativity_on_sorts_and_products() {
+        let env = Env::new();
+        assert!(conv_leq(&env, &Term::prop(), &Term::type_(3)));
+        assert!(!conv_leq(&env, &Term::type_(3), &Term::prop()));
+        // (Set → Prop) ≤ (Set → Type 0), domains invariant.
+        let a = Term::arrow(Term::set(), Term::prop());
+        let b = Term::arrow(Term::set(), Term::type_(0));
+        assert!(conv_leq(&env, &a, &b));
+        assert!(!conv_leq(&env, &b, &a));
+        let c = Term::arrow(Term::prop(), Term::prop());
+        assert!(!conv_leq(&env, &a, &c));
+    }
+
+    #[test]
+    fn delta_in_conversion() {
+        let mut env = Env::new();
+        env.define("T", Term::type_(1), Term::set()).unwrap();
+        assert!(conv(&env, &Term::const_("T"), &Term::set()));
+        env.set_opaque(&"T".into(), true).unwrap();
+        assert!(!conv(&env, &Term::const_("T"), &Term::set()));
+        assert!(conv(&env, &Term::const_("T"), &Term::const_("T")));
+        assert!(
+            conv_leq(&env, &Term::const_("T"), &Term::const_("T"))
+        );
+        let _ = Sort::Set;
+    }
+}

@@ -1,0 +1,300 @@
+//! The global environment: constants and inductive families.
+
+use std::collections::HashMap;
+
+use crate::error::{KernelError, Result};
+use crate::inductive::InductiveDecl;
+use crate::name::GlobalName;
+use crate::term::Term;
+use crate::typecheck;
+
+/// A global constant: a definition (with body) or an axiom (without).
+///
+/// `opaque` constants are never δ-unfolded by reduction. This reproduces the
+/// paper's "cache to tell Pumpkin Pi not to δ-reduce certain terms" (§4.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstDecl {
+    /// The constant's name.
+    pub name: GlobalName,
+    /// Its declared type (closed).
+    pub ty: Term,
+    /// Its body, if it is a definition.
+    pub body: Option<Term>,
+    /// Whether δ-reduction may unfold it.
+    pub opaque: bool,
+}
+
+/// An entry in the environment's declaration order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlobalRef {
+    /// A constant.
+    Const(GlobalName),
+    /// An inductive family.
+    Ind(GlobalName),
+}
+
+/// The global environment.
+///
+/// All mutating operations type check their input: a well-typed environment
+/// stays well-typed (modulo the documented universe simplifications).
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    consts: HashMap<GlobalName, ConstDecl>,
+    inductives: HashMap<GlobalName, InductiveDecl>,
+    ctor_names: HashMap<GlobalName, (GlobalName, usize)>,
+    order: Vec<GlobalRef>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Looks up a constant.
+    pub fn const_decl(&self, name: &GlobalName) -> Result<&ConstDecl> {
+        self.consts
+            .get(name)
+            .ok_or_else(|| KernelError::UnknownGlobal(name.clone()))
+    }
+
+    /// Looks up an inductive family.
+    pub fn inductive(&self, name: &GlobalName) -> Result<&InductiveDecl> {
+        self.inductives
+            .get(name)
+            .ok_or_else(|| KernelError::UnknownGlobal(name.clone()))
+    }
+
+    /// Resolves a constructor *name* to its family and index.
+    pub fn constructor(&self, name: &GlobalName) -> Option<(GlobalName, usize)> {
+        self.ctor_names.get(name).cloned()
+    }
+
+    /// Is any global with this name declared?
+    pub fn contains(&self, name: &str) -> bool {
+        self.consts.contains_key(name)
+            || self.inductives.contains_key(name)
+            || self.ctor_names.contains_key(name)
+    }
+
+    /// Declaration order (constants and inductives interleaved as declared).
+    pub fn order(&self) -> &[GlobalRef] {
+        &self.order
+    }
+
+    /// All constants, unordered.
+    pub fn constants(&self) -> impl Iterator<Item = &ConstDecl> {
+        self.consts.values()
+    }
+
+    /// Defines a constant with a type-checked body.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken, the type is not a type, or the body does
+    /// not check against the type.
+    pub fn define(
+        &mut self,
+        name: impl Into<GlobalName>,
+        ty: Term,
+        body: Term,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.contains(name.as_str()) {
+            return Err(KernelError::Redeclaration(name));
+        }
+        typecheck::check_is_type(self, &ty)?;
+        typecheck::check_closed(self, &body, &ty)?;
+        self.order.push(GlobalRef::Const(name.clone()));
+        self.consts.insert(
+            name.clone(),
+            ConstDecl {
+                name,
+                ty,
+                body: Some(body),
+                opaque: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Declares an axiom (a constant with no body).
+    ///
+    /// The repair engine itself never introduces axioms (the paper's
+    /// "axiomatic freedom"); this entry point exists for tests and for
+    /// stating goals.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken or the type is not a type.
+    pub fn assume(&mut self, name: impl Into<GlobalName>, ty: Term) -> Result<()> {
+        let name = name.into();
+        if self.contains(name.as_str()) {
+            return Err(KernelError::Redeclaration(name));
+        }
+        typecheck::check_is_type(self, &ty)?;
+        self.order.push(GlobalRef::Const(name.clone()));
+        self.consts.insert(
+            name.clone(),
+            ConstDecl {
+                name,
+                ty,
+                body: None,
+                opaque: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Declares an inductive family, checking well-formedness and (strict,
+    /// plain) positivity.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any name is taken, the arity or a constructor type is
+    /// ill-typed, or positivity is violated; the environment is left
+    /// unchanged on failure.
+    pub fn declare_inductive(&mut self, decl: InductiveDecl) -> Result<()> {
+        let name = decl.name.clone();
+        if self.contains(name.as_str()) {
+            return Err(KernelError::Redeclaration(name));
+        }
+        for c in &decl.ctors {
+            if self.contains(c.name.as_str()) {
+                return Err(KernelError::Redeclaration(c.name.clone()));
+            }
+        }
+        // Insert first so constructor types may mention the family, then
+        // validate; roll back on failure.
+        self.inductives.insert(name.clone(), decl);
+        let result = (|| {
+            let decl = self.inductives.get(&name).expect("just inserted").clone();
+            decl.check_positivity()?;
+            typecheck::check_is_type(self, &decl.arity())?;
+            for j in 0..decl.ctors.len() {
+                typecheck::check_is_type(self, &decl.ctor_type(j)?)?;
+            }
+            Ok(decl)
+        })();
+        match result {
+            Ok(decl) => {
+                for (j, c) in decl.ctors.iter().enumerate() {
+                    self.ctor_names.insert(c.name.clone(), (name.clone(), j));
+                }
+                self.order.push(GlobalRef::Ind(name));
+                Ok(())
+            }
+            Err(e) => {
+                self.inductives.remove(&name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Removes a global (constant or inductive family, with its
+    /// constructors) from the environment — the paper's "when we are done,
+    /// we can get rid of `Old.list` entirely" (§2). Refuses if any other
+    /// declaration still references it, so a well-typed environment stays
+    /// well-typed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global is unknown or still referenced; the environment
+    /// is unchanged on failure.
+    pub fn remove(&mut self, name: &GlobalName) -> Result<()> {
+        let is_const = self.consts.contains_key(name);
+        let is_ind = self.inductives.contains_key(name);
+        if !is_const && !is_ind {
+            return Err(KernelError::UnknownGlobal(name.clone()));
+        }
+        // Collect the names being removed (a family removes its ctors too).
+        let mut removed: Vec<GlobalName> = vec![name.clone()];
+        if is_ind {
+            removed.extend(
+                self.inductives[name].ctors.iter().map(|c| c.name.clone()),
+            );
+        }
+        // Check for remaining references from every other declaration.
+        let mentions = |t: &Term| removed.iter().any(|r| t.mentions_global(r));
+        for decl in self.consts.values() {
+            if &decl.name == name {
+                continue;
+            }
+            if mentions(&decl.ty) || decl.body.as_ref().is_some_and(|b| mentions(b)) {
+                return Err(KernelError::Redeclaration(GlobalName::new(format!(
+                    "cannot remove `{name}`: still referenced by `{}`",
+                    decl.name
+                ))));
+            }
+        }
+        for ind in self.inductives.values() {
+            if &ind.name == name {
+                continue;
+            }
+            let refs = ind.params.iter().chain(ind.indices.iter()).any(|b| mentions(&b.ty))
+                || ind.ctors.iter().any(|c| {
+                    c.args.iter().any(|b| mentions(&b.ty))
+                        || c.result_indices.iter().any(mentions)
+                });
+            if refs {
+                return Err(KernelError::Redeclaration(GlobalName::new(format!(
+                    "cannot remove `{name}`: still referenced by `{}`",
+                    ind.name
+                ))));
+            }
+        }
+        // Safe: remove.
+        self.consts.remove(name);
+        if let Some(ind) = self.inductives.remove(name) {
+            for c in &ind.ctors {
+                self.ctor_names.remove(&c.name);
+            }
+        }
+        self.order.retain(|r| match r {
+            GlobalRef::Const(n) | GlobalRef::Ind(n) => n != name,
+        });
+        Ok(())
+    }
+
+    /// Marks a constant opaque (or transparent again) for δ-reduction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the constant does not exist.
+    pub fn set_opaque(&mut self, name: &GlobalName, opaque: bool) -> Result<()> {
+        let decl = self
+            .consts
+            .get_mut(name)
+            .ok_or_else(|| KernelError::UnknownGlobal(name.clone()))?;
+        decl.opaque = opaque;
+        Ok(())
+    }
+
+    /// The δ-unfoldable body of a constant, if any.
+    pub fn unfold(&self, name: &GlobalName) -> Option<&Term> {
+        let decl = self.consts.get(name)?;
+        if decl.opaque {
+            None
+        } else {
+            decl.body.as_ref()
+        }
+    }
+
+    /// The body of a constant regardless of opacity.
+    pub fn body(&self, name: &GlobalName) -> Option<&Term> {
+        self.consts.get(name)?.body.as_ref()
+    }
+
+    /// The declared type of any global reference usable as a term head.
+    pub fn global_type(&self, t: &Term) -> Result<Term> {
+        use crate::term::TermData;
+        match t.data() {
+            TermData::Const(n) => Ok(self.const_decl(n)?.ty.clone()),
+            TermData::Ind(n) => Ok(self.inductive(n)?.arity()),
+            TermData::Construct(n, j) => self.inductive(n)?.ctor_type(*j),
+            _ => Err(KernelError::UnknownGlobal(GlobalName::new(format!(
+                "<not a global: {t}>"
+            )))),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Kernel errors.
+
+use std::fmt;
+
+use crate::name::GlobalName;
+use crate::term::Term;
+
+/// Errors produced by the kernel (type checking, environment management,
+/// reduction preconditions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// A de Bruijn index escaped the typing context.
+    UnboundRel { index: usize, depth: usize },
+    /// A global name was not found in the environment.
+    UnknownGlobal(GlobalName),
+    /// A global name was declared twice.
+    Redeclaration(GlobalName),
+    /// A constructor index was out of range for its inductive.
+    NoSuchConstructor { ind: GlobalName, index: usize },
+    /// A term was used as a function but does not have a product type.
+    NotAFunction { term: Term, ty: Term },
+    /// A term's type was expected to be a sort but is not.
+    NotASort { term: Term, ty: Term },
+    /// A term was expected to be an application of an inductive family.
+    NotAnInductive { term: Term, ty: Term },
+    /// The inferred type did not match the expected type.
+    TypeMismatch {
+        term: Term,
+        expected: Term,
+        found: Term,
+    },
+    /// An eliminator node was malformed (wrong parameter or case count,
+    /// motive of the wrong shape, etc.).
+    IllFormedElim { ind: GlobalName, reason: String },
+    /// An inductive declaration failed the (strict) positivity check.
+    Positivity { ind: GlobalName, reason: String },
+    /// An inductive declaration was otherwise malformed.
+    IllFormedInductive { ind: GlobalName, reason: String },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnboundRel { index, depth } => {
+                write!(f, "unbound variable #{index} in context of depth {depth}")
+            }
+            KernelError::UnknownGlobal(n) => write!(f, "unknown global `{n}`"),
+            KernelError::Redeclaration(n) => write!(f, "global `{n}` is already declared"),
+            KernelError::NoSuchConstructor { ind, index } => {
+                write!(f, "inductive `{ind}` has no constructor #{index}")
+            }
+            KernelError::NotAFunction { term, ty } => {
+                write!(f, "term `{term}` of type `{ty}` is not a function")
+            }
+            KernelError::NotASort { term, ty } => {
+                write!(f, "term `{term}` has type `{ty}`, which is not a sort")
+            }
+            KernelError::NotAnInductive { term, ty } => {
+                write!(f, "term `{term}` has type `{ty}`, which is not an inductive family")
+            }
+            KernelError::TypeMismatch {
+                term,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch for `{term}`: expected `{expected}`, found `{found}`"
+            ),
+            KernelError::IllFormedElim { ind, reason } => {
+                write!(f, "ill-formed eliminator over `{ind}`: {reason}")
+            }
+            KernelError::Positivity { ind, reason } => {
+                write!(f, "inductive `{ind}` violates strict positivity: {reason}")
+            }
+            KernelError::IllFormedInductive { ind, reason } => {
+                write!(f, "ill-formed inductive `{ind}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The kernel's result type.
+pub type Result<T> = std::result::Result<T, KernelError>;

@@ -1,0 +1,153 @@
+//! Names: binder hints and global (qualified) names.
+//!
+//! The kernel uses de Bruijn indices for bound variables, so binder names are
+//! *hints* only: they are kept for pretty-printing and decompilation but are
+//! ignored by structural equality and hashing (alpha-equivalence is therefore
+//! syntactic equality).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::rc::Rc;
+
+/// A binder hint. `Anonymous` prints as `_`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Name {
+    /// No name was given; printed as `_`.
+    #[default]
+    Anonymous,
+    /// A user-facing identifier hint.
+    Named(Rc<str>),
+}
+
+impl Name {
+    /// Creates a named binder hint.
+    ///
+    /// An identifier of `"_"` (or the empty string) is normalized to
+    /// [`Name::Anonymous`].
+    pub fn named(s: impl AsRef<str>) -> Self {
+        let s = s.as_ref();
+        if s.is_empty() || s == "_" {
+            Name::Anonymous
+        } else {
+            Name::Named(Rc::from(s))
+        }
+    }
+
+    /// Returns the identifier if this is a named hint.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Name::Anonymous => None,
+            Name::Named(s) => Some(s),
+        }
+    }
+
+    /// Returns `true` when this hint is anonymous.
+    pub fn is_anonymous(&self) -> bool {
+        matches!(self, Name::Anonymous)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Name::Anonymous => write!(f, "_"),
+            Name::Named(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::named(s)
+    }
+}
+
+/// A fully qualified global name, e.g. `"Old.list"` or `"Old.list.cons"`.
+///
+/// Global names are interned behind an `Rc<str>` so cloning is cheap; the
+/// environment treats them as flat strings (dots carry no semantics beyond
+/// readability).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalName(Rc<str>);
+
+impl GlobalName {
+    /// Creates a global name from an identifier.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        GlobalName(Rc::from(s.as_ref()))
+    }
+
+    /// The underlying identifier.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The final dot-separated segment, e.g. `"cons"` for `"Old.list.cons"`.
+    pub fn basename(&self) -> &str {
+        self.0.rsplit('.').next().unwrap_or(&self.0)
+    }
+
+    /// The dot-separated prefix, if any, e.g. `"Old.list"` for
+    /// `"Old.list.cons"`.
+    pub fn qualifier(&self) -> Option<&str> {
+        self.0.rfind('.').map(|i| &self.0[..i])
+    }
+}
+
+impl fmt::Display for GlobalName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for GlobalName {
+    fn from(s: &str) -> Self {
+        GlobalName::new(s)
+    }
+}
+
+impl From<String> for GlobalName {
+    fn from(s: String) -> Self {
+        GlobalName::new(s)
+    }
+}
+
+impl Borrow<str> for GlobalName {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for GlobalName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_normalization() {
+        assert!(Name::named("_").is_anonymous());
+        assert!(Name::named("").is_anonymous());
+        assert_eq!(Name::named("x").as_str(), Some("x"));
+    }
+
+    #[test]
+    fn global_name_parts() {
+        let g = GlobalName::new("Old.list.cons");
+        assert_eq!(g.basename(), "cons");
+        assert_eq!(g.qualifier(), Some("Old.list"));
+        let g2 = GlobalName::new("nat");
+        assert_eq!(g2.basename(), "nat");
+        assert_eq!(g2.qualifier(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Name::Anonymous.to_string(), "_");
+        assert_eq!(Name::named("IHl").to_string(), "IHl");
+        assert_eq!(GlobalName::new("N.succ").to_string(), "N.succ");
+    }
+}

@@ -1,0 +1,240 @@
+//! De Bruijn lifting and capture-avoiding substitution.
+
+use crate::term::{Binder, ElimData, Term, TermData};
+
+/// Shifts all de Bruijn indices `≥ cutoff` by `amount`.
+pub fn lift_from(t: &Term, cutoff: usize, amount: usize) -> Term {
+    if amount == 0 {
+        return t.clone();
+    }
+    match t.data() {
+        TermData::Rel(i) => {
+            if *i >= cutoff {
+                Term::rel(i + amount)
+            } else {
+                t.clone()
+            }
+        }
+        TermData::Sort(_) | TermData::Const(_) | TermData::Ind(_) | TermData::Construct(_, _) => {
+            t.clone()
+        }
+        TermData::App(h, args) => Term::app(
+            lift_from(h, cutoff, amount),
+            args.iter().map(|a| lift_from(a, cutoff, amount)),
+        ),
+        TermData::Lambda(b, body) => Term::new(TermData::Lambda(
+            Binder {
+                name: b.name.clone(),
+                ty: lift_from(&b.ty, cutoff, amount),
+            },
+            lift_from(body, cutoff + 1, amount),
+        )),
+        TermData::Pi(b, body) => Term::new(TermData::Pi(
+            Binder {
+                name: b.name.clone(),
+                ty: lift_from(&b.ty, cutoff, amount),
+            },
+            lift_from(body, cutoff + 1, amount),
+        )),
+        TermData::Let(b, v, body) => Term::new(TermData::Let(
+            Binder {
+                name: b.name.clone(),
+                ty: lift_from(&b.ty, cutoff, amount),
+            },
+            lift_from(v, cutoff, amount),
+            lift_from(body, cutoff + 1, amount),
+        )),
+        TermData::Elim(e) => Term::elim(ElimData {
+            ind: e.ind.clone(),
+            params: e.params.iter().map(|p| lift_from(p, cutoff, amount)).collect(),
+            motive: lift_from(&e.motive, cutoff, amount),
+            cases: e.cases.iter().map(|c| lift_from(c, cutoff, amount)).collect(),
+            scrutinee: lift_from(&e.scrutinee, cutoff, amount),
+        }),
+    }
+}
+
+/// Shifts all free de Bruijn indices by `amount`.
+pub fn lift(t: &Term, amount: usize) -> Term {
+    lift_from(t, 0, amount)
+}
+
+/// Substitutes `value` for `Rel(k)` in `t`, decrementing indices above `k`.
+///
+/// `value` is interpreted in the context *outside* binder `k`; it is lifted
+/// as the traversal crosses binders.
+pub fn subst_at(t: &Term, k: usize, value: &Term) -> Term {
+    match t.data() {
+        TermData::Rel(i) => {
+            if *i == k {
+                lift(value, k)
+            } else if *i > k {
+                Term::rel(i - 1)
+            } else {
+                t.clone()
+            }
+        }
+        TermData::Sort(_) | TermData::Const(_) | TermData::Ind(_) | TermData::Construct(_, _) => {
+            t.clone()
+        }
+        TermData::App(h, args) => Term::app(
+            subst_at(h, k, value),
+            args.iter().map(|a| subst_at(a, k, value)),
+        ),
+        TermData::Lambda(b, body) => Term::new(TermData::Lambda(
+            Binder {
+                name: b.name.clone(),
+                ty: subst_at(&b.ty, k, value),
+            },
+            subst_at(body, k + 1, value),
+        )),
+        TermData::Pi(b, body) => Term::new(TermData::Pi(
+            Binder {
+                name: b.name.clone(),
+                ty: subst_at(&b.ty, k, value),
+            },
+            subst_at(body, k + 1, value),
+        )),
+        TermData::Let(b, v, body) => Term::new(TermData::Let(
+            Binder {
+                name: b.name.clone(),
+                ty: subst_at(&b.ty, k, value),
+            },
+            subst_at(v, k, value),
+            subst_at(body, k + 1, value),
+        )),
+        TermData::Elim(e) => Term::elim(ElimData {
+            ind: e.ind.clone(),
+            params: e.params.iter().map(|p| subst_at(p, k, value)).collect(),
+            motive: subst_at(&e.motive, k, value),
+            cases: e.cases.iter().map(|c| subst_at(c, k, value)).collect(),
+            scrutinee: subst_at(&e.scrutinee, k, value),
+        }),
+    }
+}
+
+/// Substitutes `value` for the innermost binder (`Rel(0)`).
+pub fn subst1(t: &Term, value: &Term) -> Term {
+    subst_at(t, 0, value)
+}
+
+/// Substitutes a telescope of values for binders `0..values.len()`, where
+/// `values[0]` replaces the *innermost* binder `Rel(0)`.
+///
+/// All values are interpreted in the context outside the whole binder group.
+pub fn subst_many(t: &Term, values: &[Term]) -> Term {
+    let mut out = t.clone();
+    for v in values {
+        out = subst1(&out, v);
+    }
+    out
+}
+
+/// Beta-reduces `fun xs => body` applied to `args` as far as the binders
+/// allow, returning the reduced term and any leftover arguments applied.
+pub fn beta_apply(f: &Term, args: &[Term]) -> Term {
+    let mut t = f.clone();
+    let mut i = 0;
+    while i < args.len() {
+        match t.data() {
+            TermData::Lambda(_, body) => {
+                t = subst1(body, &args[i]);
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    Term::app(t, args[i..].iter().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn lift_respects_cutoff() {
+        // fun (x : Set) => #0 #1  — #0 bound, #1 free.
+        let t = Term::lambda(
+            "x",
+            Term::set(),
+            Term::app(Term::rel(0), [Term::rel(1)]),
+        );
+        let lifted = lift(&t, 3);
+        let expect = Term::lambda(
+            "x",
+            Term::set(),
+            Term::app(Term::rel(0), [Term::rel(4)]),
+        );
+        assert_eq!(lifted, expect);
+    }
+
+    #[test]
+    fn subst_under_binder() {
+        // (fun (x : Set) => #0 #1)[#0 := c]  ==  fun (x : Set) => #0 c
+        let t = Term::lambda(
+            "x",
+            Term::set(),
+            Term::app(Term::rel(0), [Term::rel(1)]),
+        );
+        let c = Term::const_("c");
+        let r = subst1(&t, &c);
+        let expect = Term::lambda(
+            "x",
+            Term::set(),
+            Term::app(Term::rel(0), [Term::const_("c")]),
+        );
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn subst_decrements_higher_indices() {
+        let t = Term::app(Term::rel(2), [Term::rel(0)]);
+        let r = subst1(&t, &Term::const_("c"));
+        assert_eq!(r, Term::app(Term::rel(1), [Term::const_("c")]));
+    }
+
+    #[test]
+    fn subst_lifts_value_across_binders() {
+        // (fun (x : Set) => #1)[#0 := #5]  ==  fun (x : Set) => #6
+        let t = Term::lambda("x", Term::set(), Term::rel(1));
+        let r = subst1(&t, &Term::rel(5));
+        assert_eq!(r, Term::lambda("x", Term::set(), Term::rel(6)));
+    }
+
+    #[test]
+    fn beta_apply_partial_and_over() {
+        // (fun x y => y x) a b  →  b a
+        let f = Term::lambda(
+            "x",
+            Term::set(),
+            Term::lambda("y", Term::set(), Term::app(Term::rel(0), [Term::rel(1)])),
+        );
+        let r = beta_apply(&f, &[Term::const_("a"), Term::const_("b")]);
+        assert_eq!(r, Term::app(Term::const_("b"), [Term::const_("a")]));
+        // Under-application leaves a lambda.
+        let r2 = beta_apply(&f, &[Term::const_("a")]);
+        assert!(matches!(r2.data(), TermData::Lambda(_, _)));
+        // Over-application re-applies the leftovers.
+        let id = Term::lambda("x", Term::set(), Term::rel(0));
+        let r3 = beta_apply(&id, &[Term::const_("f"), Term::const_("a")]);
+        assert_eq!(r3, Term::app(Term::const_("f"), [Term::const_("a")]));
+    }
+
+    #[test]
+    fn lift_zero_is_identity() {
+        let t = Term::lambda("x", Term::set(), Term::rel(7));
+        assert_eq!(lift(&t, 0), t);
+    }
+
+    #[test]
+    fn subst_many_order() {
+        // #0 and #1 replaced by a and b respectively.
+        let t = Term::app(Term::rel(0), [Term::rel(1)]);
+        let r = subst_many(&t, &[Term::const_("a"), Term::const_("b")]);
+        assert_eq!(
+            r,
+            Term::app(Term::const_("a"), [Term::const_("b")])
+        );
+    }
+}

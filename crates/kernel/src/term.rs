@@ -1,0 +1,610 @@
+//! The term language of CIC_ω (paper Fig. 7).
+//!
+//! Terms are, from left to right in the paper's grammar: variables (de Bruijn
+//! [`Term::rel`]), sorts, dependent products, functions, application,
+//! inductive types, inductive constructors, and primitive eliminators. We add
+//! `let` bindings (needed by the decompiler, paper §5.2) and references to
+//! global constants.
+//!
+//! Representation choices:
+//!
+//! * Terms are immutable and shared via [`std::rc::Rc`]; `clone` is O(1).
+//! * Applications are kept in *spine form* (`App(head, args)` where the head
+//!   is never itself an application and `args` is non-empty). The unification
+//!   heuristics of the repair engine (paper §4.2.1) pattern-match on spines.
+//! * Binder names are hints: equality and hashing ignore them, so structural
+//!   equality is alpha-equivalence.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use crate::name::{GlobalName, Name};
+use crate::universe::Sort;
+
+/// A binder: a name hint together with the bound variable's type.
+#[derive(Clone, Debug)]
+pub struct Binder {
+    /// Pretty-printing hint; ignored by equality.
+    pub name: Name,
+    /// The type of the bound variable.
+    pub ty: Term,
+}
+
+impl Binder {
+    /// Creates a binder with the given hint and type.
+    pub fn new(name: impl Into<Name>, ty: Term) -> Self {
+        Binder {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// Creates an anonymous binder.
+    pub fn anon(ty: Term) -> Self {
+        Binder {
+            name: Name::Anonymous,
+            ty,
+        }
+    }
+}
+
+impl PartialEq for Binder {
+    fn eq(&self, other: &Self) -> bool {
+        self.ty == other.ty
+    }
+}
+impl Eq for Binder {}
+impl Hash for Binder {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.ty.hash(state);
+    }
+}
+
+/// A primitive eliminator node: `Elim(scrutinee, motive) {cases}` over a
+/// named inductive family applied to `params`.
+///
+/// The motive binds the family's indices and then the scrutinee:
+/// `motive = fun (i₁ : I₁) … (iₖ : Iₖ) (x : Ind params i₁ … iₖ) => T`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ElimData {
+    /// The inductive family being eliminated.
+    pub ind: GlobalName,
+    /// The family's (uniform) parameters, fully instantiated.
+    pub params: Vec<Term>,
+    /// The motive (see type-level comment).
+    pub motive: Term,
+    /// One case per constructor, in declaration order.
+    pub cases: Vec<Term>,
+    /// The term being eliminated.
+    pub scrutinee: Term,
+}
+
+/// The payload of a [`Term`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TermData {
+    /// Bound variable as a de Bruijn index; `Rel(0)` is the innermost binder.
+    Rel(usize),
+    /// A sort: `Prop`, `Set`, or `Type(i)`.
+    Sort(Sort),
+    /// A reference to a global definition or axiom.
+    Const(GlobalName),
+    /// A reference to an inductive family (unapplied).
+    Ind(GlobalName),
+    /// `Construct(ind, j)`: the `j`-th constructor of `ind` (0-based),
+    /// unapplied. A fully applied constructor takes the family's parameters
+    /// first and then its own arguments.
+    Construct(GlobalName, usize),
+    /// Application in spine form. Invariants: the head is not an `App` and
+    /// the argument list is non-empty.
+    App(Term, Vec<Term>),
+    /// `fun (x : ty) => body`.
+    Lambda(Binder, Term),
+    /// `∀ (x : ty), body`.
+    Pi(Binder, Term),
+    /// `let x : ty := val in body`.
+    Let(Binder, Term, Term),
+    /// Primitive eliminator (paper Fig. 7 `Elim(t, P){f…}`).
+    Elim(ElimData),
+}
+
+/// A term of CIC_ω. Cheap to clone (reference counted).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Term(Rc<TermData>);
+
+impl Term {
+    /// Wraps raw term data. Prefer the smart constructors, which maintain the
+    /// spine invariant for applications.
+    pub fn new(data: TermData) -> Self {
+        Term(Rc::new(data))
+    }
+
+    /// The underlying data.
+    pub fn data(&self) -> &TermData {
+        &self.0
+    }
+
+    // ------------------------------------------------------------------
+    // Smart constructors
+    // ------------------------------------------------------------------
+
+    /// De Bruijn variable; `rel(0)` is the innermost binder.
+    pub fn rel(i: usize) -> Self {
+        Term::new(TermData::Rel(i))
+    }
+
+    /// A sort literal.
+    pub fn sort(s: Sort) -> Self {
+        Term::new(TermData::Sort(s))
+    }
+
+    /// `Prop`.
+    pub fn prop() -> Self {
+        Term::sort(Sort::Prop)
+    }
+
+    /// `Set`.
+    pub fn set() -> Self {
+        Term::sort(Sort::Set)
+    }
+
+    /// `Type(i)`.
+    pub fn type_(i: u32) -> Self {
+        Term::sort(Sort::Type(i))
+    }
+
+    /// Reference to a global constant.
+    pub fn const_(name: impl Into<GlobalName>) -> Self {
+        Term::new(TermData::Const(name.into()))
+    }
+
+    /// Reference to an inductive family.
+    pub fn ind(name: impl Into<GlobalName>) -> Self {
+        Term::new(TermData::Ind(name.into()))
+    }
+
+    /// Reference to constructor `j` of inductive `ind`.
+    pub fn construct(ind: impl Into<GlobalName>, j: usize) -> Self {
+        Term::new(TermData::Construct(ind.into(), j))
+    }
+
+    /// Application, flattening nested spines. `app(f, [])` is `f`.
+    pub fn app(head: Term, args: impl IntoIterator<Item = Term>) -> Self {
+        let mut new_args: Vec<Term> = args.into_iter().collect();
+        if new_args.is_empty() {
+            return head;
+        }
+        match head.data() {
+            TermData::App(h, prev) => {
+                let mut all = prev.clone();
+                all.append(&mut new_args);
+                Term::new(TermData::App(h.clone(), all))
+            }
+            _ => Term::new(TermData::App(head, new_args)),
+        }
+    }
+
+    /// Application to a single argument.
+    pub fn app1(head: Term, arg: Term) -> Self {
+        Term::app(head, [arg])
+    }
+
+    /// `fun (x : ty) => body`.
+    pub fn lambda(name: impl Into<Name>, ty: Term, body: Term) -> Self {
+        Term::new(TermData::Lambda(Binder::new(name, ty), body))
+    }
+
+    /// `∀ (x : ty), body`.
+    pub fn pi(name: impl Into<Name>, ty: Term, body: Term) -> Self {
+        Term::new(TermData::Pi(Binder::new(name, ty), body))
+    }
+
+    /// Non-dependent function type `a → b` (the codomain is lifted by the
+    /// caller; here `b` must already make sense under one extra binder, so we
+    /// shift it).
+    pub fn arrow(a: Term, b: Term) -> Self {
+        Term::pi(Name::Anonymous, a, crate::subst::lift(&b, 1))
+    }
+
+    /// `let x : ty := val in body`.
+    pub fn let_(name: impl Into<Name>, ty: Term, val: Term, body: Term) -> Self {
+        Term::new(TermData::Let(Binder::new(name, ty), val, body))
+    }
+
+    /// Primitive eliminator node.
+    pub fn elim(data: ElimData) -> Self {
+        Term::new(TermData::Elim(data))
+    }
+
+    // ------------------------------------------------------------------
+    // Views
+    // ------------------------------------------------------------------
+
+    /// Splits a term into its application head and arguments. For a
+    /// non-application this is `(self, [])`.
+    pub fn unfold_app(&self) -> (&Term, &[Term]) {
+        match self.data() {
+            TermData::App(h, args) => (h, args),
+            _ => (self, &[]),
+        }
+    }
+
+    /// The application head (the term itself when not an application).
+    pub fn head(&self) -> &Term {
+        self.unfold_app().0
+    }
+
+    /// The application arguments (empty when not an application).
+    pub fn args(&self) -> &[Term] {
+        self.unfold_app().1
+    }
+
+    /// Is this a sort literal?
+    pub fn as_sort(&self) -> Option<Sort> {
+        match self.data() {
+            TermData::Sort(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// If the head is `Ind(name)`, returns the name and the arguments.
+    pub fn as_ind_app(&self) -> Option<(&GlobalName, &[Term])> {
+        let (head, args) = self.unfold_app();
+        match head.data() {
+            TermData::Ind(name) => Some((name, args)),
+            _ => None,
+        }
+    }
+
+    /// If the head is `Construct(ind, j)`, returns `(ind, j, args)`.
+    pub fn as_construct_app(&self) -> Option<(&GlobalName, usize, &[Term])> {
+        let (head, args) = self.unfold_app();
+        match head.data() {
+            TermData::Construct(ind, j) => Some((ind, *j, args)),
+            _ => None,
+        }
+    }
+
+    /// If the head is `Const(name)`, returns `(name, args)`.
+    pub fn as_const_app(&self) -> Option<(&GlobalName, &[Term])> {
+        let (head, args) = self.unfold_app();
+        match head.data() {
+            TermData::Const(name) => Some((name, args)),
+            _ => None,
+        }
+    }
+
+    /// Strips leading lambdas, returning the binders and the body.
+    pub fn strip_lambdas(&self) -> (Vec<Binder>, Term) {
+        let mut binders = Vec::new();
+        let mut t = self.clone();
+        loop {
+            match t.data() {
+                TermData::Lambda(b, body) => {
+                    binders.push(b.clone());
+                    t = body.clone();
+                }
+                _ => return (binders, t),
+            }
+        }
+    }
+
+    /// Strips leading pis, returning the binders and the final codomain.
+    pub fn strip_pis(&self) -> (Vec<Binder>, Term) {
+        let mut binders = Vec::new();
+        let mut t = self.clone();
+        loop {
+            match t.data() {
+                TermData::Pi(b, body) => {
+                    binders.push(b.clone());
+                    t = body.clone();
+                }
+                _ => return (binders, t),
+            }
+        }
+    }
+
+    /// Rebuilds `fun binders => body`.
+    pub fn lambdas(binders: impl IntoIterator<Item = Binder>, body: Term) -> Term {
+        let bs: Vec<Binder> = binders.into_iter().collect();
+        bs.into_iter()
+            .rev()
+            .fold(body, |acc, b| Term::new(TermData::Lambda(b, acc)))
+    }
+
+    /// Rebuilds `∀ binders, body`.
+    pub fn pis(binders: impl IntoIterator<Item = Binder>, body: Term) -> Term {
+        let bs: Vec<Binder> = binders.into_iter().collect();
+        bs.into_iter()
+            .rev()
+            .fold(body, |acc, b| Term::new(TermData::Pi(b, acc)))
+    }
+
+    /// Does `Rel(k)` occur free in this term (where `k` counts from the
+    /// term's own root)?
+    pub fn has_rel(&self, k: usize) -> bool {
+        fn go(t: &Term, k: usize) -> bool {
+            match t.data() {
+                TermData::Rel(i) => *i == k,
+                TermData::Sort(_)
+                | TermData::Const(_)
+                | TermData::Ind(_)
+                | TermData::Construct(_, _) => false,
+                TermData::App(h, args) => go(h, k) || args.iter().any(|a| go(a, k)),
+                TermData::Lambda(b, body) | TermData::Pi(b, body) => {
+                    go(&b.ty, k) || go(body, k + 1)
+                }
+                TermData::Let(b, v, body) => go(&b.ty, k) || go(v, k) || go(body, k + 1),
+                TermData::Elim(e) => {
+                    e.params.iter().any(|p| go(p, k))
+                        || go(&e.motive, k)
+                        || e.cases.iter().any(|c| go(c, k))
+                        || go(&e.scrutinee, k)
+                }
+            }
+        }
+        go(self, k)
+    }
+
+    /// Is the term closed (no free de Bruijn variables)?
+    pub fn is_closed(&self) -> bool {
+        fn go(t: &Term, depth: usize) -> bool {
+            match t.data() {
+                TermData::Rel(i) => *i < depth,
+                TermData::Sort(_)
+                | TermData::Const(_)
+                | TermData::Ind(_)
+                | TermData::Construct(_, _) => true,
+                TermData::App(h, args) => go(h, depth) && args.iter().all(|a| go(a, depth)),
+                TermData::Lambda(b, body) | TermData::Pi(b, body) => {
+                    go(&b.ty, depth) && go(body, depth + 1)
+                }
+                TermData::Let(b, v, body) => {
+                    go(&b.ty, depth) && go(v, depth) && go(body, depth + 1)
+                }
+                TermData::Elim(e) => {
+                    e.params.iter().all(|p| go(p, depth))
+                        && go(&e.motive, depth)
+                        && e.cases.iter().all(|c| go(c, depth))
+                        && go(&e.scrutinee, depth)
+                }
+            }
+        }
+        go(self, 0)
+    }
+
+    /// Collects the global constants referenced by this term.
+    pub fn constants(&self) -> Vec<GlobalName> {
+        let mut out = Vec::new();
+        self.visit(&mut |t| {
+            if let TermData::Const(name) = t.data() {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Does this term mention the given global (as a constant, inductive, or
+    /// constructor)?
+    pub fn mentions_global(&self, name: &GlobalName) -> bool {
+        let mut found = false;
+        self.visit(&mut |t| match t.data() {
+            TermData::Const(n) | TermData::Ind(n) | TermData::Construct(n, _)
+                if n == name => {
+                    found = true;
+                }
+            TermData::Elim(e) if &e.ind == name => found = true,
+            _ => {}
+        });
+        found
+    }
+
+    /// Visits every subterm (including the term itself), pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Term)) {
+        f(self);
+        match self.data() {
+            TermData::Rel(_)
+            | TermData::Sort(_)
+            | TermData::Const(_)
+            | TermData::Ind(_)
+            | TermData::Construct(_, _) => {}
+            TermData::App(h, args) => {
+                h.visit(f);
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            TermData::Lambda(b, body) | TermData::Pi(b, body) => {
+                b.ty.visit(f);
+                body.visit(f);
+            }
+            TermData::Let(b, v, body) => {
+                b.ty.visit(f);
+                v.visit(f);
+                body.visit(f);
+            }
+            TermData::Elim(e) => {
+                for p in &e.params {
+                    p.visit(f);
+                }
+                e.motive.visit(f);
+                for c in &e.cases {
+                    c.visit(f);
+                }
+                e.scrutinee.visit(f);
+            }
+        }
+    }
+
+    /// Counts the number of nodes in the term (a size measure used by the
+    /// benchmarks).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A raw, de Bruijn-level display used in kernel error messages. The `lang`
+/// crate provides a named pretty-printer for user-facing output.
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &Term, f: &mut fmt::Formatter<'_>, atom: bool) -> fmt::Result {
+            match t.data() {
+                TermData::Rel(i) => write!(f, "#{i}"),
+                TermData::Sort(s) => write!(f, "{s}"),
+                TermData::Const(n) => write!(f, "{n}"),
+                TermData::Ind(n) => write!(f, "{n}"),
+                TermData::Construct(n, j) => write!(f, "{n}!{j}"),
+                TermData::App(h, args) => {
+                    if atom {
+                        write!(f, "(")?;
+                    }
+                    go(h, f, true)?;
+                    for a in args {
+                        write!(f, " ")?;
+                        go(a, f, true)?;
+                    }
+                    if atom {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                TermData::Lambda(b, body) => {
+                    if atom {
+                        write!(f, "(")?;
+                    }
+                    write!(f, "fun ({} : ", b.name)?;
+                    go(&b.ty, f, false)?;
+                    write!(f, ") => ")?;
+                    go(body, f, false)?;
+                    if atom {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                TermData::Pi(b, body) => {
+                    if atom {
+                        write!(f, "(")?;
+                    }
+                    write!(f, "forall ({} : ", b.name)?;
+                    go(&b.ty, f, false)?;
+                    write!(f, "), ")?;
+                    go(body, f, false)?;
+                    if atom {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                TermData::Let(b, v, body) => {
+                    if atom {
+                        write!(f, "(")?;
+                    }
+                    write!(f, "let {} : ", b.name)?;
+                    go(&b.ty, f, false)?;
+                    write!(f, " := ")?;
+                    go(v, f, false)?;
+                    write!(f, " in ")?;
+                    go(body, f, false)?;
+                    if atom {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                TermData::Elim(e) => {
+                    write!(f, "Elim[{}](", e.ind)?;
+                    go(&e.scrutinee, f, false)?;
+                    write!(f, "; ")?;
+                    go(&e.motive, f, false)?;
+                    write!(f, "){{")?;
+                    for (i, c) in e.cases.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        go(c, f, false)?;
+                    }
+                    write!(f, "}}")
+                }
+            }
+        }
+        go(self, f, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spine_flattening() {
+        let f = Term::const_("f");
+        let t = Term::app1(Term::app1(f.clone(), Term::rel(0)), Term::rel(1));
+        match t.data() {
+            TermData::App(h, args) => {
+                assert_eq!(h, &f);
+                assert_eq!(args.len(), 2);
+            }
+            _ => panic!("expected spine"),
+        }
+        assert_eq!(Term::app(f.clone(), []), f);
+    }
+
+    #[test]
+    fn alpha_equivalence_via_names() {
+        let a = Term::lambda("x", Term::set(), Term::rel(0));
+        let b = Term::lambda("y", Term::set(), Term::rel(0));
+        assert_eq!(a, b);
+        let c = Term::lambda("x", Term::prop(), Term::rel(0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn closedness() {
+        assert!(Term::lambda("x", Term::set(), Term::rel(0)).is_closed());
+        assert!(!Term::rel(0).is_closed());
+        assert!(!Term::lambda("x", Term::set(), Term::rel(1)).is_closed());
+    }
+
+    #[test]
+    fn has_rel_scoping() {
+        // fun (x : Set) => #1  — mentions the variable one binder out.
+        let t = Term::lambda("x", Term::set(), Term::rel(1));
+        assert!(t.has_rel(0));
+        assert!(!t.has_rel(1));
+    }
+
+    #[test]
+    fn strip_and_rebuild() {
+        let t = Term::pi("a", Term::set(), Term::pi("b", Term::rel(0), Term::rel(1)));
+        let (bs, body) = t.strip_pis();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(Term::pis(bs, body), t);
+    }
+
+    #[test]
+    fn mentions_global_finds_elim_ind() {
+        let e = Term::elim(ElimData {
+            ind: "nat".into(),
+            params: vec![],
+            motive: Term::lambda("n", Term::ind("nat"), Term::set()),
+            cases: vec![],
+            scrutinee: Term::rel(0),
+        });
+        assert!(e.mentions_global(&"nat".into()));
+        assert!(!e.mentions_global(&"bool".into()));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let t = Term::app(Term::const_("f"), [Term::rel(0), Term::rel(1)]);
+        assert_eq!(t.size(), 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! The surface abstract syntax, before name resolution.
+
+use pumpkin_kernel::universe::Sort;
+
+use crate::error::Pos;
+
+/// A binder group `(x y : T)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinderGroup {
+    /// The bound names (may be `_`).
+    pub names: Vec<String>,
+    /// Their shared type annotation.
+    pub ty: Expr,
+}
+
+/// A surface expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// An identifier: a local binder or a global.
+    Var(Pos, String),
+    /// A sort.
+    Sort(Pos, Sort),
+    /// `forall groups, body`.
+    Forall(Vec<BinderGroup>, Box<Expr>),
+    /// `fun groups => body`.
+    Fun(Vec<BinderGroup>, Box<Expr>),
+    /// `let x : ty := val in body`.
+    Let(String, Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Application `f a b …` (non-empty argument list).
+    App(Box<Expr>, Vec<Expr>),
+    /// `a -> b` (non-dependent product).
+    Arrow(Box<Expr>, Box<Expr>),
+    /// `elim scrut : I params return motive with | c … end`.
+    Elim {
+        /// Position of the `elim` keyword.
+        pos: Pos,
+        /// The scrutinee.
+        scrut: Box<Expr>,
+        /// The inductive family applied to its parameters.
+        annot: Box<Expr>,
+        /// The motive.
+        motive: Box<Expr>,
+        /// One case per constructor.
+        cases: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// The position of the leftmost token of this expression, best effort.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Var(p, _) | Expr::Sort(p, _) | Expr::Elim { pos: p, .. } => *p,
+            Expr::Forall(_, b) | Expr::Fun(_, b) => b.pos(),
+            Expr::Let(_, ty, _, _) => ty.pos(),
+            Expr::App(f, _) => f.pos(),
+            Expr::Arrow(a, _) => a.pos(),
+        }
+    }
+}
+
+/// A top-level vernacular item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// `Definition name : ty := body.`
+    Definition {
+        /// The constant's name.
+        name: String,
+        /// Its type.
+        ty: Expr,
+        /// Its body.
+        body: Expr,
+    },
+    /// `Axiom name : ty.`
+    Axiom {
+        /// The axiom's name.
+        name: String,
+        /// Its type.
+        ty: Expr,
+    },
+    /// `Inductive name (params…) : arity := | c : ty | … .`
+    Inductive {
+        /// The family's name.
+        name: String,
+        /// Parameter binder groups.
+        params: Vec<BinderGroup>,
+        /// The arity (index telescope ending in a sort).
+        arity: Expr,
+        /// Constructors as `(name, type)` pairs; the type is interpreted
+        /// with the parameters in scope.
+        ctors: Vec<(String, Expr)>,
+    },
+}

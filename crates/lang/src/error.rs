@@ -1,0 +1,71 @@
+//! Errors for the surface language.
+
+use std::fmt;
+
+use pumpkin_kernel::error::KernelError;
+
+/// A source position (byte offset, line, column), 1-based for display.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing, name resolution, or downstream kernel
+/// checking of parsed items.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LangError {
+    /// A lexical error (bad character, unterminated comment).
+    Lex { pos: Pos, message: String },
+    /// A parse error.
+    Parse { pos: Pos, message: String },
+    /// An identifier did not resolve to a binder or global.
+    Unresolved { pos: Pos, name: String },
+    /// An `elim` annotation did not denote an inductive family.
+    NotAnInductiveAnnotation { pos: Pos, found: String },
+    /// A constructor declaration was malformed.
+    BadConstructor { name: String, message: String },
+    /// The kernel rejected a parsed item.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Unresolved { pos, name } => {
+                write!(f, "unresolved identifier `{name}` at {pos}")
+            }
+            LangError::NotAnInductiveAnnotation { pos, found } => write!(
+                f,
+                "elim annotation at {pos} must be an inductive family applied to parameters, found `{found}`"
+            ),
+            LangError::BadConstructor { name, message } => {
+                write!(f, "bad constructor `{name}`: {message}")
+            }
+            LangError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<KernelError> for LangError {
+    fn from(e: KernelError) -> Self {
+        LangError::Kernel(e)
+    }
+}
+
+/// The crate's result type.
+pub type Result<T> = std::result::Result<T, LangError>;

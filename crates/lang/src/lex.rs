@@ -1,0 +1,326 @@
+//! The lexer for the Gallina-like surface syntax.
+//!
+//! Identifiers may contain dots (`Old.list.cons`), so the statement
+//! terminator `.` is only lexed as [`Tok::Dot`] when it is not followed by
+//! another identifier character. Comments are `(* … *)` and nest.
+
+use crate::error::{LangError, Pos, Result};
+
+/// A token kind with its source text where relevant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal (used for `Type 1` universe levels).
+    Int(u32),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `:=`
+    ColonEq,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `|`
+    Pipe,
+    /// `.` as a statement terminator.
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::ColonEq => write!(f, "`:=`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::FatArrow => write!(f, "`=>`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with its starting position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Lexes a full source string.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let pos_of = |offset: usize, line: usize, col: usize| Pos { offset, line, col };
+
+    macro_rules! push {
+        ($tok:expr, $p:expr) => {
+            out.push(Token { tok: $tok, pos: $p })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let p = pos_of(i, line, col);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                if i + 1 < chars.len() && chars[i + 1] == '*' {
+                    // Nested comment.
+                    let mut depth = 1;
+                    let mut j = i + 2;
+                    let mut l = line;
+                    let mut co = col + 2;
+                    while j < chars.len() && depth > 0 {
+                        if chars[j] == '(' && j + 1 < chars.len() && chars[j + 1] == '*' {
+                            depth += 1;
+                            j += 2;
+                            co += 2;
+                        } else if chars[j] == '*' && j + 1 < chars.len() && chars[j + 1] == ')' {
+                            depth -= 1;
+                            j += 2;
+                            co += 2;
+                        } else {
+                            if chars[j] == '\n' {
+                                l += 1;
+                                co = 1;
+                            } else {
+                                co += 1;
+                            }
+                            j += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(LangError::Lex {
+                            pos: p,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    i = j;
+                    line = l;
+                    col = co;
+                } else {
+                    push!(Tok::LParen, p);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            ')' => {
+                push!(Tok::RParen, p);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, p);
+                i += 1;
+                col += 1;
+            }
+            '|' => {
+                push!(Tok::Pipe, p);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Tok::ColonEq, p);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Colon, p);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '-' => {
+                if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    push!(Tok::Arrow, p);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(LangError::Lex {
+                        pos: p,
+                        message: "expected `->`".into(),
+                    });
+                }
+            }
+            '=' => {
+                if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    push!(Tok::FatArrow, p);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(LangError::Lex {
+                        pos: p,
+                        message: "expected `=>` (use `eq` for equality)".into(),
+                    });
+                }
+            }
+            '.' => {
+                push!(Tok::Dot, p);
+                i += 1;
+                col += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                let n: u32 = text.parse().map_err(|_| LangError::Lex {
+                    pos: p,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                push!(Tok::Int(n), p);
+                col += j - i;
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                loop {
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    // A dot continues the identifier only when followed by
+                    // another identifier-start character.
+                    if j + 1 < chars.len() && chars[j] == '.' && is_ident_start(chars[j + 1]) {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                push!(Tok::Ident(text), p);
+                col += j - i;
+                i = j;
+            }
+            other => {
+                return Err(LangError::Lex {
+                    pos: p,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: pos_of(chars.len(), line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn qualified_idents_and_terminator() {
+        assert_eq!(
+            toks("Old.list.cons x."),
+            vec![
+                Tok::Ident("Old.list.cons".into()),
+                Tok::Ident("x".into()),
+                Tok::Dot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("(x : T) -> U => v := w, |"),
+            vec![
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::Ident("T".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("U".into()),
+                Tok::FatArrow,
+                Tok::Ident("v".into()),
+                Tok::ColonEq,
+                Tok::Ident("w".into()),
+                Tok::Comma,
+                Tok::Pipe,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(
+            toks("a (* outer (* inner *) still *) b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+        assert!(lex("(* unterminated").is_err());
+    }
+
+    #[test]
+    fn ints_and_primes() {
+        assert_eq!(
+            toks("Type 1 x' n0"),
+            vec![
+                Tok::Ident("Type".into()),
+                Tok::Int(1),
+                Tok::Ident("x'".into()),
+                Tok::Ident("n0".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_before_non_ident_terminates() {
+        // `l.` at end: dot is a terminator, not part of the identifier.
+        assert_eq!(
+            toks("l.\n"),
+            vec![Tok::Ident("l".into()), Tok::Dot, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(lex("a # b").is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! Name resolution: surface expressions to kernel terms, and vernacular
+//! items to environment declarations.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::inductive::{CtorDecl, InductiveDecl};
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::term::{Binder, ElimData, Term, TermData};
+
+use crate::ast::{BinderGroup, Expr, Item};
+use crate::error::{LangError, Result};
+use crate::parse::{parse_items, parse_term};
+
+/// Resolves surface expressions against an environment plus a local scope.
+pub struct Resolver<'e> {
+    env: &'e Env,
+    /// Inductive names currently being declared (visible before they are in
+    /// the environment, so constructor types can mention their family).
+    pending_inds: Vec<GlobalName>,
+    locals: Vec<String>,
+}
+
+impl<'e> Resolver<'e> {
+    /// A resolver with no local scope.
+    pub fn new(env: &'e Env) -> Self {
+        Resolver {
+            env,
+            pending_inds: Vec::new(),
+            locals: Vec::new(),
+        }
+    }
+
+    /// Makes an inductive name visible before its declaration.
+    pub fn with_pending_inductive(mut self, name: impl Into<GlobalName>) -> Self {
+        self.pending_inds.push(name.into());
+        self
+    }
+
+    /// Pushes a local binder name (innermost last).
+    pub fn push_local(&mut self, name: impl Into<String>) {
+        self.locals.push(name.into());
+    }
+
+    /// Pops the innermost local binder.
+    pub fn pop_local(&mut self) {
+        self.locals.pop();
+    }
+
+    fn lookup(&self, pos: crate::error::Pos, name: &str) -> Result<Term> {
+        // Innermost local first.
+        for (k, l) in self.locals.iter().rev().enumerate() {
+            if l == name {
+                return Ok(Term::rel(k));
+            }
+        }
+        if self.env.const_decl(&GlobalName::new(name)).is_ok() {
+            return Ok(Term::const_(name));
+        }
+        if self.env.inductive(&GlobalName::new(name)).is_ok() {
+            return Ok(Term::ind(name));
+        }
+        if let Some((ind, j)) = self.env.constructor(&GlobalName::new(name)) {
+            return Ok(Term::construct(ind, j));
+        }
+        if self.pending_inds.iter().any(|n| n.as_str() == name) {
+            return Ok(Term::ind(name));
+        }
+        Err(LangError::Unresolved {
+            pos,
+            name: name.to_string(),
+        })
+    }
+
+    /// Resolves an expression to a kernel term.
+    pub fn resolve(&mut self, e: &Expr) -> Result<Term> {
+        match e {
+            Expr::Var(pos, name) => self.lookup(*pos, name),
+            Expr::Sort(_, s) => Ok(Term::sort(*s)),
+            Expr::Forall(groups, body) => self.binder_form(groups, body, true),
+            Expr::Fun(groups, body) => self.binder_form(groups, body, false),
+            Expr::Let(name, ty, val, body) => {
+                let ty = self.resolve(ty)?;
+                let val = self.resolve(val)?;
+                self.push_local(name.clone());
+                let body = self.resolve(body);
+                self.pop_local();
+                Ok(Term::let_(name.as_str(), ty, val, body?))
+            }
+            Expr::App(f, args) => {
+                let f = self.resolve(f)?;
+                let args = args
+                    .iter()
+                    .map(|a| self.resolve(a))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Term::app(f, args))
+            }
+            Expr::Arrow(a, b) => {
+                let a = self.resolve(a)?;
+                let b = self.resolve(b)?;
+                Ok(Term::arrow(a, b))
+            }
+            Expr::Elim {
+                pos,
+                scrut,
+                annot,
+                motive,
+                cases,
+            } => {
+                let scrut = self.resolve(scrut)?;
+                let annot_t = self.resolve(annot)?;
+                let (ind, params) = match annot_t.as_ind_app() {
+                    Some((ind, params)) => (ind.clone(), params.to_vec()),
+                    None => {
+                        return Err(LangError::NotAnInductiveAnnotation {
+                            pos: *pos,
+                            found: annot_t.to_string(),
+                        })
+                    }
+                };
+                let motive = self.resolve(motive)?;
+                let cases = cases
+                    .iter()
+                    .map(|c| self.resolve(c))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Term::elim(ElimData {
+                    ind,
+                    params,
+                    motive,
+                    cases,
+                    scrutinee: scrut,
+                }))
+            }
+        }
+    }
+
+    fn binder_form(&mut self, groups: &[BinderGroup], body: &Expr, is_pi: bool) -> Result<Term> {
+        // Resolve binder types left to right, pushing names as we go.
+        let mut binders: Vec<Binder> = Vec::new();
+        for g in groups {
+            for n in &g.names {
+                let ty = self.resolve(&g.ty);
+                let ty = match ty {
+                    Ok(t) => t,
+                    Err(e) => {
+                        for _ in 0..binders.len() {
+                            self.pop_local();
+                        }
+                        return Err(e);
+                    }
+                };
+                binders.push(Binder::new(n.as_str(), ty));
+                self.push_local(n.clone());
+            }
+        }
+        let body = self.resolve(body);
+        for _ in 0..binders.len() {
+            self.pop_local();
+        }
+        let body = body?;
+        Ok(if is_pi {
+            Term::pis(binders, body)
+        } else {
+            Term::lambdas(binders, body)
+        })
+    }
+
+    /// Resolves a binder telescope (e.g. inductive parameters), returning the
+    /// binders and leaving the names in scope.
+    pub fn resolve_telescope(&mut self, groups: &[BinderGroup]) -> Result<Vec<Binder>> {
+        let mut binders = Vec::new();
+        for g in groups {
+            for n in &g.names {
+                let ty = self.resolve(&g.ty)?;
+                binders.push(Binder::new(n.as_str(), ty));
+                self.push_local(n.clone());
+            }
+        }
+        Ok(binders)
+    }
+}
+
+/// Parses and resolves a single term against an environment.
+pub fn term(env: &Env, src: &str) -> Result<Term> {
+    let e = parse_term(src)?;
+    Resolver::new(env).resolve(&e)
+}
+
+/// Loads a resolved item into the environment.
+pub fn load_item(env: &mut Env, item: &Item) -> Result<()> {
+    match item {
+        Item::Definition { name, ty, body } => {
+            let mut r = Resolver::new(env);
+            let ty = r.resolve(ty)?;
+            let body = r.resolve(body)?;
+            env.define(name.as_str(), ty, body)?;
+            Ok(())
+        }
+        Item::Axiom { name, ty } => {
+            let ty = Resolver::new(env).resolve(ty)?;
+            env.assume(name.as_str(), ty)?;
+            Ok(())
+        }
+        Item::Inductive {
+            name,
+            params,
+            arity,
+            ctors,
+        } => {
+            let decl = resolve_inductive(env, name, params, arity, ctors)?;
+            env.declare_inductive(decl)?;
+            Ok(())
+        }
+    }
+}
+
+fn resolve_inductive(
+    env: &Env,
+    name: &str,
+    params: &[BinderGroup],
+    arity: &Expr,
+    ctors: &[(String, Expr)],
+) -> Result<InductiveDecl> {
+    let ind_name = GlobalName::new(name);
+    let mut r = Resolver::new(env).with_pending_inductive(ind_name.clone());
+    let param_binders = r.resolve_telescope(params)?;
+    let nparams = param_binders.len();
+
+    // Arity: ∀ index-telescope, sort (resolved under the parameters).
+    let arity_t = r.resolve(arity)?;
+    let (index_binders, codomain) = arity_t.strip_pis();
+    let sort = codomain
+        .as_sort()
+        .ok_or_else(|| LangError::BadConstructor {
+            name: name.to_string(),
+            message: format!("arity must end in a sort, found `{codomain}`"),
+        })?;
+
+    // Constructors: each type resolved under the parameters; strip the
+    // argument telescope; the codomain must be the family applied to the
+    // parameter variables followed by the result indices.
+    let mut ctor_decls = Vec::new();
+    for (cname, cty) in ctors {
+        let t = r.resolve(cty)?;
+        let (args, codomain) = t.strip_pis();
+        let bad = |message: String| LangError::BadConstructor {
+            name: cname.clone(),
+            message,
+        };
+        let (head, head_args) = codomain.unfold_app();
+        match head.data() {
+            TermData::Ind(n) if n == &ind_name => {}
+            _ => {
+                return Err(bad(format!(
+                    "constructor must construct `{ind_name}`, found `{codomain}`"
+                )))
+            }
+        }
+        if head_args.len() < nparams {
+            return Err(bad(format!(
+                "constructor result applies `{ind_name}` to {} arguments, expected at least {nparams} parameters",
+                head_args.len()
+            )));
+        }
+        let depth = nparams + args.len();
+        for (i, a) in head_args.iter().take(nparams).enumerate() {
+            let expected = Term::rel(depth - 1 - i);
+            if a != &expected {
+                return Err(bad(format!(
+                    "constructor result parameter #{i} must be the declared parameter, found `{a}`"
+                )));
+            }
+        }
+        ctor_decls.push(CtorDecl {
+            name: GlobalName::new(cname),
+            args,
+            result_indices: head_args[nparams..].to_vec(),
+        });
+    }
+
+    Ok(InductiveDecl {
+        name: ind_name,
+        params: param_binders,
+        indices: index_binders,
+        sort,
+        ctors: ctor_decls,
+    })
+}
+
+/// Parses and loads a whole vernacular source file into the environment.
+///
+/// Items are loaded in order; on error, earlier items remain loaded.
+pub fn load_source(env: &mut Env, src: &str) -> Result<()> {
+    let items = parse_items(src)?;
+    for item in &items {
+        load_item(env, item)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_kernel::reduce::normalize;
+    use pumpkin_kernel::typecheck::infer_closed;
+
+    const NAT_SRC: &str = "
+        Inductive nat : Set := | O : nat | S : nat -> nat.
+        Definition add : nat -> nat -> nat :=
+          fun (n m : nat) =>
+            elim n : nat return (fun (x : nat) => nat) with
+            | m
+            | fun (p : nat) (ih : nat) => S ih
+            end.
+    ";
+
+    #[test]
+    fn load_nat_and_compute() {
+        let mut env = Env::new();
+        load_source(&mut env, NAT_SRC).unwrap();
+        let two = term(&env, "S (S O)").unwrap();
+        let three = term(&env, "S (S (S O))").unwrap();
+        let five = term(&env, "S (S (S (S (S O))))").unwrap();
+        let sum = Term::app(Term::const_("add"), [two, three]);
+        assert_eq!(normalize(&env, &sum), five);
+    }
+
+    #[test]
+    fn indexed_family_vector() {
+        let mut env = Env::new();
+        load_source(&mut env, NAT_SRC).unwrap();
+        load_source(
+            &mut env,
+            "Inductive vector (T : Type) : nat -> Type :=
+               | vnil : vector T O
+               | vcons : forall (t : T) (n : nat), vector T n -> vector T (S n).",
+        )
+        .unwrap();
+        let decl = env.inductive(&"vector".into()).unwrap();
+        assert_eq!(decl.nparams(), 1);
+        assert_eq!(decl.nindices(), 1);
+        // vcons : ∀ (T : Type) (t : T) (n : nat), vector T n → vector T (S n)
+        let cty = decl.ctor_type(1).unwrap();
+        assert!(infer_closed(&env, &cty).unwrap().as_sort().is_some());
+    }
+
+    #[test]
+    fn unresolved_identifier() {
+        let env = Env::new();
+        assert!(matches!(
+            term(&env, "mystery"),
+            Err(LangError::Unresolved { .. })
+        ));
+    }
+
+    #[test]
+    fn shadowing_prefers_innermost() {
+        let mut env = Env::new();
+        load_source(&mut env, "Inductive b : Set := | tt : b.").unwrap();
+        // The binder `b` shadows the global inductive.
+        let t = term(&env, "fun (b : Set) => b").unwrap();
+        assert_eq!(t, Term::lambda("b", Term::set(), Term::rel(0)));
+    }
+
+    #[test]
+    fn bad_inductive_constructor_target() {
+        let mut env = Env::new();
+        load_source(&mut env, "Inductive b : Set := | tt : b.").unwrap();
+        let r = load_source(&mut env, "Inductive c : Set := | mk : b.");
+        assert!(matches!(r, Err(LangError::BadConstructor { .. })));
+    }
+
+    #[test]
+    fn definitions_are_type_checked() {
+        let mut env = Env::new();
+        load_source(&mut env, "Inductive b : Set := | tt : b.").unwrap();
+        let r = load_source(&mut env, "Definition bad : b := b.");
+        assert!(matches!(r, Err(LangError::Kernel(_))));
+    }
+
+    #[test]
+    fn let_resolution() {
+        let mut env = Env::new();
+        load_source(&mut env, NAT_SRC).unwrap();
+        let t = term(&env, "let x : nat := O in S x").unwrap();
+        assert_eq!(
+            normalize(&env, &t),
+            term(&env, "S O").map(|t| normalize(&env, &t)).unwrap()
+        );
+    }
+}

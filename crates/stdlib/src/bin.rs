@@ -1,0 +1,470 @@
+//! Binary natural numbers (paper Fig. 9, right): `positive` and `N`, with
+//! fast addition, Peano-style recursion (`Pos.peano_rect`, `N.peano_rect`),
+//! and the simplification lemma `N.peano_rect_succ` that becomes the §6.3
+//! case study's propositional `Iota`.
+//!
+//! Coq defines `Pos.peano_rect` with a nested fixpoint at motive `P ∘ xO`.
+//! CIC_ω has only primitive eliminators, so we instead eliminate at the
+//! *generalized* motive `fun p => ∀ P, P 1 → (∀ q, P q → P (succ q)) → P p`
+//! and instantiate the induction hypothesis at `P ∘ xO` in the binary cases.
+//! Every proof obligation that arises is definitional (because `Pos.succ`
+//! ι-reduces), so the definition kernel-checks, and `peano_rect_succ` is
+//! provable with `eq_refl` in all but the `xI` case — which is exactly the
+//! induction hypothesis at `P ∘ xO`.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::term::Term;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// Vernacular source for `positive` and `N`.
+pub const SRC: &str = r#"
+Inductive positive : Set :=
+| xI : positive -> positive
+| xO : positive -> positive
+| xH : positive.
+
+Definition Pos.succ : positive -> positive :=
+  fun (p : positive) =>
+    elim p : positive return (fun (x : positive) => positive) with
+    | fun (q : positive) (ih : positive) => xO ih
+    | fun (q : positive) (ih : positive) => xI q
+    | xO xH
+    end.
+
+(* Fast (logarithmic) addition. Where Coq threads a carry through a second
+   mutually recursive function, we use Pos.succ on the recursive result; the
+   asymptotics stay logarithmic in the number of bits. *)
+Definition Pos.add : positive -> positive -> positive :=
+  fun (x : positive) =>
+    elim x : positive return (fun (a : positive) => positive -> positive) with
+    | fun (p : positive) (ih : positive -> positive) (y : positive) =>
+        elim y : positive return (fun (b : positive) => positive) with
+        | fun (r : positive) (ih2 : positive) => xO (Pos.succ (ih r))
+        | fun (r : positive) (ih2 : positive) => xI (ih r)
+        | xO (Pos.succ p)
+        end
+    | fun (p : positive) (ih : positive -> positive) (y : positive) =>
+        elim y : positive return (fun (b : positive) => positive) with
+        | fun (r : positive) (ih2 : positive) => xI (ih r)
+        | fun (r : positive) (ih2 : positive) => xO (ih r)
+        | xI p
+        end
+    | fun (y : positive) => Pos.succ y
+    end.
+
+Inductive N : Set :=
+| N0 : N
+| Npos : positive -> N.
+
+Definition N.succ : N -> N :=
+  fun (n : N) =>
+    elim n : N return (fun (x : N) => N) with
+    | Npos xH
+    | fun (p : positive) => Npos (Pos.succ p)
+    end.
+
+Definition N.add : N -> N -> N :=
+  fun (n m : N) =>
+    elim n : N return (fun (x : N) => N) with
+    | m
+    | fun (p : positive) =>
+        elim m : N return (fun (y : N) => N) with
+        | Npos p
+        | fun (q : positive) => Npos (Pos.add p q)
+        end
+    end.
+
+(* Peano recursion over positive, at a generalized motive. *)
+Definition Pos.peano_rect_gen : forall (p : positive) (P : positive -> Type 1),
+    P xH -> (forall (q : positive), P q -> P (Pos.succ q)) -> P p :=
+  fun (p : positive) =>
+    elim p : positive return (fun (p : positive) =>
+      forall (P : positive -> Type 1),
+        P xH -> (forall (q : positive), P q -> P (Pos.succ q)) -> P p)
+    with
+    | fun (q : positive)
+          (IH : forall (P : positive -> Type 1),
+            P xH -> (forall (r : positive), P r -> P (Pos.succ r)) -> P q)
+          (P : positive -> Type 1) (a : P xH)
+          (f : forall (r : positive), P r -> P (Pos.succ r)) =>
+        f (xO q)
+          (IH (fun (r : positive) => P (xO r))
+              (f xH a)
+              (fun (r : positive) (x : P (xO r)) => f (xI r) (f (xO r) x)))
+    | fun (q : positive)
+          (IH : forall (P : positive -> Type 1),
+            P xH -> (forall (r : positive), P r -> P (Pos.succ r)) -> P q)
+          (P : positive -> Type 1) (a : P xH)
+          (f : forall (r : positive), P r -> P (Pos.succ r)) =>
+        IH (fun (r : positive) => P (xO r))
+           (f xH a)
+           (fun (r : positive) (x : P (xO r)) => f (xI r) (f (xO r) x))
+    | fun (P : positive -> Type 1) (a : P xH)
+          (f : forall (r : positive), P r -> P (Pos.succ r)) => a
+    end.
+
+Definition Pos.peano_rect : forall (P : positive -> Type 1),
+    P xH -> (forall (q : positive), P q -> P (Pos.succ q)) ->
+    forall (p : positive), P p :=
+  fun (P : positive -> Type 1) (a : P xH)
+      (f : forall (q : positive), P q -> P (Pos.succ q)) (p : positive) =>
+    Pos.peano_rect_gen p P a f.
+
+(* The simplification (refolding) lemma: Peano recursion at a successor
+   steps once. All cases but xI hold by reflexivity; xI is the induction
+   hypothesis at motive P-after-xO. *)
+Definition Pos.peano_rect_succ : forall (P : positive -> Type 1)
+    (a : P xH) (f : forall (q : positive), P q -> P (Pos.succ q)) (p : positive),
+    eq (P (Pos.succ p))
+       (Pos.peano_rect P a f (Pos.succ p))
+       (f p (Pos.peano_rect P a f p)) :=
+  fun (P0 : positive -> Type 1) (a0 : P0 xH)
+      (f0 : forall (q : positive), P0 q -> P0 (Pos.succ q)) (p : positive) =>
+    elim p : positive return (fun (p : positive) =>
+      forall (P : positive -> Type 1) (a : P xH)
+             (f : forall (q : positive), P q -> P (Pos.succ q)),
+        eq (P (Pos.succ p))
+           (Pos.peano_rect P a f (Pos.succ p))
+           (f p (Pos.peano_rect P a f p)))
+    with
+    | fun (q : positive)
+          (IH : forall (P : positive -> Type 1) (a : P xH)
+                       (f : forall (r : positive), P r -> P (Pos.succ r)),
+            eq (P (Pos.succ q))
+               (Pos.peano_rect P a f (Pos.succ q))
+               (f q (Pos.peano_rect P a f q)))
+          (P : positive -> Type 1) (a : P xH)
+          (f : forall (q : positive), P q -> P (Pos.succ q)) =>
+        IH (fun (r : positive) => P (xO r))
+           (f xH a)
+           (fun (r : positive) (x : P (xO r)) => f (xI r) (f (xO r) x))
+    | fun (q : positive)
+          (IH : forall (P : positive -> Type 1) (a : P xH)
+                       (f : forall (r : positive), P r -> P (Pos.succ r)),
+            eq (P (Pos.succ q))
+               (Pos.peano_rect P a f (Pos.succ q))
+               (f q (Pos.peano_rect P a f q)))
+          (P : positive -> Type 1) (a : P xH)
+          (f : forall (q : positive), P q -> P (Pos.succ q)) =>
+        eq_refl (P (Pos.succ (xO q))) (Pos.peano_rect P a f (Pos.succ (xO q)))
+    | fun (P : positive -> Type 1) (a : P xH)
+          (f : forall (q : positive), P q -> P (Pos.succ q)) =>
+        eq_refl (P (Pos.succ xH)) (Pos.peano_rect P a f (Pos.succ xH))
+    end P0 a0 f0.
+
+(* Peano recursion over N. *)
+Definition N.peano_rect : forall (P : N -> Type 1),
+    P N0 -> (forall (n : N), P n -> P (N.succ n)) -> forall (n : N), P n :=
+  fun (P : N -> Type 1) (a : P N0)
+      (f : forall (n : N), P n -> P (N.succ n)) (n : N) =>
+    elim n : N return (fun (x : N) => P x) with
+    | a
+    | fun (p : positive) =>
+        Pos.peano_rect_gen p (fun (q : positive) => P (Npos q))
+          (f N0 a)
+          (fun (q : positive) (x : P (Npos q)) => f (Npos q) x)
+    end.
+
+Definition N.peano_rect_succ : forall (P : N -> Type 1)
+    (a : P N0) (f : forall (n : N), P n -> P (N.succ n)) (n : N),
+    eq (P (N.succ n))
+       (N.peano_rect P a f (N.succ n))
+       (f n (N.peano_rect P a f n)) :=
+  fun (P : N -> Type 1) (a : P N0)
+      (f : forall (n : N), P n -> P (N.succ n)) (n : N) =>
+    elim n : N return (fun (x : N) =>
+      eq (P (N.succ x))
+         (N.peano_rect P a f (N.succ x))
+         (f x (N.peano_rect P a f x)))
+    with
+    | eq_refl (P (N.succ N0)) (N.peano_rect P a f (N.succ N0))
+    | fun (p : positive) =>
+        Pos.peano_rect_succ (fun (q : positive) => P (Npos q))
+          (f N0 a)
+          (fun (q : positive) (x : P (Npos q)) => f (Npos q) x)
+          p
+    end.
+
+(* Conversions with nat, and the equivalence proofs the manual nat-to-N
+   configuration is validated against (paper section 6.3). *)
+Definition N.of_nat : nat -> N :=
+  fun (n : nat) =>
+    elim n : nat return (fun (x : nat) => N) with
+    | N0
+    | fun (p : nat) (ih : N) => N.succ ih
+    end.
+
+Definition N.to_nat : N -> nat :=
+  N.peano_rect (fun (x : N) => nat) O (fun (x : N) (ih : nat) => S ih).
+
+Definition N.of_to_section : forall (n : nat), eq nat (N.to_nat (N.of_nat n)) n :=
+  fun (n : nat) =>
+    elim n : nat return (fun (x : nat) => eq nat (N.to_nat (N.of_nat x)) x) with
+    | eq_refl nat O
+    | fun (p : nat) (ih : eq nat (N.to_nat (N.of_nat p)) p) =>
+        eq_trans nat
+          (N.to_nat (N.of_nat (S p)))
+          (S (N.to_nat (N.of_nat p)))
+          (S p)
+          (N.peano_rect_succ (fun (x : N) => nat) O
+            (fun (x : N) (ih2 : nat) => S ih2) (N.of_nat p))
+          (f_equal nat nat S (N.to_nat (N.of_nat p)) p ih)
+    end.
+
+Definition N.to_of_retraction : forall (m : N), eq N (N.of_nat (N.to_nat m)) m :=
+  fun (m : N) =>
+    N.peano_rect (fun (x : N) => eq N (N.of_nat (N.to_nat x)) x)
+      (eq_refl N N0)
+      (fun (x : N) (ih : eq N (N.of_nat (N.to_nat x)) x) =>
+        eq_trans N
+          (N.of_nat (N.to_nat (N.succ x)))
+          (N.succ (N.of_nat (N.to_nat x)))
+          (N.succ x)
+          (f_equal nat N N.of_nat (N.to_nat (N.succ x)) (S (N.to_nat x))
+            (N.peano_rect_succ (fun (y : N) => nat) O
+              (fun (y : N) (ih2 : nat) => S ih2) x))
+          (f_equal N N N.succ (N.of_nat (N.to_nat x)) x ih))
+      m.
+
+(* Successor distributes over fast addition on the left: the positive-level
+   fact behind N.add_succ_l, used to relate repaired slow addition to fast
+   addition. *)
+Definition Pos.add_succ_l : forall (p q : positive),
+    eq positive (Pos.add (Pos.succ p) q) (Pos.succ (Pos.add p q)) :=
+  fun (p : positive) =>
+    elim p : positive return (fun (p : positive) => forall (q : positive),
+      eq positive (Pos.add (Pos.succ p) q) (Pos.succ (Pos.add p q)))
+    with
+    | fun (p' : positive)
+          (IH : forall (q : positive),
+            eq positive (Pos.add (Pos.succ p') q) (Pos.succ (Pos.add p' q)))
+          (q : positive) =>
+        elim q : positive return (fun (y : positive) =>
+          eq positive (Pos.add (Pos.succ (xI p')) y) (Pos.succ (Pos.add (xI p') y)))
+        with
+        | fun (r : positive) (ih2 : eq positive
+              (Pos.add (Pos.succ (xI p')) r) (Pos.succ (Pos.add (xI p') r))) =>
+            f_equal positive positive xI
+              (Pos.add (Pos.succ p') r) (Pos.succ (Pos.add p' r)) (IH r)
+        | fun (r : positive) (ih2 : eq positive
+              (Pos.add (Pos.succ (xI p')) r) (Pos.succ (Pos.add (xI p') r))) =>
+            f_equal positive positive xO
+              (Pos.add (Pos.succ p') r) (Pos.succ (Pos.add p' r)) (IH r)
+        | eq_refl positive (xI (Pos.succ p'))
+        end
+    | fun (p' : positive)
+          (IH : forall (q : positive),
+            eq positive (Pos.add (Pos.succ p') q) (Pos.succ (Pos.add p' q)))
+          (q : positive) =>
+        elim q : positive return (fun (y : positive) =>
+          eq positive (Pos.add (Pos.succ (xO p')) y) (Pos.succ (Pos.add (xO p') y)))
+        with
+        | fun (r : positive) (ih2 : eq positive
+              (Pos.add (Pos.succ (xO p')) r) (Pos.succ (Pos.add (xO p') r))) =>
+            eq_refl positive (xO (Pos.succ (Pos.add p' r)))
+        | fun (r : positive) (ih2 : eq positive
+              (Pos.add (Pos.succ (xO p')) r) (Pos.succ (Pos.add (xO p') r))) =>
+            eq_refl positive (xI (Pos.add p' r))
+        | eq_refl positive (xO (Pos.succ p'))
+        end
+    | fun (q : positive) =>
+        elim q : positive return (fun (y : positive) =>
+          eq positive (Pos.add (Pos.succ xH) y) (Pos.succ (Pos.add xH y)))
+        with
+        | fun (r : positive) (ih2 : eq positive
+              (Pos.add (Pos.succ xH) r) (Pos.succ (Pos.add xH r))) =>
+            eq_refl positive (xI (Pos.succ r))
+        | fun (r : positive) (ih2 : eq positive
+              (Pos.add (Pos.succ xH) r) (Pos.succ (Pos.add xH r))) =>
+            eq_refl positive (xO (Pos.succ r))
+        | eq_refl positive (xI xH)
+        end
+    end.
+
+Definition N.add_succ_l : forall (n m : N),
+    eq N (N.add (N.succ n) m) (N.succ (N.add n m)) :=
+  fun (n : N) =>
+    elim n : N return (fun (x : N) => forall (m : N),
+      eq N (N.add (N.succ x) m) (N.succ (N.add x m)))
+    with
+    | fun (m : N) =>
+        elim m : N return (fun (y : N) =>
+          eq N (N.add (N.succ N0) y) (N.succ (N.add N0 y)))
+        with
+        | eq_refl N (Npos xH)
+        | fun (q : positive) => eq_refl N (Npos (Pos.succ q))
+        end
+    | fun (p : positive) (m : N) =>
+        elim m : N return (fun (y : N) =>
+          eq N (N.add (N.succ (Npos p)) y) (N.succ (N.add (Npos p) y)))
+        with
+        | eq_refl N (Npos (Pos.succ p))
+        | fun (q : positive) =>
+            f_equal positive N Npos
+              (Pos.add (Pos.succ p) q) (Pos.succ (Pos.add p q))
+              (Pos.add_succ_l p q)
+        end
+    end.
+"#;
+
+/// Loads `positive` and `N` (requires [`crate::logic`] and [`crate::nat`]).
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, SRC)
+}
+
+/// Builds a `positive` literal (`n ≥ 1`) from its binary representation.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (`positive` has no zero).
+pub fn pos_lit(n: u64) -> Term {
+    assert!(n >= 1, "positive literals start at 1");
+    if n == 1 {
+        Term::construct("positive", 2)
+    } else if n.is_multiple_of(2) {
+        Term::app(Term::construct("positive", 1), [pos_lit(n / 2)])
+    } else {
+        Term::app(Term::construct("positive", 0), [pos_lit(n / 2)])
+    }
+}
+
+/// Builds an `N` literal.
+pub fn n_lit(n: u64) -> Term {
+    if n == 0 {
+        Term::construct("N", 0)
+    } else {
+        Term::app(Term::construct("N", 1), [pos_lit(n)])
+    }
+}
+
+/// Reads a normalized `N` term back as a number, if it is a literal.
+pub fn n_value(t: &Term) -> Option<u64> {
+    fn pos_value(t: &Term) -> Option<u64> {
+        let (ind, j, args) = t.as_construct_app()?;
+        if ind.as_str() != "positive" {
+            return None;
+        }
+        match (j, args.len()) {
+            (2, 0) => Some(1),
+            (1, 1) => pos_value(&args[0]).map(|v| v * 2),
+            (0, 1) => pos_value(&args[0]).map(|v| v * 2 + 1),
+            _ => None,
+        }
+    }
+    let (ind, j, args) = t.as_construct_app()?;
+    if ind.as_str() != "N" {
+        return None;
+    }
+    match (j, args.len()) {
+        (0, 0) => Some(0),
+        (1, 1) => pos_value(&args[0]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::{nat_lit, nat_value};
+    use pumpkin_kernel::prelude::*;
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        crate::nat::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn whole_module_loads() {
+        let e = env();
+        for name in [
+            "Pos.succ",
+            "Pos.add",
+            "Pos.peano_rect",
+            "Pos.peano_rect_succ",
+            "N.peano_rect",
+            "N.peano_rect_succ",
+            "N.of_to_section",
+            "N.to_of_retraction",
+            "Pos.add_succ_l",
+            "N.add_succ_l",
+        ] {
+            assert!(e.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn literals_roundtrip() {
+        for n in [0u64, 1, 2, 3, 4, 5, 6, 7, 100, 255, 256, 1023] {
+            assert_eq!(n_value(&n_lit(n)), Some(n));
+        }
+    }
+
+    #[test]
+    fn fast_addition_computes() {
+        let e = env();
+        for (a, b) in [(0u64, 0u64), (1, 1), (2, 3), (13, 29), (100, 155), (127, 1)] {
+            let t = Term::app(Term::const_("N.add"), [n_lit(a), n_lit(b)]);
+            assert_eq!(n_value(&normalize(&e, &t)), Some(a + b), "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn succ_computes() {
+        let e = env();
+        for n in [0u64, 1, 2, 3, 7, 8, 127] {
+            let t = Term::app(Term::const_("N.succ"), [n_lit(n)]);
+            assert_eq!(n_value(&normalize(&e, &t)), Some(n + 1), "succ {n}");
+        }
+    }
+
+    #[test]
+    fn peano_rect_computes_like_unary_recursion() {
+        let e = env();
+        // N.to_nat (peano recursion) agrees with the literal value.
+        for n in [0u64, 1, 5, 16, 33] {
+            let t = Term::app(Term::const_("N.to_nat"), [n_lit(n)]);
+            assert_eq!(nat_value(&normalize(&e, &t)), Some(n), "to_nat {n}");
+        }
+        for n in [0u64, 1, 9] {
+            let t = Term::app(Term::const_("N.of_nat"), [nat_lit(n)]);
+            assert_eq!(n_value(&normalize(&e, &t)), Some(n), "of_nat {n}");
+        }
+    }
+
+    #[test]
+    fn peano_rect_succ_instances_hold_by_conversion() {
+        // The lemma's statement at a closed instance is a reflexive equation
+        // after normalization; spot-check the two sides converge.
+        let e = env();
+        let p = Term::lambda("x", Term::ind("N"), Term::ind("nat"));
+        let f = Term::lambda(
+            "x",
+            Term::ind("N"),
+            Term::lambda("ih", Term::ind("nat"), {
+                Term::app(Term::construct("nat", 1), [Term::rel(0)])
+            }),
+        );
+        let n = n_lit(6);
+        let lhs = Term::app(
+            Term::const_("N.peano_rect"),
+            [
+                p.clone(),
+                nat_lit(0),
+                f.clone(),
+                Term::app(Term::const_("N.succ"), [n.clone()]),
+            ],
+        );
+        let rhs = Term::app(
+            f.clone(),
+            [
+                n.clone(),
+                Term::app(Term::const_("N.peano_rect"), [p, nat_lit(0), f, n]),
+            ],
+        );
+        assert!(conv(&e, &lhs, &rhs));
+    }
+}

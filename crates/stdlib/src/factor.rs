@@ -1,0 +1,86 @@
+//! Constructor factoring (paper Fig. 4 and §3.1.1): the type `I` with two
+//! nullary constructors, the type `J` wrapping a `bool`, and the De Morgan
+//! development over `I` that the case study repairs to `J`.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// Vernacular source for the factoring case study.
+pub const SRC: &str = r#"
+Inductive I : Set :=
+| A : I
+| B : I.
+
+Inductive J : Set :=
+| makeJ : bool -> J.
+
+Definition I.neg : I -> I :=
+  fun (i : I) =>
+    elim i : I return (fun (x : I) => I) with
+    | B
+    | A
+    end.
+
+(* and (i1 i2 : I) : I := I_rec _ i2 B i1  (paper section 3.1.1). *)
+Definition I.and : I -> I -> I :=
+  fun (i1 i2 : I) =>
+    elim i1 : I return (fun (x : I) => I) with
+    | i2
+    | B
+    end.
+
+Definition I.or : I -> I -> I :=
+  fun (i1 i2 : I) =>
+    elim i1 : I return (fun (x : I) => I) with
+    | A
+    | i2
+    end.
+
+Definition I.demorgan_1 : forall (i1 i2 : I),
+    eq I (I.neg (I.and i1 i2)) (I.or (I.neg i1) (I.neg i2)) :=
+  fun (i1 i2 : I) =>
+    elim i1 : I return (fun (x : I) =>
+      eq I (I.neg (I.and x i2)) (I.or (I.neg x) (I.neg i2)))
+    with
+    | eq_refl I (I.neg i2)
+    | eq_refl I A
+    end.
+
+Definition I.demorgan_2 : forall (i1 i2 : I),
+    eq I (I.neg (I.or i1 i2)) (I.and (I.neg i1) (I.neg i2)) :=
+  fun (i1 i2 : I) =>
+    elim i1 : I return (fun (x : I) =>
+      eq I (I.neg (I.or x i2)) (I.and (I.neg x) (I.neg i2)))
+    with
+    | eq_refl I B
+    | eq_refl I (I.neg i2)
+    end.
+"#;
+
+/// Loads the factoring case study types. Requires [`crate::logic`].
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, SRC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_kernel::prelude::*;
+    use pumpkin_lang::term;
+
+    #[test]
+    fn loads_and_demorgan_holds() {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        for n in ["I.neg", "I.and", "I.or", "I.demorgan_1", "I.demorgan_2"] {
+            assert!(e.contains(n), "missing {n}");
+        }
+        // A acts as truth, B as falsity: ¬(A ∧ B) = ¬B = A.
+        let t = term(&e, "I.neg (I.and A B)").unwrap();
+        assert_eq!(normalize(&e, &t), term(&e, "A").unwrap());
+        let t = term(&e, "I.neg (I.or B A)").unwrap();
+        assert_eq!(normalize(&e, &t), term(&e, "B").unwrap());
+    }
+}

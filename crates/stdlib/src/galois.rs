@@ -1,0 +1,205 @@
+//! The industrial (Galois) case-study substrate (paper §6.4, Fig. 17):
+//! compiler-generated nested tuples vs. human-readable named records.
+//!
+//! Substitutions relative to the paper: the paper's `seq n bool` bit-vector
+//! types come from SAWCore; we model every bit-vector field as a `word`
+//! (a wrapped `nat`) with `bvNat`/`bvAdd`, which preserves the behaviour the
+//! proofs depend on (`bvAdd (bvNat 0) (bvNat 1) ≡ bvNat 1` computes). The
+//! record `Connection.handshake` field keeps the *tuple* `Handshake` type so
+//! each repair crosses exactly one tuple↔record equivalence (the paper
+//! chains two; see DESIGN.md).
+
+use pumpkin_kernel::env::Env;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// Vernacular source for the Galois substrate.
+pub const SRC: &str = r#"
+Inductive word : Set :=
+| mkWord : nat -> word.
+
+Definition bvNat : nat -> word := fun (n : nat) => mkWord n.
+
+Definition bvAdd : word -> word -> word :=
+  fun (a b : word) =>
+    elim a : word return (fun (x : word) => word) with
+    | fun (x : nat) =>
+        elim b : word return (fun (y : word) => word) with
+        | fun (y : nat) => mkWord (add x y)
+        end
+    end.
+
+(* The compiler-generated (tuple) types. Naming the nested tails keeps the
+   sources readable; they are transparent definitions. *)
+Definition Handshake : Type 1 := prod word word.
+Definition Conn8 : Type 1 := prod bool bool.
+Definition Conn7 : Type 1 := prod word Conn8.
+Definition Conn6 : Type 1 := prod bool Conn7.
+Definition Conn5 : Type 1 := prod bool Conn6.
+Definition Conn4 : Type 1 := prod Handshake Conn5.
+Definition Conn3 : Type 1 := prod word Conn4.
+Definition Conn2 : Type 1 := prod word Conn3.
+Definition Connection : Type 1 := prod bool Conn2.
+
+(* The compiler-generated cork function: increment the `corked` field. *)
+Definition cork : Connection -> Connection :=
+  fun (c : Connection) =>
+    pair bool Conn2 (fst bool Conn2 c)
+      (pair word Conn3
+        (bvAdd (fst word Conn3 (snd bool Conn2 c)) (bvNat (S O)))
+        (snd word Conn3 (snd bool Conn2 c))).
+
+(* corked c = 0 -> corked (cork c) = 1, over the tuple representation. *)
+Definition corkLemma : forall (c : Connection),
+    eq word (fst word Conn3 (snd bool Conn2 c)) (bvNat O) ->
+    eq word (fst word Conn3 (snd bool Conn2 (cork c))) (bvNat (S O)) :=
+  fun (c : Connection)
+      (H : eq word (fst word Conn3 (snd bool Conn2 c)) (bvNat O)) =>
+    f_equal word word (fun (w : word) => bvAdd w (bvNat (S O)))
+      (fst word Conn3 (snd bool Conn2 c)) (bvNat O) H.
+
+(* The human-readable record types (paper Fig. 17, right). *)
+Inductive Record.Handshake : Set :=
+| MkHandshake : word -> word -> Record.Handshake.
+
+Definition handshakeType : Record.Handshake -> word :=
+  fun (h : Record.Handshake) =>
+    elim h : Record.Handshake return (fun (x : Record.Handshake) => word) with
+    | fun (a : word) (b : word) => a
+    end.
+
+Definition messageNumber : Record.Handshake -> word :=
+  fun (h : Record.Handshake) =>
+    elim h : Record.Handshake return (fun (x : Record.Handshake) => word) with
+    | fun (a : word) (b : word) => b
+    end.
+
+Inductive Record.Connection : Set :=
+| MkConnection : bool -> word -> word -> Handshake -> bool -> bool -> word ->
+                 bool -> bool -> Record.Connection.
+
+Definition clientAuthFlag : Record.Connection -> bool :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => bool) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f0
+    end.
+
+Definition corked : Record.Connection -> word :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => word) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f1
+    end.
+
+Definition corkedIO : Record.Connection -> word :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => word) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f2
+    end.
+
+Definition handshake : Record.Connection -> Handshake :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => Handshake) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f3
+    end.
+
+Definition isCachingEnabled : Record.Connection -> bool :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => bool) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f4
+    end.
+
+Definition keyExchangeEPH : Record.Connection -> bool :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => bool) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f5
+    end.
+
+Definition mode : Record.Connection -> word :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => word) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f6
+    end.
+
+Definition resumeFromCache : Record.Connection -> bool :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => bool) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f7
+    end.
+
+Definition serverCanSendOCSP : Record.Connection -> bool :=
+  fun (c : Record.Connection) =>
+    elim c : Record.Connection return (fun (x : Record.Connection) => bool) with
+    | fun (f0 : bool) (f1 : word) (f2 : word) (f3 : Handshake) (f4 : bool)
+          (f5 : bool) (f6 : word) (f7 : bool) (f8 : bool) => f8
+    end.
+"#;
+
+/// Loads the Galois substrate. Requires [`crate::logic`] and [`crate::nat`].
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, SRC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_kernel::prelude::*;
+    use pumpkin_lang::term;
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        crate::nat::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn loads() {
+        let e = env();
+        for n in ["cork", "corkLemma", "corked", "MkConnection", "Handshake"] {
+            assert!(e.contains(n), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn cork_increments_corked_field() {
+        let e = env();
+        let conn = "pair bool Conn2 true \
+            (pair word Conn3 (bvNat O) \
+            (pair word Conn4 (bvNat O) \
+            (pair Handshake Conn5 (pair word word (bvNat O) (bvNat O)) \
+            (pair bool Conn6 false \
+            (pair bool Conn7 false \
+            (pair word Conn8 (bvNat O) \
+            (pair bool bool false false)))))))";
+        let t = term(
+            &e,
+            &format!("fst word Conn3 (snd bool Conn2 (cork ({conn})))"),
+        )
+        .unwrap();
+        let one = term(&e, "bvNat (S O)").unwrap();
+        assert_eq!(normalize(&e, &t), normalize(&e, &one));
+    }
+
+    #[test]
+    fn record_projections_compute() {
+        let e = env();
+        let rec = "MkConnection true (bvNat (S O)) (bvNat O) \
+                   (pair word word (bvNat O) (bvNat O)) false false (bvNat O) false true";
+        let t = term(&e, &format!("corked ({rec})")).unwrap();
+        assert_eq!(
+            normalize(&e, &t),
+            normalize(&e, &term(&e, "bvNat (S O)").unwrap())
+        );
+        let t = term(&e, &format!("serverCanSendOCSP ({rec})")).unwrap();
+        assert_eq!(normalize(&e, &t), term(&e, "true").unwrap());
+    }
+}

@@ -1,0 +1,64 @@
+//! # pumpkin-stdlib
+//!
+//! The object-language standard library for the Pumpkin Pi reproduction:
+//! every type, function, and lemma the paper's case studies depend on,
+//! reconstructed in CIC_ω and checked by the kernel at load time.
+//!
+//! Modules mirror the paper's substrates:
+//!
+//! * [`logic`] — `eq`, `bool`, `prod`, `sigT`, `or`, and the equality lemma
+//!   library (`f_equal`, `eq_rect`, …).
+//! * [`nat`] — unary naturals and `add_n_Sm` (§6.3's transported proof).
+//! * [`list`] — the list module (app/rev/length/map and the §2 proofs),
+//!   parameterized by a name prefix, plus zip/zip_with (§6.2).
+//! * [`swap`] — `Old.list` / `New.list` with swapped constructors (Fig. 1).
+//! * [`vector`] — length-indexed vectors (Fig. 5).
+//! * [`bin`] — `positive` / `N` with Peano recursion and
+//!   `peano_rect_succ` (Fig. 9, §6.3).
+//! * [`replica`] — the user-study `Term` language and variants (Fig. 16).
+//! * [`factor`] — constructor factoring `I` / `J` (Fig. 4).
+//! * [`galois`] — nested tuples vs. records, `cork`, `corkLemma` (Fig. 17).
+
+pub mod bin;
+pub mod factor;
+pub mod galois;
+pub mod list;
+pub mod logic;
+pub mod nat;
+pub mod replica;
+pub mod swap;
+pub mod vector;
+
+use pumpkin_kernel::env::Env;
+
+/// An environment with the full standard library loaded.
+///
+/// # Panics
+///
+/// Panics if any stdlib module fails to load — that would be a bug, since
+/// every module is covered by tests.
+pub fn std_env() -> Env {
+    let mut env = Env::new();
+    logic::load(&mut env).expect("logic loads");
+    nat::load(&mut env).expect("nat loads");
+    list::load(&mut env).expect("list loads");
+    swap::load(&mut env).expect("swap lists load");
+    vector::load(&mut env).expect("vector loads");
+    bin::load(&mut env).expect("bin loads");
+    replica::load(&mut env).expect("replica loads");
+    factor::load(&mut env).expect("factor loads");
+    galois::load(&mut env).expect("galois loads");
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn std_env_builds() {
+        let env = super::std_env();
+        assert!(env.contains("rev_app_distr"));
+        assert!(env.contains("N.peano_rect_succ"));
+        assert!(env.contains("Old.Term"));
+        assert!(env.contains("corkLemma"));
+    }
+}

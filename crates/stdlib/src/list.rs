@@ -1,0 +1,535 @@
+//! Polymorphic lists: the paper's running example type (Fig. 1, left).
+//!
+//! The module is generated from a prefix-parameterized template so that the
+//! same functions and proofs exist both for the standard `list` (used by the
+//! vectors-from-lists study, §6.2) and for `Old.list` (the swap benchmark of
+//! §2 and §6.1). The `New.*` side is *not* written by hand: producing it is
+//! Pumpkin Pi's job.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::term::Term;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// The list module template. `{P}` is the name prefix (`""` or `"Old."`).
+///
+/// Contents: the inductive type, `app`, `rev`, `length`, `map`, and the
+/// lemmas `app_nil_r`, `app_assoc`, `rev_app_distr` (the paper's §2 running
+/// example), and `rev_involutive`.
+const TEMPLATE: &str = r#"
+Inductive {P}list (T : Type 1) : Type 1 :=
+| {P}nil : {P}list T
+| {P}cons : T -> {P}list T -> {P}list T.
+
+Definition {P}app : forall (T : Type 1), {P}list T -> {P}list T -> {P}list T :=
+  fun (T : Type 1) (l m : {P}list T) =>
+    elim l : {P}list T return (fun (x : {P}list T) => {P}list T) with
+    | m
+    | fun (t : T) (l' : {P}list T) (ih : {P}list T) => {P}cons T t ih
+    end.
+
+Definition {P}rev : forall (T : Type 1), {P}list T -> {P}list T :=
+  fun (T : Type 1) (l : {P}list T) =>
+    elim l : {P}list T return (fun (x : {P}list T) => {P}list T) with
+    | {P}nil T
+    | fun (t : T) (l' : {P}list T) (ih : {P}list T) =>
+        {P}app T ih ({P}cons T t ({P}nil T))
+    end.
+
+Definition {P}length : forall (T : Type 1), {P}list T -> nat :=
+  fun (T : Type 1) (l : {P}list T) =>
+    elim l : {P}list T return (fun (x : {P}list T) => nat) with
+    | O
+    | fun (t : T) (l' : {P}list T) (ih : nat) => S ih
+    end.
+
+Definition {P}map : forall (A : Type 1) (B : Type 1), (A -> B) -> {P}list A -> {P}list B :=
+  fun (A : Type 1) (B : Type 1) (f : A -> B) (l : {P}list A) =>
+    elim l : {P}list A return (fun (x : {P}list A) => {P}list B) with
+    | {P}nil B
+    | fun (a : A) (l' : {P}list A) (ih : {P}list B) => {P}cons B (f a) ih
+    end.
+
+Definition {P}app_nil_r : forall (T : Type 1) (l : {P}list T),
+    eq ({P}list T) ({P}app T l ({P}nil T)) l :=
+  fun (T : Type 1) (l : {P}list T) =>
+    elim l : {P}list T
+      return (fun (x : {P}list T) => eq ({P}list T) ({P}app T x ({P}nil T)) x)
+    with
+    | eq_refl ({P}list T) ({P}nil T)
+    | fun (t : T) (l' : {P}list T)
+          (ih : eq ({P}list T) ({P}app T l' ({P}nil T)) l') =>
+        f_equal ({P}list T) ({P}list T) ({P}cons T t)
+          ({P}app T l' ({P}nil T)) l' ih
+    end.
+
+Definition {P}app_assoc : forall (T : Type 1) (l m n : {P}list T),
+    eq ({P}list T) ({P}app T l ({P}app T m n)) ({P}app T ({P}app T l m) n) :=
+  fun (T : Type 1) (l m n : {P}list T) =>
+    elim l : {P}list T
+      return (fun (x : {P}list T) =>
+        eq ({P}list T) ({P}app T x ({P}app T m n)) ({P}app T ({P}app T x m) n))
+    with
+    | eq_refl ({P}list T) ({P}app T m n)
+    | fun (t : T) (l' : {P}list T)
+          (ih : eq ({P}list T) ({P}app T l' ({P}app T m n))
+                               ({P}app T ({P}app T l' m) n)) =>
+        f_equal ({P}list T) ({P}list T) ({P}cons T t)
+          ({P}app T l' ({P}app T m n)) ({P}app T ({P}app T l' m) n) ih
+    end.
+
+(* The paper's running example (section 2): reversal distributes over
+   append, contravariantly. *)
+Definition {P}rev_app_distr : forall (T : Type 1) (x y : {P}list T),
+    eq ({P}list T) ({P}rev T ({P}app T x y))
+                   ({P}app T ({P}rev T y) ({P}rev T x)) :=
+  fun (T : Type 1) (x : {P}list T) =>
+    elim x : {P}list T
+      return (fun (x : {P}list T) => forall (y : {P}list T),
+        eq ({P}list T) ({P}rev T ({P}app T x y))
+                       ({P}app T ({P}rev T y) ({P}rev T x)))
+    with
+    | fun (y : {P}list T) =>
+        eq_sym ({P}list T)
+          ({P}app T ({P}rev T y) ({P}nil T)) ({P}rev T y)
+          ({P}app_nil_r T ({P}rev T y))
+    | fun (t : T) (l : {P}list T)
+          (ih : forall (y : {P}list T),
+            eq ({P}list T) ({P}rev T ({P}app T l y))
+                           ({P}app T ({P}rev T y) ({P}rev T l)))
+          (y : {P}list T) =>
+        eq_trans ({P}list T)
+          ({P}app T ({P}rev T ({P}app T l y)) ({P}cons T t ({P}nil T)))
+          ({P}app T ({P}app T ({P}rev T y) ({P}rev T l)) ({P}cons T t ({P}nil T)))
+          ({P}app T ({P}rev T y) ({P}app T ({P}rev T l) ({P}cons T t ({P}nil T))))
+          (f_equal ({P}list T) ({P}list T)
+            (fun (z : {P}list T) => {P}app T z ({P}cons T t ({P}nil T)))
+            ({P}rev T ({P}app T l y))
+            ({P}app T ({P}rev T y) ({P}rev T l))
+            (ih y))
+          (eq_sym ({P}list T)
+            ({P}app T ({P}rev T y) ({P}app T ({P}rev T l) ({P}cons T t ({P}nil T))))
+            ({P}app T ({P}app T ({P}rev T y) ({P}rev T l)) ({P}cons T t ({P}nil T)))
+            ({P}app_assoc T ({P}rev T y) ({P}rev T l) ({P}cons T t ({P}nil T))))
+    end.
+
+Definition {P}rev_involutive : forall (T : Type 1) (l : {P}list T),
+    eq ({P}list T) ({P}rev T ({P}rev T l)) l :=
+  fun (T : Type 1) (l : {P}list T) =>
+    elim l : {P}list T
+      return (fun (x : {P}list T) =>
+        eq ({P}list T) ({P}rev T ({P}rev T x)) x)
+    with
+    | eq_refl ({P}list T) ({P}nil T)
+    | fun (t : T) (l' : {P}list T)
+          (ih : eq ({P}list T) ({P}rev T ({P}rev T l')) l') =>
+        eq_trans ({P}list T)
+          ({P}rev T ({P}app T ({P}rev T l') ({P}cons T t ({P}nil T))))
+          ({P}cons T t ({P}rev T ({P}rev T l')))
+          ({P}cons T t l')
+          ({P}rev_app_distr T ({P}rev T l') ({P}cons T t ({P}nil T)))
+          (f_equal ({P}list T) ({P}list T) ({P}cons T t)
+            ({P}rev T ({P}rev T l')) l' ih)
+    end.
+
+Definition {P}fold : forall (A : Type 1) (B : Type 1),
+    (A -> B -> B) -> B -> {P}list A -> B :=
+  fun (A : Type 1) (B : Type 1) (f : A -> B -> B) (b : B) (l : {P}list A) =>
+    elim l : {P}list A return (fun (x : {P}list A) => B) with
+    | b
+    | fun (a : A) (l' : {P}list A) (ih : B) => f a ih
+    end.
+
+Definition {P}length_app : forall (T : Type 1) (l1 l2 : {P}list T),
+    eq nat ({P}length T ({P}app T l1 l2))
+           (add ({P}length T l1) ({P}length T l2)) :=
+  fun (T : Type 1) (l1 l2 : {P}list T) =>
+    elim l1 : {P}list T
+      return (fun (x : {P}list T) =>
+        eq nat ({P}length T ({P}app T x l2))
+               (add ({P}length T x) ({P}length T l2)))
+    with
+    | eq_refl nat ({P}length T l2)
+    | fun (t : T) (l' : {P}list T)
+          (ih : eq nat ({P}length T ({P}app T l' l2))
+                       (add ({P}length T l') ({P}length T l2))) =>
+        f_equal nat nat S
+          ({P}length T ({P}app T l' l2))
+          (add ({P}length T l') ({P}length T l2)) ih
+    end.
+
+Definition {P}rev_length : forall (T : Type 1) (l : {P}list T),
+    eq nat ({P}length T ({P}rev T l)) ({P}length T l) :=
+  fun (T : Type 1) (l : {P}list T) =>
+    elim l : {P}list T
+      return (fun (x : {P}list T) =>
+        eq nat ({P}length T ({P}rev T x)) ({P}length T x))
+    with
+    | eq_refl nat O
+    | fun (t : T) (l' : {P}list T)
+          (ih : eq nat ({P}length T ({P}rev T l')) ({P}length T l')) =>
+        eq_trans nat
+          ({P}length T ({P}app T ({P}rev T l') ({P}cons T t ({P}nil T))))
+          (S ({P}length T ({P}rev T l')))
+          (S ({P}length T l'))
+          (eq_trans nat
+            ({P}length T ({P}app T ({P}rev T l') ({P}cons T t ({P}nil T))))
+            (add ({P}length T ({P}rev T l')) (S O))
+            (S ({P}length T ({P}rev T l')))
+            ({P}length_app T ({P}rev T l') ({P}cons T t ({P}nil T)))
+            (add_1_r ({P}length T ({P}rev T l'))))
+          (f_equal nat nat S ({P}length T ({P}rev T l')) ({P}length T l') ih)
+    end.
+
+Definition {P}map_app : forall (A : Type 1) (B : Type 1) (f : A -> B)
+    (l1 l2 : {P}list A),
+    eq ({P}list B)
+       ({P}map A B f ({P}app A l1 l2))
+       ({P}app B ({P}map A B f l1) ({P}map A B f l2)) :=
+  fun (A : Type 1) (B : Type 1) (f : A -> B) (l1 l2 : {P}list A) =>
+    elim l1 : {P}list A
+      return (fun (x : {P}list A) =>
+        eq ({P}list B)
+           ({P}map A B f ({P}app A x l2))
+           ({P}app B ({P}map A B f x) ({P}map A B f l2)))
+    with
+    | eq_refl ({P}list B) ({P}map A B f l2)
+    | fun (a : A) (l' : {P}list A)
+          (ih : eq ({P}list B)
+             ({P}map A B f ({P}app A l' l2))
+             ({P}app B ({P}map A B f l') ({P}map A B f l2))) =>
+        f_equal ({P}list B) ({P}list B) ({P}cons B (f a))
+          ({P}map A B f ({P}app A l' l2))
+          ({P}app B ({P}map A B f l') ({P}map A B f l2)) ih
+    end.
+
+Definition {P}fold_app : forall (A : Type 1) (B : Type 1)
+    (f : A -> B -> B) (b : B) (l1 l2 : {P}list A),
+    eq B ({P}fold A B f b ({P}app A l1 l2))
+         ({P}fold A B f ({P}fold A B f b l2) l1) :=
+  fun (A : Type 1) (B : Type 1) (f : A -> B -> B) (b : B) (l1 l2 : {P}list A) =>
+    elim l1 : {P}list A
+      return (fun (x : {P}list A) =>
+        eq B ({P}fold A B f b ({P}app A x l2))
+             ({P}fold A B f ({P}fold A B f b l2) x))
+    with
+    | eq_refl B ({P}fold A B f b l2)
+    | fun (a : A) (l' : {P}list A)
+          (ih : eq B ({P}fold A B f b ({P}app A l' l2))
+                     ({P}fold A B f ({P}fold A B f b l2) l')) =>
+        f_equal B B (f a)
+          ({P}fold A B f b ({P}app A l' l2))
+          ({P}fold A B f ({P}fold A B f b l2) l') ih
+    end.
+"#;
+
+/// The std-list-only zip material for the vectors-from-lists study (§6.2).
+pub const ZIP_SRC: &str = r#"
+Definition zip : forall (A : Type 1) (B : Type 1),
+    list A -> list B -> list (prod A B) :=
+  fun (A : Type 1) (B : Type 1) (l1 : list A) =>
+    elim l1 : list A
+      return (fun (x : list A) => list B -> list (prod A B))
+    with
+    | fun (l2 : list B) => nil (prod A B)
+    | fun (a : A) (l1' : list A) (ih : list B -> list (prod A B)) (l2 : list B) =>
+        elim l2 : list B return (fun (y : list B) => list (prod A B)) with
+        | nil (prod A B)
+        | fun (b : B) (l2' : list B) (ih2 : list (prod A B)) =>
+            cons (prod A B) (pair A B a b) (ih l2')
+        end
+    end.
+
+Definition zip_with : forall (A : Type 1) (B : Type 1) (C : Type 1),
+    (A -> B -> C) -> list A -> list B -> list C :=
+  fun (A : Type 1) (B : Type 1) (C : Type 1) (f : A -> B -> C) (l1 : list A) =>
+    elim l1 : list A
+      return (fun (x : list A) => list B -> list C)
+    with
+    | fun (l2 : list B) => nil C
+    | fun (a : A) (l1' : list A) (ih : list B -> list C) (l2 : list B) =>
+        elim l2 : list B return (fun (y : list B) => list C) with
+        | nil C
+        | fun (b : B) (l2' : list B) (ih2 : list C) =>
+            cons C (f a b) (ih l2')
+        end
+    end.
+
+(* zip_with pair = zip  (the Devoid example, paper section 6.2). *)
+Definition zip_with_is_zip : forall (A : Type 1) (B : Type 1)
+    (l1 : list A) (l2 : list B),
+    eq (list (prod A B))
+       (zip_with A B (prod A B) (pair A B) l1 l2)
+       (zip A B l1 l2) :=
+  fun (A : Type 1) (B : Type 1) (l1 : list A) =>
+    elim l1 : list A
+      return (fun (x : list A) => forall (l2 : list B),
+        eq (list (prod A B))
+           (zip_with A B (prod A B) (pair A B) x l2)
+           (zip A B x l2))
+    with
+    | fun (l2 : list B) => eq_refl (list (prod A B)) (nil (prod A B))
+    | fun (a : A) (l1' : list A)
+          (ih : forall (l2 : list B),
+            eq (list (prod A B))
+               (zip_with A B (prod A B) (pair A B) l1' l2)
+               (zip A B l1' l2))
+          (l2 : list B) =>
+        elim l2 : list B
+          return (fun (y : list B) =>
+            eq (list (prod A B))
+               (zip_with A B (prod A B) (pair A B) (cons A a l1') y)
+               (zip A B (cons A a l1') y))
+        with
+        | eq_refl (list (prod A B)) (nil (prod A B))
+        | fun (b : B) (l2' : list B)
+              (ih2 : eq (list (prod A B))
+                 (zip_with A B (prod A B) (pair A B) (cons A a l1') l2')
+                 (zip A B (cons A a l1') l2')) =>
+            f_equal (list (prod A B)) (list (prod A B))
+              (cons (prod A B) (pair A B a b))
+              (zip_with A B (prod A B) (pair A B) l1' l2')
+              (zip A B l1' l2')
+              (ih l2')
+        end
+    end.
+
+(* Length invariants for zip/zip_with: the "additional information needed to
+   construct proofs about the refinement" (paper section 3.1.2) that the
+   proof engineer supplies when moving to vectors of a particular length. *)
+Definition zip_length : forall (A : Type 1) (B : Type 1) (l1 : list A)
+    (l2 : list B) (n : nat),
+    eq nat (length A l1) n -> eq nat (length B l2) n ->
+    eq nat (length (prod A B) (zip A B l1 l2)) n :=
+  fun (A : Type 1) (B : Type 1) (l1 : list A) =>
+    elim l1 : list A
+      return (fun (x : list A) =>
+        forall (l2 : list B) (n : nat),
+          eq nat (length A x) n -> eq nat (length B l2) n ->
+          eq nat (length (prod A B) (zip A B x l2)) n)
+    with
+    | fun (l2 : list B) (n : nat)
+          (H1 : eq nat (length A (nil A)) n)
+          (H2 : eq nat (length B l2) n) => H1
+    | fun (a : A) (l1' : list A)
+          (IH : forall (l2 : list B) (n : nat),
+            eq nat (length A l1') n -> eq nat (length B l2) n ->
+            eq nat (length (prod A B) (zip A B l1' l2)) n)
+          (l2 : list B) =>
+        elim l2 : list B
+          return (fun (y : list B) =>
+            forall (n : nat),
+              eq nat (length A (cons A a l1')) n -> eq nat (length B y) n ->
+              eq nat (length (prod A B) (zip A B (cons A a l1') y)) n)
+        with
+        | fun (n : nat)
+              (H1 : eq nat (length A (cons A a l1')) n)
+              (H2 : eq nat (length B (nil B)) n) => H2
+        | fun (b : B) (l2' : list B)
+              (ih2 : forall (n : nat),
+                eq nat (length A (cons A a l1')) n -> eq nat (length B l2') n ->
+                eq nat (length (prod A B) (zip A B (cons A a l1') l2')) n)
+              (n : nat)
+              (H1 : eq nat (length A (cons A a l1')) n)
+              (H2 : eq nat (length B (cons B b l2')) n) =>
+            eq_trans nat
+              (S (length (prod A B) (zip A B l1' l2')))
+              (S (length A l1'))
+              n
+              (f_equal nat nat S
+                (length (prod A B) (zip A B l1' l2'))
+                (length A l1')
+                (IH l2' (length A l1')
+                  (eq_refl nat (length A l1'))
+                  (S_inj (length B l2') (length A l1')
+                    (eq_trans nat (S (length B l2')) n (S (length A l1'))
+                      H2
+                      (eq_sym nat (S (length A l1')) n H1)))))
+              H1
+        end
+    end.
+
+Definition zip_with_length : forall (A : Type 1) (B : Type 1) (C : Type 1)
+    (f : A -> B -> C) (l1 : list A) (l2 : list B) (n : nat),
+    eq nat (length A l1) n -> eq nat (length B l2) n ->
+    eq nat (length C (zip_with A B C f l1 l2)) n :=
+  fun (A : Type 1) (B : Type 1) (C : Type 1) (f : A -> B -> C) (l1 : list A) =>
+    elim l1 : list A
+      return (fun (x : list A) =>
+        forall (l2 : list B) (n : nat),
+          eq nat (length A x) n -> eq nat (length B l2) n ->
+          eq nat (length C (zip_with A B C f x l2)) n)
+    with
+    | fun (l2 : list B) (n : nat)
+          (H1 : eq nat (length A (nil A)) n)
+          (H2 : eq nat (length B l2) n) => H1
+    | fun (a : A) (l1' : list A)
+          (IH : forall (l2 : list B) (n : nat),
+            eq nat (length A l1') n -> eq nat (length B l2) n ->
+            eq nat (length C (zip_with A B C f l1' l2)) n)
+          (l2 : list B) =>
+        elim l2 : list B
+          return (fun (y : list B) =>
+            forall (n : nat),
+              eq nat (length A (cons A a l1')) n -> eq nat (length B y) n ->
+              eq nat (length C (zip_with A B C f (cons A a l1') y)) n)
+        with
+        | fun (n : nat)
+              (H1 : eq nat (length A (cons A a l1')) n)
+              (H2 : eq nat (length B (nil B)) n) => H2
+        | fun (b : B) (l2' : list B)
+              (ih2 : forall (n : nat),
+                eq nat (length A (cons A a l1')) n -> eq nat (length B l2') n ->
+                eq nat (length C (zip_with A B C f (cons A a l1') l2')) n)
+              (n : nat)
+              (H1 : eq nat (length A (cons A a l1')) n)
+              (H2 : eq nat (length B (cons B b l2')) n) =>
+            eq_trans nat
+              (S (length C (zip_with A B C f l1' l2')))
+              (S (length A l1'))
+              n
+              (f_equal nat nat S
+                (length C (zip_with A B C f l1' l2'))
+                (length A l1')
+                (IH l2' (length A l1')
+                  (eq_refl nat (length A l1'))
+                  (S_inj (length B l2') (length A l1')
+                    (eq_trans nat (S (length B l2')) n (S (length A l1'))
+                      H2
+                      (eq_sym nat (S (length A l1')) n H1)))))
+              H1
+        end
+    end.
+"#;
+
+/// Renders the list-module template with the given name prefix.
+pub fn module_source(prefix: &str) -> String {
+    TEMPLATE.replace("{P}", prefix)
+}
+
+/// Loads the standard `list` module plus the zip material.
+///
+/// Requires [`crate::logic`] and [`crate::nat`].
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, &module_source(""))?;
+    load_source(env, ZIP_SRC)
+}
+
+/// Builds a `list` literal of the given element type from element terms,
+/// using the (possibly prefixed) list family named `ind`.
+pub fn list_lit(ind: &str, elem_ty: Term, elems: &[Term]) -> Term {
+    let nil_index = 0usize;
+    let cons_index = 1usize;
+    let mut t = Term::app(Term::construct(ind, nil_index), [elem_ty.clone()]);
+    for e in elems.iter().rev() {
+        t = Term::app(
+            Term::construct(ind, cons_index),
+            [elem_ty.clone(), e.clone(), t],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::{nat_lit, nat_value};
+    use pumpkin_kernel::prelude::*;
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        crate::nat::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        e
+    }
+
+    fn nat_list(elems: &[u64]) -> Term {
+        let elems: Vec<Term> = elems.iter().map(|&n| nat_lit(n)).collect();
+        list_lit("list", Term::ind("nat"), &elems)
+    }
+
+    #[test]
+    fn whole_module_loads_and_typechecks() {
+        let e = env();
+        for name in [
+            "app",
+            "rev",
+            "length",
+            "map",
+            "app_nil_r",
+            "app_assoc",
+            "rev_app_distr",
+            "rev_involutive",
+            "zip",
+            "zip_with",
+            "zip_with_is_zip",
+        ] {
+            assert!(e.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn append_and_reverse_compute() {
+        let e = env();
+        let l = Term::app(
+            Term::const_("app"),
+            [Term::ind("nat"), nat_list(&[1, 2]), nat_list(&[3])],
+        );
+        assert_eq!(normalize(&e, &l), nat_list(&[1, 2, 3]));
+        let r = Term::app(Term::const_("rev"), [Term::ind("nat"), nat_list(&[1, 2, 3])]);
+        assert_eq!(normalize(&e, &r), nat_list(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn length_and_map_compute() {
+        let e = env();
+        let n = Term::app(
+            Term::const_("length"),
+            [Term::ind("nat"), nat_list(&[5, 5, 5])],
+        );
+        assert_eq!(nat_value(&normalize(&e, &n)), Some(3));
+        let m = Term::app(
+            Term::const_("map"),
+            [
+                Term::ind("nat"),
+                Term::ind("nat"),
+                Term::const_("pred"),
+                nat_list(&[1, 2, 3]),
+            ],
+        );
+        assert_eq!(normalize(&e, &m), nat_list(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn zip_computes() {
+        let e = env();
+        let z = Term::app(
+            Term::const_("zip"),
+            [
+                Term::ind("nat"),
+                Term::ind("nat"),
+                nat_list(&[1, 2]),
+                nat_list(&[3, 4, 5]),
+            ],
+        );
+        let pair_ty = Term::app(Term::ind("prod"), [Term::ind("nat"), Term::ind("nat")]);
+        let mk = |a: u64, b: u64| {
+            Term::app(
+                Term::construct("prod", 0),
+                [Term::ind("nat"), Term::ind("nat"), nat_lit(a), nat_lit(b)],
+            )
+        };
+        let expected = list_lit("list", pair_ty, &[mk(1, 3), mk(2, 4)]);
+        assert_eq!(normalize(&e, &z), expected);
+    }
+
+    #[test]
+    fn old_prefix_module_loads() {
+        let mut e = env();
+        pumpkin_lang::load_source(&mut e, &module_source("Old.")).unwrap();
+        assert!(e.contains("Old.rev_app_distr"));
+        let decl = e.inductive(&"Old.list".into()).unwrap();
+        assert_eq!(decl.ctors[0].name.as_str(), "Old.nil");
+    }
+}

@@ -1,0 +1,214 @@
+//! Core logical and data-structure primitives of the object language:
+//! equality, `bool`, `unit`, `prod` (pairs), `sigT` (Σ types), and the
+//! derived equality lemma library (`eq_sym`, `eq_trans`, `f_equal`,
+//! `eq_rect`, `eq_ind_r`).
+//!
+//! Conventions: type parameters live in `Type 1`, container types in
+//! `Type 1`, base data in `Set` (cumulativity lets `Set` data instantiate
+//! `Type 1` parameters).
+
+use pumpkin_kernel::env::Env;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// The vernacular source for the logic primitives.
+pub const SRC: &str = r#"
+Inductive bool : Set :=
+| true : bool
+| false : bool.
+
+Inductive unit : Set :=
+| tt : unit.
+
+Inductive False : Prop :=.
+
+Inductive eq (A : Type 1) (x : A) : A -> Prop :=
+| eq_refl : eq A x x.
+
+Inductive prod (A : Type 1) (B : Type 1) : Type 1 :=
+| pair : A -> B -> prod A B.
+
+Inductive sigT (A : Type 1) (P : A -> Type 1) : Type 1 :=
+| existT : forall (x : A), P x -> sigT A P.
+
+Inductive sum (A : Type 1) (B : Type 1) : Type 1 :=
+| inl : A -> sum A B
+| inr : B -> sum A B.
+
+Inductive and (A : Prop) (B : Prop) : Prop :=
+| conj : A -> B -> and A B.
+
+Inductive or (A : Prop) (B : Prop) : Prop :=
+| or_introl : A -> or A B
+| or_intror : B -> or A B.
+
+Definition negb : bool -> bool :=
+  fun (b : bool) =>
+    elim b : bool return (fun (x : bool) => bool) with
+    | false
+    | true
+    end.
+
+Definition andb : bool -> bool -> bool :=
+  fun (a b : bool) =>
+    elim a : bool return (fun (x : bool) => bool) with
+    | b
+    | false
+    end.
+
+Definition orb : bool -> bool -> bool :=
+  fun (a b : bool) =>
+    elim a : bool return (fun (x : bool) => bool) with
+    | true
+    | b
+    end.
+
+Definition fst : forall (A : Type 1) (B : Type 1), prod A B -> A :=
+  fun (A : Type 1) (B : Type 1) (p : prod A B) =>
+    elim p : prod A B return (fun (x : prod A B) => A) with
+    | fun (a : A) (b : B) => a
+    end.
+
+Definition snd : forall (A : Type 1) (B : Type 1), prod A B -> B :=
+  fun (A : Type 1) (B : Type 1) (p : prod A B) =>
+    elim p : prod A B return (fun (x : prod A B) => B) with
+    | fun (a : A) (b : B) => b
+    end.
+
+Definition projT1 : forall (A : Type 1) (P : A -> Type 1), sigT A P -> A :=
+  fun (A : Type 1) (P : A -> Type 1) (s : sigT A P) =>
+    elim s : sigT A P return (fun (x : sigT A P) => A) with
+    | fun (x : A) (p : P x) => x
+    end.
+
+Definition projT2 : forall (A : Type 1) (P : A -> Type 1) (s : sigT A P), P (projT1 A P s) :=
+  fun (A : Type 1) (P : A -> Type 1) (s : sigT A P) =>
+    elim s : sigT A P return (fun (x : sigT A P) => P (projT1 A P x)) with
+    | fun (x : A) (p : P x) => p
+    end.
+
+Definition eq_sym : forall (A : Type 1) (x : A) (y : A), eq A x y -> eq A y x :=
+  fun (A : Type 1) (x : A) (y : A) (e : eq A x y) =>
+    elim e : eq A x return (fun (y : A) (e : eq A x y) => eq A y x) with
+    | eq_refl A x
+    end.
+
+Definition eq_trans : forall (A : Type 1) (x : A) (y : A) (z : A),
+    eq A x y -> eq A y z -> eq A x z :=
+  fun (A : Type 1) (x : A) (y : A) (z : A) (exy : eq A x y) (eyz : eq A y z) =>
+    elim eyz : eq A y return (fun (z : A) (e : eq A y z) => eq A x z) with
+    | exy
+    end.
+
+Definition f_equal : forall (A : Type 1) (B : Type 1) (f : A -> B) (x : A) (y : A),
+    eq A x y -> eq B (f x) (f y) :=
+  fun (A : Type 1) (B : Type 1) (f : A -> B) (x : A) (y : A) (e : eq A x y) =>
+    elim e : eq A x return (fun (y : A) (e : eq A x y) => eq B (f x) (f y)) with
+    | eq_refl B (f x)
+    end.
+
+Definition eq_rect : forall (A : Type 1) (x : A) (P : A -> Type 1),
+    P x -> forall (y : A), eq A x y -> P y :=
+  fun (A : Type 1) (x : A) (P : A -> Type 1) (p : P x) (y : A) (e : eq A x y) =>
+    elim e : eq A x return (fun (y : A) (e : eq A x y) => P y) with
+    | p
+    end.
+
+Definition eq_ind_r : forall (A : Type 1) (x : A) (P : A -> Type 1),
+    P x -> forall (y : A), eq A y x -> P y :=
+  fun (A : Type 1) (x : A) (P : A -> Type 1) (p : P x) (y : A) (e : eq A y x) =>
+    eq_rect A x P p y (eq_sym A y x e).
+
+Definition f_equal2 : forall (A : Type 1) (B : Type 1) (C : Type 1)
+    (f : A -> B -> C) (x : A) (x' : A) (y : B) (y' : B),
+    eq A x x' -> eq B y y' -> eq C (f x y) (f x' y') :=
+  fun (A : Type 1) (B : Type 1) (C : Type 1) (f : A -> B -> C)
+      (x : A) (x' : A) (y : B) (y' : B) (ex : eq A x x') (ey : eq B y y') =>
+    eq_trans C (f x y) (f x' y) (f x' y')
+      (f_equal A C (fun (a : A) => f a y) x x' ex)
+      (f_equal B C (f x') y y' ey).
+
+Definition False_rect : forall (P : Type 1), False -> P :=
+  fun (P : Type 1) (f : False) =>
+    elim f : False return (fun (x : False) => P) with
+    end.
+
+Definition not : Prop -> Prop := fun (P : Prop) => P -> False.
+"#;
+
+/// Loads the logic primitives into an environment.
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, SRC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_kernel::prelude::*;
+    use pumpkin_lang::term;
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        load(&mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn loads_and_everything_typechecks() {
+        let e = env();
+        assert!(e.contains("eq"));
+        assert!(e.contains("f_equal"));
+        assert!(e.contains("projT2"));
+    }
+
+    #[test]
+    fn booleans_compute() {
+        let e = env();
+        let t = term(&e, "andb true (negb false)").unwrap();
+        assert_eq!(normalize(&e, &t), term(&e, "true").unwrap());
+        let t = term(&e, "orb false false").unwrap();
+        assert_eq!(normalize(&e, &t), term(&e, "false").unwrap());
+    }
+
+    #[test]
+    fn projections_compute() {
+        let e = env();
+        let t = term(&e, "fst bool bool (pair bool bool true false)").unwrap();
+        assert_eq!(normalize(&e, &t), term(&e, "true").unwrap());
+        let t = term(
+            &e,
+            "projT2 bool (fun (b : bool) => bool) (existT bool (fun (b : bool) => bool) true false)",
+        )
+        .unwrap();
+        assert_eq!(normalize(&e, &t), term(&e, "false").unwrap());
+    }
+
+    #[test]
+    fn eq_lemmas_typecheck_and_compute() {
+        let e = env();
+        // eq_trans refl refl reduces to refl.
+        let t = term(
+            &e,
+            "eq_trans bool true true true (eq_refl bool true) (eq_refl bool true)",
+        )
+        .unwrap();
+        let ty = infer_closed(&e, &t).unwrap();
+        assert!(conv(&e, &ty, &term(&e, "eq bool true true").unwrap()));
+        assert_eq!(
+            normalize(&e, &t),
+            normalize(&e, &term(&e, "eq_refl bool true").unwrap())
+        );
+    }
+
+    #[test]
+    fn eq_ind_r_transports_backwards() {
+        let e = env();
+        let t = term(
+            &e,
+            "eq_ind_r bool true (fun (b : bool) => eq bool b b)
+                 (eq_refl bool true) true (eq_refl bool true)",
+        )
+        .unwrap();
+        assert!(infer_closed(&e, &t).is_ok());
+    }
+}

@@ -1,0 +1,213 @@
+//! Unary natural numbers and their arithmetic (paper Fig. 9, left), plus the
+//! lemmas the nat→N case study (paper §6.3) transports.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::term::Term;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// Vernacular source for `nat`.
+pub const SRC: &str = r#"
+Inductive nat : Set :=
+| O : nat
+| S : nat -> nat.
+
+Definition add : nat -> nat -> nat :=
+  fun (n m : nat) =>
+    elim n : nat return (fun (x : nat) => nat) with
+    | m
+    | fun (p : nat) (ih : nat) => S ih
+    end.
+
+Definition mul : nat -> nat -> nat :=
+  fun (n m : nat) =>
+    elim n : nat return (fun (x : nat) => nat) with
+    | O
+    | fun (p : nat) (ih : nat) => add m ih
+    end.
+
+Definition pred : nat -> nat :=
+  fun (n : nat) =>
+    elim n : nat return (fun (x : nat) => nat) with
+    | O
+    | fun (p : nat) (ih : nat) => p
+    end.
+
+Definition sub : nat -> nat -> nat :=
+  fun (n m : nat) =>
+    elim m : nat return (fun (x : nat) => nat) with
+    | n
+    | fun (p : nat) (ih : nat) => pred ih
+    end.
+
+Definition b2n : bool -> nat :=
+  fun (b : bool) =>
+    elim b : bool return (fun (x : bool) => nat) with
+    | S O
+    | O
+    end.
+
+Definition nat_eqb : nat -> nat -> bool :=
+  fun (n : nat) =>
+    elim n : nat return (fun (x : nat) => nat -> bool) with
+    | fun (m : nat) =>
+        elim m : nat return (fun (y : nat) => bool) with
+        | true
+        | fun (q : nat) (ih : bool) => false
+        end
+    | fun (p : nat) (ih : nat -> bool) (m : nat) =>
+        elim m : nat return (fun (y : nat) => bool) with
+        | false
+        | fun (q : nat) (ih2 : bool) => ih q
+        end
+    end.
+
+(* Successor is injective (via pred), used by the length-invariant
+   lemmas of the vectors-from-lists study. *)
+Definition S_inj : forall (a b : nat), eq nat (S a) (S b) -> eq nat a b :=
+  fun (a b : nat) (H : eq nat (S a) (S b)) =>
+    f_equal nat nat pred (S a) (S b) H.
+
+(* S (add n m) = add n (S m), proved by induction on n -- the proof the
+   nat-to-N case study repairs (paper section 6.3). Over nat, both equations
+   in the inductive step hold definitionally. *)
+Definition add_n_Sm : forall (n m : nat), eq nat (S (add n m)) (add n (S m)) :=
+  fun (n m : nat) =>
+    elim n : nat return (fun (x : nat) => eq nat (S (add x m)) (add x (S m))) with
+    | eq_refl nat (S m)
+    | fun (p : nat) (ih : eq nat (S (add p m)) (add p (S m))) =>
+        f_equal nat nat S (S (add p m)) (add p (S m)) ih
+    end.
+
+(* add n O = n. *)
+Definition add_n_O : forall (n : nat), eq nat (add n O) n :=
+  fun (n : nat) =>
+    elim n : nat return (fun (x : nat) => eq nat (add x O) x) with
+    | eq_refl nat O
+    | fun (p : nat) (ih : eq nat (add p O) p) =>
+        f_equal nat nat S (add p O) p ih
+    end.
+
+(* add n (S O) = S n: the unit shift used by rev_length. *)
+Definition add_1_r : forall (n : nat), eq nat (add n (S O)) (S n) :=
+  fun (n : nat) =>
+    eq_trans nat (add n (S O)) (S (add n O)) (S n)
+      (eq_sym nat (S (add n O)) (add n (S O)) (add_n_Sm n O))
+      (f_equal nat nat S (add n O) n (add_n_O n)).
+
+(* Commutativity of addition, from add_n_O and add_n_Sm. *)
+Definition add_comm : forall (n m : nat), eq nat (add n m) (add m n) :=
+  fun (n m : nat) =>
+    elim n : nat return (fun (x : nat) => eq nat (add x m) (add m x)) with
+    | eq_sym nat (add m O) m (add_n_O m)
+    | fun (p : nat) (ih : eq nat (add p m) (add m p)) =>
+        eq_trans nat (S (add p m)) (S (add m p)) (add m (S p))
+          (f_equal nat nat S (add p m) (add m p) ih)
+          (add_n_Sm m p)
+    end.
+
+(* Associativity of addition. *)
+Definition add_assoc : forall (a b c : nat),
+    eq nat (add a (add b c)) (add (add a b) c) :=
+  fun (a b c : nat) =>
+    elim a : nat
+      return (fun (x : nat) => eq nat (add x (add b c)) (add (add x b) c))
+    with
+    | eq_refl nat (add b c)
+    | fun (p : nat) (ih : eq nat (add p (add b c)) (add (add p b) c)) =>
+        f_equal nat nat S (add p (add b c)) (add (add p b) c) ih
+    end.
+
+"#;
+
+/// Loads `nat` (requires [`crate::logic`] to be loaded first).
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, SRC)
+}
+
+/// Builds the numeral `n` as a `nat` term.
+pub fn nat_lit(n: u64) -> Term {
+    let mut t = Term::construct("nat", 0);
+    for _ in 0..n {
+        t = Term::app(Term::construct("nat", 1), [t]);
+    }
+    t
+}
+
+/// Reads a normalized `nat` term back as a number, if it is a numeral.
+pub fn nat_value(t: &Term) -> Option<u64> {
+    let mut t = t.clone();
+    let mut n = 0u64;
+    loop {
+        if let Some((ind, j, args)) = t.as_construct_app() {
+            if ind.as_str() != "nat" {
+                return None;
+            }
+            match (j, args.len()) {
+                (0, 0) => return Some(n),
+                (1, 1) => {
+                    n += 1;
+                    t = args[0].clone();
+                }
+                _ => return None,
+            }
+        } else {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_kernel::prelude::*;
+    use pumpkin_lang::term;
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn arithmetic_computes() {
+        let e = env();
+        let t = Term::app(Term::const_("add"), [nat_lit(17), nat_lit(25)]);
+        assert_eq!(nat_value(&normalize(&e, &t)), Some(42));
+        let t = Term::app(Term::const_("mul"), [nat_lit(6), nat_lit(7)]);
+        assert_eq!(nat_value(&normalize(&e, &t)), Some(42));
+        let t = Term::app(Term::const_("pred"), [nat_lit(0)]);
+        assert_eq!(nat_value(&normalize(&e, &t)), Some(0));
+    }
+
+    #[test]
+    fn eqb_decides() {
+        let e = env();
+        let t = Term::app(Term::const_("nat_eqb"), [nat_lit(5), nat_lit(5)]);
+        assert_eq!(normalize(&e, &t), term(&e, "true").unwrap());
+        let t = Term::app(Term::const_("nat_eqb"), [nat_lit(5), nat_lit(6)]);
+        assert_eq!(normalize(&e, &t), term(&e, "false").unwrap());
+    }
+
+    #[test]
+    fn lemmas_typecheck() {
+        let e = env();
+        // The environment loader already type checked them; sanity-check an
+        // instance.
+        let inst = term(&e, "add_n_Sm (S O) (S (S O))").unwrap();
+        let ty = infer_closed(&e, &inst).unwrap();
+        let expected = term(
+            &e,
+            "eq nat (S (add (S O) (S (S O)))) (add (S O) (S (S (S O))))",
+        )
+        .unwrap();
+        assert!(conv(&e, &ty, &expected));
+    }
+
+    #[test]
+    fn nat_value_rejects_non_numerals() {
+        assert_eq!(nat_value(&Term::const_("add")), None);
+        assert_eq!(nat_value(&nat_lit(9)), Some(9));
+    }
+}

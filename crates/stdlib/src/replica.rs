@@ -1,0 +1,337 @@
+//! The REPLICA benchmark substrate (paper Fig. 16, §6.1): a simple term
+//! language with seven constructors, plus the functions and proofs the user
+//! study's proof engineer maintained.
+//!
+//! The paper evaluated Pumpkin Pi on the original `Term` and on variants:
+//! swapping two constructors, swapping constructors with the same type,
+//! renaming all constructors, permuting more than two constructors, and
+//! permuting + renaming at once. [`term_variant`] generates any such variant
+//! programmatically; the canonical `Old.Term` module (with its functions and
+//! proofs) is defined in source below.
+//!
+//! The paper's `EpsilonLogic` evaluation maps terms to an abstract value
+//! type; we evaluate into `nat` with an environment for variables, which
+//! preserves the shape of the benchmark's key theorem
+//! `eval_eq_true_or_false` (an `or` of two equations about `Eq` terms).
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::inductive::{CtorDecl, InductiveDecl};
+use pumpkin_kernel::term::{Binder, Term};
+use pumpkin_kernel::universe::Sort;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// Shared prerequisites: identifiers.
+pub const ID_SRC: &str = r#"
+Inductive Id : Set :=
+| MkId : nat -> Id.
+
+Definition id_eqb : Id -> Id -> bool :=
+  fun (a b : Id) =>
+    elim a : Id return (fun (x : Id) => bool) with
+    | fun (n : nat) =>
+        elim b : Id return (fun (y : Id) => bool) with
+        | fun (m : nat) => nat_eqb n m
+        end
+    end.
+"#;
+
+/// The seven constructor *kinds* of the REPLICA term language, by canonical
+/// position: `Var`, `Int`, `Eq`, `Plus`, `Times`, `Minus`, `Choose`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtorKind {
+    /// `Var : Id → Term`
+    Var,
+    /// `Int : nat → Term`
+    Int,
+    /// `Eq : Term → Term → Term`
+    Eq,
+    /// `Plus : Term → Term → Term`
+    Plus,
+    /// `Times : Term → Term → Term`
+    Times,
+    /// `Minus : Term → Term → Term`
+    Minus,
+    /// `Choose : Id → Term → Term`
+    Choose,
+}
+
+impl CtorKind {
+    /// All kinds in canonical order.
+    pub const ALL: [CtorKind; 7] = [
+        CtorKind::Var,
+        CtorKind::Int,
+        CtorKind::Eq,
+        CtorKind::Plus,
+        CtorKind::Times,
+        CtorKind::Minus,
+        CtorKind::Choose,
+    ];
+
+    /// The canonical constructor base name.
+    pub fn base_name(self) -> &'static str {
+        match self {
+            CtorKind::Var => "Var",
+            CtorKind::Int => "Int",
+            CtorKind::Eq => "Eq",
+            CtorKind::Plus => "Plus",
+            CtorKind::Times => "Times",
+            CtorKind::Minus => "Minus",
+            CtorKind::Choose => "Choose",
+        }
+    }
+
+    fn args(self, term_name: &str) -> Vec<Binder> {
+        let t = Term::ind(term_name);
+        match self {
+            CtorKind::Var => vec![Binder::new("i", Term::ind("Id"))],
+            CtorKind::Int => vec![Binder::new("z", Term::ind("nat"))],
+            CtorKind::Eq | CtorKind::Plus | CtorKind::Times | CtorKind::Minus => vec![
+                Binder::new("a", t.clone()),
+                Binder::new("b", t),
+            ],
+            CtorKind::Choose => vec![
+                Binder::new("i", Term::ind("Id")),
+                Binder::new("body", t),
+            ],
+        }
+    }
+}
+
+/// Builds a variant of the term language: an inductive named `name` whose
+/// constructor list is `ctors` (kind + constructor name) in declaration
+/// order.
+pub fn term_variant(name: &str, ctors: &[(CtorKind, String)]) -> InductiveDecl {
+    InductiveDecl {
+        name: name.into(),
+        params: vec![],
+        indices: vec![],
+        sort: Sort::Set,
+        ctors: ctors
+            .iter()
+            .map(|(kind, cname)| CtorDecl {
+                name: cname.as_str().into(),
+                args: kind.args(name),
+                result_indices: vec![],
+            })
+            .collect(),
+    }
+}
+
+/// The canonical constructor list with a name prefix, in canonical order.
+pub fn canonical_ctors(prefix: &str) -> Vec<(CtorKind, String)> {
+    CtorKind::ALL
+        .iter()
+        .map(|k| (*k, format!("{prefix}{}", k.base_name())))
+        .collect()
+}
+
+/// Declares `Old.Term` (canonical order) and `New.Term` (paper Fig. 16:
+/// `Int` and `Eq` swapped).
+pub fn declare_term_types(env: &mut Env) -> Result<()> {
+    env.declare_inductive(term_variant("Old.Term", &canonical_ctors("Old.")))
+        .map_err(pumpkin_lang::LangError::Kernel)?;
+    let mut swapped = canonical_ctors("New.");
+    swapped.swap(1, 2); // Int <-> Eq, as in the user study benchmark.
+    env.declare_inductive(term_variant("New.Term", &swapped))
+        .map_err(pumpkin_lang::LangError::Kernel)?;
+    Ok(())
+}
+
+/// Functions and proofs over `Old.Term`, written against the canonical
+/// constructor order. Their `New.Term` versions are produced by repair.
+pub const OLD_MODULE_SRC: &str = r#"
+Definition Old.size : Old.Term -> nat :=
+  fun (t : Old.Term) =>
+    elim t : Old.Term return (fun (x : Old.Term) => nat) with
+    | fun (i : Id) => S O
+    | fun (z : nat) => S O
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => S (add iha ihb)
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => S (add iha ihb)
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => S (add iha ihb)
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => S (add iha ihb)
+    | fun (i : Id) (body : Old.Term) (ih : nat) => S ih
+    end.
+
+(* Evaluation into nat: Eq tests for equality (1 or 0), Choose ignores its
+   binder, variables read the environment. *)
+Definition Old.eval : (Id -> nat) -> Old.Term -> nat :=
+  fun (env : Id -> nat) (t : Old.Term) =>
+    elim t : Old.Term return (fun (x : Old.Term) => nat) with
+    | fun (i : Id) => env i
+    | fun (z : nat) => z
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => b2n (nat_eqb iha ihb)
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => add iha ihb
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => mul iha ihb
+    | fun (a : Old.Term) (iha : nat) (b : Old.Term) (ihb : nat) => sub iha ihb
+    | fun (i : Id) (body : Old.Term) (ih : nat) => ih
+    end.
+
+(* Recursively swap the operands of every Eq node. *)
+Definition Old.swap_eq_args : Old.Term -> Old.Term :=
+  fun (t : Old.Term) =>
+    elim t : Old.Term return (fun (x : Old.Term) => Old.Term) with
+    | fun (i : Id) => Old.Var i
+    | fun (z : nat) => Old.Int z
+    | fun (a : Old.Term) (iha : Old.Term) (b : Old.Term) (ihb : Old.Term) => Old.Eq ihb iha
+    | fun (a : Old.Term) (iha : Old.Term) (b : Old.Term) (ihb : Old.Term) => Old.Plus iha ihb
+    | fun (a : Old.Term) (iha : Old.Term) (b : Old.Term) (ihb : Old.Term) => Old.Times iha ihb
+    | fun (a : Old.Term) (iha : Old.Term) (b : Old.Term) (ihb : Old.Term) => Old.Minus iha ihb
+    | fun (i : Id) (body : Old.Term) (ih : Old.Term) => Old.Choose i ih
+    end.
+
+Definition Old.swap_eq_args_involutive : forall (t : Old.Term),
+    eq Old.Term (Old.swap_eq_args (Old.swap_eq_args t)) t :=
+  fun (t : Old.Term) =>
+    elim t : Old.Term return (fun (x : Old.Term) =>
+      eq Old.Term (Old.swap_eq_args (Old.swap_eq_args x)) x)
+    with
+    | fun (i : Id) => eq_refl Old.Term (Old.Var i)
+    | fun (z : nat) => eq_refl Old.Term (Old.Int z)
+    | fun (a : Old.Term) (iha : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args a)) a)
+          (b : Old.Term) (ihb : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args b)) b) =>
+        f_equal2 Old.Term Old.Term Old.Term Old.Eq
+          (Old.swap_eq_args (Old.swap_eq_args a)) a
+          (Old.swap_eq_args (Old.swap_eq_args b)) b iha ihb
+    | fun (a : Old.Term) (iha : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args a)) a)
+          (b : Old.Term) (ihb : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args b)) b) =>
+        f_equal2 Old.Term Old.Term Old.Term Old.Plus
+          (Old.swap_eq_args (Old.swap_eq_args a)) a
+          (Old.swap_eq_args (Old.swap_eq_args b)) b iha ihb
+    | fun (a : Old.Term) (iha : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args a)) a)
+          (b : Old.Term) (ihb : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args b)) b) =>
+        f_equal2 Old.Term Old.Term Old.Term Old.Times
+          (Old.swap_eq_args (Old.swap_eq_args a)) a
+          (Old.swap_eq_args (Old.swap_eq_args b)) b iha ihb
+    | fun (a : Old.Term) (iha : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args a)) a)
+          (b : Old.Term) (ihb : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args b)) b) =>
+        f_equal2 Old.Term Old.Term Old.Term Old.Minus
+          (Old.swap_eq_args (Old.swap_eq_args a)) a
+          (Old.swap_eq_args (Old.swap_eq_args b)) b iha ihb
+    | fun (i : Id) (body : Old.Term)
+          (ih : eq Old.Term (Old.swap_eq_args (Old.swap_eq_args body)) body) =>
+        f_equal Old.Term Old.Term (Old.Choose i)
+          (Old.swap_eq_args (Old.swap_eq_args body)) body ih
+    end.
+
+(* The benchmark's key theorem, in our nat-valued semantics: evaluating an
+   Eq node yields one of the two truth values (paper section 6.1,
+   eval_eq_true_or_false). *)
+Definition Old.eval_eq_true_or_false :
+    forall (env : Id -> nat) (t1 t2 : Old.Term),
+      or (eq nat (Old.eval env (Old.Eq t1 t2)) (S O))
+         (eq nat (Old.eval env (Old.Eq t1 t2)) O) :=
+  fun (env : Id -> nat) (t1 t2 : Old.Term) =>
+    elim (nat_eqb (Old.eval env t1) (Old.eval env t2)) : bool
+      return (fun (b : bool) =>
+        or (eq nat (b2n b) (S O)) (eq nat (b2n b) O))
+    with
+    | or_introl (eq nat (b2n true) (S O)) (eq nat (b2n true) O)
+        (eq_refl nat (S O))
+    | or_intror (eq nat (b2n false) (S O)) (eq nat (b2n false) O)
+        (eq_refl nat O)
+    end.
+"#;
+
+/// Loads the whole REPLICA substrate: `Id`, `Old.Term`, `New.Term`, and the
+/// `Old.*` module. Requires [`crate::logic`] and [`crate::nat`].
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, ID_SRC)?;
+    declare_term_types(env)?;
+    load_source(env, OLD_MODULE_SRC)
+}
+
+/// Builds an `Enum`-style inductive with `n` nullary constructors, as used
+/// by the paper's "large and ambiguous permutation of a 30 constructor
+/// Enum" stress test (§6.1.3).
+pub fn enum_decl(name: &str, n: usize) -> InductiveDecl {
+    InductiveDecl {
+        name: name.into(),
+        params: vec![],
+        indices: vec![],
+        sort: Sort::Set,
+        ctors: (0..n)
+            .map(|i| CtorDecl {
+                name: format!("{name}.C{i}").into(),
+                args: vec![],
+                result_indices: vec![],
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::{nat_lit, nat_value};
+    use pumpkin_kernel::prelude::*;
+    use pumpkin_lang::term;
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        crate::nat::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn term_types_decl_order() {
+        let e = env();
+        let old = e.inductive(&"Old.Term".into()).unwrap();
+        assert_eq!(old.ctors[1].name.as_str(), "Old.Int");
+        assert_eq!(old.ctors[2].name.as_str(), "Old.Eq");
+        let new = e.inductive(&"New.Term".into()).unwrap();
+        assert_eq!(new.ctors[1].name.as_str(), "New.Eq");
+        assert_eq!(new.ctors[2].name.as_str(), "New.Int");
+    }
+
+    #[test]
+    fn eval_computes() {
+        let e = env();
+        // eval (fun _ => 0) (Plus (Int 2) (Times (Int 3) (Int 4))) = 14
+        let envt = "(fun (i : Id) => O)";
+        let t = term(
+            &e,
+            &format!(
+                "Old.eval {envt} (Old.Plus (Old.Int (S (S O))) \
+                 (Old.Times (Old.Int (S (S (S O)))) (Old.Int (S (S (S (S O)))))))"
+            ),
+        )
+        .unwrap();
+        assert_eq!(nat_value(&normalize(&e, &t)), Some(14));
+    }
+
+    #[test]
+    fn size_and_swap_compute() {
+        let e = env();
+        let src = "Old.Eq (Old.Int O) (Old.Var (MkId O))";
+        let t = term(&e, &format!("Old.size ({src})")).unwrap();
+        assert_eq!(nat_value(&normalize(&e, &t)), Some(3));
+        let sw = term(&e, &format!("Old.swap_eq_args ({src})")).unwrap();
+        let expect = term(&e, "Old.Eq (Old.Var (MkId O)) (Old.Int O)").unwrap();
+        assert_eq!(normalize(&e, &sw), normalize(&e, &expect));
+    }
+
+    #[test]
+    fn theorem_instances() {
+        let e = env();
+        // Instantiate eval_eq_true_or_false and check it still typechecks.
+        let t = term(
+            &e,
+            "Old.eval_eq_true_or_false (fun (i : Id) => O) (Old.Int O) (Old.Int O)",
+        )
+        .unwrap();
+        assert!(infer_closed(&e, &t).is_ok());
+    }
+
+    #[test]
+    fn enum_decl_has_n_ctors() {
+        let mut e = env();
+        let d = enum_decl("Enum", 30);
+        assert_eq!(d.ctors.len(), 30);
+        e.declare_inductive(d).unwrap();
+        assert!(e.contains("Enum.C29"));
+        let _ = nat_lit(0);
+    }
+}

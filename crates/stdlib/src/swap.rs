@@ -1,0 +1,62 @@
+//! The constructor-swap case study types (paper Fig. 1 and §2):
+//! `Old.list` with the standard constructor order plus its whole module of
+//! functions and proofs, and `New.list` with the two constructors swapped.
+//! The `New.*` functions and proofs are produced by `Repair module`.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// `New.list`: the updated type (Fig. 1, right) — constructors swapped.
+pub const NEW_LIST_SRC: &str = r#"
+Inductive New.list (T : Type 1) : Type 1 :=
+| New.cons : T -> New.list T -> New.list T
+| New.nil : New.list T.
+"#;
+
+/// Loads `Old.list` (with its module) and `New.list` (type only).
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, &crate::list::module_source("Old."))?;
+    load_source(env, NEW_LIST_SRC)
+}
+
+/// The names of the `Old.` module's constants, in dependency order — the
+/// work list for `Repair module` (paper §2 "repair the entire list module").
+pub const OLD_MODULE_CONSTANTS: &[&str] = &[
+    "Old.app",
+    "Old.rev",
+    "Old.length",
+    "Old.map",
+    "Old.fold",
+    "Old.app_nil_r",
+    "Old.app_assoc",
+    "Old.rev_app_distr",
+    "Old.rev_involutive",
+    "Old.length_app",
+    "Old.rev_length",
+    "Old.map_app",
+    "Old.fold_app",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn both_types_load_with_swapped_orders() {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        crate::nat::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        let old = e.inductive(&"Old.list".into()).unwrap();
+        assert_eq!(old.ctors[0].name.as_str(), "Old.nil");
+        assert_eq!(old.ctors[1].name.as_str(), "Old.cons");
+        let new = e.inductive(&"New.list".into()).unwrap();
+        assert_eq!(new.ctors[0].name.as_str(), "New.cons");
+        assert_eq!(new.ctors[1].name.as_str(), "New.nil");
+        for c in OLD_MODULE_CONSTANTS {
+            assert!(e.contains(c), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Length-indexed vectors (paper Fig. 5, right).
+//!
+//! Only the type and a handful of basics are defined by hand: the vector
+//! versions of `zip`, `zip_with`, and `zip_with_is_zip` are *produced by
+//! repair* in the §6.2 case study, not written here.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::term::Term;
+use pumpkin_lang::error::Result;
+use pumpkin_lang::load_source;
+
+/// Vernacular source for `vector`.
+pub const SRC: &str = r#"
+Inductive vector (T : Type 1) : nat -> Type 1 :=
+| vnil : vector T O
+| vcons : forall (t : T) (n : nat), vector T n -> vector T (S n).
+
+Definition vector_hd : forall (T : Type 1) (n : nat), vector T (S n) -> T -> T :=
+  fun (T : Type 1) (n : nat) (v : vector T (S n)) (default : T) =>
+    elim v : vector T
+      return (fun (m : nat) (x : vector T m) => T)
+    with
+    | default
+    | fun (t : T) (m : nat) (v' : vector T m) (ih : T) => t
+    end.
+
+Definition vector_length : forall (T : Type 1) (n : nat), vector T n -> nat :=
+  fun (T : Type 1) (n : nat) (v : vector T n) =>
+    elim v : vector T
+      return (fun (m : nat) (x : vector T m) => nat)
+    with
+    | O
+    | fun (t : T) (m : nat) (v' : vector T m) (ih : nat) => S ih
+    end.
+
+(* A vector's recomputed length is its index. *)
+Definition vector_length_is_index : forall (T : Type 1) (n : nat) (v : vector T n),
+    eq nat (vector_length T n v) n :=
+  fun (T : Type 1) (n : nat) (v : vector T n) =>
+    elim v : vector T
+      return (fun (m : nat) (x : vector T m) => eq nat (vector_length T m x) m)
+    with
+    | eq_refl nat O
+    | fun (t : T) (m : nat) (v' : vector T m)
+          (ih : eq nat (vector_length T m v') m) =>
+        f_equal nat nat S (vector_length T m v') m ih
+    end.
+"#;
+
+/// Loads `vector` (requires [`crate::logic`] and [`crate::nat`]).
+pub fn load(env: &mut Env) -> Result<()> {
+    load_source(env, SRC)
+}
+
+/// Builds a vector literal with the given element type from element terms
+/// (index arguments are synthesized).
+pub fn vector_lit(elem_ty: Term, elems: &[Term]) -> Term {
+    let mut t = Term::app(Term::construct("vector", 0), [elem_ty.clone()]);
+    let mut len = crate::nat::nat_lit(0);
+    for e in elems.iter().rev() {
+        t = Term::app(
+            Term::construct("vector", 1),
+            [elem_ty.clone(), e.clone(), len.clone(), t],
+        );
+        len = Term::app(Term::construct("nat", 1), [len]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::{nat_lit, nat_value};
+    use pumpkin_kernel::prelude::*;
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        crate::logic::load(&mut e).unwrap();
+        crate::nat::load(&mut e).unwrap();
+        load(&mut e).unwrap();
+        e
+    }
+
+    #[test]
+    fn vector_literals_typecheck_at_their_length() {
+        let e = env();
+        let v = vector_lit(Term::ind("nat"), &[nat_lit(7), nat_lit(8)]);
+        let ty = infer_closed(&e, &v).unwrap();
+        let expected = Term::app(Term::ind("vector"), [Term::ind("nat"), nat_lit(2)]);
+        assert!(conv(&e, &ty, &expected));
+    }
+
+    #[test]
+    fn head_and_length_compute() {
+        let e = env();
+        let v = vector_lit(Term::ind("nat"), &[nat_lit(7), nat_lit(8)]);
+        let hd = Term::app(
+            Term::const_("vector_hd"),
+            [Term::ind("nat"), nat_lit(1), v.clone(), nat_lit(0)],
+        );
+        assert_eq!(nat_value(&normalize(&e, &hd)), Some(7));
+        let len = Term::app(
+            Term::const_("vector_length"),
+            [Term::ind("nat"), nat_lit(2), v],
+        );
+        assert_eq!(nat_value(&normalize(&e, &len)), Some(2));
+    }
+
+    #[test]
+    fn dependent_lemma_typechecks() {
+        let e = env();
+        assert!(e.contains("vector_length_is_index"));
+    }
+}

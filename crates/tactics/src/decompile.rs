@@ -1,0 +1,299 @@
+//! The proof-term-to-tactic decompiler (paper §5, Fig. 14).
+//!
+//! Rules, in order (mirroring the mini decompiler):
+//!
+//! * lambdas become `intro` (Intro);
+//! * `eq_sym` applications become `symmetry` (Symmetry);
+//! * `eq_refl` applications become `reflexivity`;
+//! * `eq_ind_r` / `eq_rect` applications become `rewrite` in the matching
+//!   direction (Rewrite), with the motive recorded explicitly;
+//! * `and` / `or` constructors become `split` / `left` / `right`;
+//! * eliminator nodes become `induction` with one sub-script per case
+//!   (Induction);
+//! * other applications whose final argument has proof structure become
+//!   `apply f` with the obligation decompiled (Apply);
+//! * everything else falls back to `exact` (Base).
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::term::{Term, TermData};
+
+use crate::qtac::{Dir, Script, Tactic};
+
+/// A registered custom eliminator shape: the constant's arguments are
+/// `pre… motive cases… scrut` (the §6.3.3 improvement the paper proposes:
+/// "supporting custom eliminators like N.peano_rect would be a simple way
+/// to improve the decompiler").
+#[derive(Clone, Debug)]
+pub struct CustomElim {
+    /// The eliminator constant's name.
+    pub name: &'static str,
+    /// Number of arguments before the motive (e.g. type parameters).
+    pub pre: usize,
+    /// Number of cases.
+    pub cases: usize,
+}
+
+/// The custom eliminators of the standard environment and the case-study
+/// configurations.
+pub fn standard_custom_elims() -> Vec<CustomElim> {
+    vec![
+        CustomElim { name: "N.peano_rect", pre: 0, cases: 2 },
+        CustomElim { name: "Pos.peano_rect", pre: 0, cases: 2 },
+        CustomElim { name: "nat.dep_elim", pre: 0, cases: 2 },
+        CustomElim { name: "list_sig.dep_elim", pre: 1, cases: 2 },
+        CustomElim { name: "packed_list_elim", pre: 2, cases: 1 },
+    ]
+}
+
+/// Decompiles a proof term into a tactic script. `ctx` names the hypotheses
+/// already in scope (used to freshen intro names).
+pub fn decompile(env: &Env, ctx: &[String], t: &Term) -> Script {
+    let mut names: Vec<String> = ctx.to_vec();
+    Script(go(env, &mut names, t))
+}
+
+/// Decompiles the body of a defined constant.
+///
+/// Returns `None` if the constant has no body.
+pub fn decompile_constant(env: &Env, name: &str) -> Option<(Term, Script)> {
+    let decl = env.const_decl(&name.into()).ok()?;
+    let body = decl.body.clone()?;
+    Some((decl.ty.clone(), decompile(env, &[], &body)))
+}
+
+fn fresh(env: &Env, names: &[String], hint: Option<&str>) -> String {
+    let base = hint.unwrap_or("H").to_string();
+    let mut candidate = base.clone();
+    let mut i = 0;
+    while names.iter().any(|n| n == &candidate) || env.contains(&candidate) {
+        candidate = format!("{base}{i}");
+        i += 1;
+    }
+    candidate
+}
+
+fn go(env: &Env, names: &mut Vec<String>, t: &Term) -> Vec<Tactic> {
+    match t.data() {
+        TermData::Lambda(b, body) => {
+            let n = fresh(env, names, b.name.as_str());
+            names.push(n.clone());
+            let mut rest = go(env, names, body);
+            names.pop();
+            let mut out = vec![Tactic::Intro(n)];
+            out.append(&mut rest);
+            out
+        }
+        TermData::Let(b, v, body) => {
+            let n = fresh(env, names, b.name.as_str());
+            names.push(n.clone());
+            let mut rest = go(env, names, body);
+            names.pop();
+            let mut out = vec![Tactic::Pose {
+                name: n,
+                ty: b.ty.clone(),
+                val: v.clone(),
+            }];
+            out.append(&mut rest);
+            out
+        }
+        TermData::Elim(e) => {
+            let cases = e
+                .cases
+                .iter()
+                .map(|c| {
+                    let mut cn = names.clone();
+                    Script(go(env, &mut cn, c))
+                })
+                .collect();
+            vec![Tactic::Induction {
+                ind: e.ind.clone(),
+                params: e.params.clone(),
+                motive: e.motive.clone(),
+                scrut: e.scrutinee.clone(),
+                cases,
+            }]
+        }
+        _ => {
+            if let Some((ind, j, args)) = t.as_construct_app() {
+                match (ind.as_str(), j, args.len()) {
+                    ("eq", 0, _) => return vec![Tactic::Reflexivity],
+                    ("and", 0, 4) => {
+                        let mut ln = names.clone();
+                        let mut rn = names.clone();
+                        return vec![Tactic::Split(
+                            Script(go(env, &mut ln, &args[2])),
+                            Script(go(env, &mut rn, &args[3])),
+                        )];
+                    }
+                    ("or", 0, 3) => {
+                        let mut out = vec![Tactic::Left];
+                        out.append(&mut go(env, names, &args[2]));
+                        return vec![Tactic::Left]
+                            .into_iter()
+                            .chain(out.into_iter().skip(1))
+                            .collect();
+                    }
+                    ("or", 1, 3) => {
+                        let mut out = vec![Tactic::Right];
+                        out.append(&mut go(env, names, &args[2]));
+                        return out;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((c, args)) = t.as_const_app() {
+                match (c.as_str(), args.len()) {
+                    ("eq_sym", 4) => {
+                        let mut out = vec![Tactic::Symmetry];
+                        out.append(&mut go(env, names, &args[3]));
+                        return out;
+                    }
+                    ("eq_ind_r", 6) => {
+                        // eq_ind_r A x P p y e : P y, from p : P x.
+                        let mut out = vec![
+                            Tactic::Simpl,
+                            Tactic::Rewrite {
+                                dir: Dir::Fwd,
+                                ty: args[0].clone(),
+                                x: args[1].clone(),
+                                motive: args[2].clone(),
+                                y: args[4].clone(),
+                                eq: args[5].clone(),
+                            },
+                        ];
+                        out.append(&mut go(env, names, &args[3]));
+                        return out;
+                    }
+                    ("eq_rect", 6) => {
+                        let mut out = vec![
+                            Tactic::Simpl,
+                            Tactic::Rewrite {
+                                dir: Dir::Bwd,
+                                ty: args[0].clone(),
+                                x: args[1].clone(),
+                                motive: args[2].clone(),
+                                y: args[4].clone(),
+                                eq: args[5].clone(),
+                            },
+                        ];
+                        out.append(&mut go(env, names, &args[3]));
+                        return out;
+                    }
+                    _ => {}
+                }
+            }
+            // Custom eliminators (induction … using).
+            if let Some((c, args)) = t.as_const_app() {
+                if let Some(ce) = standard_custom_elims()
+                    .into_iter()
+                    .find(|ce| c.as_str() == ce.name)
+                {
+                    let expected = ce.pre + 1 + ce.cases + 1;
+                    if args.len() == expected {
+                        let cases = args[ce.pre + 1..ce.pre + 1 + ce.cases]
+                            .iter()
+                            .map(|case| {
+                                let mut cn = names.clone();
+                                Script(go(env, &mut cn, case))
+                            })
+                            .collect();
+                        return vec![Tactic::CustomInduction {
+                            elim: c.clone(),
+                            pre: args[..ce.pre].to_vec(),
+                            motive: args[ce.pre].clone(),
+                            cases,
+                            scrut: args[expected - 1].clone(),
+                        }];
+                    }
+                }
+            }
+            // Apply: recurse into the last argument if it has structure.
+            if let TermData::App(h, args) = t.data() {
+                let last = args.last().expect("apps are non-empty");
+                let mut ln = names.clone();
+                let sub = go(env, &mut ln, last);
+                let trivial = matches!(sub.as_slice(), [Tactic::Exact(_)]);
+                if !trivial {
+                    let f = Term::app(h.clone(), args[..args.len() - 1].iter().cloned());
+                    return vec![Tactic::Apply {
+                        f,
+                        sub: Script(sub),
+                    }];
+                }
+            }
+            vec![Tactic::Exact(t.clone())]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_stdlib as stdlib;
+
+    #[test]
+    fn decompiles_add_n_o_to_induction_script() {
+        let env = stdlib::std_env();
+        let (_, script) = decompile_constant(&env, "add_n_O").unwrap();
+        // intro n. induction … with two cases.
+        assert!(matches!(script.0[0], Tactic::Intro(_)));
+        match &script.0[1] {
+            Tactic::Induction { cases, .. } => {
+                assert_eq!(cases.len(), 2);
+                assert!(matches!(cases[0].0[0], Tactic::Reflexivity));
+                // Successor case: intros then apply f_equal.
+                assert!(matches!(cases[1].0[0], Tactic::Intro(_)));
+            }
+            other => panic!("expected induction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decompiles_symmetry_and_rewrite() {
+        let env = stdlib::std_env();
+        let (_, script) = decompile_constant(&env, "rev_app_distr").unwrap();
+        let rendered = crate::qtac::render(&env, &[], &script);
+        assert!(rendered.contains("induction"), "{rendered}");
+        assert!(rendered.contains("symmetry"), "{rendered}");
+    }
+
+    #[test]
+    fn intro_names_are_fresh() {
+        let env = stdlib::std_env();
+        // fun (add : nat) => add — binder collides with a global.
+        let t = Term::lambda("add", Term::ind("nat"), Term::rel(0));
+        let script = decompile(&env, &[], &t);
+        match &script.0[0] {
+            Tactic::Intro(n) => assert_ne!(n, "add"),
+            other => panic!("expected intro, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod let_tests {
+    use super::*;
+    use crate::qtac::Tactic;
+    use pumpkin_stdlib as stdlib;
+
+    #[test]
+    fn let_bindings_decompile_to_pose_and_reprove() {
+        let mut env = stdlib::std_env();
+        pumpkin_lang::load_source(
+            &mut env,
+            "Definition pose_demo : forall (n : nat), eq nat (add n O) n :=
+               fun (n : nat) =>
+                 let m : nat := add n O in
+                 add_n_O n.",
+        )
+        .unwrap();
+        let (goal, script) = decompile_constant(&env, "pose_demo").unwrap();
+        assert!(script
+            .0
+            .iter()
+            .any(|t| matches!(t, Tactic::Pose { .. })));
+        let rendered = crate::qtac::render(&env, &[], &script);
+        assert!(rendered.contains("pose"), "{rendered}");
+        crate::interp::prove(&env, &goal, &script).unwrap();
+    }
+}

@@ -1,0 +1,44 @@
+//! Errors for tactic elaboration.
+
+use std::fmt;
+
+use pumpkin_kernel::error::KernelError;
+use pumpkin_kernel::term::Term;
+
+/// Errors from running a Qtac script.
+#[derive(Clone, Debug)]
+pub enum TacticError {
+    /// The script ended with this goal still open.
+    Unfinished(Term),
+    /// A terminal tactic was followed by more tactics.
+    TrailingTactics(usize),
+    /// The goal did not have the shape the tactic requires.
+    GoalShape {
+        /// What the tactic needed.
+        expected: String,
+        /// The goal it got.
+        goal: Term,
+    },
+    /// The kernel rejected an elaborated (sub)term.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for TacticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TacticError::Unfinished(g) => write!(f, "script ended with open goal `{g}`"),
+            TacticError::TrailingTactics(n) => {
+                write!(f, "{n} tactic(s) after a terminal tactic")
+            }
+            TacticError::GoalShape { expected, goal } => {
+                write!(f, "tactic expected {expected}, goal is `{goal}`")
+            }
+            TacticError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TacticError {}
+
+/// The crate's result type.
+pub type Result<T> = std::result::Result<T, TacticError>;

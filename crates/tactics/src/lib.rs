@@ -1,0 +1,19 @@
+//! # pumpkin-tactics
+//!
+//! The tactic side of the Pumpkin Pi reproduction (paper §5): the Qtac
+//! tactic language (Fig. 13), the proof-term-to-tactic decompiler
+//! (Fig. 14), the naturalizing second pass (§5.2), and a tactic
+//! *interpreter* that re-elaborates scripts into kernel-checked proof
+//! terms — the validation Coq provides for the original tool.
+
+pub mod decompile;
+pub mod error;
+pub mod interp;
+pub mod qtac;
+pub mod second_pass;
+
+pub use decompile::{decompile, decompile_constant};
+pub use error::TacticError;
+pub use interp::prove;
+pub use qtac::{render, Dir, Script, Tactic};
+pub use second_pass::second_pass;

@@ -1,0 +1,359 @@
+//! Qtac: the tactic language targeted by the decompiler (paper Fig. 13).
+//!
+//! As in the paper's mini decompiler, `rewrite` and `induction` carry their
+//! motives explicitly ("unlike in Ltac, in Qtac, induction and rewrite
+//! always take a motive explicitly, rather than relying on a unification
+//! engine"), which is what makes re-elaboration deterministic. Embedded
+//! terms are kernel terms whose de Bruijn indices refer to the goal context
+//! at that point in the script.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::term::Term;
+
+/// Rewrite direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// `rewrite` — the equation `e : x = y` is used right-to-left via
+    /// `eq_ind_r` (the goal mentions `y`; the subgoal mentions `x`).
+    Fwd,
+    /// `rewrite <-` — via `eq_rect` (the goal mentions `y`; the subgoal
+    /// mentions `x`, transporting forward).
+    Bwd,
+}
+
+/// One tactic. Branching tactics own their sub-scripts and are terminal in
+/// a [`Script`]; straight-line tactics continue with the rest.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tactic {
+    /// `intro x.`
+    Intro(String),
+    /// `intros x y z.` (produced by the second pass).
+    Intros(Vec<String>),
+    /// `simpl.` — display-level simplification (sound no-op for
+    /// re-elaboration).
+    Simpl,
+    /// `symmetry.`
+    Symmetry,
+    /// `reflexivity.` — terminal; goal must be a reflexive equation.
+    Reflexivity,
+    /// `rewrite [<-] (P) e.` with explicit motive; stores the equation's
+    /// endpoints so elaboration is deterministic.
+    Rewrite {
+        /// Direction.
+        dir: Dir,
+        /// Element type of the equation.
+        ty: Term,
+        /// The `x` endpoint (see [`Dir`]).
+        x: Term,
+        /// The motive `P`.
+        motive: Term,
+        /// The `y` endpoint.
+        y: Term,
+        /// The equation proof.
+        eq: Term,
+    },
+    /// `induction (P) t as [pats|…].` — terminal, with one sub-script per
+    /// case (the intro patterns are the leading `intro`s of each case).
+    Induction {
+        /// The family eliminated.
+        ind: GlobalName,
+        /// Its parameters.
+        params: Vec<Term>,
+        /// The motive, explicit.
+        motive: Term,
+        /// The scrutinee.
+        scrut: Term,
+        /// One sub-script per constructor.
+        cases: Vec<Script>,
+    },
+    /// `induction (P) t using elim as [pats|…].` — induction with a *custom
+    /// eliminator* constant (e.g. `N.peano_rect`), the §6.3.3 decompiler
+    /// improvement the paper proposes. Terminal.
+    CustomInduction {
+        /// The eliminator constant.
+        elim: GlobalName,
+        /// Arguments preceding the motive (e.g. type parameters).
+        pre: Vec<Term>,
+        /// The explicit motive.
+        motive: Term,
+        /// One sub-script per case.
+        cases: Vec<Script>,
+        /// The scrutinee.
+        scrut: Term,
+    },
+    /// `apply f.` with one remaining obligation — terminal.
+    Apply {
+        /// The function (possibly already applied to leading arguments).
+        f: Term,
+        /// Proof of the last argument.
+        sub: Script,
+    },
+    /// `split.` — terminal; two subgoals.
+    Split(Script, Script),
+    /// `left.`
+    Left,
+    /// `right.`
+    Right,
+    /// `pose (v : ty) as x.` — introduce a local definition (from `let`
+    /// bindings in the proof term, paper §5.2 "Manipulating Hypotheses").
+    Pose {
+        /// The bound name.
+        name: String,
+        /// Its type.
+        ty: Term,
+        /// Its value.
+        val: Term,
+    },
+    /// `exact t.` — terminal.
+    Exact(Term),
+}
+
+/// A tactic script: a sequence ending with a terminal tactic (or a
+/// straight-line sequence whose final goal is closed by the last tactic).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Script(pub Vec<Tactic>);
+
+impl Script {
+    /// Total number of tactics, including sub-scripts.
+    pub fn len(&self) -> usize {
+        self.0
+            .iter()
+            .map(|t| match t {
+                Tactic::Induction { cases, .. }
+                | Tactic::CustomInduction { cases, .. } => {
+                    1 + cases.iter().map(Script::len).sum::<usize>()
+                }
+                Tactic::Apply { sub, .. } => 1 + sub.len(),
+                Tactic::Split(a, b) => 1 + a.len() + b.len(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Is the script empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Pretty-prints a script in Coq style, with `-`/`+`/`*` bullets per depth
+/// (paper Fig. 2 / Fig. 15).
+pub fn render(env: &Env, ctx: &[String], script: &Script) -> String {
+    let mut out = String::new();
+    render_inner(env, &mut ctx.to_vec(), script, 0, &mut out);
+    out
+}
+
+const BULLETS: [&str; 3] = ["-", "+", "*"];
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize, out: &mut String) {
+    let pushed_at_entry = ctx.len();
+    for tac in &script.0 {
+        match tac {
+            Tactic::Intro(n) => {
+                indent(out, depth);
+                out.push_str(&format!("intro {n}.\n"));
+                ctx.push(n.clone());
+            }
+            Tactic::Intros(ns) => {
+                indent(out, depth);
+                out.push_str(&format!("intros {}.\n", ns.join(" ")));
+                ctx.extend(ns.iter().cloned());
+            }
+            Tactic::Simpl => {
+                indent(out, depth);
+                out.push_str("simpl.\n");
+            }
+            Tactic::Symmetry => {
+                indent(out, depth);
+                out.push_str("symmetry.\n");
+            }
+            Tactic::Reflexivity => {
+                indent(out, depth);
+                out.push_str("reflexivity.\n");
+            }
+            Tactic::Rewrite { dir, eq, .. } => {
+                indent(out, depth);
+                let arrow = match dir {
+                    Dir::Fwd => "",
+                    Dir::Bwd => "<- ",
+                };
+                out.push_str(&format!(
+                    "rewrite {arrow}({}).\n",
+                    pumpkin_lang::pretty_open(env, ctx, eq)
+                ));
+            }
+            Tactic::Induction {
+                scrut, cases, ..
+            } => {
+                indent(out, depth);
+                // Intro patterns: the leading intros of each case.
+                let pats: Vec<String> = cases
+                    .iter()
+                    .map(|c| {
+                        let mut names = Vec::new();
+                        for t in &c.0 {
+                            match t {
+                                Tactic::Intro(n) => names.push(n.clone()),
+                                Tactic::Intros(ns) => names.extend(ns.iter().cloned()),
+                                _ => break,
+                            }
+                        }
+                        names.join(" ")
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "induction ({}) as [{}].\n",
+                    pumpkin_lang::pretty_open(env, ctx, scrut),
+                    pats.join("|")
+                ));
+                let bullet = BULLETS[depth % BULLETS.len()];
+                for case in cases {
+                    indent(out, depth);
+                    out.push_str(&format!("{bullet} "));
+                    // The leading intros are displayed in the `as` pattern;
+                    // push their names into scope and render the remainder.
+                    let mut cctx = ctx.clone();
+                    let mut skip = 0;
+                    for t in &case.0 {
+                        match t {
+                            Tactic::Intro(n) => {
+                                cctx.push(n.clone());
+                                skip += 1;
+                            }
+                            Tactic::Intros(ns) => {
+                                cctx.extend(ns.iter().cloned());
+                                skip += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let rest = Script(case.0[skip..].to_vec());
+                    let mut body = String::new();
+                    if rest.is_empty() {
+                        body.push_str("idtac.\n");
+                    } else {
+                        render_inner(env, &mut cctx, &rest, depth + 1, &mut body);
+                    }
+                    let trimmed = body.trim_start();
+                    out.push_str(trimmed);
+                    if !trimmed.ends_with('\n') {
+                        out.push('\n');
+                    }
+                }
+            }
+            Tactic::CustomInduction {
+                elim,
+                scrut,
+                cases,
+                ..
+            } => {
+                indent(out, depth);
+                let pats: Vec<String> = cases
+                    .iter()
+                    .map(|c| {
+                        let mut names = Vec::new();
+                        for t in &c.0 {
+                            match t {
+                                Tactic::Intro(n) => names.push(n.clone()),
+                                Tactic::Intros(ns) => names.extend(ns.iter().cloned()),
+                                _ => break,
+                            }
+                        }
+                        names.join(" ")
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "induction ({}) using {elim} as [{}].\n",
+                    pumpkin_lang::pretty_open(env, ctx, scrut),
+                    pats.join("|")
+                ));
+                let bullet = BULLETS[depth % BULLETS.len()];
+                for case in cases {
+                    indent(out, depth);
+                    out.push_str(&format!("{bullet} "));
+                    let mut cctx = ctx.clone();
+                    let mut skip = 0;
+                    for t in &case.0 {
+                        match t {
+                            Tactic::Intro(n) => {
+                                cctx.push(n.clone());
+                                skip += 1;
+                            }
+                            Tactic::Intros(ns) => {
+                                cctx.extend(ns.iter().cloned());
+                                skip += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let rest = Script(case.0[skip..].to_vec());
+                    let mut body = String::new();
+                    if rest.is_empty() {
+                        body.push_str("idtac.\n");
+                    } else {
+                        render_inner(env, &mut cctx, &rest, depth + 1, &mut body);
+                    }
+                    let trimmed = body.trim_start();
+                    out.push_str(trimmed);
+                    if !trimmed.ends_with('\n') {
+                        out.push('\n');
+                    }
+                }
+            }
+            Tactic::Apply { f, sub } => {
+                indent(out, depth);
+                out.push_str(&format!(
+                    "apply ({}).\n",
+                    pumpkin_lang::pretty_open(env, ctx, f)
+                ));
+                let mut cctx = ctx.clone();
+                render_inner(env, &mut cctx, sub, depth, out);
+            }
+            Tactic::Split(a, b) => {
+                indent(out, depth);
+                out.push_str("split.\n");
+                let bullet = BULLETS[depth % BULLETS.len()];
+                for case in [a, b] {
+                    indent(out, depth);
+                    out.push_str(&format!("{bullet} "));
+                    let mut body = String::new();
+                    let mut cctx = ctx.clone();
+                    render_inner(env, &mut cctx, case, depth + 1, &mut body);
+                    out.push_str(body.trim_start());
+                }
+            }
+            Tactic::Left => {
+                indent(out, depth);
+                out.push_str("left.\n");
+            }
+            Tactic::Right => {
+                indent(out, depth);
+                out.push_str("right.\n");
+            }
+            Tactic::Pose { name, val, .. } => {
+                indent(out, depth);
+                out.push_str(&format!(
+                    "pose ({}) as {name}.\n",
+                    pumpkin_lang::pretty_open(env, ctx, val)
+                ));
+                ctx.push(name.clone());
+            }
+            Tactic::Exact(t) => {
+                indent(out, depth);
+                out.push_str(&format!(
+                    "exact ({}).\n",
+                    pumpkin_lang::pretty_open(env, ctx, t)
+                ));
+            }
+        }
+    }
+    ctx.truncate(pushed_at_entry);
+}

@@ -1,0 +1,136 @@
+//! The decompiler's second pass (paper §5.2): rewrite the raw tactic
+//! stream into a more natural script. We merge runs of `intro` into a
+//! single `intros`, and drop `simpl` steps that precede another `simpl`
+//! (the first pass can emit them redundantly).
+
+use crate::qtac::{Script, Tactic};
+
+/// Applies the second pass to a script (recursively through sub-scripts).
+pub fn second_pass(script: &Script) -> Script {
+    let mut out: Vec<Tactic> = Vec::with_capacity(script.0.len());
+    let mut pending: Vec<String> = Vec::new();
+
+    fn flush(pending: &mut Vec<String>, out: &mut Vec<Tactic>) {
+        match pending.len() {
+            0 => {}
+            1 => out.push(Tactic::Intro(pending.remove(0))),
+            _ => out.push(Tactic::Intros(std::mem::take(pending))),
+        }
+    }
+
+    for tac in &script.0 {
+        match tac {
+            Tactic::Intro(n) => pending.push(n.clone()),
+            Tactic::Intros(ns) => pending.extend(ns.iter().cloned()),
+            Tactic::Simpl => {
+                flush(&mut pending, &mut out);
+                if !matches!(out.last(), Some(Tactic::Simpl)) {
+                    out.push(Tactic::Simpl);
+                }
+            }
+            Tactic::Induction {
+                ind,
+                params,
+                motive,
+                scrut,
+                cases,
+            } => {
+                flush(&mut pending, &mut out);
+                out.push(Tactic::Induction {
+                    ind: ind.clone(),
+                    params: params.clone(),
+                    motive: motive.clone(),
+                    scrut: scrut.clone(),
+                    cases: cases.iter().map(second_pass).collect(),
+                });
+            }
+            Tactic::CustomInduction {
+                elim,
+                pre,
+                motive,
+                cases,
+                scrut,
+            } => {
+                flush(&mut pending, &mut out);
+                out.push(Tactic::CustomInduction {
+                    elim: elim.clone(),
+                    pre: pre.clone(),
+                    motive: motive.clone(),
+                    cases: cases.iter().map(second_pass).collect(),
+                    scrut: scrut.clone(),
+                });
+            }
+            Tactic::Apply { f, sub } => {
+                flush(&mut pending, &mut out);
+                out.push(Tactic::Apply {
+                    f: f.clone(),
+                    sub: second_pass(sub),
+                });
+            }
+            Tactic::Split(a, b) => {
+                flush(&mut pending, &mut out);
+                out.push(Tactic::Split(second_pass(a), second_pass(b)));
+            }
+            other => {
+                flush(&mut pending, &mut out);
+                out.push(other.clone());
+            }
+        }
+    }
+    flush(&mut pending, &mut out);
+    Script(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_intro_runs() {
+        let s = Script(vec![
+            Tactic::Intro("a".into()),
+            Tactic::Intro("b".into()),
+            Tactic::Intro("c".into()),
+            Tactic::Reflexivity,
+        ]);
+        let s2 = second_pass(&s);
+        assert_eq!(
+            s2.0[0],
+            Tactic::Intros(vec!["a".into(), "b".into(), "c".into()])
+        );
+        assert_eq!(s2.0.len(), 2);
+    }
+
+    #[test]
+    fn single_intro_stays_intro() {
+        let s = Script(vec![Tactic::Intro("a".into()), Tactic::Reflexivity]);
+        let s2 = second_pass(&s);
+        assert_eq!(s2.0[0], Tactic::Intro("a".into()));
+    }
+
+    #[test]
+    fn recurses_into_cases_and_dedups_simpl() {
+        let inner = Script(vec![
+            Tactic::Intro("x".into()),
+            Tactic::Intro("y".into()),
+            Tactic::Simpl,
+            Tactic::Simpl,
+            Tactic::Reflexivity,
+        ]);
+        let s = Script(vec![Tactic::Induction {
+            ind: "nat".into(),
+            params: vec![],
+            motive: pumpkin_kernel::term::Term::prop(),
+            scrut: pumpkin_kernel::term::Term::rel(0),
+            cases: vec![inner],
+        }]);
+        let s2 = second_pass(&s);
+        match &s2.0[0] {
+            Tactic::Induction { cases, .. } => {
+                assert_eq!(cases[0].0.len(), 3);
+                assert!(matches!(cases[0].0[0], Tactic::Intros(_)));
+            }
+            _ => panic!(),
+        }
+    }
+}

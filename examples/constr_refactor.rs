@@ -1,0 +1,60 @@
+//! Constructor factoring (paper §3.1.1, Fig. 4 — `constr_refactor.v`).
+//!
+//! `I` has constructors `A` and `B`; `J` factors them out to a `bool`
+//! hypothesis of a single constructor `makeJ`. After telling Pumpkin Pi
+//! which constructor maps to `true` and which to `false`, the De Morgan
+//! development over `I` repairs to `J` automatically.
+//!
+//! Run with `cargo run --example constr_refactor`.
+
+use pumpkin_pi::*;
+
+fn main() -> pumpkin_core::Result<()> {
+    let mut env = pumpkin_stdlib::std_env();
+
+    println!("== Configure (A ↦ true, B ↦ false) ==");
+    let lifting = pumpkin_core::search::factor::configure_with(
+        &mut env,
+        &"I".into(),
+        &"J".into(),
+        [0, 1],
+        pumpkin_core::NameMap::prefix("I.", "J."),
+    )?;
+    let eqv = lifting.equivalence.as_ref().unwrap();
+    println!("equivalence: {} / {} with checked proofs", eqv.f, eqv.g);
+
+    println!("\n== Repair I J in neg, and, or, demorgan_1, demorgan_2 ==");
+    let mut state = pumpkin_core::LiftState::new();
+    for name in ["I.neg", "I.and", "I.or"] {
+        let new = pumpkin_core::repair(&mut env, &lifting, &mut state, &name.into())?;
+        let decl = env.const_decl(&new).unwrap();
+        println!(
+            "\n{new} : {}\n  := {}",
+            pumpkin_lang::pretty(&env, &decl.ty),
+            pumpkin_lang::pretty(&env, decl.body.as_ref().unwrap())
+        );
+    }
+    for name in ["I.demorgan_1", "I.demorgan_2"] {
+        let (rep, ok) = repair_decompile_validate(&mut env, &lifting, &mut state, name)?;
+        println!(
+            "\n{} : {}",
+            rep.name,
+            pumpkin_lang::pretty(&env, &rep.ty)
+        );
+        println!("suggested script (validated: {ok}):");
+        for line in rep.script_text.lines() {
+            println!("  {line}");
+        }
+        pumpkin_core::repair::check_source_free(&env, &lifting, &rep.name)?;
+    }
+
+    // The repaired functions behave like the originals through the
+    // equivalence: spot-check the truth table.
+    println!("\ntruth table of J.and (via makeJ):");
+    for (x, y) in [("true", "true"), ("true", "false"), ("false", "true"), ("false", "false")] {
+        let t = pumpkin_lang::term(&env, &format!("J.and (makeJ {x}) (makeJ {y})")).unwrap();
+        let v = pumpkin_kernel::reduce::normalize(&env, &t);
+        println!("  J.and (makeJ {x}) (makeJ {y}) = {}", pumpkin_lang::pretty(&env, &v));
+    }
+    Ok(())
+}

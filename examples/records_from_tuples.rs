@@ -1,0 +1,78 @@
+//! The industrial (Galois) workflow (paper §6.4, Fig. 17).
+//!
+//! The solver-aided compiler emits functions over anonymous nested tuples;
+//! the proof engineer ports them to named records, proves lemmas there, and
+//! ports the proofs *back* to the generated representation:
+//!
+//! 1. `Repair Connection Record.Connection in cork` — readable `cork`;
+//! 2. prove `corkLemma` over records (here: ported forward too);
+//! 3. `Repair Record.Connection Connection in corkLemma` — back to tuples.
+//!
+//! Run with `cargo run --example records_from_tuples`.
+
+use pumpkin_pi::*;
+
+fn main() -> pumpkin_core::Result<()> {
+    let mut env = pumpkin_stdlib::std_env();
+    let projs = pumpkin_core::search::tuple_record::connection_projs();
+
+    println!("== Step 1: tuples → records ==");
+    let fwd = pumpkin_core::search::tuple_record::configure_to_record(
+        &mut env,
+        &"Connection".into(),
+        &"Record.Connection".into(),
+        &projs,
+        pumpkin_core::NameMap::prefix("", "Record."),
+    )?;
+    let mut st = pumpkin_core::LiftState::new();
+    let cork = pumpkin_core::repair(&mut env, &fwd, &mut st, &"cork".into())?;
+    let decl = env.const_decl(&cork).unwrap();
+    println!(
+        "{cork} : {}\n  := {}",
+        pumpkin_lang::pretty(&env, &decl.ty),
+        pumpkin_lang::pretty(&env, decl.body.as_ref().unwrap())
+    );
+
+    println!("\n== Step 2: the record-level lemma ==");
+    let lemma = pumpkin_core::repair(&mut env, &fwd, &mut st, &"corkLemma".into())?;
+    let decl = env.const_decl(&lemma).unwrap();
+    println!("{lemma} :\n  {}", pumpkin_lang::pretty(&env, &decl.ty));
+    pumpkin_core::repair::check_source_free(&env, &fwd, &lemma)?;
+    println!("(mentions `corked`, not `fst (snd …)` — human-readable)");
+
+    println!("\n== Step 3: records → tuples (round trip) ==");
+    let back = pumpkin_core::search::tuple_record::configure_to_tuple(
+        &mut env,
+        &"Record.Connection".into(),
+        &"Connection".into(),
+        &projs,
+        pumpkin_core::NameMap::prefix("Record.", "Tup."),
+    )?;
+    let mut st2 = pumpkin_core::LiftState::new();
+    // Stop the round trip at the function boundary.
+    st2.map_constant("Record.cork", "cork");
+    let round = pumpkin_core::repair(&mut env, &back, &mut st2, &lemma)?;
+    let round_ty = env.const_decl(&round).unwrap().ty.clone();
+    println!("{round} :\n  {}", pumpkin_lang::pretty(&env, &round_ty));
+    let orig_ty = env.const_decl(&"corkLemma".into()).unwrap().ty.clone();
+    println!(
+        "\nround-tripped statement is convertible with the original: {}",
+        pumpkin_kernel::conv::conv(&env, &orig_ty, &round_ty)
+    );
+
+    // Behaviour check: Record.cork increments corked.
+    use pumpkin_kernel::reduce::normalize;
+    let rec = pumpkin_lang::term(
+        &env,
+        "Record.cork (MkConnection true (bvNat O) (bvNat O) \
+         (pair word word (bvNat O) (bvNat O)) false false (bvNat O) false true)",
+    )
+    .unwrap();
+    let corked = pumpkin_lang::term(&env, "corked").unwrap();
+    let t = pumpkin_kernel::term::Term::app(corked, [rec]);
+    println!(
+        "\ncorked (Record.cork …corked=0…) = {}",
+        pumpkin_lang::pretty(&env, &normalize(&env, &t))
+    );
+    Ok(())
+}

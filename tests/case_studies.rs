@@ -1,0 +1,317 @@
+//! End-to-end integration tests: the paper's four case studies (§6), run
+//! through the shared drivers and validated with the kernel, the
+//! source-freedom check (repair ≠ reuse, §3.2), and the decompiler
+//! round-trip.
+
+use pumpkin_pi::case_studies;
+use pumpkin_pi::pumpkin_core::{self, repair::check_source_free, LiftState, NameMap};
+use pumpkin_pi::pumpkin_kernel::reduce::normalize;
+use pumpkin_pi::pumpkin_kernel::term::Term;
+use pumpkin_pi::pumpkin_lang;
+use pumpkin_pi::pumpkin_stdlib as stdlib;
+use pumpkin_pi::pumpkin_tactics;
+
+#[test]
+fn section_2_swap_whole_list_module() {
+    let mut env = stdlib::std_env();
+    let report = case_studies::swap_list_module(&mut env).unwrap();
+    assert_eq!(report.repaired.len(), stdlib::swap::OLD_MODULE_CONSTANTS.len());
+
+    // Every repaired constant exists, type checks (by construction), and is
+    // free of Old.list.
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    for (_, to) in &report.repaired {
+        check_source_free(&env, &lifting, to).unwrap();
+    }
+
+    // Fig. 2: the decompiled script for New.rev_app_distr re-proves it.
+    let (goal, script) =
+        pumpkin_tactics::decompile_constant(&env, "New.rev_app_distr").unwrap();
+    let script = pumpkin_tactics::second_pass(&script);
+    pumpkin_tactics::prove(&env, &goal, &script).unwrap();
+    let rendered = pumpkin_tactics::render(&env, &[], &script);
+    assert!(rendered.contains("induction"));
+    assert!(rendered.contains("symmetry"));
+    assert!(rendered.contains("New.app_nil_r"));
+}
+
+#[test]
+fn section_6_1_replica_benchmark_and_variants() {
+    let mut env = stdlib::std_env();
+    // The headline variant: Int/Eq swapped (Fig. 16).
+    let report = case_studies::replica_variant(&mut env, "New.Term", "New.").unwrap();
+    assert_eq!(report.repaired.len(), 5);
+
+    // 24 type-correct mappings, desired one first (the paper's "all other
+    // 23 type-correct permutations").
+    let a = env.inductive(&"Old.Term".into()).unwrap().clone();
+    let b = env.inductive(&"New.Term".into()).unwrap().clone();
+    let mappings = pumpkin_core::search::swap::discover_mappings(&a, &b);
+    assert_eq!(mappings.len(), 24);
+    assert_eq!(mappings[0], vec![0, 2, 1, 3, 4, 5, 6]);
+
+    // Harder variants: rename-all, permute >2, permute+rename.
+    for (ty, prefix) in case_studies::declare_replica_variants(&mut env).unwrap() {
+        let r = case_studies::replica_variant(&mut env, &ty, &prefix).unwrap();
+        assert_eq!(r.repaired.len(), 5, "variant {ty}");
+    }
+
+    // The key theorem's repaired script re-proves.
+    let (goal, script) =
+        pumpkin_tactics::decompile_constant(&env, "New.eval_eq_true_or_false").unwrap();
+    pumpkin_tactics::prove(&env, &goal, &pumpkin_tactics::second_pass(&script)).unwrap();
+}
+
+#[test]
+fn section_3_1_1_factor_constructors() {
+    let mut env = stdlib::std_env();
+    let report = case_studies::factor_demorgan(&mut env).unwrap();
+    assert_eq!(report.repaired.len(), 5);
+    // The repaired and matches the paper's J_rect/bool_rect shape: check it
+    // case-analyzes the wrapped bool by computing the truth table.
+    for (x, y, expect) in [
+        ("true", "true", "true"),
+        ("true", "false", "false"),
+        ("false", "true", "false"),
+        ("false", "false", "false"),
+    ] {
+        let t = pumpkin_lang::term(&env, &format!("J.and (makeJ {x}) (makeJ {y})")).unwrap();
+        let e = pumpkin_lang::term(&env, &format!("makeJ {expect}")).unwrap();
+        assert_eq!(normalize(&env, &t), normalize(&env, &e));
+    }
+    // De Morgan over J re-proves from its decompiled script.
+    let (goal, script) = pumpkin_tactics::decompile_constant(&env, "J.demorgan_1").unwrap();
+    pumpkin_tactics::prove(&env, &goal, &pumpkin_tactics::second_pass(&script)).unwrap();
+}
+
+#[test]
+fn section_6_2_vectors_from_lists_both_stages() {
+    let mut env = stdlib::std_env();
+    pumpkin_core::smartelim::packed_list(&mut env).unwrap();
+    let report = case_studies::ornament_zip(&mut env).unwrap();
+    assert_eq!(report.repaired.len(), case_studies::ZIP_CONSTANTS.len());
+    case_studies::vectors_at_index(&mut env).unwrap();
+
+    // The final lemma exists at the right statement.
+    let decl = env.const_decl(&"vzip_with_is_zip".into()).unwrap();
+    let printed = pumpkin_lang::pretty(&env, &decl.ty);
+    assert!(printed.contains("vector (prod A B) n"), "{printed}");
+
+    // vzip and vzip_with agree computationally on concrete vectors.
+    use stdlib::nat::nat_lit;
+    use stdlib::vector::vector_lit;
+    let v1 = vector_lit(Term::ind("nat"), &[nat_lit(1), nat_lit(2), nat_lit(3)]);
+    let v2 = vector_lit(Term::ind("nat"), &[nat_lit(4), nat_lit(5), nat_lit(6)]);
+    let app = |f: &str| {
+        Term::app(
+            Term::const_(f),
+            [
+                Term::ind("nat"),
+                Term::ind("nat"),
+                nat_lit(3),
+                v1.clone(),
+                v2.clone(),
+            ],
+        )
+    };
+    assert_eq!(
+        normalize(&env, &app("vzip")),
+        normalize(&env, &app("vzip_with"))
+    );
+}
+
+#[test]
+fn section_6_3_binary_naturals() {
+    let mut env = stdlib::std_env();
+    let (slow_add, lemma) = case_studies::binary_nat(&mut env).unwrap();
+    assert_eq!(slow_add.as_str(), "slow_add");
+    assert_eq!(lemma.as_str(), "slow_add_n_Sm");
+
+    // Nothing repaired refers to nat.
+    let names = NameMap::default();
+    let lifting = pumpkin_core::manual::configure_nat_to_bin(&mut env, names).unwrap();
+    check_source_free(&env, &lifting, &slow_add).unwrap();
+    check_source_free(&env, &lifting, &lemma).unwrap();
+
+    // slow_add agrees with fast N.add on a sweep of values.
+    use stdlib::bin::{n_lit, n_value};
+    for a in 0u64..8 {
+        for b in 0u64..8 {
+            let slow = Term::app(Term::const_("slow_add"), [n_lit(a), n_lit(b)]);
+            let fast = Term::app(Term::const_("N.add"), [n_lit(a), n_lit(b)]);
+            assert_eq!(
+                n_value(&normalize(&env, &slow)),
+                n_value(&normalize(&env, &fast)),
+                "{a}+{b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn section_6_4_galois_round_trip() {
+    let mut env = stdlib::std_env();
+    let (record_lemma, round) = case_studies::galois_round_trip(&mut env).unwrap();
+    assert_eq!(record_lemma.as_str(), "Record.corkLemma");
+    // The round-tripped lemma's statement is convertible with the original
+    // tuple-level statement.
+    let orig = env.const_decl(&"corkLemma".into()).unwrap().ty.clone();
+    let got = env.const_decl(&round).unwrap().ty.clone();
+    assert!(pumpkin_pi::pumpkin_kernel::conv::conv(&env, &orig, &got));
+}
+
+#[test]
+fn full_pipeline_repair_and_decompile_everything() {
+    // Run the whole Fig. 6 pipeline (Configure → Transform → Decompile →
+    // validate) over every proof in the swapped list module.
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    let mut st = LiftState::new();
+    for name in stdlib::swap::OLD_MODULE_CONSTANTS {
+        let (repaired, validated) =
+            pumpkin_pi::repair_decompile_validate(&mut env, &lifting, &mut st, name).unwrap();
+        assert!(validated, "script for {} failed to re-prove", repaired.name);
+    }
+}
+
+#[test]
+fn section_6_3_multiplication_repairs_through_dependency() {
+    // mul references add; repairing mul under the manual nat → N
+    // configuration repairs add on demand (to slow_add) and produces a
+    // working slow_mul.
+    let mut env = stdlib::std_env();
+    case_studies::binary_nat(&mut env).unwrap();
+    use stdlib::bin::{n_lit, n_value};
+    for (a, b) in [(0u64, 5u64), (3, 4), (7, 9), (12, 12)] {
+        let t = Term::app(Term::const_("slow_mul"), [n_lit(a), n_lit(b)]);
+        assert_eq!(n_value(&normalize(&env, &t)), Some(a * b), "{a}*{b}");
+    }
+    // slow_mul's body references slow_add, not add.
+    let body = env.const_decl(&"slow_mul".into()).unwrap().body.clone().unwrap();
+    assert!(body.mentions_global(&"slow_add".into()));
+    assert!(!body.mentions_global(&"add".into()));
+}
+
+#[test]
+fn repair_all_sweeps_the_whole_environment() {
+    // The fully automatic Repair module: sweep everything that mentions
+    // Old.list, excluding nothing but the equivalence itself.
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    let mut st = LiftState::new();
+    let report = pumpkin_core::repair::repair_all(&mut env, &lifting, &mut st, &[]).unwrap();
+    // Everything in the module list was found by the sweep.
+    for c in stdlib::swap::OLD_MODULE_CONSTANTS {
+        assert!(
+            report.renamed(c).is_some() || st.const_map.contains_key(*c),
+            "sweep missed {c}"
+        );
+    }
+    for (_, to) in &report.repaired {
+        check_source_free(&env, &lifting, to).unwrap();
+    }
+}
+
+#[test]
+fn custom_eliminator_decompilation_for_binary_proofs() {
+    // The §6.3.3 improvement the paper proposes: the decompiler supports
+    // custom eliminators like N.peano_rect, so the *repaired* binary proof
+    // decompiles to `induction … using N.peano_rect` and still re-proves.
+    let mut env = stdlib::std_env();
+    case_studies::binary_nat(&mut env).unwrap();
+    let (goal, raw) = pumpkin_tactics::decompile_constant(&env, "slow_add_n_Sm").unwrap();
+    let script = pumpkin_tactics::second_pass(&raw);
+    let rendered = pumpkin_tactics::render(&env, &[], &script);
+    assert!(
+        rendered.contains("using N.peano_rect"),
+        "expected a custom-eliminator induction:\n{rendered}"
+    );
+    pumpkin_tactics::prove(&env, &goal, &script).unwrap();
+
+    // Same for the ornament side: Sig proofs decompile through
+    // list_sig.dep_elim.
+    case_studies::ornament_zip(&mut env).unwrap();
+    let (goal2, raw2) = pumpkin_tactics::decompile_constant(&env, "Sig.app_nil_r").unwrap();
+    let script2 = pumpkin_tactics::second_pass(&raw2);
+    let rendered2 = pumpkin_tactics::render(&env, &[], &script2);
+    assert!(
+        rendered2.contains("using list_sig.dep_elim"),
+        "{rendered2}"
+    );
+    pumpkin_tactics::prove(&env, &goal2, &script2).unwrap();
+}
+
+#[test]
+fn old_type_can_be_removed_after_full_repair() {
+    // The paper's §2 punchline: "When we are done, we can get rid of
+    // Old.list entirely."
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    let mut st = LiftState::new();
+    pumpkin_core::repair_all(&mut env, &lifting, &mut st, &[]).unwrap();
+
+    // While the Old.* module and equivalence are still around, removal is
+    // refused (the old constants reference the type).
+    assert!(env.remove(&"Old.list".into()).is_err());
+
+    // Remove the old module and the equivalence (in reverse dependency
+    // order), then the type itself.
+    for c in [
+        "Old.list_to_New.list_retraction",
+        "Old.list_to_New.list_section",
+        "New.list_to_Old.list",
+        "Old.list_to_New.list",
+    ] {
+        env.remove(&c.into()).unwrap();
+    }
+    let mut old_consts: Vec<_> = env
+        .constants()
+        .filter(|d| d.name.as_str().starts_with("Old."))
+        .map(|d| d.name.clone())
+        .collect();
+    // Remove in reverse declaration order so dependencies go last.
+    let order: Vec<_> = env.order().to_vec();
+    old_consts.sort_by_key(|n| {
+        std::cmp::Reverse(order.iter().position(|r| match r {
+            pumpkin_pi::pumpkin_kernel::env::GlobalRef::Const(c) => c == n,
+            _ => false,
+        }))
+    });
+    for c in old_consts {
+        env.remove(&c).unwrap();
+    }
+    env.remove(&"Old.list".into()).unwrap();
+    assert!(!env.contains("Old.list"));
+    assert!(!env.contains("Old.nil"));
+
+    // The repaired world still works.
+    let t = pumpkin_lang::term(&env, "New.rev nat (New.nil nat)").unwrap();
+    assert_eq!(
+        normalize(&env, &t),
+        pumpkin_lang::term(&env, "New.nil nat").unwrap()
+    );
+}

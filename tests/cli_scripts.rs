@@ -1,0 +1,21 @@
+//! Every shipped CLI walkthrough script runs without failures.
+
+use pumpkin_pi::cli::{run_script, Session};
+
+#[test]
+fn all_example_scripts_run_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scripts");
+    let mut ran = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("pi") {
+            continue;
+        }
+        let script = std::fs::read_to_string(&path).unwrap();
+        let mut session = Session::new();
+        let failures = run_script(&mut session, &script);
+        assert_eq!(failures, 0, "script {path:?} had {failures} failure(s)");
+        ran += 1;
+    }
+    assert!(ran >= 4, "expected at least four scripts, ran {ran}");
+}

@@ -1,0 +1,185 @@
+//! Regeneration checks for the paper's qualitative artifacts — every figure
+//! in the evaluation has an assertion here or in `case_studies.rs` (see
+//! EXPERIMENTS.md for the index).
+
+use pumpkin_pi::case_studies;
+use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap};
+use pumpkin_pi::pumpkin_kernel::conv::conv;
+use pumpkin_pi::pumpkin_lang;
+use pumpkin_pi::pumpkin_stdlib as stdlib;
+use pumpkin_pi::pumpkin_tactics::{self, Tactic};
+
+/// Fig. 1 + Fig. 3: the swapped list type and its auto-discovered
+/// equivalence, with the statements of section/retraction exactly as in the
+/// paper.
+#[test]
+fn fig3_equivalence_statements() {
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    let eqv = lifting.equivalence.unwrap();
+    let section_ty = env.const_decl(&eqv.section).unwrap().ty.clone();
+    let expected = pumpkin_lang::term(
+        &env,
+        "forall (T : Type 1) (l : Old.list T),
+           eq (Old.list T)
+              (New.list_to_Old.list T (Old.list_to_New.list T l)) l",
+    )
+    .unwrap();
+    assert!(conv(&env, &section_ty, &expected));
+    let retraction_ty = env.const_decl(&eqv.retraction).unwrap().ty.clone();
+    let expected = pumpkin_lang::term(
+        &env,
+        "forall (T : Type 1) (l : New.list T),
+           eq (New.list T)
+              (Old.list_to_New.list T (New.list_to_Old.list T l)) l",
+    )
+    .unwrap();
+    assert!(conv(&env, &retraction_ty, &expected));
+}
+
+/// Fig. 8 + Fig. 11: the configuration swaps constructors and cases; the
+/// lifted append function is exactly the paper's stage-4 output (cases
+/// swapped, constructors renumbered).
+#[test]
+fn fig11_lifting_append_final_stage() {
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    let mut st = LiftState::new();
+    pumpkin_core::repair(&mut env, &lifting, &mut st, &"Old.app".into()).unwrap();
+    let got = env.const_decl(&"New.app".into()).unwrap().body.clone().unwrap();
+    // Stage 4 (paper Fig. 11, bottom-right): Elim over New.list with the
+    // cons case first and Constr(0, New.list T) in the recursive position.
+    let expected = pumpkin_lang::term(
+        &env,
+        "fun (T : Type 1) (l m : New.list T) =>
+           elim l : New.list T return (fun (x : New.list T) => New.list T) with
+           | fun (t : T) (l' : New.list T) (ih : New.list T) => New.cons T t ih
+           | m
+           end",
+    )
+    .unwrap();
+    assert_eq!(got, expected);
+}
+
+/// Fig. 2 / Fig. 15: the repaired `rev_app_distr` decompiles to a script
+/// whose first case is the cons case (the constructors swapped), which
+/// re-proves the repaired statement.
+#[test]
+fn fig2_repaired_script_structure() {
+    let mut env = stdlib::std_env();
+    case_studies::swap_list_module(&mut env).unwrap();
+    let (goal, raw) = pumpkin_tactics::decompile_constant(&env, "New.rev_app_distr").unwrap();
+    let script = pumpkin_tactics::second_pass(&raw);
+    pumpkin_tactics::prove(&env, &goal, &script).unwrap();
+
+    // Structure: intros, then induction whose FIRST case is the cons case
+    // (three intro-pattern names + y), and whose second is the nil case.
+    let Tactic::Induction { cases, .. } = &script.0[1] else {
+        panic!("expected induction, got {:?}", script.0[1]);
+    };
+    assert_eq!(cases.len(), 2);
+    let rendered = pumpkin_tactics::render(&env, &[], &script);
+    assert!(rendered.contains("New.app_assoc"), "{rendered}");
+    assert!(rendered.contains("New.app_nil_r"), "{rendered}");
+    assert!(rendered.contains("symmetry"), "{rendered}");
+}
+
+/// Fig. 13/14: the rewrite rules of the mini decompiler — an `eq_ind_r`
+/// proof becomes `intro…; rewrite; reflexivity` and re-elaborates.
+#[test]
+fn fig14_rewrite_decompilation() {
+    let mut env = stdlib::std_env();
+    pumpkin_lang::load_source(
+        &mut env,
+        "Definition rew_demo : forall (n m : nat), eq nat n m -> eq nat (S n) (S m) :=
+           fun (n m : nat) (H : eq nat n m) =>
+             eq_ind_r nat m (fun (z : nat) => eq nat (S z) (S m))
+               (eq_refl nat (S m)) n H.",
+    )
+    .unwrap();
+    let (goal, raw) = pumpkin_tactics::decompile_constant(&env, "rew_demo").unwrap();
+    let script = pumpkin_tactics::second_pass(&raw);
+    let kinds: Vec<&str> = script
+        .0
+        .iter()
+        .map(|t| match t {
+            Tactic::Intros(_) | Tactic::Intro(_) => "intros",
+            Tactic::Simpl => "simpl",
+            Tactic::Rewrite { .. } => "rewrite",
+            Tactic::Reflexivity => "reflexivity",
+            _ => "?",
+        })
+        .collect();
+    assert_eq!(kinds, vec!["intros", "simpl", "rewrite", "reflexivity"]);
+    pumpkin_tactics::prove(&env, &goal, &script).unwrap();
+}
+
+/// Fig. 17: the ported `cork` uses all nine record projections, and the
+/// ported `corkLemma` speaks about `corked`.
+#[test]
+fn fig17_record_cork_shape() {
+    let mut env = stdlib::std_env();
+    case_studies::galois_round_trip(&mut env).unwrap();
+    let body = env
+        .const_decl(&"Record.cork".into())
+        .unwrap()
+        .body
+        .clone()
+        .unwrap();
+    for proj in pumpkin_core::search::tuple_record::connection_projs() {
+        assert!(
+            body.mentions_global(&proj),
+            "Record.cork does not mention {proj}"
+        );
+    }
+    let lemma_ty = env.const_decl(&"Record.corkLemma".into()).unwrap().ty.clone();
+    assert!(lemma_ty.mentions_global(&"corked".into()));
+    assert!(!lemma_ty.mentions_global(&"fst".into()));
+}
+
+/// Fig. 9 / §6.3: the repaired slow addition is literally Peano recursion
+/// over `N`, with no reference to `nat`.
+#[test]
+fn fig9_slow_add_shape() {
+    let mut env = stdlib::std_env();
+    case_studies::binary_nat(&mut env).unwrap();
+    let got = env.const_decl(&"slow_add".into()).unwrap().body.clone().unwrap();
+    let expected = pumpkin_lang::term(
+        &env,
+        "fun (n m : N) =>
+           N.peano_rect (fun (x : N) => N) m
+             (fun (p : N) (ih : N) => N.succ ih) n",
+    )
+    .unwrap();
+    assert_eq!(got, expected);
+}
+
+/// §6.2: the repaired zip lemma's statement is the paper's, over
+/// `Σ(n). vector T n`.
+#[test]
+fn fig5_sig_zip_lemma_statement() {
+    let mut env = stdlib::std_env();
+    case_studies::ornament_zip(&mut env).unwrap();
+    let got = env.const_decl(&"Sig.zip_with_is_zip".into()).unwrap().ty.clone();
+    let expected = pumpkin_lang::term(
+        &env,
+        "forall (A : Type 1) (B : Type 1) (l1 : sig_vector A) (l2 : sig_vector B),
+           eq (sig_vector (prod A B))
+              (Sig.zip_with A B (prod A B) (pair A B) l1 l2)
+              (Sig.zip A B l1 l2)",
+    )
+    .unwrap();
+    assert!(conv(&env, &got, &expected));
+}

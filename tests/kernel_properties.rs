@@ -1,0 +1,163 @@
+//! Property-based tests of the kernel substrate: substitution laws,
+//! normalization idempotence, conversion congruence, and parser ↔
+//! pretty-printer round trips on randomly generated terms.
+
+use proptest::prelude::*;
+use pumpkin_pi::pumpkin_kernel::conv::conv;
+use pumpkin_pi::pumpkin_kernel::reduce::normalize;
+use pumpkin_pi::pumpkin_kernel::subst::{lift, lift_from, subst1};
+use pumpkin_pi::pumpkin_kernel::term::Term;
+use pumpkin_pi::pumpkin_kernel::typecheck::infer_closed;
+use pumpkin_pi::pumpkin_lang;
+use pumpkin_pi::pumpkin_stdlib as stdlib;
+use stdlib::nat::{nat_lit, nat_value};
+
+/// Random *well-scoped* (possibly open) lambda terms over `nat`.
+fn arb_scoped(depth: u32) -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0usize..4).prop_map(Term::rel),
+        Just(Term::ind("nat")),
+        Just(Term::construct("nat", 0)),
+        Just(Term::const_("add")),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(f, a)| Term::app1(f, a)),
+            inner
+                .clone()
+                .prop_map(|b| Term::lambda("x", Term::ind("nat"), b)),
+            inner.clone().prop_map(|b| Term::pi("x", Term::ind("nat"), b)),
+        ]
+    })
+}
+
+/// A model of nat arithmetic expressions, evaluable in Rust and buildable
+/// as well-typed kernel terms.
+#[derive(Clone, Debug)]
+enum Arith {
+    Lit(u64),
+    Add(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+}
+
+fn arb_arith() -> impl Strategy<Value = Arith> {
+    let leaf = (0u64..8).prop_map(Arith::Lit);
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+impl Arith {
+    fn eval(&self) -> u64 {
+        match self {
+            Arith::Lit(n) => *n,
+            Arith::Add(a, b) => a.eval() + b.eval(),
+            Arith::Mul(a, b) => a.eval() * b.eval(),
+            Arith::Sub(a, b) => a.eval().saturating_sub(b.eval()),
+        }
+    }
+
+    fn term(&self) -> Term {
+        match self {
+            Arith::Lit(n) => nat_lit(*n),
+            Arith::Add(a, b) => Term::app(Term::const_("add"), [a.term(), b.term()]),
+            Arith::Mul(a, b) => Term::app(Term::const_("mul"), [a.term(), b.term()]),
+            Arith::Sub(a, b) => Term::app(Term::const_("sub"), [a.term(), b.term()]),
+        }
+    }
+}
+
+#[test]
+fn lift_composition_and_identity() {
+    proptest!(|(t in arb_scoped(3), a in 0usize..3, b in 0usize..3)| {
+        prop_assert_eq!(lift(&t, 0), t.clone());
+        prop_assert_eq!(lift(&lift(&t, a), b), lift(&t, a + b));
+    });
+}
+
+#[test]
+fn subst_after_lift_is_identity() {
+    proptest!(|(t in arb_scoped(3), v in arb_scoped(2))| {
+        // Substituting into a lifted term hits nothing.
+        prop_assert_eq!(subst1(&lift_from(&t, 0, 1), &v), t);
+    });
+}
+
+#[test]
+fn lift_commutes_with_subst_at_depth() {
+    proptest!(|(t in arb_scoped(3), v in arb_scoped(2), k in 1usize..3)| {
+        // lift_from above the substitution point commutes.
+        let lhs = lift_from(&subst1(&t, &v), 0, k);
+        let rhs = subst1(&lift_from(&t, 1, k), &lift_from(&v, 0, k));
+        prop_assert_eq!(lhs, rhs);
+    });
+}
+
+#[test]
+fn arithmetic_agrees_with_model_and_normalize_is_idempotent() {
+    let env = stdlib::std_env();
+    proptest!(ProptestConfig::with_cases(64), |(e in arb_arith())| {
+        let t = e.term();
+        let n1 = normalize(&env, &t);
+        prop_assert_eq!(nat_value(&n1), Some(e.eval()));
+        let n2 = normalize(&env, &n1);
+        prop_assert_eq!(&n1, &n2);
+        // Conversion: a term is convertible with its normal form.
+        prop_assert!(conv(&env, &t, &n1));
+        // And typing is preserved by normalization.
+        let ty1 = infer_closed(&env, &t).unwrap();
+        let ty2 = infer_closed(&env, &n1).unwrap();
+        prop_assert!(conv(&env, &ty1, &ty2));
+    });
+}
+
+#[test]
+fn conversion_is_congruent_for_arithmetic() {
+    let env = stdlib::std_env();
+    proptest!(ProptestConfig::with_cases(64), |(a in arb_arith(), b in arb_arith())| {
+        let (ta, tb) = (a.term(), b.term());
+        let equal = a.eval() == b.eval();
+        prop_assert_eq!(conv(&env, &ta, &tb), equal);
+    });
+}
+
+#[test]
+fn pretty_parse_round_trip_on_random_closed_terms() {
+    let env = stdlib::std_env();
+    // Closed terms: wrap open terms in enough lambdas.
+    proptest!(ProptestConfig::with_cases(128), |(t0 in arb_scoped(3))| {
+        let mut t = t0;
+        for _ in 0..4 {
+            t = Term::lambda("v", Term::ind("nat"), t);
+        }
+        prop_assume!(t.is_closed());
+        let printed = pumpkin_lang::pretty(&env, &t);
+        let reparsed = pumpkin_lang::term(&env, &printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(reparsed, t);
+    });
+}
+
+#[test]
+fn record_eta_conversion_holds_for_pairs_and_sigma() {
+    let env = stdlib::std_env();
+    // ∀ p : prod nat bool, (fst p, snd p) ≡ p — definitional surjective
+    // pairing (our documented deviation; see DESIGN.md).
+    let lhs = pumpkin_lang::term(
+        &env,
+        "fun (p : prod nat bool) =>
+           pair nat bool (fst nat bool p) (snd nat bool p)",
+    )
+    .unwrap();
+    let rhs = pumpkin_lang::term(&env, "fun (p : prod nat bool) => p").unwrap();
+    assert!(conv(&env, &lhs, &rhs));
+    // But distinct pairs are still distinguished.
+    let a = pumpkin_lang::term(&env, "pair nat bool O true").unwrap();
+    let b = pumpkin_lang::term(&env, "pair nat bool O false").unwrap();
+    assert!(!conv(&env, &a, &b));
+}

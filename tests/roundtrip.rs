@@ -1,0 +1,41 @@
+//! Whole-library round-trip: every constant in the standard environment
+//! pretty-prints to surface syntax that re-parses to the identical term —
+//! the printer really is the parser's inverse over the full corpus.
+
+use pumpkin_pi::pumpkin_lang;
+use pumpkin_pi::pumpkin_stdlib as stdlib;
+
+#[test]
+fn every_stdlib_body_round_trips_through_the_printer() {
+    let env = stdlib::std_env();
+    let mut checked = 0;
+    for decl in env.constants() {
+        let printed_ty = pumpkin_lang::pretty(&env, &decl.ty);
+        let reparsed_ty = pumpkin_lang::term(&env, &printed_ty)
+            .unwrap_or_else(|e| panic!("{}: type `{printed_ty}` fails to reparse: {e}", decl.name));
+        assert_eq!(reparsed_ty, decl.ty, "type of {}", decl.name);
+        if let Some(body) = &decl.body {
+            let printed = pumpkin_lang::pretty(&env, body);
+            let reparsed = pumpkin_lang::term(&env, &printed)
+                .unwrap_or_else(|e| panic!("{}: body fails to reparse: {e}", decl.name));
+            assert_eq!(&reparsed, body, "body of {}", decl.name);
+        }
+        checked += 1;
+    }
+    assert!(checked > 50, "expected a substantial corpus, saw {checked}");
+}
+
+#[test]
+fn repaired_constants_round_trip_too() {
+    let mut env = stdlib::std_env();
+    pumpkin_pi::case_studies::swap_list_module(&mut env).unwrap();
+    pumpkin_pi::case_studies::ornament_zip(&mut env).unwrap();
+    for name in ["New.rev_app_distr", "New.fold_app", "Sig.zip_with_is_zip", "Sig.rev_length"] {
+        let decl = env.const_decl(&name.into()).unwrap().clone();
+        let body = decl.body.unwrap();
+        let printed = pumpkin_lang::pretty(&env, &body);
+        let reparsed = pumpkin_lang::term(&env, &printed)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reparsed, body, "{name}");
+    }
+}
