@@ -1,55 +1,99 @@
 //! Ablation and scaling benches for the design choices DESIGN.md calls
 //! out:
 //!
-//! * `cache/{on,off}` — the §4.4 "aggressive caching" of intermediate
+//! * `lift_cache/{on,off}` — the §4.4 "aggressive caching" of intermediate
 //!   subterm liftings (added for the industrial proof engineer's ten-second
 //!   budget);
+//! * `kernel_cache/{on,off}` — the kernel-layer conv/whnf memo tables on
+//!   the whole `Swap.v` list-module repair, with hit/miss counters from
+//!   `kernel::stats`;
 //! * `scaling/enum_N` — repair latency as the number of constructors grows
 //!   (the §6.1.3 Enum stress-test, parameterized);
 //! * `scaling/term_size_N` — lifting latency as the proof term grows
 //!   (repairing `app_assoc`-style lemmas over ever larger literal lists).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pumpkin_pi::case_studies;
 use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap};
 use pumpkin_pi::pumpkin_kernel::env::Env;
 use pumpkin_pi::pumpkin_kernel::term::{ElimData, Term};
 use pumpkin_pi::pumpkin_stdlib as stdlib;
+use pumpkin_testkit::Bench;
 use stdlib::nat::nat_lit;
 
-fn bench_cache_ablation(c: &mut Criterion) {
+fn bench_lift_cache_ablation(b: &mut Bench) {
     let base = stdlib::std_env();
-    let mut group = c.benchmark_group("cache");
     for (label, cached) in [("on", true), ("off", false)] {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut env| {
-                    let lifting = pumpkin_core::search::swap::configure(
-                        &mut env,
-                        &"Old.Term".into(),
-                        &"New.Term".into(),
-                        NameMap::prefix("Old.", "New."),
-                    )
-                    .unwrap();
-                    let mut st = if cached {
-                        LiftState::new()
-                    } else {
-                        LiftState::without_cache()
-                    };
-                    pumpkin_core::repair_module(
-                        &mut env,
-                        &lifting,
-                        &mut st,
-                        case_studies::REPLICA_CONSTANTS,
-                    )
-                    .unwrap()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        b.bench(
+            &format!("lift_cache/{label}"),
+            || base.clone(),
+            |mut env| {
+                let lifting = pumpkin_core::search::swap::configure(
+                    &mut env,
+                    &"Old.Term".into(),
+                    &"New.Term".into(),
+                    NameMap::prefix("Old.", "New."),
+                )
+                .unwrap();
+                let mut st = if cached {
+                    LiftState::new()
+                } else {
+                    LiftState::without_cache()
+                };
+                let report = pumpkin_core::repair_module(
+                    &mut env,
+                    &lifting,
+                    &mut st,
+                    case_studies::REPLICA_CONSTANTS,
+                )
+                .unwrap();
+                (report, st)
+            },
+        );
+        // One extra instrumented run to report the counters.
+        let mut env = base.clone();
+        let lifting = pumpkin_core::search::swap::configure(
+            &mut env,
+            &"Old.Term".into(),
+            &"New.Term".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        let mut st = if cached {
+            LiftState::new()
+        } else {
+            LiftState::without_cache()
+        };
+        pumpkin_core::repair_module(&mut env, &lifting, &mut st, case_studies::REPLICA_CONSTANTS)
+            .unwrap();
+        println!("  lift_cache/{label}: {}", st.stats);
     }
-    group.finish();
+}
+
+fn bench_kernel_cache_ablation(b: &mut Bench) {
+    // The tentpole workload: the whole `Swap.v` list-module repair, with
+    // the kernel conv/whnf memo tables enabled vs disabled. One
+    // instrumented run per arm prints the `kernel::stats` counters so the
+    // hit rate backing the speedup is visible next to the timing.
+    let base = stdlib::std_env();
+    for (label, enabled) in [("on", true), ("off", false)] {
+        b.bench(
+            &format!("kernel_cache/{label}"),
+            || {
+                let mut env = base.clone();
+                env.set_kernel_cache(enabled);
+                env
+            },
+            |mut env| {
+                case_studies::swap_list_module(&mut env).unwrap();
+                env
+            },
+        );
+        let mut env = base.clone();
+        env.set_kernel_cache(enabled);
+        env.reset_kernel_stats();
+        case_studies::swap_list_module(&mut env).unwrap();
+        println!("  kernel_cache/{label}: {}", env.kernel_stats());
+    }
 }
 
 /// Builds an environment with two n-constructor enums and a function
@@ -81,30 +125,26 @@ fn enum_env(n: usize) -> (Env, Vec<usize>) {
     (env, perm)
 }
 
-fn bench_enum_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling_enum");
+fn bench_enum_scaling(b: &mut Bench) {
     for n in [5usize, 10, 20, 30] {
         let (base, perm) = enum_env(n);
-        group.bench_function(format!("enum_{n}"), |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut env| {
-                    let lifting = pumpkin_core::search::swap::configure_with(
-                        &mut env,
-                        &"EnumA".into(),
-                        &"EnumB".into(),
-                        &perm,
-                        NameMap::prefix("EnumA.", "EnumB."),
-                    )
-                    .unwrap();
-                    let mut st = LiftState::new();
-                    pumpkin_core::repair(&mut env, &lifting, &mut st, &"EnumA.f".into()).unwrap()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        b.bench(
+            &format!("scaling_enum/enum_{n}"),
+            || base.clone(),
+            |mut env| {
+                let lifting = pumpkin_core::search::swap::configure_with(
+                    &mut env,
+                    &"EnumA".into(),
+                    &"EnumB".into(),
+                    &perm,
+                    NameMap::prefix("EnumA.", "EnumB."),
+                )
+                .unwrap();
+                let mut st = LiftState::new();
+                pumpkin_core::repair(&mut env, &lifting, &mut st, &"EnumA.f".into()).unwrap()
+            },
+        );
     }
-    group.finish();
 }
 
 /// Builds an environment with a lemma instantiating `Old.app_assoc` on
@@ -117,9 +157,7 @@ fn term_size_env(n: usize) -> Env {
         Term::const_("Old.app_assoc"),
         [Term::ind("nat"), l.clone(), l.clone(), l.clone()],
     );
-    let app = |x: Term, y: Term| {
-        Term::app(Term::const_("Old.app"), [Term::ind("nat"), x, y])
-    };
+    let app = |x: Term, y: Term| Term::app(Term::const_("Old.app"), [Term::ind("nat"), x, y]);
     let ty = Term::app(
         Term::ind("eq"),
         [
@@ -132,39 +170,32 @@ fn term_size_env(n: usize) -> Env {
     env
 }
 
-fn bench_term_size_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling_term_size");
+fn bench_term_size_scaling(b: &mut Bench) {
     for n in [4usize, 16, 64] {
         let base = term_size_env(n);
-        group.bench_function(format!("list_len_{n}"), |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut env| {
-                    let lifting = pumpkin_core::search::swap::configure(
-                        &mut env,
-                        &"Old.list".into(),
-                        &"New.list".into(),
-                        NameMap::prefix("Old.", "New."),
-                    )
-                    .unwrap();
-                    let mut st = LiftState::new();
-                    pumpkin_core::repair(&mut env, &lifting, &mut st, &"Old.assoc_inst".into())
-                        .unwrap()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        b.bench(
+            &format!("scaling_term_size/list_len_{n}"),
+            || base.clone(),
+            |mut env| {
+                let lifting = pumpkin_core::search::swap::configure(
+                    &mut env,
+                    &"Old.list".into(),
+                    &"New.list".into(),
+                    NameMap::prefix("Old.", "New."),
+                )
+                .unwrap();
+                let mut st = LiftState::new();
+                pumpkin_core::repair(&mut env, &lifting, &mut st, &"Old.assoc_inst".into()).unwrap()
+            },
+        );
     }
-    group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
+fn main() {
+    let mut b = Bench::from_args();
+    bench_lift_cache_ablation(&mut b);
+    bench_kernel_cache_ablation(&mut b);
+    bench_enum_scaling(&mut b);
+    bench_term_size_scaling(&mut b);
+    b.finish();
 }
-
-criterion_group! {
-    name = ablation;
-    config = config();
-    targets = bench_cache_ablation, bench_enum_scaling, bench_term_size_scaling
-}
-criterion_main!(ablation);

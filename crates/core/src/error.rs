@@ -15,7 +15,11 @@ pub enum RepairError {
     /// The surface language rejected an embedded source snippet.
     Lang(String),
     /// A search procedure could not discover a configuration.
-    SearchFailed { from: GlobalName, to: GlobalName, reason: String },
+    SearchFailed {
+        from: GlobalName,
+        to: GlobalName,
+        reason: String,
+    },
     /// A constructor mapping was invalid (wrong length, not a permutation,
     /// or type-incorrect).
     BadMapping(String),
@@ -39,7 +43,10 @@ impl fmt::Display for RepairError {
             RepairError::Kernel(e) => write!(f, "kernel: {e}"),
             RepairError::Lang(e) => write!(f, "language: {e}"),
             RepairError::SearchFailed { from, to, reason } => {
-                write!(f, "search for a configuration {from} ≃ {to} failed: {reason}")
+                write!(
+                    f,
+                    "search for a configuration {from} ≃ {to} failed: {reason}"
+                )
             }
             RepairError::BadMapping(m) => write!(f, "bad constructor mapping: {m}"),
             RepairError::UnsupportedDirection(m) => {
@@ -49,7 +56,10 @@ impl fmt::Display for RepairError {
                 write!(f, "termination guard tripped while lifting `{constant}`")
             }
             RepairError::UnificationFailed { term, reason } => {
-                write!(f, "could not unify `{term}` with the configuration: {reason}")
+                write!(
+                    f,
+                    "could not unify `{term}` with the configuration: {reason}"
+                )
             }
             RepairError::MissingDependency(n) => {
                 write!(f, "configuration depends on missing global `{n}`")

@@ -14,5 +14,6 @@ pub mod smartelim;
 
 pub use config::{Lifting, NameMap};
 pub use error::{RepairError, Result};
-pub use lift::{lift_term, repair_constant, LiftState};
+pub use lift::{lift_term, repair_constant, LiftState, LiftStats};
+pub use pumpkin_kernel::stats::KernelStats;
 pub use repair::{repair, repair_all, repair_module, RepairReport};

@@ -24,6 +24,10 @@ use crate::config::{Lifting, MatchedElim, MatchedProj};
 use crate::error::{RepairError, Result};
 
 /// Counters exposed for the benchmark harness (cache ablation, §6.4).
+///
+/// These measure the *lift-layer* closed-subterm cache; the kernel-layer
+/// conv/whnf cache underneath it reports through
+/// [`pumpkin_kernel::stats::KernelStats`] (see `Env::kernel_stats`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LiftStats {
     /// Closed-subterm cache hits.
@@ -34,6 +38,32 @@ pub struct LiftStats {
     pub constants_lifted: u64,
     /// Total subterm visits.
     pub visits: u64,
+}
+
+impl LiftStats {
+    /// Fraction of cacheable lookups answered by the closed-subterm cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LiftStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lift {}/{} hits ({:.1}%), {} constants, {} visits",
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.constants_lifted,
+            self.visits,
+        )
+    }
 }
 
 /// Mutable state threaded through a repair session.

@@ -138,7 +138,9 @@ impl SideBuild for BinBuild {
         match j {
             0 => Ok(Term::construct("N", 0)),
             1 => Ok(Term::app(Term::const_("N.succ"), args)),
-            _ => Err(RepairError::BadMapping(format!("nat has no constructor #{j}"))),
+            _ => Err(RepairError::BadMapping(format!(
+                "nat has no constructor #{j}"
+            ))),
         }
     }
 
@@ -250,10 +252,7 @@ mod tests {
         let (mut env, _) = setup();
         load_expanded_add_n_sm(&mut env).unwrap();
         // Behaves like the original lemma.
-        let inst = Term::app(
-            Term::const_("add_n_Sm_expanded"),
-            [nat_lit(2), nat_lit(3)],
-        );
+        let inst = Term::app(Term::const_("add_n_Sm_expanded"), [nat_lit(2), nat_lit(3)]);
         assert!(pumpkin_kernel::typecheck::infer_closed(&env, &inst).is_ok());
     }
 

@@ -4,17 +4,21 @@
 
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::stats::KernelStats;
 
 use crate::config::Lifting;
 use crate::error::{RepairError, Result};
 use crate::lift::{repair_constant, LiftState};
 
 /// The result of a module repair: the constants repaired (old → new), in
-/// completion order.
+/// completion order, plus the kernel-layer work the repair cost.
 #[derive(Clone, Debug, Default)]
 pub struct RepairReport {
     /// Mapping from each repaired source constant to its repaired name.
     pub repaired: Vec<(GlobalName, GlobalName)>,
+    /// Kernel counters (conv/whnf cache traffic, reduction steps) accrued
+    /// while this report's constants were repaired and re-checked.
+    pub kernel: KernelStats,
 }
 
 impl RepairReport {
@@ -54,12 +58,14 @@ pub fn repair_module(
     state: &mut LiftState,
     names: &[&str],
 ) -> Result<RepairReport> {
+    let kernel_before = env.kernel_stats();
     let mut report = RepairReport::default();
     for n in names {
         let from = GlobalName::new(*n);
         let to = repair_constant(env, lifting, state, &from)?;
         report.repaired.push((from, to));
     }
+    report.kernel = env.kernel_stats().since(&kernel_before);
     Ok(report)
 }
 
@@ -99,6 +105,7 @@ pub fn repair_all(
             _ => None,
         })
         .collect();
+    let kernel_before = env.kernel_stats();
     let mut report = RepairReport::default();
     for name in order {
         if excluded.contains(&name) || state.const_map.contains_key(&name) {
@@ -119,6 +126,7 @@ pub fn repair_all(
         let to = repair_constant(env, lifting, state, &name)?;
         report.repaired.push((name, to));
     }
+    report.kernel = env.kernel_stats().since(&kernel_before);
     Ok(report)
 }
 
@@ -147,7 +155,10 @@ pub fn check_source_free(env: &Env, lifting: &Lifting, name: &GlobalName) -> Res
         if mentions {
             return Err(RepairError::UnificationFailed {
                 term: pumpkin_kernel::term::Term::const_(c.clone()),
-                reason: format!("repaired constant `{c}` still mentions `{}`", lifting.a_name),
+                reason: format!(
+                    "repaired constant `{c}` still mentions `{}`",
+                    lifting.a_name
+                ),
             });
         }
         queue.extend(decl.ty.constants());
@@ -353,10 +364,7 @@ mod tests {
         )
         .unwrap();
         let env_fn = pumpkin_lang::term(&env, "fun (i : Id) => O").unwrap();
-        let old_v = Term::app(
-            Term::const_("Old.eval"),
-            [env_fn.clone(), old_t.clone()],
-        );
+        let old_v = Term::app(Term::const_("Old.eval"), [env_fn.clone(), old_t.clone()]);
         let new_v = Term::app(
             Term::const_("New.eval"),
             [env_fn, Term::app(Term::const_(f), [old_t])],

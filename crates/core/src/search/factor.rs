@@ -148,7 +148,9 @@ pub fn configure_with(
         });
     }
     if !(bool_of == [0, 1] || bool_of == [1, 0]) {
-        return Err(RepairError::BadMapping(format!("{bool_of:?} is not a bijection onto bool")));
+        return Err(RepairError::BadMapping(format!(
+            "{bool_of:?} is not a bijection onto bool"
+        )));
     }
 
     let builder = FactorBuild {
@@ -254,12 +256,8 @@ pub fn configure_with(
             ind_b.clone(),
             eq_app(&ind_b, round(&f_name, &g_name, Term::rel(0)), Term::rel(0)),
         );
-        let refl_at = |k: usize| {
-            Term::app(
-                Term::construct("eq", 0),
-                [ind_b.clone(), builder.make(k)],
-            )
-        };
+        let refl_at =
+            |k: usize| Term::app(Term::construct("eq", 0), [ind_b.clone(), builder.make(k)]);
         let body = Term::lambda(
             "x",
             ind_b.clone(),
@@ -285,15 +283,9 @@ pub fn configure_with(
                                 round(
                                     &f_name,
                                     &g_name,
-                                    Term::app(
-                                        Term::construct(b_name.clone(), 0),
-                                        [Term::rel(0)],
-                                    ),
+                                    Term::app(Term::construct(b_name.clone(), 0), [Term::rel(0)]),
                                 ),
-                                Term::app(
-                                    Term::construct(b_name.clone(), 0),
-                                    [Term::rel(0)],
-                                ),
+                                Term::app(Term::construct(b_name.clone(), 0), [Term::rel(0)]),
                             ),
                         ),
                         cases: vec![refl_at(0), refl_at(1)],

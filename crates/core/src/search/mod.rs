@@ -5,5 +5,5 @@
 pub mod factor;
 pub mod ornament;
 pub mod swap;
-pub mod unpack;
 pub mod tuple_record;
+pub mod unpack;

@@ -277,10 +277,7 @@ mod tests {
                 packed.clone(),
             ],
         );
-        assert_eq!(
-            stdlib::nat::nat_value(&normalize(&env, &len)),
-            Some(2)
-        );
+        assert_eq!(stdlib::nat::nat_value(&normalize(&env, &len)), Some(2));
         // And the round trip is the identity.
         let back = Term::app(
             Term::const_("sig_vector_to_list"),
@@ -327,7 +324,10 @@ mod tests {
                 Term::lambda(
                     "n",
                     nat.clone(),
-                    Term::app(Term::ind("vector"), [pumpkin_kernel::subst::lift(&pair_ty, 1), Term::rel(0)]),
+                    Term::app(
+                        Term::ind("vector"),
+                        [pumpkin_kernel::subst::lift(&pair_ty, 1), Term::rel(0)],
+                    ),
                 ),
                 zipped,
             ],
@@ -357,11 +357,8 @@ mod tests {
         );
         let revd = Term::app(Term::const_("Sig.rev"), [nat.clone(), appd]);
         let back = Term::app(Term::const_("sig_vector_to_list"), [nat.clone(), revd]);
-        let expect = stdlib::list::list_lit(
-            "list",
-            nat.clone(),
-            &[nat_lit(3), nat_lit(2), nat_lit(1)],
-        );
+        let expect =
+            stdlib::list::list_lit("list", nat.clone(), &[nat_lit(3), nat_lit(2), nat_lit(1)]);
         assert_eq!(normalize(&env, &back), expect);
     }
 }

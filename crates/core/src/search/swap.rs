@@ -18,9 +18,7 @@ use pumpkin_kernel::inductive::InductiveDecl;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_kernel::term::{Binder, ElimData, Term, TermData};
 
-use crate::config::{
-    EquivalenceNames, Lifting, MatchedElim, NameMap, SideBuild, SideMatch,
-};
+use crate::config::{EquivalenceNames, Lifting, MatchedElim, NameMap, SideBuild, SideMatch};
 use crate::error::{RepairError, Result};
 
 /// Source-side recognizers: the type, its constructors, and its eliminator
@@ -125,7 +123,11 @@ fn same_shape(a_name: &GlobalName, b_name: &GlobalName, a: &[Binder], b: &[Binde
                 rename(body, from, to),
             ),
             TermData::Elim(e) => Term::elim(ElimData {
-                ind: if e.ind == *from { to.clone() } else { e.ind.clone() },
+                ind: if e.ind == *from {
+                    to.clone()
+                } else {
+                    e.ind.clone()
+                },
                 params: e.params.iter().map(|x| rename(x, from, to)).collect(),
                 motive: rename(&e.motive, from, to),
                 cases: e.cases.iter().map(|x| rename(x, from, to)).collect(),
@@ -211,9 +213,8 @@ impl EquivGen {
     /// replacing recursive arguments with induction hypotheses.
     fn map_fn(&self, src: &InductiveDecl, dst: &InductiveDecl, ctor_map: &[usize]) -> Result<Term> {
         let p = src.nparams();
-        let param_refs_at = |extra: usize| -> Vec<Term> {
-            (0..p).map(|i| Term::rel(extra + p - 1 - i)).collect()
-        };
+        let param_refs_at =
+            |extra: usize| -> Vec<Term> { (0..p).map(|i| Term::rel(extra + p - 1 - i)).collect() };
         // Under params + (x : Src params):
         let src_ty = Term::app(Term::ind(src.name.clone()), param_refs_at(0));
         let motive = Term::lambda(
@@ -270,19 +271,16 @@ impl EquivGen {
         back: &GlobalName,
     ) -> Result<Term> {
         let p = src.nparams();
-        let param_refs_at = |extra: usize| -> Vec<Term> {
-            (0..p).map(|i| Term::rel(extra + p - 1 - i)).collect()
-        };
+        let param_refs_at =
+            |extra: usize| -> Vec<Term> { (0..p).map(|i| Term::rel(extra + p - 1 - i)).collect() };
         let src_at = |extra: usize| Term::app(Term::ind(src.name.clone()), param_refs_at(extra));
         let round = |x: Term, extra: usize| -> Term {
             Term::app(
                 Term::const_(back.clone()),
-                param_refs_at(extra)
-                    .into_iter()
-                    .chain([Term::app(
-                        Term::const_(fwd.clone()),
-                        param_refs_at(extra).into_iter().chain([x]),
-                    )]),
+                param_refs_at(extra).into_iter().chain([Term::app(
+                    Term::const_(fwd.clone()),
+                    param_refs_at(extra).into_iter().chain([x]),
+                )]),
             )
         };
         // motive := fun (x : Src) => eq Src (back (fwd x)) x, under params.
@@ -301,7 +299,7 @@ impl EquivGen {
             let flags = src.recursive_flags(j);
             let nb = binders.len();
             let depth = 1 + nb; // params then (x-binder? no) — binders under params+... motive consumed x
-            // Positions of args and IHs among binders.
+                                // Positions of args and IHs among binders.
             let mut arg_refs = Vec::new();
             let mut ih_refs = Vec::new();
             let mut rec_positions = Vec::new(); // indices (into ctor args) of recursive args
@@ -480,10 +478,7 @@ fn generate_equivalence(
             Term::const_(back.clone()),
             (0..p).map(|i| Term::rel(1 + p - 1 - i)).chain([fx]),
         );
-        Term::pis(
-            binders,
-            Term::app(Term::ind("eq"), [src_at(1), gfx, x]),
-        )
+        Term::pis(binders, Term::app(Term::ind("eq"), [src_at(1), gfx, x]))
     };
 
     let f_name = GlobalName::new(format!("{}_to_{}", a.name, b.name));
@@ -569,9 +564,7 @@ pub fn configure_with(
     Ok(Lifting {
         a_name: a_name.clone(),
         b_name: b_name.clone(),
-        matcher: Box::new(SwapMatch {
-            a: a_name.clone(),
-        }),
+        matcher: Box::new(SwapMatch { a: a_name.clone() }),
         builder: Box::new(SwapBuild {
             b: b_name.clone(),
             perm: perm.to_vec(),
@@ -663,10 +656,7 @@ mod tests {
         );
         assert_eq!(normalize(&env, &fx), expect);
         // g (f x) normalizes back to x.
-        let gfx = Term::app(
-            Term::const_(eqv.g.clone()),
-            [Term::ind("nat"), fx],
-        );
+        let gfx = Term::app(Term::const_(eqv.g.clone()), [Term::ind("nat"), fx]);
         assert_eq!(normalize(&env, &gfx), old_list);
     }
 

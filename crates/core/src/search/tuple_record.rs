@@ -24,7 +24,9 @@ use pumpkin_kernel::reduce::whnf;
 use pumpkin_kernel::subst::lift;
 use pumpkin_kernel::term::{ElimData, Term, TermData};
 
-use crate::config::{EquivalenceNames, Lifting, MatchedElim, MatchedProj, NameMap, SideBuild, SideMatch};
+use crate::config::{
+    EquivalenceNames, Lifting, MatchedElim, MatchedProj, NameMap, SideBuild, SideMatch,
+};
 use crate::error::{RepairError, Result};
 
 /// The analyzed shape of a right-nested tuple type.
@@ -218,7 +220,9 @@ impl SideMatch for TupleMatch {
         let mut cur = t.clone();
         #[allow(clippy::while_let_loop)]
         loop {
-            let Some((c, args)) = cur.as_const_app() else { break };
+            let Some((c, args)) = cur.as_const_app() else {
+                break;
+            };
             if args.len() != 3 {
                 break;
             }
@@ -316,7 +320,16 @@ impl TupleBuild {
             } else {
                 let mut xs_next = xs2.clone();
                 xs_next.push(Term::rel(1));
-                level(spec, n, motive, case, k + 1, extra + 2, Term::rel(0), &xs_next)
+                level(
+                    spec,
+                    n,
+                    motive,
+                    case,
+                    k + 1,
+                    extra + 2,
+                    Term::rel(0),
+                    &xs_next,
+                )
             };
             let case_k = Term::lambda("x", fk.clone(), Term::lambda("rest", lift(&tk1, 1), inner));
             Term::elim(ElimData {
@@ -468,7 +481,11 @@ fn generate_equivalence(
             (0..n).map(|i| spec.proj_term(i, 0, Term::rel(0))),
         );
         let f = Term::lambda("c", tuple_ty.clone(), body);
-        env.define(f_name.clone(), Term::arrow(tuple_ty.clone(), record_ty.clone()), f)?;
+        env.define(
+            f_name.clone(),
+            Term::arrow(tuple_ty.clone(), record_ty.clone()),
+            f,
+        )?;
     }
     if !env.contains(g_name.as_str()) {
         // g := fun (r : R) => pair chain of record projections.
@@ -477,7 +494,11 @@ fn generate_equivalence(
             .map(|p| Term::app(Term::const_(p.clone()), [Term::rel(0)]))
             .collect();
         let g = Term::lambda("r", record_ty.clone(), spec.pair_chain(&args));
-        env.define(g_name.clone(), Term::arrow(record_ty.clone(), tuple_ty.clone()), g)?;
+        env.define(
+            g_name.clone(),
+            Term::arrow(record_ty.clone(), tuple_ty.clone()),
+            g,
+        )?;
     }
     let eq_app = |ty: &Term, x: Term, y: Term| Term::app(Term::ind("eq"), [ty.clone(), x, y]);
     let round = |outer: &GlobalName, inner: &GlobalName, x: Term| {
@@ -491,16 +512,26 @@ fn generate_equivalence(
         let ty = Term::pi(
             "c",
             tuple_ty.clone(),
-            eq_app(&tuple_ty, round(&g_name, &f_name, Term::rel(0)), Term::rel(0)),
+            eq_app(
+                &tuple_ty,
+                round(&g_name, &f_name, Term::rel(0)),
+                Term::rel(0),
+            ),
         );
         let motive = Term::lambda(
             "c",
             lift(&tuple_ty, 1),
-            eq_app(&tuple_ty, round(&g_name, &f_name, Term::rel(0)), Term::rel(0)),
+            eq_app(
+                &tuple_ty,
+                round(&g_name, &f_name, Term::rel(0)),
+                Term::rel(0),
+            ),
         );
         // case := fun (x0 … x_{n-1}) => eq_refl T (pair chain of refs).
         let binders: Vec<pumpkin_kernel::term::Binder> = (0..n)
-            .map(|i| pumpkin_kernel::term::Binder::new(format!("x{i}").as_str(), spec.fields[i].clone()))
+            .map(|i| {
+                pumpkin_kernel::term::Binder::new(format!("x{i}").as_str(), spec.fields[i].clone())
+            })
             .collect();
         let refs: Vec<Term> = (0..n).map(|i| Term::rel(n - 1 - i)).collect();
         let case = Term::lambdas(
@@ -523,10 +554,16 @@ fn generate_equivalence(
         let ty = Term::pi(
             "r",
             record_ty.clone(),
-            eq_app(&record_ty, round(&f_name, &g_name, Term::rel(0)), Term::rel(0)),
+            eq_app(
+                &record_ty,
+                round(&f_name, &g_name, Term::rel(0)),
+                Term::rel(0),
+            ),
         );
         let binders: Vec<pumpkin_kernel::term::Binder> = (0..n)
-            .map(|i| pumpkin_kernel::term::Binder::new(format!("x{i}").as_str(), spec.fields[i].clone()))
+            .map(|i| {
+                pumpkin_kernel::term::Binder::new(format!("x{i}").as_str(), spec.fields[i].clone())
+            })
             .collect();
         let refs: Vec<Term> = (0..n).map(|i| Term::rel(n - 1 - i)).collect();
         let case = Term::lambdas(
@@ -548,7 +585,11 @@ fn generate_equivalence(
                 motive: Term::lambda(
                     "r",
                     lift(&record_ty, 1),
-                    eq_app(&record_ty, round(&f_name, &g_name, Term::rel(0)), Term::rel(0)),
+                    eq_app(
+                        &record_ty,
+                        round(&f_name, &g_name, Term::rel(0)),
+                        Term::rel(0),
+                    ),
                 ),
                 cases: vec![case],
                 scrutinee: Term::rel(0),
@@ -564,12 +605,7 @@ fn generate_equivalence(
     })
 }
 
-fn validate(
-    env: &Env,
-    spec: &TupleSpec,
-    record: &GlobalName,
-    projs: &[GlobalName],
-) -> Result<()> {
+fn validate(env: &Env, spec: &TupleSpec, record: &GlobalName, projs: &[GlobalName]) -> Result<()> {
     let decl = env.inductive(record)?;
     if decl.ctors.len() != 1 || decl.nparams() != 0 || decl.nindices() != 0 {
         return Err(RepairError::SearchFailed {

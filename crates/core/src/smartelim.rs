@@ -147,10 +147,7 @@ mod tests {
                             Term::ind("eq"),
                             [
                                 nat.clone(),
-                                Term::app(
-                                    Term::const_("length"),
-                                    [nat.clone(), Term::rel(0)],
-                                ),
+                                Term::app(Term::const_("length"), [nat.clone(), Term::rel(0)]),
                                 nat_lit(elems.len() as u64),
                             ],
                         ),
@@ -165,7 +162,13 @@ mod tests {
         };
         let zipped = Term::app(
             Term::const_("pzip"),
-            [nat.clone(), nat.clone(), nat_lit(2), pack(&[1, 2]), pack(&[3, 4])],
+            [
+                nat.clone(),
+                nat.clone(),
+                nat_lit(2),
+                pack(&[1, 2]),
+                pack(&[3, 4]),
+            ],
         );
         let val = Term::app(
             Term::const_("packed_list_val"),
@@ -177,7 +180,10 @@ mod tests {
         );
         let len = Term::app(
             Term::const_("length"),
-            [Term::app(Term::ind("prod"), [nat.clone(), nat.clone()]), val],
+            [
+                Term::app(Term::ind("prod"), [nat.clone(), nat.clone()]),
+                val,
+            ],
         );
         assert_eq!(nat_value(&normalize(&env, &len)), Some(2));
     }

@@ -22,7 +22,12 @@ fn configure_unknown_types_fails_cleanly() {
 fn swap_between_different_arity_types_fails() {
     let mut env = stdlib::std_env();
     // nat (2 ctors) vs positive (3 ctors): no mapping exists.
-    let r = swap::configure(&mut env, &"nat".into(), &"positive".into(), NameMap::default());
+    let r = swap::configure(
+        &mut env,
+        &"nat".into(),
+        &"positive".into(),
+        NameMap::default(),
+    );
     assert!(matches!(r, Err(RepairError::SearchFailed { .. })));
 }
 
@@ -119,12 +124,8 @@ fn repair_is_idempotent_per_state() {
 fn name_collision_with_different_definition_is_reported() {
     let mut env = stdlib::std_env();
     // Occupy the target name with something else.
-    env.define(
-        "New.rev",
-        Term::ind("nat"),
-        pumpkin_stdlib::nat::nat_lit(0),
-    )
-    .unwrap();
+    env.define("New.rev", Term::ind("nat"), pumpkin_stdlib::nat::nat_lit(0))
+        .unwrap();
     let lifting = swap::configure(
         &mut env,
         &"Old.list".into(),
@@ -183,7 +184,10 @@ fn map_constant_stops_repair_at_a_boundary() {
     let to = repair(&mut env, &lifting, &mut st, &"Old.app_nil_r".into()).unwrap();
     let body = env.const_decl(&to).unwrap().body.clone().unwrap();
     assert!(body.mentions_global(&"my_app".into()));
-    assert!(!env.contains("New.app"), "the boundary prevented a fresh New.app");
+    assert!(
+        !env.contains("New.app"),
+        "the boundary prevented a fresh New.app"
+    );
 }
 
 #[test]

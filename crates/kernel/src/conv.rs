@@ -6,13 +6,29 @@ use crate::subst::lift;
 use crate::term::{Term, TermData};
 
 /// Are `t` and `u` definitionally equal (βδιζη-convertible)?
+///
+/// The `t == u` check is O(1) in practice (pointer identity, then the
+/// precomputed structural hash); everything past it is memoized on the
+/// [`Env`] until the next environment mutation (see
+/// [`Env::kernel_stats`] / [`Env::set_kernel_cache`]).
 pub fn conv(env: &Env, t: &Term, u: &Term) -> bool {
     if t == u {
         return true;
     }
-    let t = whnf(env, t);
-    let u = whnf(env, u);
-    conv_whnf(env, &t, &u)
+    env.tally(|s| s.conv_calls += 1);
+    if let Some(verdict) = env.conv_cached(t, u) {
+        return verdict;
+    }
+    let tw = whnf(env, t);
+    let uw = whnf(env, u);
+    let verdict = conv_whnf(env, &tw, &uw);
+    env.conv_insert(t, u, verdict);
+    // Distinct queries that reduce to the same weak head normal forms
+    // share a verdict, so memoize under the reduced pair as well.
+    if &tw != t || &uw != u {
+        env.conv_insert(&tw, &uw, verdict);
+    }
+    verdict
 }
 
 /// Cumulativity: is `t ≤ u` as types? Identical to conversion except sorts
@@ -50,6 +66,7 @@ fn record_eta(env: &Env, t: &Term, u: &Term) -> bool {
         return false;
     };
     let Ok(decl) = env.inductive(ind) else {
+        env.note_stuck_ind(ind);
         return false;
     };
     if decl.ctors.len() != 1 || decl.nindices() != 0 {
@@ -80,7 +97,11 @@ fn record_eta(env: &Env, t: &Term, u: &Term) -> bool {
         }
         // Parameters must agree with the constructor's.
         if e.params.len() != p
-            || !e.params.iter().zip(args.iter()).all(|(x, y)| conv(env, x, y))
+            || !e
+                .params
+                .iter()
+                .zip(args.iter())
+                .all(|(x, y)| conv(env, x, y))
         {
             return false;
         }
@@ -163,7 +184,8 @@ mod tests {
         // fun (x : Set) => f x  ≡  f
         let f = Term::const_("f");
         let mut env2 = env.clone();
-        env2.assume("f", Term::arrow(Term::set(), Term::set())).unwrap();
+        env2.assume("f", Term::arrow(Term::set(), Term::set()))
+            .unwrap();
         let etad = Term::lambda("x", Term::set(), Term::app(f.clone(), [Term::rel(0)]));
         assert!(conv(&env2, &etad, &f));
         assert!(conv(&env2, &f, &etad));
@@ -191,9 +213,63 @@ mod tests {
         env.set_opaque(&"T".into(), true).unwrap();
         assert!(!conv(&env, &Term::const_("T"), &Term::set()));
         assert!(conv(&env, &Term::const_("T"), &Term::const_("T")));
-        assert!(
-            conv_leq(&env, &Term::const_("T"), &Term::const_("T"))
-        );
+        assert!(conv_leq(&env, &Term::const_("T"), &Term::const_("T")));
         let _ = Sort::Set;
+    }
+
+    #[test]
+    fn conv_cache_hits_are_counted_and_symmetric() {
+        let mut env = Env::new();
+        env.define("T", Term::type_(1), Term::set()).unwrap();
+        let t = Term::const_("T");
+        env.reset_kernel_stats();
+        assert!(conv(&env, &t, &Term::set()));
+        let after_first = env.kernel_stats();
+        assert_eq!(after_first.conv_cache_hits, 0);
+        assert!(after_first.conv_cache_misses >= 1);
+        // Same query again: answered from the table.
+        assert!(conv(&env, &t, &Term::set()));
+        // Swapped operands: conversion is symmetric, still a hit.
+        assert!(conv(&env, &Term::set(), &t));
+        let after = env.kernel_stats();
+        assert!(after.conv_cache_hits >= 2, "stats: {after}");
+        assert_eq!(after.conv_cache_misses, after_first.conv_cache_misses);
+    }
+
+    #[test]
+    fn transparency_flip_invalidates_cached_conversions() {
+        // The δ-staleness scenario the generation counter exists for: a
+        // cached `conv(T, Set) = true` must not survive `set_opaque`.
+        let mut env = Env::new();
+        env.define("T", Term::type_(1), Term::set()).unwrap();
+        let t = Term::const_("T");
+        assert!(conv(&env, &t, &Term::set()));
+        assert!(conv(&env, &t, &Term::set())); // definitely cached now
+        env.set_opaque(&"T".into(), true).unwrap();
+        assert!(!conv(&env, &t, &Term::set()));
+        env.set_opaque(&"T".into(), false).unwrap();
+        assert!(conv(&env, &t, &Term::set()));
+        // A no-op flip does not retire the generation.
+        let gen = env.generation();
+        env.set_opaque(&"T".into(), false).unwrap();
+        assert_eq!(env.generation(), gen);
+    }
+
+    #[test]
+    fn cache_disabled_gives_identical_verdicts() {
+        let mut env = Env::new();
+        env.define("T", Term::type_(1), Term::set()).unwrap();
+        env.define("U", Term::type_(1), Term::const_("T")).unwrap();
+        let queries = [
+            (Term::const_("U"), Term::set()),
+            (Term::const_("U"), Term::const_("T")),
+            (Term::const_("T"), Term::prop()),
+        ];
+        let cached: Vec<bool> = queries.iter().map(|(a, b)| conv(&env, a, b)).collect();
+        env.set_kernel_cache(false);
+        let uncached: Vec<bool> = queries.iter().map(|(a, b)| conv(&env, a, b)).collect();
+        assert_eq!(cached, uncached);
+        assert!(!env.kernel_cache_enabled());
+        env.set_kernel_cache(true);
     }
 }

@@ -1,10 +1,13 @@
-//! The global environment: constants and inductive families.
+//! The global environment: constants and inductive families — plus the
+//! sharing-aware memo tables for the kernel's `conv`/`whnf` hot paths.
 
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
 
 use crate::error::{KernelError, Result};
 use crate::inductive::InductiveDecl;
 use crate::name::GlobalName;
+use crate::stats::KernelStats;
 use crate::term::Term;
 use crate::typecheck;
 
@@ -33,6 +36,58 @@ pub enum GlobalRef {
     Ind(GlobalName),
 }
 
+/// Entries beyond this bound flush a memo table (runaway-workload guard;
+/// real module repairs stay far below it).
+const CACHE_CAP: usize = 1 << 20;
+
+/// Interior-mutable memo tables for `whnf` and `conv`, plus the
+/// [`KernelStats`] counters.
+///
+/// Cached results are valid for a single environment *generation*:
+/// δ-unfolding depends on which constants exist and on their transparency,
+/// so every `Env` mutation that can change a cached answer bumps
+/// [`Env::generation`] and the tables are lazily flushed at the next probe
+/// ([`Env::cache_fresh`]). Globals are immutable once declared
+/// (redeclaration is an error), so mutations split into two classes:
+///
+/// * `set_opaque` flips, `remove`, and the `declare_inductive` rollback
+///   *always* retire the generation — they change what an existing name
+///   means;
+/// * declaring a *new* global (`define`, `assume`, `declare_inductive`)
+///   only retires the generation if some cached computation previously got
+///   stuck on that very name (tracked in `stuck`) — any other cached
+///   result cannot mention a name that did not resolve, so it stays valid.
+///
+/// The tables key on [`Term`] values, which hash by their precomputed
+/// structural hash and compare with pointer-identity/hash fast paths — a
+/// probe is O(1) in practice regardless of term size.
+#[derive(Clone, Debug)]
+struct KernelCache {
+    /// Generation the tables were computed at.
+    stamp: Cell<u64>,
+    /// Master switch (ablation / differential testing).
+    enabled: Cell<bool>,
+    whnf: RefCell<HashMap<Term, Term>>,
+    conv: RefCell<HashMap<(Term, Term), bool>>,
+    /// Undeclared names observed stuck by `whnf`/`conv` this generation;
+    /// declaring one of these retires the generation.
+    stuck: RefCell<HashSet<GlobalName>>,
+    stats: RefCell<KernelStats>,
+}
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        KernelCache {
+            stamp: Cell::new(0),
+            enabled: Cell::new(true),
+            whnf: RefCell::new(HashMap::new()),
+            conv: RefCell::new(HashMap::new()),
+            stuck: RefCell::new(HashSet::new()),
+            stats: RefCell::new(KernelStats::default()),
+        }
+    }
+}
+
 /// The global environment.
 ///
 /// All mutating operations type check their input: a well-typed environment
@@ -43,12 +98,173 @@ pub struct Env {
     inductives: HashMap<GlobalName, InductiveDecl>,
     ctor_names: HashMap<GlobalName, (GlobalName, usize)>,
     order: Vec<GlobalRef>,
+    /// Bumped by every mutation that can change reduction or conversion.
+    generation: u64,
+    cache: KernelCache,
 }
 
 impl Env {
     /// Creates an empty environment.
     pub fn new() -> Self {
         Env::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Conversion/whnf memo tables (see `KernelCache`)
+    // ------------------------------------------------------------------
+
+    /// The environment's mutation generation. Any cached judgement about
+    /// terms (conversion, normal forms, typing) is valid for a single
+    /// generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Enables or disables the kernel-side conv/whnf memo tables
+    /// (disabling also flushes them). For ablation benchmarks and
+    /// differential tests; results must be identical either way.
+    pub fn set_kernel_cache(&mut self, enabled: bool) {
+        self.cache.enabled.set(enabled);
+        if !enabled {
+            self.cache.whnf.borrow_mut().clear();
+            self.cache.conv.borrow_mut().clear();
+            self.cache.stuck.borrow_mut().clear();
+        }
+    }
+
+    /// Is the kernel-side memo layer on?
+    pub fn kernel_cache_enabled(&self) -> bool {
+        self.cache.enabled.get()
+    }
+
+    /// Snapshot of the kernel counters (cache hits/misses, reduction
+    /// steps). Use [`KernelStats::since`] to diff snapshots.
+    pub fn kernel_stats(&self) -> KernelStats {
+        *self.cache.stats.borrow()
+    }
+
+    /// Resets the kernel counters to zero.
+    pub fn reset_kernel_stats(&self) {
+        *self.cache.stats.borrow_mut() = KernelStats::default();
+    }
+
+    /// Records an environment mutation: cached reduction/conversion
+    /// results may no longer hold, so retire the current generation.
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Lazily flushes stale tables; returns whether the cache is usable.
+    fn cache_fresh(&self) -> bool {
+        if !self.cache.enabled.get() {
+            return false;
+        }
+        if self.cache.stamp.get() != self.generation {
+            self.cache.whnf.borrow_mut().clear();
+            self.cache.conv.borrow_mut().clear();
+            self.cache.stuck.borrow_mut().clear();
+            self.cache.stamp.set(self.generation);
+            self.cache.stats.borrow_mut().invalidations += 1;
+        }
+        true
+    }
+
+    /// Records that reduction observed `name` as an *undeclared* constant
+    /// (a stuck δ-step). Cached results computed after this observation may
+    /// change if `name` is later declared, so [`Env::define`] and friends
+    /// consult the set via [`Env::retire_if_observed_stuck`].
+    pub(crate) fn note_stuck_const(&self, name: &GlobalName) {
+        if self.cache.enabled.get() && !self.consts.contains_key(name) {
+            self.cache.stuck.borrow_mut().insert(name.clone());
+        }
+    }
+
+    /// Like [`Env::note_stuck_const`], for a failed inductive lookup
+    /// (a stuck ι-step or η-probe on an undeclared family).
+    pub(crate) fn note_stuck_ind(&self, name: &GlobalName) {
+        if self.cache.enabled.get() {
+            self.cache.stuck.borrow_mut().insert(name.clone());
+        }
+    }
+
+    /// Declaring a brand-new global can only affect cached results that
+    /// observed its name stuck; everything else cached stays valid (names
+    /// are immutable once declared), so the generation is retired only on a
+    /// recorded observation.
+    fn retire_if_observed_stuck(&mut self, name: &GlobalName) {
+        if self.cache.stuck.borrow().contains(name) {
+            self.bump_generation();
+        }
+    }
+
+    /// Applies `f` to the stats counters (no-op free: counters are plain
+    /// integers behind a `RefCell`).
+    pub(crate) fn tally(&self, f: impl FnOnce(&mut KernelStats)) {
+        f(&mut self.cache.stats.borrow_mut());
+    }
+
+    /// Cached weak head normal form of `t`, if the memo layer has one.
+    pub(crate) fn whnf_cached(&self, t: &Term) -> Option<Term> {
+        if !self.cache_fresh() {
+            return None;
+        }
+        let hit = self.cache.whnf.borrow().get(t).cloned();
+        let is_hit = hit.is_some();
+        self.tally(|s| {
+            if is_hit {
+                s.whnf_cache_hits += 1;
+            } else {
+                s.whnf_cache_misses += 1;
+            }
+        });
+        hit
+    }
+
+    /// Memoizes `whnf(t) = r` for the current generation.
+    pub(crate) fn whnf_insert(&self, t: Term, r: Term) {
+        if !self.cache_fresh() {
+            return;
+        }
+        let mut table = self.cache.whnf.borrow_mut();
+        if table.len() >= CACHE_CAP {
+            table.clear();
+        }
+        table.insert(t, r);
+    }
+
+    /// Cached conversion verdict for `(t, u)`, if the memo layer has one.
+    /// Conversion is symmetric, so the swapped pair is probed too.
+    pub(crate) fn conv_cached(&self, t: &Term, u: &Term) -> Option<bool> {
+        if !self.cache_fresh() {
+            return None;
+        }
+        let table = self.cache.conv.borrow();
+        let hit = table
+            .get(&(t.clone(), u.clone()))
+            .or_else(|| table.get(&(u.clone(), t.clone())))
+            .copied();
+        drop(table);
+        let is_hit = hit.is_some();
+        self.tally(|s| {
+            if is_hit {
+                s.conv_cache_hits += 1;
+            } else {
+                s.conv_cache_misses += 1;
+            }
+        });
+        hit
+    }
+
+    /// Memoizes `conv(t, u) = verdict` for the current generation.
+    pub(crate) fn conv_insert(&self, t: &Term, u: &Term, verdict: bool) {
+        if !self.cache_fresh() {
+            return;
+        }
+        let mut table = self.cache.conv.borrow_mut();
+        if table.len() >= CACHE_CAP {
+            table.clear();
+        }
+        table.insert((t.clone(), u.clone()), verdict);
     }
 
     /// Looks up a constant.
@@ -93,18 +309,14 @@ impl Env {
     ///
     /// Fails if the name is taken, the type is not a type, or the body does
     /// not check against the type.
-    pub fn define(
-        &mut self,
-        name: impl Into<GlobalName>,
-        ty: Term,
-        body: Term,
-    ) -> Result<()> {
+    pub fn define(&mut self, name: impl Into<GlobalName>, ty: Term, body: Term) -> Result<()> {
         let name = name.into();
         if self.contains(name.as_str()) {
             return Err(KernelError::Redeclaration(name));
         }
         typecheck::check_is_type(self, &ty)?;
         typecheck::check_closed(self, &body, &ty)?;
+        self.retire_if_observed_stuck(&name);
         self.order.push(GlobalRef::Const(name.clone()));
         self.consts.insert(
             name.clone(),
@@ -133,6 +345,7 @@ impl Env {
             return Err(KernelError::Redeclaration(name));
         }
         typecheck::check_is_type(self, &ty)?;
+        self.retire_if_observed_stuck(&name);
         self.order.push(GlobalRef::Const(name.clone()));
         self.consts.insert(
             name.clone(),
@@ -165,7 +378,9 @@ impl Env {
             }
         }
         // Insert first so constructor types may mention the family, then
-        // validate; roll back on failure.
+        // validate; roll back on failure (which retires the generation, so
+        // nothing computed against the provisional environment survives).
+        self.retire_if_observed_stuck(&name);
         self.inductives.insert(name.clone(), decl);
         let result = (|| {
             let decl = self.inductives.get(&name).expect("just inserted").clone();
@@ -186,6 +401,7 @@ impl Env {
             }
             Err(e) => {
                 self.inductives.remove(&name);
+                self.bump_generation();
                 Err(e)
             }
         }
@@ -210,9 +426,7 @@ impl Env {
         // Collect the names being removed (a family removes its ctors too).
         let mut removed: Vec<GlobalName> = vec![name.clone()];
         if is_ind {
-            removed.extend(
-                self.inductives[name].ctors.iter().map(|c| c.name.clone()),
-            );
+            removed.extend(self.inductives[name].ctors.iter().map(|c| c.name.clone()));
         }
         // Check for remaining references from every other declaration.
         let mentions = |t: &Term| removed.iter().any(|r| t.mentions_global(r));
@@ -220,7 +434,7 @@ impl Env {
             if &decl.name == name {
                 continue;
             }
-            if mentions(&decl.ty) || decl.body.as_ref().is_some_and(|b| mentions(b)) {
+            if mentions(&decl.ty) || decl.body.as_ref().is_some_and(&mentions) {
                 return Err(KernelError::Redeclaration(GlobalName::new(format!(
                     "cannot remove `{name}`: still referenced by `{}`",
                     decl.name
@@ -231,10 +445,13 @@ impl Env {
             if &ind.name == name {
                 continue;
             }
-            let refs = ind.params.iter().chain(ind.indices.iter()).any(|b| mentions(&b.ty))
+            let refs = ind
+                .params
+                .iter()
+                .chain(ind.indices.iter())
+                .any(|b| mentions(&b.ty))
                 || ind.ctors.iter().any(|c| {
-                    c.args.iter().any(|b| mentions(&b.ty))
-                        || c.result_indices.iter().any(mentions)
+                    c.args.iter().any(|b| mentions(&b.ty)) || c.result_indices.iter().any(mentions)
                 });
             if refs {
                 return Err(KernelError::Redeclaration(GlobalName::new(format!(
@@ -244,6 +461,7 @@ impl Env {
             }
         }
         // Safe: remove.
+        self.bump_generation();
         self.consts.remove(name);
         if let Some(ind) = self.inductives.remove(name) {
             for c in &ind.ctors {
@@ -266,7 +484,12 @@ impl Env {
             .consts
             .get_mut(name)
             .ok_or_else(|| KernelError::UnknownGlobal(name.clone()))?;
-        decl.opaque = opaque;
+        if decl.opaque != opaque {
+            decl.opaque = opaque;
+            // Transparency changes which δ-steps fire: cached whnf/conv
+            // results are stale.
+            self.bump_generation();
+        }
         Ok(())
     }
 

@@ -56,7 +56,10 @@ impl fmt::Display for KernelError {
                 write!(f, "term `{term}` has type `{ty}`, which is not a sort")
             }
             KernelError::NotAnInductive { term, ty } => {
-                write!(f, "term `{term}` has type `{ty}`, which is not an inductive family")
+                write!(
+                    f,
+                    "term `{term}` has type `{ty}`, which is not an inductive family"
+                )
             }
             KernelError::TypeMismatch {
                 term,

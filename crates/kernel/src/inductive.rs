@@ -45,70 +45,7 @@ pub struct InductiveDecl {
     pub ctors: Vec<CtorDecl>,
 }
 
-/// Simultaneously substitutes `values` (in declaration order) for the binder
-/// group starting at de Bruijn index `base` in `t`. Binder group convention:
-/// the *first* declared value corresponds to the *deepest* index
-/// `base + len - 1`. The values are interpreted in the context *outside* the
-/// group; indices above the group are shifted down by `values.len()`.
-pub fn subst_group(t: &Term, base: usize, values: &[Term]) -> Term {
-    if values.is_empty() {
-        return t.clone();
-    }
-    fn go(t: &Term, depth: usize, base: usize, values: &[Term]) -> Term {
-        let p = values.len();
-        match t.data() {
-            TermData::Rel(m) => {
-                if *m < depth + base {
-                    t.clone()
-                } else if *m < depth + base + p {
-                    // Group member: first declared is the deepest.
-                    let offset = m - depth - base; // 0 = innermost = last declared
-                    lift(&values[p - 1 - offset], depth + base)
-                } else {
-                    Term::rel(m - p)
-                }
-            }
-            TermData::Sort(_)
-            | TermData::Const(_)
-            | TermData::Ind(_)
-            | TermData::Construct(_, _) => t.clone(),
-            TermData::App(h, args) => Term::app(
-                go(h, depth, base, values),
-                args.iter().map(|a| go(a, depth, base, values)),
-            ),
-            TermData::Lambda(b, body) => Term::new(TermData::Lambda(
-                Binder {
-                    name: b.name.clone(),
-                    ty: go(&b.ty, depth, base, values),
-                },
-                go(body, depth + 1, base, values),
-            )),
-            TermData::Pi(b, body) => Term::new(TermData::Pi(
-                Binder {
-                    name: b.name.clone(),
-                    ty: go(&b.ty, depth, base, values),
-                },
-                go(body, depth + 1, base, values),
-            )),
-            TermData::Let(b, v, body) => Term::new(TermData::Let(
-                Binder {
-                    name: b.name.clone(),
-                    ty: go(&b.ty, depth, base, values),
-                },
-                go(v, depth, base, values),
-                go(body, depth + 1, base, values),
-            )),
-            TermData::Elim(e) => Term::elim(ElimData {
-                ind: e.ind.clone(),
-                params: e.params.iter().map(|x| go(x, depth, base, values)).collect(),
-                motive: go(&e.motive, depth, base, values),
-                cases: e.cases.iter().map(|c| go(c, depth, base, values)).collect(),
-                scrutinee: go(&e.scrutinee, depth, base, values),
-            }),
-        }
-    }
-    go(t, 0, base, values)
-}
+pub use crate::subst::subst_group;
 
 /// Instantiates a telescope whose binders live under a prefix of
 /// `values.len()` binders with the given concrete values.
@@ -156,11 +93,7 @@ impl InductiveDecl {
     /// `param_base` is the de Bruijn index at which the parameter group
     /// starts in `arg_ty`'s context (i.e. the number of constructor argument
     /// binders in scope).
-    pub fn as_recursive_arg<'t>(
-        &self,
-        arg_ty: &'t Term,
-        param_base: usize,
-    ) -> Option<&'t [Term]> {
+    pub fn as_recursive_arg<'t>(&self, arg_ty: &'t Term, param_base: usize) -> Option<&'t [Term]> {
         let (name, args) = arg_ty.as_ind_app()?;
         if name != &self.name {
             return None;
@@ -315,9 +248,7 @@ impl InductiveDecl {
             let ty_inst = subst_group(&b.ty, k, params);
             let d = out.len();
             let ty_out = remap(&ty_inst, k, &arg_levels, d);
-            let rec_indices = self
-                .as_recursive_arg(&b.ty, k)
-                .map(|idxs| idxs.to_vec());
+            let rec_indices = self.as_recursive_arg(&b.ty, k).map(|idxs| idxs.to_vec());
             out.push(Binder {
                 name: b.name.clone(),
                 ty: ty_out,
@@ -334,10 +265,7 @@ impl InductiveDecl {
                     })
                     .collect();
                 let arg_ref = Term::rel(d_ih - 1 - arg_levels[k]);
-                let ih_ty = Term::app(
-                    lift(motive, d_ih),
-                    idxs_out.into_iter().chain([arg_ref]),
-                );
+                let ih_ty = Term::app(lift(motive, d_ih), idxs_out.into_iter().chain([arg_ref]));
                 let ih_name = match b.name.as_str() {
                     Some(s) => Name::named(format!("IH{s}")),
                     None => Name::named("IH"),
@@ -360,7 +288,9 @@ impl InductiveDecl {
                 remap(&ix_inst, nargs, &arg_levels, d)
             })
             .collect();
-        let arg_refs: Vec<Term> = (0..nargs).map(|k| Term::rel(d - 1 - arg_levels[k])).collect();
+        let arg_refs: Vec<Term> = (0..nargs)
+            .map(|k| Term::rel(d - 1 - arg_levels[k]))
+            .collect();
         let ctor_app = Term::app(
             Term::construct(self.name.clone(), j),
             params.iter().map(|p| lift(p, d)).chain(arg_refs),
@@ -489,10 +419,7 @@ mod tests {
                     name: "cons".into(),
                     args: vec![
                         Binder::new("t", Term::rel(0)),
-                        Binder::new(
-                            "l",
-                            Term::app(Term::ind("list"), [Term::rel(1)]),
-                        ),
+                        Binder::new("l", Term::app(Term::ind("list"), [Term::rel(1)])),
                     ],
                     result_indices: vec![],
                 },

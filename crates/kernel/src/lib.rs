@@ -53,6 +53,7 @@ pub mod error;
 pub mod inductive;
 pub mod name;
 pub mod reduce;
+pub mod stats;
 pub mod subst;
 pub mod term;
 pub mod typecheck;
@@ -66,7 +67,10 @@ pub mod prelude {
     pub use crate::inductive::{CtorDecl, InductiveDecl};
     pub use crate::name::{GlobalName, Name};
     pub use crate::reduce::{normalize, whnf};
-    pub use crate::subst::{beta_apply, lift, lift_from, subst1, subst_at, subst_many};
+    pub use crate::stats::KernelStats;
+    pub use crate::subst::{
+        beta_apply, lift, lift_from, subst1, subst_at, subst_group, subst_many,
+    };
     pub use crate::term::{Binder, ElimData, Term, TermData};
     pub use crate::typecheck::{
         check, check_closed, check_is_type, infer, infer_closed, infer_sort, Ctx,

@@ -13,28 +13,70 @@ use crate::term::{Binder, ElimData, Term, TermData};
 ///
 /// Infallible: ill-formed redexes (unknown globals, arity mismatches) are
 /// simply left stuck; the type checker reports them properly.
+///
+/// Results are memoized on the [`Env`] (keyed by the term's precomputed
+/// structural hash) until the next environment mutation; see
+/// [`Env::kernel_stats`] for the hit/miss instrumentation and
+/// [`Env::set_kernel_cache`] for the ablation switch.
 pub fn whnf(env: &Env, t: &Term) -> Term {
+    // Terms that are already weak-head-normal never enter the memo table;
+    // answering them is cheaper than hashing them.
+    match t.data() {
+        TermData::Rel(_)
+        | TermData::Sort(_)
+        | TermData::Ind(_)
+        | TermData::Construct(_, _)
+        | TermData::Lambda(_, _)
+        | TermData::Pi(_, _) => return t.clone(),
+        TermData::Const(n) if env.unfold(n).is_none() => {
+            env.note_stuck_const(n);
+            return t.clone();
+        }
+        _ => {}
+    }
+    env.tally(|s| s.whnf_calls += 1);
+    if let Some(r) = env.whnf_cached(t) {
+        return r;
+    }
+    let r = whnf_uncached(env, t);
+    env.whnf_insert(t.clone(), r.clone());
+    r
+}
+
+fn whnf_uncached(env: &Env, t: &Term) -> Term {
     let mut t = t.clone();
     loop {
         let (head, args) = t.unfold_app();
         match head.data() {
             TermData::Const(n) => match env.unfold(n) {
                 Some(body) => {
+                    env.tally(|s| s.delta_steps += 1);
                     t = Term::app(body.clone(), args.iter().cloned());
                 }
-                None => return t.clone(),
+                None => {
+                    env.note_stuck_const(n);
+                    return t.clone();
+                }
             },
             TermData::Let(_, v, body) => {
+                env.tally(|s| s.zeta_steps += 1);
                 t = Term::app(subst1(body, v), args.iter().cloned());
             }
             TermData::Lambda(_, _) if !args.is_empty() => {
+                env.tally(|s| s.beta_steps += 1);
                 t = beta_apply(head, args);
             }
             TermData::Elim(e) => {
                 let scrut = whnf(env, &e.scrutinee);
                 let reduced = (|| {
                     let (cind, j, cargs) = scrut.as_construct_app()?;
-                    let decl = env.inductive(cind).ok()?;
+                    let decl = match env.inductive(cind) {
+                        Ok(d) => d,
+                        Err(_) => {
+                            env.note_stuck_ind(cind);
+                            return None;
+                        }
+                    };
                     if cind != &e.ind {
                         return None;
                     }
@@ -47,6 +89,7 @@ pub fn whnf(env: &Env, t: &Term) -> Term {
                 })();
                 match reduced {
                     Some(r) => {
+                        env.tally(|s| s.iota_steps += 1);
                         t = Term::app(r, args.iter().cloned());
                     }
                     None => {
@@ -73,10 +116,9 @@ pub fn normalize(env: &Env, t: &Term) -> Term {
         | TermData::Const(_)
         | TermData::Ind(_)
         | TermData::Construct(_, _) => t.clone(),
-        TermData::App(h, args) => Term::app(
-            normalize(env, h),
-            args.iter().map(|a| normalize(env, a)),
-        ),
+        TermData::App(h, args) => {
+            Term::app(normalize(env, h), args.iter().map(|a| normalize(env, a)))
+        }
         TermData::Lambda(b, body) => Term::new(TermData::Lambda(
             Binder {
                 name: b.name.clone(),
@@ -176,7 +218,10 @@ mod tests {
         let mut env = env_with_nat();
         env.define(
             "add",
-            Term::arrow(Term::ind("nat"), Term::arrow(Term::ind("nat"), Term::ind("nat"))),
+            Term::arrow(
+                Term::ind("nat"),
+                Term::arrow(Term::ind("nat"), Term::ind("nat")),
+            ),
             add(),
         )
         .unwrap();
@@ -187,17 +232,79 @@ mod tests {
     #[test]
     fn opaque_blocks_delta() {
         let mut env = env_with_nat();
-        env.define(
-            "two",
-            Term::ind("nat"),
-            nat_lit(2),
-        )
-        .unwrap();
+        env.define("two", Term::ind("nat"), nat_lit(2)).unwrap();
         assert_eq!(whnf(&env, &Term::const_("two")), nat_lit(2));
         env.set_opaque(&"two".into(), true).unwrap();
         assert_eq!(whnf(&env, &Term::const_("two")), Term::const_("two"));
         env.set_opaque(&"two".into(), false).unwrap();
         assert_eq!(normalize(&env, &Term::const_("two")), nat_lit(2));
+    }
+
+    #[test]
+    fn whnf_memo_hits_and_step_counters() {
+        let mut env = env_with_nat();
+        env.define(
+            "add",
+            Term::arrow(
+                Term::ind("nat"),
+                Term::arrow(Term::ind("nat"), Term::ind("nat")),
+            ),
+            add(),
+        )
+        .unwrap();
+        let call = Term::app(Term::const_("add"), [nat_lit(2), nat_lit(3)]);
+        env.reset_kernel_stats();
+        let r1 = whnf(&env, &call);
+        let first = env.kernel_stats();
+        assert!(first.delta_steps >= 1, "δ fired: {first}");
+        assert!(first.beta_steps >= 1, "β fired: {first}");
+        assert!(first.iota_steps >= 1, "ι fired: {first}");
+        assert_eq!(first.whnf_cache_hits, 0);
+        // A structurally equal (but freshly allocated) term hits the memo.
+        let call2 = Term::app(Term::const_("add"), [nat_lit(2), nat_lit(3)]);
+        let r2 = whnf(&env, &call2);
+        assert_eq!(r1, r2);
+        let second = env.kernel_stats();
+        assert_eq!(second.whnf_cache_hits, 1);
+        // No further reduction work was done for the hit.
+        assert_eq!(second.reduction_steps(), first.reduction_steps());
+    }
+
+    #[test]
+    fn whnf_memo_respects_transparency_flips() {
+        let mut env = env_with_nat();
+        env.define("two", Term::ind("nat"), nat_lit(2)).unwrap();
+        let two = Term::const_("two");
+        assert_eq!(whnf(&env, &two), nat_lit(2));
+        env.set_opaque(&"two".into(), true).unwrap();
+        // Stale memo entry must not resurface the unfolded body.
+        assert_eq!(whnf(&env, &two), two);
+        env.set_opaque(&"two".into(), false).unwrap();
+        assert_eq!(whnf(&env, &two), nat_lit(2));
+    }
+
+    #[test]
+    fn whnf_cache_disabled_agrees_with_enabled() {
+        let mut env = env_with_nat();
+        env.define(
+            "add",
+            Term::arrow(
+                Term::ind("nat"),
+                Term::arrow(Term::ind("nat"), Term::ind("nat")),
+            ),
+            add(),
+        )
+        .unwrap();
+        let call = Term::app(Term::const_("add"), [nat_lit(2), nat_lit(3)]);
+        let cached = whnf(&env, &call);
+        env.set_kernel_cache(false);
+        let uncached = whnf(&env, &call);
+        assert_eq!(cached, uncached);
+        let stats = env.kernel_stats();
+        env.set_kernel_cache(true);
+        // With the cache off, probes are not counted as hits.
+        let _ = whnf(&env, &call);
+        assert!(env.kernel_stats().whnf_cache_misses >= stats.whnf_cache_misses);
     }
 
     #[test]
@@ -225,7 +332,14 @@ mod tests {
             ind: "nat".into(),
             params: vec![],
             motive: Term::lambda("_", Term::ind("nat"), Term::ind("nat")),
-            cases: vec![nat_lit(0), Term::lambda("n", Term::ind("nat"), Term::lambda("ih", Term::ind("nat"), Term::rel(0)))],
+            cases: vec![
+                nat_lit(0),
+                Term::lambda(
+                    "n",
+                    Term::ind("nat"),
+                    Term::lambda("ih", Term::ind("nat"), Term::rel(0)),
+                ),
+            ],
             scrutinee: Term::app(
                 Term::lambda("z", Term::ind("nat"), Term::rel(0)),
                 [Term::const_("k")],

@@ -46,9 +46,17 @@ pub fn lift_from(t: &Term, cutoff: usize, amount: usize) -> Term {
         )),
         TermData::Elim(e) => Term::elim(ElimData {
             ind: e.ind.clone(),
-            params: e.params.iter().map(|p| lift_from(p, cutoff, amount)).collect(),
+            params: e
+                .params
+                .iter()
+                .map(|p| lift_from(p, cutoff, amount))
+                .collect(),
             motive: lift_from(&e.motive, cutoff, amount),
-            cases: e.cases.iter().map(|c| lift_from(c, cutoff, amount)).collect(),
+            cases: e
+                .cases
+                .iter()
+                .map(|c| lift_from(c, cutoff, amount))
+                .collect(),
             scrutinee: lift_from(&e.scrutinee, cutoff, amount),
         }),
     }
@@ -121,13 +129,84 @@ pub fn subst1(t: &Term, value: &Term) -> Term {
 /// Substitutes a telescope of values for binders `0..values.len()`, where
 /// `values[0]` replaces the *innermost* binder `Rel(0)`.
 ///
-/// All values are interpreted in the context outside the whole binder group.
+/// All values are interpreted in the context outside the whole binder group:
+/// this is a genuine *simultaneous* substitution. (A previous implementation
+/// iterated [`subst1`], which decremented the free variables of
+/// earlier-substituted open values — e.g. `Rel(0)[Rel(5), b]` came out as
+/// `Rel(4)`; see `tests/kernel_properties.rs::subst_many_open_values`.)
 pub fn subst_many(t: &Term, values: &[Term]) -> Term {
-    let mut out = t.clone();
-    for v in values {
-        out = subst1(&out, v);
+    // `subst_group` declares the *deepest* binder first, so reverse.
+    let declared: Vec<Term> = values.iter().rev().cloned().collect();
+    subst_group(t, 0, &declared)
+}
+
+/// Simultaneously substitutes `values` (in declaration order) for the binder
+/// group starting at de Bruijn index `base` in `t`. Binder group convention:
+/// the *first* declared value corresponds to the *deepest* index
+/// `base + len - 1`. The values are interpreted in the context *outside* the
+/// group; indices above the group are shifted down by `values.len()`.
+pub fn subst_group(t: &Term, base: usize, values: &[Term]) -> Term {
+    if values.is_empty() {
+        return t.clone();
     }
-    out
+    fn go(t: &Term, depth: usize, base: usize, values: &[Term]) -> Term {
+        let p = values.len();
+        match t.data() {
+            TermData::Rel(m) => {
+                if *m < depth + base {
+                    t.clone()
+                } else if *m < depth + base + p {
+                    // Group member: first declared is the deepest.
+                    let offset = m - depth - base; // 0 = innermost = last declared
+                    lift(&values[p - 1 - offset], depth + base)
+                } else {
+                    Term::rel(m - p)
+                }
+            }
+            TermData::Sort(_)
+            | TermData::Const(_)
+            | TermData::Ind(_)
+            | TermData::Construct(_, _) => t.clone(),
+            TermData::App(h, args) => Term::app(
+                go(h, depth, base, values),
+                args.iter().map(|a| go(a, depth, base, values)),
+            ),
+            TermData::Lambda(b, body) => Term::new(TermData::Lambda(
+                Binder {
+                    name: b.name.clone(),
+                    ty: go(&b.ty, depth, base, values),
+                },
+                go(body, depth + 1, base, values),
+            )),
+            TermData::Pi(b, body) => Term::new(TermData::Pi(
+                Binder {
+                    name: b.name.clone(),
+                    ty: go(&b.ty, depth, base, values),
+                },
+                go(body, depth + 1, base, values),
+            )),
+            TermData::Let(b, v, body) => Term::new(TermData::Let(
+                Binder {
+                    name: b.name.clone(),
+                    ty: go(&b.ty, depth, base, values),
+                },
+                go(v, depth, base, values),
+                go(body, depth + 1, base, values),
+            )),
+            TermData::Elim(e) => Term::elim(ElimData {
+                ind: e.ind.clone(),
+                params: e
+                    .params
+                    .iter()
+                    .map(|x| go(x, depth, base, values))
+                    .collect(),
+                motive: go(&e.motive, depth, base, values),
+                cases: e.cases.iter().map(|c| go(c, depth, base, values)).collect(),
+                scrutinee: go(&e.scrutinee, depth, base, values),
+            }),
+        }
+    }
+    go(t, 0, base, values)
 }
 
 /// Beta-reduces `fun xs => body` applied to `args` as far as the binders
@@ -155,28 +234,16 @@ mod tests {
     #[test]
     fn lift_respects_cutoff() {
         // fun (x : Set) => #0 #1  — #0 bound, #1 free.
-        let t = Term::lambda(
-            "x",
-            Term::set(),
-            Term::app(Term::rel(0), [Term::rel(1)]),
-        );
+        let t = Term::lambda("x", Term::set(), Term::app(Term::rel(0), [Term::rel(1)]));
         let lifted = lift(&t, 3);
-        let expect = Term::lambda(
-            "x",
-            Term::set(),
-            Term::app(Term::rel(0), [Term::rel(4)]),
-        );
+        let expect = Term::lambda("x", Term::set(), Term::app(Term::rel(0), [Term::rel(4)]));
         assert_eq!(lifted, expect);
     }
 
     #[test]
     fn subst_under_binder() {
         // (fun (x : Set) => #0 #1)[#0 := c]  ==  fun (x : Set) => #0 c
-        let t = Term::lambda(
-            "x",
-            Term::set(),
-            Term::app(Term::rel(0), [Term::rel(1)]),
-        );
+        let t = Term::lambda("x", Term::set(), Term::app(Term::rel(0), [Term::rel(1)]));
         let c = Term::const_("c");
         let r = subst1(&t, &c);
         let expect = Term::lambda(
@@ -232,9 +299,72 @@ mod tests {
         // #0 and #1 replaced by a and b respectively.
         let t = Term::app(Term::rel(0), [Term::rel(1)]);
         let r = subst_many(&t, &[Term::const_("a"), Term::const_("b")]);
+        assert_eq!(r, Term::app(Term::const_("a"), [Term::const_("b")]));
+    }
+
+    #[test]
+    fn subst_many_keeps_open_values_intact() {
+        // Regression: iterated subst1 dropped Rel(0)[Rel(5), b] to Rel(4) —
+        // the later substitution of `b` decremented the already-substituted
+        // open value. Simultaneous substitution must leave it at Rel(5).
+        let r = subst_many(&Term::rel(0), &[Term::rel(5), Term::const_("b")]);
+        assert_eq!(r, Term::rel(5));
+        // Both values open: each keeps its outside-the-group interpretation.
+        let t = Term::app(Term::rel(0), [Term::rel(1)]);
+        let r = subst_many(&t, &[Term::rel(3), Term::rel(7)]);
+        assert_eq!(r, Term::app(Term::rel(3), [Term::rel(7)]));
+    }
+
+    #[test]
+    fn subst_many_shifts_ambient_indices_down() {
+        // Rel(2) is outside a group of two binders: it ends at Rel(0), and
+        // open values are untouched by the shift.
+        let t = Term::app(Term::rel(2), [Term::rel(0), Term::rel(1)]);
+        let r = subst_many(&t, &[Term::rel(0), Term::const_("c")]);
         assert_eq!(
             r,
-            Term::app(Term::const_("a"), [Term::const_("b")])
+            Term::app(Term::rel(0), [Term::rel(0), Term::const_("c")])
         );
+    }
+
+    #[test]
+    fn subst_many_lifts_open_values_under_binders() {
+        // (fun (x : Set) => #1 #2)[#4, c] == fun (x : Set) => #5 c:
+        // inside the lambda the group sits at indices 1..3, and the open
+        // value #4 must be lifted across the lambda binder.
+        let t = Term::lambda("x", Term::set(), Term::app(Term::rel(1), [Term::rel(2)]));
+        let r = subst_many(&t, &[Term::rel(4), Term::const_("c")]);
+        let expect = Term::lambda(
+            "x",
+            Term::set(),
+            Term::app(Term::rel(5), [Term::const_("c")]),
+        );
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn subst_many_agrees_with_descending_subst_at() {
+        // The spec: simultaneous substitution equals substituting one value
+        // at a time at *descending* indices (each subst_at removes the
+        // outermost remaining group binder, so earlier-substituted values
+        // are never re-traversed).
+        let t = Term::app(
+            Term::rel(0),
+            [
+                Term::rel(1),
+                Term::rel(2),
+                Term::lambda("x", Term::set(), Term::app(Term::rel(1), [Term::rel(3)])),
+            ],
+        );
+        let values = [
+            Term::rel(2),
+            Term::app(Term::rel(0), [Term::rel(1)]),
+            Term::const_("k"),
+        ];
+        let mut expect = t.clone();
+        for (k, v) in values.iter().enumerate().rev() {
+            expect = subst_at(&expect, k, v);
+        }
+        assert_eq!(subst_many(&t, &values), expect);
     }
 }

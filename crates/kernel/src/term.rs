@@ -108,20 +108,66 @@ pub enum TermData {
     Elim(ElimData),
 }
 
+/// The allocation unit behind [`Term`]: the payload plus its structural
+/// hash, computed once at allocation. Because subterms are themselves
+/// `Term`s (whose hashes are cached), hashing a new node is O(arity), not
+/// O(size); and a 64-bit hash mismatch disproves structural equality
+/// without walking either term.
+struct TermCell {
+    hash: u64,
+    data: TermData,
+}
+
 /// A term of CIC_ω. Cheap to clone (reference counted).
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Term(Rc<TermData>);
+///
+/// Equality is alpha-equivalence with two fast paths: pointer identity
+/// (shared subterms compare in O(1)) and the precomputed structural hash
+/// (unequal terms almost always compare in O(1)). `Hash` writes the cached
+/// hash, so `Term` keys cost O(1) in hash maps — this is what makes the
+/// kernel's conversion/whnf caches (see [`crate::env::Env`]) affordable.
+#[derive(Clone)]
+pub struct Term(Rc<TermCell>);
+
+impl PartialEq for Term {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+            || (self.0.hash == other.0.hash && self.0.data == other.0.data)
+    }
+}
+impl Eq for Term {}
+impl Hash for Term {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
 
 impl Term {
     /// Wraps raw term data. Prefer the smart constructors, which maintain the
     /// spine invariant for applications.
     pub fn new(data: TermData) -> Self {
-        Term(Rc::new(data))
+        // A fixed-key hasher: `DefaultHasher::new()` is deterministic, so
+        // structural hashes are stable within (and across) processes.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        data.hash(&mut h);
+        Term(Rc::new(TermCell {
+            hash: h.finish(),
+            data,
+        }))
     }
 
     /// The underlying data.
     pub fn data(&self) -> &TermData {
-        &self.0
+        &self.0.data
+    }
+
+    /// The precomputed structural hash (alpha-invariant, like equality).
+    pub fn structural_hash(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Do `self` and `other` share the same allocation? Implies equality.
+    pub fn same_allocation(&self, other: &Term) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
     }
 
     // ------------------------------------------------------------------
@@ -391,10 +437,9 @@ impl Term {
     pub fn mentions_global(&self, name: &GlobalName) -> bool {
         let mut found = false;
         self.visit(&mut |t| match t.data() {
-            TermData::Const(n) | TermData::Ind(n) | TermData::Construct(n, _)
-                if n == name => {
-                    found = true;
-                }
+            TermData::Const(n) | TermData::Ind(n) | TermData::Construct(n, _) if n == name => {
+                found = true;
+            }
             TermData::Elim(e) if &e.ind == name => found = true,
             _ => {}
         });

@@ -9,7 +9,7 @@
 //! used for `eq_rect`), and constructor argument sorts are not constrained
 //! by the family's sort.
 
-use crate::conv::{conv_leq, conv};
+use crate::conv::{conv, conv_leq};
 use crate::env::Env;
 use crate::error::{KernelError, Result};
 use crate::inductive::{instantiate_telescope, telescope_rels};
@@ -63,6 +63,7 @@ impl Ctx {
 
 /// Infers the type of `t` in context `ctx`.
 pub fn infer(env: &Env, ctx: &mut Ctx, t: &Term) -> Result<Term> {
+    env.tally(|s| s.infer_calls += 1);
     match t.data() {
         TermData::Rel(i) => ctx.lookup(*i),
         TermData::Sort(s) => Ok(Term::sort(s.succ())),
@@ -110,12 +111,7 @@ pub fn infer(env: &Env, ctx: &mut Ctx, t: &Term) -> Result<Term> {
     }
 }
 
-fn infer_elim(
-    env: &Env,
-    ctx: &mut Ctx,
-    whole: &Term,
-    e: &crate::term::ElimData,
-) -> Result<Term> {
+fn infer_elim(env: &Env, ctx: &mut Ctx, whole: &Term, e: &crate::term::ElimData) -> Result<Term> {
     let decl = env.inductive(&e.ind)?.clone();
     let p = decl.nparams();
     let nidx = decl.nindices();
@@ -128,17 +124,11 @@ fn infer_elim(
     if e.cases.len() != decl.ctors.len() {
         return Err(KernelError::IllFormedElim {
             ind: e.ind.clone(),
-            reason: format!(
-                "expected {} cases, got {}",
-                decl.ctors.len(),
-                e.cases.len()
-            ),
+            reason: format!("expected {} cases, got {}", decl.ctors.len(), e.cases.len()),
         });
     }
     // Check the parameters against the (incrementally instantiated)
     // parameter telescope.
-    let param_tys = instantiate_telescope(&decl.params, &[]);
-    let _ = param_tys; // params telescope binders close over earlier params only
     {
         let mut checked: Vec<Term> = Vec::with_capacity(p);
         for (i, b) in decl.params.iter().enumerate() {
@@ -151,12 +141,13 @@ fn infer_elim(
     // Scrutinee: must be `Ind params indices`.
     let scrut_ty = infer(env, ctx, &e.scrutinee)?;
     let scrut_ty_w = whnf(env, &scrut_ty);
-    let (ind_name, ind_args) = scrut_ty_w.as_ind_app().ok_or_else(|| {
-        KernelError::NotAnInductive {
-            term: e.scrutinee.clone(),
-            ty: scrut_ty_w.clone(),
-        }
-    })?;
+    let (ind_name, ind_args) =
+        scrut_ty_w
+            .as_ind_app()
+            .ok_or_else(|| KernelError::NotAnInductive {
+                term: e.scrutinee.clone(),
+                ty: scrut_ty_w.clone(),
+            })?;
     if ind_name != &e.ind || ind_args.len() != p + nidx {
         return Err(KernelError::IllFormedElim {
             ind: e.ind.clone(),
@@ -270,9 +261,7 @@ fn check_motive_shape(
     if result.is_ok() {
         let final_w = whnf(env, &ty);
         if final_w.as_sort().is_none() {
-            result = Err(fail(format!(
-                "motive codomain `{final_w}` is not a sort"
-            )));
+            result = Err(fail(format!("motive codomain `{final_w}` is not a sort")));
         }
     }
     for _ in 0..pushed {
@@ -353,7 +342,11 @@ mod tests {
     #[test]
     fn identity_function() {
         let env = Env::new();
-        let id = Term::lambda("A", Term::type_(0), Term::lambda("x", Term::rel(0), Term::rel(0)));
+        let id = Term::lambda(
+            "A",
+            Term::type_(0),
+            Term::lambda("x", Term::rel(0), Term::rel(0)),
+        );
         let ty = infer_closed(&env, &id).unwrap();
         let expected = Term::pi(
             "A",

@@ -11,8 +11,16 @@ fn base_env() -> Env {
         indices: vec![],
         sort: Sort::Set,
         ctors: vec![
-            CtorDecl { name: "true".into(), args: vec![], result_indices: vec![] },
-            CtorDecl { name: "false".into(), args: vec![], result_indices: vec![] },
+            CtorDecl {
+                name: "true".into(),
+                args: vec![],
+                result_indices: vec![],
+            },
+            CtorDecl {
+                name: "false".into(),
+                args: vec![],
+                result_indices: vec![],
+            },
         ],
     })
     .unwrap();
@@ -22,7 +30,11 @@ fn base_env() -> Env {
         indices: vec![],
         sort: Sort::Set,
         ctors: vec![
-            CtorDecl { name: "O".into(), args: vec![], result_indices: vec![] },
+            CtorDecl {
+                name: "O".into(),
+                args: vec![],
+                result_indices: vec![],
+            },
             CtorDecl {
                 name: "S".into(),
                 args: vec![Binder::new("n", Term::ind("nat"))],
@@ -58,10 +70,7 @@ fn env_with_vector() -> Env {
                         Term::app(Term::ind("vector"), [Term::rel(2), Term::rel(0)]),
                     ),
                 ],
-                result_indices: vec![Term::app(
-                    Term::construct("nat", 1),
-                    [Term::rel(1)],
-                )],
+                result_indices: vec![Term::app(Term::construct("nat", 1), [Term::rel(1)])],
             },
         ],
     })
@@ -100,11 +109,7 @@ fn impredicative_prop_products() {
     );
     // The product's *sort* is Type(4) because the codomain Prop : Type(1)…
     // but the product over a Prop codomain is Prop:
-    let prop_valued = Term::pi(
-        "A",
-        Term::type_(3),
-        Term::arrow(Term::rel(0), Term::prop()),
-    );
+    let prop_valued = Term::pi("A", Term::type_(3), Term::arrow(Term::rel(0), Term::prop()));
     let _ = prop_valued;
     // ∀ (A : Type 3), Prop-sorted body:
     let p = Term::pi("A", Term::type_(3), Term::prop());
@@ -195,7 +200,11 @@ fn vector_constructor_and_elim_typing() {
         ],
         scrutinee: v1,
     });
-    assert!(conv(&env, &infer_closed(&env, &e).unwrap(), &Term::ind("nat")));
+    assert!(conv(
+        &env,
+        &infer_closed(&env, &e).unwrap(),
+        &Term::ind("nat")
+    ));
     assert_eq!(normalize(&env, &e), nat_lit(1));
 }
 
@@ -259,7 +268,11 @@ fn nested_occurrence_violates_positivity() {
         indices: vec![],
         sort: Sort::Type(1),
         ctors: vec![
-            CtorDecl { name: "nil".into(), args: vec![], result_indices: vec![] },
+            CtorDecl {
+                name: "nil".into(),
+                args: vec![],
+                result_indices: vec![],
+            },
             CtorDecl {
                 name: "cons".into(),
                 args: vec![
@@ -378,7 +391,11 @@ fn record_eta_guard_rejects_zero_field_types() {
         params: vec![],
         indices: vec![],
         sort: Sort::Set,
-        ctors: vec![CtorDecl { name: "tt".into(), args: vec![], result_indices: vec![] }],
+        ctors: vec![CtorDecl {
+            name: "tt".into(),
+            args: vec![],
+            result_indices: vec![],
+        }],
     })
     .unwrap();
     env.assume("u", Term::ind("unit")).unwrap();
@@ -507,7 +524,11 @@ fn eq_elim_j_rule() {
         cases: vec![Term::construct("bool", 0)],
         scrutinee: Term::app(Term::construct("eqn", 0), [nat_lit(2)]),
     });
-    assert!(conv(&env, &infer_closed(&env, &e).unwrap(), &Term::ind("bool")));
+    assert!(conv(
+        &env,
+        &infer_closed(&env, &e).unwrap(),
+        &Term::ind("bool")
+    ));
     assert_eq!(normalize(&env, &e), Term::construct("bool", 0));
 }
 
@@ -551,8 +572,5 @@ fn let_bodies_type_against_substituted_values() {
         ),
     )
     .unwrap();
-    assert_eq!(
-        normalize(&env, &Term::const_("letdemo")),
-        nat_lit(4)
-    );
+    assert_eq!(normalize(&env, &Term::const_("letdemo")), nat_lit(4));
 }

@@ -23,8 +23,20 @@ use crate::error::{LangError, Pos, Result};
 use crate::lex::{lex, Tok, Token};
 
 const KEYWORDS: &[&str] = &[
-    "forall", "fun", "let", "in", "elim", "return", "with", "end", "Prop", "Set", "Type",
-    "Definition", "Axiom", "Inductive",
+    "forall",
+    "fun",
+    "let",
+    "in",
+    "elim",
+    "return",
+    "with",
+    "end",
+    "Prop",
+    "Set",
+    "Type",
+    "Definition",
+    "Axiom",
+    "Inductive",
 ];
 
 struct Parser {
@@ -157,13 +169,19 @@ impl Parser {
     fn at_atom_start(&self) -> bool {
         match self.peek_tok() {
             Tok::LParen => true,
-            Tok::Ident(s) => {
-                !matches!(
-                    s.as_str(),
-                    "return" | "with" | "end" | "in" | "forall" | "fun" | "let" | "Definition"
-                        | "Axiom" | "Inductive"
-                )
-            }
+            Tok::Ident(s) => !matches!(
+                s.as_str(),
+                "return"
+                    | "with"
+                    | "end"
+                    | "in"
+                    | "forall"
+                    | "fun"
+                    | "let"
+                    | "Definition"
+                    | "Axiom"
+                    | "Inductive"
+            ),
             _ => false,
         }
     }
@@ -209,9 +227,7 @@ impl Parser {
                     }
                 }
                 "elim" => self.elim(),
-                kw if KEYWORDS.contains(&kw) => {
-                    self.error(format!("unexpected keyword `{kw}`"))
-                }
+                kw if KEYWORDS.contains(&kw) => self.error(format!("unexpected keyword `{kw}`")),
                 _ => {
                     self.bump();
                     Ok(Expr::Var(pos, s))

@@ -240,9 +240,7 @@ pub fn pretty_open(env: &Env, ctx: &[String], t: &Term) -> String {
             TermData::Rel(_) | TermData::Sort(_) | TermData::Const(_) | TermData::Ind(_) => {
                 t.clone()
             }
-            TermData::App(h, args) => {
-                Term::app(named(env, h), args.iter().map(|a| named(env, a)))
-            }
+            TermData::App(h, args) => Term::app(named(env, h), args.iter().map(|a| named(env, a))),
             TermData::Lambda(b, body) => Term::new(TermData::Lambda(
                 pumpkin_kernel::term::Binder {
                     name: b.name.clone(),

@@ -40,12 +40,18 @@ fn parse_error_on_missing_arrow_target() {
 
 #[test]
 fn parse_error_on_unbalanced_parens() {
-    assert!(matches!(parse_term("(fun (x : nat) => x"), Err(LangError::Parse { .. })));
+    assert!(matches!(
+        parse_term("(fun (x : nat) => x"),
+        Err(LangError::Parse { .. })
+    ));
 }
 
 #[test]
 fn parse_error_on_empty_binder_group() {
-    assert!(matches!(parse_term("fun () => x"), Err(LangError::Parse { .. })));
+    assert!(matches!(
+        parse_term("fun () => x"),
+        Err(LangError::Parse { .. })
+    ));
 }
 
 #[test]

@@ -477,7 +477,10 @@ mod tests {
             [Term::ind("nat"), nat_list(&[1, 2]), nat_list(&[3])],
         );
         assert_eq!(normalize(&e, &l), nat_list(&[1, 2, 3]));
-        let r = Term::app(Term::const_("rev"), [Term::ind("nat"), nat_list(&[1, 2, 3])]);
+        let r = Term::app(
+            Term::const_("rev"),
+            [Term::ind("nat"), nat_list(&[1, 2, 3])],
+        );
         assert_eq!(normalize(&e, &r), nat_list(&[3, 2, 1]));
     }
 

@@ -86,14 +86,10 @@ impl CtorKind {
         match self {
             CtorKind::Var => vec![Binder::new("i", Term::ind("Id"))],
             CtorKind::Int => vec![Binder::new("z", Term::ind("nat"))],
-            CtorKind::Eq | CtorKind::Plus | CtorKind::Times | CtorKind::Minus => vec![
-                Binder::new("a", t.clone()),
-                Binder::new("b", t),
-            ],
-            CtorKind::Choose => vec![
-                Binder::new("i", Term::ind("Id")),
-                Binder::new("body", t),
-            ],
+            CtorKind::Eq | CtorKind::Plus | CtorKind::Times | CtorKind::Minus => {
+                vec![Binder::new("a", t.clone()), Binder::new("b", t)]
+            }
+            CtorKind::Choose => vec![Binder::new("i", Term::ind("Id")), Binder::new("body", t)],
         }
     }
 }

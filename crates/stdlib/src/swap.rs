@@ -41,7 +41,6 @@ pub const OLD_MODULE_CONSTANTS: &[&str] = &[
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn both_types_load_with_swapped_orders() {

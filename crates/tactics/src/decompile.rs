@@ -37,11 +37,31 @@ pub struct CustomElim {
 /// configurations.
 pub fn standard_custom_elims() -> Vec<CustomElim> {
     vec![
-        CustomElim { name: "N.peano_rect", pre: 0, cases: 2 },
-        CustomElim { name: "Pos.peano_rect", pre: 0, cases: 2 },
-        CustomElim { name: "nat.dep_elim", pre: 0, cases: 2 },
-        CustomElim { name: "list_sig.dep_elim", pre: 1, cases: 2 },
-        CustomElim { name: "packed_list_elim", pre: 2, cases: 1 },
+        CustomElim {
+            name: "N.peano_rect",
+            pre: 0,
+            cases: 2,
+        },
+        CustomElim {
+            name: "Pos.peano_rect",
+            pre: 0,
+            cases: 2,
+        },
+        CustomElim {
+            name: "nat.dep_elim",
+            pre: 0,
+            cases: 2,
+        },
+        CustomElim {
+            name: "list_sig.dep_elim",
+            pre: 1,
+            cases: 2,
+        },
+        CustomElim {
+            name: "packed_list_elim",
+            pre: 2,
+            cases: 1,
+        },
     ]
 }
 
@@ -288,10 +308,7 @@ mod let_tests {
         )
         .unwrap();
         let (goal, script) = decompile_constant(&env, "pose_demo").unwrap();
-        assert!(script
-            .0
-            .iter()
-            .any(|t| matches!(t, Tactic::Pose { .. })));
+        assert!(script.0.iter().any(|t| matches!(t, Tactic::Pose { .. })));
         let rendered = crate::qtac::render(&env, &[], &script);
         assert!(rendered.contains("pose"), "{rendered}");
         crate::interp::prove(&env, &goal, &script).unwrap();

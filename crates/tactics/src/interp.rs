@@ -81,7 +81,14 @@ fn elaborate(env: &Env, ctx: &mut Ctx, goal: &Term, tacs: &[Tactic]) -> Result<T
             };
             Ok(Term::app(
                 Term::const_(head),
-                [ty.clone(), x.clone(), motive.clone(), p, y.clone(), eq.clone()],
+                [
+                    ty.clone(),
+                    x.clone(),
+                    motive.clone(),
+                    p,
+                    y.clone(),
+                    eq.clone(),
+                ],
             ))
         }
         Tactic::Induction {
@@ -210,13 +217,7 @@ fn elaborate(env: &Env, ctx: &mut Ctx, goal: &Term, tacs: &[Tactic]) -> Result<T
     }
 }
 
-fn intro(
-    env: &Env,
-    ctx: &mut Ctx,
-    goal: &Term,
-    names: &[String],
-    rest: &[Tactic],
-) -> Result<Term> {
+fn intro(env: &Env, ctx: &mut Ctx, goal: &Term, names: &[String], rest: &[Tactic]) -> Result<Term> {
     let Some((_n, more)) = names.split_first() else {
         return elaborate(env, ctx, goal, rest);
     };
@@ -267,8 +268,8 @@ mod tests {
             "Old.swap_eq_args_involutive",
         ] {
             let (goal, script) = decompile_constant(&env, name).unwrap();
-            let term = prove(&env, &goal, &script)
-                .unwrap_or_else(|e| panic!("reproving {name}: {e}"));
+            let term =
+                prove(&env, &goal, &script).unwrap_or_else(|e| panic!("reproving {name}: {e}"));
             // The elaborated proof checks at the original statement.
             assert!(
                 pumpkin_kernel::typecheck::check_closed(&env, &term, &goal).is_ok(),

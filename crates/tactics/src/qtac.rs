@@ -120,8 +120,7 @@ impl Script {
         self.0
             .iter()
             .map(|t| match t {
-                Tactic::Induction { cases, .. }
-                | Tactic::CustomInduction { cases, .. } => {
+                Tactic::Induction { cases, .. } | Tactic::CustomInduction { cases, .. } => {
                     1 + cases.iter().map(Script::len).sum::<usize>()
                 }
                 Tactic::Apply { sub, .. } => 1 + sub.len(),
@@ -190,9 +189,7 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
                     pumpkin_lang::pretty_open(env, ctx, eq)
                 ));
             }
-            Tactic::Induction {
-                scrut, cases, ..
-            } => {
+            Tactic::Induction { scrut, cases, .. } => {
                 indent(out, depth);
                 // Intro patterns: the leading intros of each case.
                 let pats: Vec<String> = cases
@@ -250,10 +247,7 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
                 }
             }
             Tactic::CustomInduction {
-                elim,
-                scrut,
-                cases,
-                ..
+                elim, scrut, cases, ..
             } => {
                 indent(out, depth);
                 let pats: Vec<String> = cases

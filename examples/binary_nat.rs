@@ -91,7 +91,10 @@ fn main() -> pumpkin_core::Result<()> {
     use pumpkin_stdlib::bin::{n_lit, n_value};
     for (a, b) in [(2u64, 3u64), (100, 28)] {
         let t = Term::app(Term::const_("slow_add"), [n_lit(a), n_lit(b)]);
-        println!("slow_add {a} {b} = {:?}", n_value(&normalize(&env, &t)).unwrap());
+        println!(
+            "slow_add {a} {b} = {:?}",
+            n_value(&normalize(&env, &t)).unwrap()
+        );
     }
 
     println!("\n== Manual ι-expansion of add_n_Sm (paper §6.3.2) ==");

@@ -36,11 +36,7 @@ fn main() -> pumpkin_core::Result<()> {
     }
     for name in ["I.demorgan_1", "I.demorgan_2"] {
         let (rep, ok) = repair_decompile_validate(&mut env, &lifting, &mut state, name)?;
-        println!(
-            "\n{} : {}",
-            rep.name,
-            pumpkin_lang::pretty(&env, &rep.ty)
-        );
+        println!("\n{} : {}", rep.name, pumpkin_lang::pretty(&env, &rep.ty));
         println!("suggested script (validated: {ok}):");
         for line in rep.script_text.lines() {
             println!("  {line}");
@@ -51,10 +47,18 @@ fn main() -> pumpkin_core::Result<()> {
     // The repaired functions behave like the originals through the
     // equivalence: spot-check the truth table.
     println!("\ntruth table of J.and (via makeJ):");
-    for (x, y) in [("true", "true"), ("true", "false"), ("false", "true"), ("false", "false")] {
+    for (x, y) in [
+        ("true", "true"),
+        ("true", "false"),
+        ("false", "true"),
+        ("false", "false"),
+    ] {
         let t = pumpkin_lang::term(&env, &format!("J.and (makeJ {x}) (makeJ {y})")).unwrap();
         let v = pumpkin_kernel::reduce::normalize(&env, &t);
-        println!("  J.and (makeJ {x}) (makeJ {y}) = {}", pumpkin_lang::pretty(&env, &v));
+        println!(
+            "  J.and (makeJ {x}) (makeJ {y}) = {}",
+            pumpkin_lang::pretty(&env, &v)
+        );
     }
     Ok(())
 }

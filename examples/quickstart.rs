@@ -79,9 +79,11 @@ fn main() -> pumpkin_core::Result<()> {
         .map(|d| d.name.clone())
         .collect();
     old.sort_by_key(|n| {
-        std::cmp::Reverse(order.iter().position(|r| {
-            matches!(r, pumpkin_kernel::env::GlobalRef::Const(c) if c == n)
-        }))
+        std::cmp::Reverse(
+            order
+                .iter()
+                .position(|r| matches!(r, pumpkin_kernel::env::GlobalRef::Const(c) if c == n)),
+        )
     });
     for c in old {
         env.remove(&c).map_err(pumpkin_core::RepairError::Kernel)?;

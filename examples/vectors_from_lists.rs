@@ -28,8 +28,10 @@ fn main() -> pumpkin_core::Result<()> {
     println!("and pzip_with_is_zip_val over Σ(l : list T). length l = n");
 
     println!("\n== Stage 1: Repair module across list ≃ Σ(n). vector n ==");
-    let lifting =
-        pumpkin_core::search::ornament::configure(&mut env, pumpkin_core::NameMap::prefix("", "Sig."))?;
+    let lifting = pumpkin_core::search::ornament::configure(
+        &mut env,
+        pumpkin_core::NameMap::prefix("", "Sig."),
+    )?;
     let mut state = pumpkin_core::LiftState::new();
     let report = pumpkin_core::repair_module(
         &mut env,
@@ -60,8 +62,7 @@ fn main() -> pumpkin_core::Result<()> {
         "unpack equivalence checked: {} / {} (section, retraction)",
         unpack.f, unpack.g
     );
-    pumpkin_lang::load_source(&mut env, AT_INDEX_SRC)
-        .map_err(pumpkin_core::RepairError::from)?;
+    pumpkin_lang::load_source(&mut env, AT_INDEX_SRC).map_err(pumpkin_core::RepairError::from)?;
     let decl = env.const_decl(&"vzip_with_is_zip".into()).unwrap();
     println!(
         "\nfinal lemma (paper §6.2.2):\n  vzip_with_is_zip :\n  {}",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI-style gate: tier-1 (release build + full test suite) plus formatting
+# and lints, all with --locked so an unpinned dependency fails loudly
+# instead of reaching for the network. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --locked"
+cargo build --release --locked
+
+echo "==> cargo test --workspace -q --locked"
+cargo test --workspace -q --locked
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets --locked -- -D warnings"
+cargo clippy --all-targets --locked -- -D warnings
+
+echo "==> all checks passed"

@@ -16,7 +16,9 @@ fn main() -> ExitCode {
     };
     let script = if path == "-" {
         let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
         buf
     } else {
         match std::fs::read_to_string(path) {

@@ -19,7 +19,12 @@ pub fn swap_list_module(env: &mut Env) -> Result<RepairReport> {
         NameMap::prefix("Old.", "New."),
     )?;
     let mut st = LiftState::new();
-    repair_module(env, &lifting, &mut st, pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS)
+    repair_module(
+        env,
+        &lifting,
+        &mut st,
+        pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS,
+    )
 }
 
 /// The `Old.Term` development repaired in one REPLICA variant.
@@ -127,8 +132,7 @@ pub const ZIP_CONSTANTS: &[&str] = &[
 
 /// §6.2 stage 1: repair the zip development across `list ≃ Σ(n). vector n`.
 pub fn ornament_zip(env: &mut Env) -> Result<RepairReport> {
-    let lifting =
-        pumpkin_core::search::ornament::configure(env, NameMap::prefix("", "Sig."))?;
+    let lifting = pumpkin_core::search::ornament::configure(env, NameMap::prefix("", "Sig."))?;
     let mut st = LiftState::new();
     repair_module(env, &lifting, &mut st, ZIP_CONSTANTS)
 }

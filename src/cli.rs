@@ -3,7 +3,7 @@
 //! from script files. See `src/bin/pumpkin.rs` for the file format and
 //! `examples/scripts/` for walkthroughs.
 
-use pumpkin_core::{Lifting, LiftState, NameMap};
+use pumpkin_core::{LiftState, Lifting, NameMap};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 
@@ -66,7 +66,10 @@ impl Session {
                 )
                 .map_err(|e| fail(&e))?;
                 let eqv = l.equivalence.as_ref().unwrap();
-                println!("configured {a} ≃ {b}; equivalence {} / {} checked", eqv.f, eqv.g);
+                println!(
+                    "configured {a} ≃ {b}; equivalence {} / {} checked",
+                    eqv.f, eqv.g
+                );
                 self.lifting = Some(l);
                 self.state = LiftState::new();
                 Ok(())
@@ -153,9 +156,8 @@ impl Session {
             }
             "repair-all" => {
                 let lifting = self.lifting.as_ref().ok_or("no configuration active")?;
-                let report =
-                    pumpkin_core::repair_all(&mut self.env, lifting, &mut self.state, &[])
-                        .map_err(|e| fail(&e))?;
+                let report = pumpkin_core::repair_all(&mut self.env, lifting, &mut self.state, &[])
+                    .map_err(|e| fail(&e))?;
                 for (from, to) in &report.repaired {
                     println!("repaired {from} ↦ {to}");
                 }
@@ -163,7 +165,9 @@ impl Session {
                 Ok(())
             }
             "mappings" => {
-                let [a, b] = args else { return Err("usage: mappings A B".into()) };
+                let [a, b] = args else {
+                    return Err("usage: mappings A B".into());
+                };
                 let da = self
                     .env
                     .inductive(&GlobalName::new(*a))
@@ -188,7 +192,9 @@ impl Session {
                 Ok(())
             }
             "print" => {
-                let [name] = args else { return Err("usage: print NAME".into()) };
+                let [name] = args else {
+                    return Err("usage: print NAME".into());
+                };
                 let decl = self
                     .env
                     .const_decl(&GlobalName::new(*name))
@@ -201,7 +207,9 @@ impl Session {
                 Ok(())
             }
             "script" => {
-                let [name] = args else { return Err("usage: script NAME".into()) };
+                let [name] = args else {
+                    return Err("usage: script NAME".into());
+                };
                 let (goal, raw) = pumpkin_tactics::decompile_constant(&self.env, name)
                     .ok_or_else(|| format!("`{name}` has no body"))?;
                 let script = pumpkin_tactics::second_pass(&raw);
@@ -277,7 +285,6 @@ pub fn run_script(session: &mut Session, script: &str) -> usize {
     }
     failures
 }
-
 
 #[cfg(test)]
 mod tests {

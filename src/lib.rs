@@ -40,7 +40,7 @@ pub use pumpkin_lang;
 pub use pumpkin_stdlib;
 pub use pumpkin_tactics;
 
-use pumpkin_core::{Lifting, LiftState};
+use pumpkin_core::{LiftState, Lifting};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_tactics::Script;

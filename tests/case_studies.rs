@@ -15,7 +15,10 @@ use pumpkin_pi::pumpkin_tactics;
 fn section_2_swap_whole_list_module() {
     let mut env = stdlib::std_env();
     let report = case_studies::swap_list_module(&mut env).unwrap();
-    assert_eq!(report.repaired.len(), stdlib::swap::OLD_MODULE_CONSTANTS.len());
+    assert_eq!(
+        report.repaired.len(),
+        stdlib::swap::OLD_MODULE_CONSTANTS.len()
+    );
 
     // Every repaired constant exists, type checks (by construction), and is
     // free of Old.list.
@@ -31,8 +34,7 @@ fn section_2_swap_whole_list_module() {
     }
 
     // Fig. 2: the decompiled script for New.rev_app_distr re-proves it.
-    let (goal, script) =
-        pumpkin_tactics::decompile_constant(&env, "New.rev_app_distr").unwrap();
+    let (goal, script) = pumpkin_tactics::decompile_constant(&env, "New.rev_app_distr").unwrap();
     let script = pumpkin_tactics::second_pass(&script);
     pumpkin_tactics::prove(&env, &goal, &script).unwrap();
     let rendered = pumpkin_tactics::render(&env, &[], &script);
@@ -199,7 +201,12 @@ fn section_6_3_multiplication_repairs_through_dependency() {
         assert_eq!(n_value(&normalize(&env, &t)), Some(a * b), "{a}*{b}");
     }
     // slow_mul's body references slow_add, not add.
-    let body = env.const_decl(&"slow_mul".into()).unwrap().body.clone().unwrap();
+    let body = env
+        .const_decl(&"slow_mul".into())
+        .unwrap()
+        .body
+        .clone()
+        .unwrap();
     assert!(body.mentions_global(&"slow_add".into()));
     assert!(!body.mentions_global(&"add".into()));
 }
@@ -252,10 +259,7 @@ fn custom_eliminator_decompilation_for_binary_proofs() {
     let (goal2, raw2) = pumpkin_tactics::decompile_constant(&env, "Sig.app_nil_r").unwrap();
     let script2 = pumpkin_tactics::second_pass(&raw2);
     let rendered2 = pumpkin_tactics::render(&env, &[], &script2);
-    assert!(
-        rendered2.contains("using list_sig.dep_elim"),
-        "{rendered2}"
-    );
+    assert!(rendered2.contains("using list_sig.dep_elim"), "{rendered2}");
     pumpkin_tactics::prove(&env, &goal2, &script2).unwrap();
 }
 

@@ -58,7 +58,12 @@ fn fig11_lifting_append_final_stage() {
     .unwrap();
     let mut st = LiftState::new();
     pumpkin_core::repair(&mut env, &lifting, &mut st, &"Old.app".into()).unwrap();
-    let got = env.const_decl(&"New.app".into()).unwrap().body.clone().unwrap();
+    let got = env
+        .const_decl(&"New.app".into())
+        .unwrap()
+        .body
+        .clone()
+        .unwrap();
     // Stage 4 (paper Fig. 11, bottom-right): Elim over New.list with the
     // cons case first and Constr(0, New.list T) in the recursive position.
     let expected = pumpkin_lang::term(
@@ -144,7 +149,11 @@ fn fig17_record_cork_shape() {
             "Record.cork does not mention {proj}"
         );
     }
-    let lemma_ty = env.const_decl(&"Record.corkLemma".into()).unwrap().ty.clone();
+    let lemma_ty = env
+        .const_decl(&"Record.corkLemma".into())
+        .unwrap()
+        .ty
+        .clone();
     assert!(lemma_ty.mentions_global(&"corked".into()));
     assert!(!lemma_ty.mentions_global(&"fst".into()));
 }
@@ -155,7 +164,12 @@ fn fig17_record_cork_shape() {
 fn fig9_slow_add_shape() {
     let mut env = stdlib::std_env();
     case_studies::binary_nat(&mut env).unwrap();
-    let got = env.const_decl(&"slow_add".into()).unwrap().body.clone().unwrap();
+    let got = env
+        .const_decl(&"slow_add".into())
+        .unwrap()
+        .body
+        .clone()
+        .unwrap();
     let expected = pumpkin_lang::term(
         &env,
         "fun (n m : N) =>
@@ -172,7 +186,11 @@ fn fig9_slow_add_shape() {
 fn fig5_sig_zip_lemma_statement() {
     let mut env = stdlib::std_env();
     case_studies::ornament_zip(&mut env).unwrap();
-    let got = env.const_decl(&"Sig.zip_with_is_zip".into()).unwrap().ty.clone();
+    let got = env
+        .const_decl(&"Sig.zip_with_is_zip".into())
+        .unwrap()
+        .ty
+        .clone();
     let expected = pumpkin_lang::term(
         &env,
         "forall (A : Type 1) (B : Type 1) (l1 : sig_vector A) (l2 : sig_vector B),

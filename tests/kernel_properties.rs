@@ -1,34 +1,36 @@
 //! Property-based tests of the kernel substrate: substitution laws,
-//! normalization idempotence, conversion congruence, and parser ↔
-//! pretty-printer round trips on randomly generated terms.
+//! normalization idempotence, conversion congruence, parser ↔
+//! pretty-printer round trips, and coherence of the kernel's conv/whnf
+//! memo layer — all on randomly generated terms from the deterministic
+//! [`pumpkin_testkit`] generator.
 
-use proptest::prelude::*;
 use pumpkin_pi::pumpkin_kernel::conv::conv;
-use pumpkin_pi::pumpkin_kernel::reduce::normalize;
-use pumpkin_pi::pumpkin_kernel::subst::{lift, lift_from, subst1};
+use pumpkin_pi::pumpkin_kernel::reduce::{normalize, whnf};
+use pumpkin_pi::pumpkin_kernel::subst::{lift, lift_from, subst1, subst_at, subst_many};
 use pumpkin_pi::pumpkin_kernel::term::Term;
 use pumpkin_pi::pumpkin_kernel::typecheck::infer_closed;
 use pumpkin_pi::pumpkin_lang;
 use pumpkin_pi::pumpkin_stdlib as stdlib;
+use pumpkin_testkit::{check, Rng};
 use stdlib::nat::{nat_lit, nat_value};
 
-/// Random *well-scoped* (possibly open) lambda terms over `nat`.
-fn arb_scoped(depth: u32) -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (0usize..4).prop_map(Term::rel),
-        Just(Term::ind("nat")),
-        Just(Term::construct("nat", 0)),
-        Just(Term::const_("add")),
-    ];
-    leaf.prop_recursive(depth, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(f, a)| Term::app1(f, a)),
-            inner
-                .clone()
-                .prop_map(|b| Term::lambda("x", Term::ind("nat"), b)),
-            inner.clone().prop_map(|b| Term::pi("x", Term::ind("nat"), b)),
-        ]
-    })
+/// Random *well-scoped* (possibly open) lambda terms over `nat`, with free
+/// variables drawn from `0..4`.
+fn arb_scoped(rng: &mut Rng, depth: u32) -> Term {
+    if depth == 0 || rng.chance(2, 5) {
+        match rng.index(4) {
+            0 => Term::rel(rng.index(4)),
+            1 => Term::ind("nat"),
+            2 => Term::construct("nat", 0),
+            _ => Term::const_("add"),
+        }
+    } else {
+        match rng.index(3) {
+            0 => Term::app1(arb_scoped(rng, depth - 1), arb_scoped(rng, depth - 1)),
+            1 => Term::lambda("x", Term::ind("nat"), arb_scoped(rng, depth - 1)),
+            _ => Term::pi("x", Term::ind("nat"), arb_scoped(rng, depth - 1)),
+        }
+    }
 }
 
 /// A model of nat arithmetic expressions, evaluable in Rust and buildable
@@ -41,15 +43,18 @@ enum Arith {
     Sub(Box<Arith>, Box<Arith>),
 }
 
-fn arb_arith() -> impl Strategy<Value = Arith> {
-    let leaf = (0u64..8).prop_map(Arith::Lit);
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
-        ]
-    })
+fn arb_arith(rng: &mut Rng, depth: u32) -> Arith {
+    if depth == 0 || rng.chance(1, 3) {
+        Arith::Lit(rng.below(8))
+    } else {
+        let a = Box::new(arb_arith(rng, depth - 1));
+        let b = Box::new(arb_arith(rng, depth - 1));
+        match rng.index(3) {
+            0 => Arith::Add(a, b),
+            1 => Arith::Mul(a, b),
+            _ => Arith::Sub(a, b),
+        }
+    }
 }
 
 impl Arith {
@@ -74,55 +79,166 @@ impl Arith {
 
 #[test]
 fn lift_composition_and_identity() {
-    proptest!(|(t in arb_scoped(3), a in 0usize..3, b in 0usize..3)| {
-        prop_assert_eq!(lift(&t, 0), t.clone());
-        prop_assert_eq!(lift(&lift(&t, a), b), lift(&t, a + b));
+    check(256, |rng| {
+        let t = arb_scoped(rng, 3);
+        let a = rng.index(3);
+        let b = rng.index(3);
+        assert_eq!(lift(&t, 0), t.clone());
+        assert_eq!(lift(&lift(&t, a), b), lift(&t, a + b));
     });
 }
 
 #[test]
 fn subst_after_lift_is_identity() {
-    proptest!(|(t in arb_scoped(3), v in arb_scoped(2))| {
+    check(256, |rng| {
+        let t = arb_scoped(rng, 3);
+        let v = arb_scoped(rng, 2);
         // Substituting into a lifted term hits nothing.
-        prop_assert_eq!(subst1(&lift_from(&t, 0, 1), &v), t);
+        assert_eq!(subst1(&lift_from(&t, 0, 1), &v), t);
     });
 }
 
 #[test]
 fn lift_commutes_with_subst_at_depth() {
-    proptest!(|(t in arb_scoped(3), v in arb_scoped(2), k in 1usize..3)| {
+    check(256, |rng| {
+        let t = arb_scoped(rng, 3);
+        let v = arb_scoped(rng, 2);
+        let k = 1 + rng.index(2);
         // lift_from above the substitution point commutes.
         let lhs = lift_from(&subst1(&t, &v), 0, k);
         let rhs = subst1(&lift_from(&t, 1, k), &lift_from(&v, 0, k));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
+    });
+}
+
+#[test]
+fn subst_many_open_values() {
+    // Regression for the simultaneous-substitution bug: open values must
+    // keep their "context outside the whole binder group" interpretation.
+    // The executable spec is substitution at descending indices, which
+    // never re-traverses an already-substituted value.
+    check(512, |rng| {
+        let t = arb_scoped(rng, 3);
+        let n = 1 + rng.index(3);
+        let values: Vec<Term> = (0..n).map(|_| arb_scoped(rng, 2)).collect();
+        let simultaneous = subst_many(&t, &values);
+        let mut descending = t.clone();
+        for (k, v) in values.iter().enumerate().rev() {
+            descending = subst_at(&descending, k, v);
+        }
+        assert_eq!(simultaneous, descending);
+    });
+}
+
+#[test]
+fn subst_many_on_group_members_is_projection() {
+    // Rel(i) for i < n maps to exactly values[i], unchanged.
+    check(256, |rng| {
+        let n = 1 + rng.index(3);
+        let values: Vec<Term> = (0..n).map(|_| arb_scoped(rng, 2)).collect();
+        let i = rng.index(n);
+        assert_eq!(subst_many(&Term::rel(i), &values), values[i]);
+        // And an ambient variable just shifts down by the group size.
+        let j = n + rng.index(3);
+        assert_eq!(subst_many(&Term::rel(j), &values), Term::rel(j - n));
     });
 }
 
 #[test]
 fn arithmetic_agrees_with_model_and_normalize_is_idempotent() {
     let env = stdlib::std_env();
-    proptest!(ProptestConfig::with_cases(64), |(e in arb_arith())| {
+    check(64, |rng| {
+        let e = arb_arith(rng, 3);
         let t = e.term();
         let n1 = normalize(&env, &t);
-        prop_assert_eq!(nat_value(&n1), Some(e.eval()));
+        assert_eq!(nat_value(&n1), Some(e.eval()));
         let n2 = normalize(&env, &n1);
-        prop_assert_eq!(&n1, &n2);
+        assert_eq!(&n1, &n2);
         // Conversion: a term is convertible with its normal form.
-        prop_assert!(conv(&env, &t, &n1));
+        assert!(conv(&env, &t, &n1));
         // And typing is preserved by normalization.
         let ty1 = infer_closed(&env, &t).unwrap();
         let ty2 = infer_closed(&env, &n1).unwrap();
-        prop_assert!(conv(&env, &ty1, &ty2));
+        assert!(conv(&env, &ty1, &ty2));
     });
 }
 
 #[test]
 fn conversion_is_congruent_for_arithmetic() {
     let env = stdlib::std_env();
-    proptest!(ProptestConfig::with_cases(64), |(a in arb_arith(), b in arb_arith())| {
+    check(64, |rng| {
+        let a = arb_arith(rng, 3);
+        let b = arb_arith(rng, 3);
         let (ta, tb) = (a.term(), b.term());
         let equal = a.eval() == b.eval();
-        prop_assert_eq!(conv(&env, &ta, &tb), equal);
+        assert_eq!(conv(&env, &ta, &tb), equal);
+    });
+}
+
+#[test]
+fn cached_conv_and_whnf_agree_with_uncached() {
+    // The kernel memo layer must be semantically invisible: every verdict
+    // and every weak head normal form computed with the cache on equals
+    // the one computed with the cache off, on the same queries in the
+    // same order (so the cached run actually exercises hits).
+    let cached_env = stdlib::std_env();
+    let mut uncached_env = stdlib::std_env();
+    uncached_env.set_kernel_cache(false);
+    check(48, |rng| {
+        let a = arb_arith(rng, 3);
+        let b = arb_arith(rng, 3);
+        let (ta, tb) = (a.term(), b.term());
+        assert_eq!(
+            conv(&cached_env, &ta, &tb),
+            conv(&uncached_env, &ta, &tb),
+            "conv verdict diverged on {ta} vs {tb}"
+        );
+        // Repeat the same query so the cached run takes the memo path.
+        assert_eq!(conv(&cached_env, &ta, &tb), conv(&uncached_env, &ta, &tb));
+        assert_eq!(
+            whnf(&cached_env, &ta),
+            whnf(&uncached_env, &ta),
+            "whnf diverged on {ta}"
+        );
+        assert_eq!(whnf(&cached_env, &ta), whnf(&uncached_env, &ta));
+    });
+    // The cached run must actually have used the cache.
+    let stats = cached_env.kernel_stats();
+    assert!(
+        stats.conv_cache_hits > 0 || stats.whnf_cache_hits > 0,
+        "differential test never hit the cache: {stats}"
+    );
+}
+
+#[test]
+fn transparency_flips_invalidate_cached_delta_results() {
+    // For random arithmetic, flipping `add`/`mul`/`sub` opaque must
+    // change reduction behaviour immediately (no stale cache), and
+    // flipping back must restore it.
+    let mut env = stdlib::std_env();
+    let names = ["add", "mul", "sub"];
+    check(24, |rng| {
+        let e = arb_arith(rng, 2);
+        let t = e.term();
+        let transparent_nf = normalize(&env, &t);
+        assert_eq!(nat_value(&transparent_nf), Some(e.eval()));
+
+        let name = *rng.pick(&names);
+        env.set_opaque(&name.into(), true).unwrap();
+        let opaque_nf = normalize(&env, &t);
+        if t.mentions_global(&name.into()) {
+            // The blocked constant is stuck, so the normal form differs
+            // whenever the expression actually uses it.
+            assert!(
+                opaque_nf.mentions_global(&name.into()),
+                "δ-blocked `{name}` vanished from normal form of {t}"
+            );
+        } else {
+            assert_eq!(opaque_nf, transparent_nf);
+        }
+        env.set_opaque(&name.into(), false).unwrap();
+        // Back to transparent: cached opaque results must not leak.
+        assert_eq!(normalize(&env, &t), transparent_nf);
     });
 }
 
@@ -130,17 +246,33 @@ fn conversion_is_congruent_for_arithmetic() {
 fn pretty_parse_round_trip_on_random_closed_terms() {
     let env = stdlib::std_env();
     // Closed terms: wrap open terms in enough lambdas.
-    proptest!(ProptestConfig::with_cases(128), |(t0 in arb_scoped(3))| {
-        let mut t = t0;
+    check(128, |rng| {
+        let mut t = arb_scoped(rng, 3);
         for _ in 0..4 {
             t = Term::lambda("v", Term::ind("nat"), t);
         }
-        prop_assume!(t.is_closed());
+        assert!(t.is_closed());
         let printed = pumpkin_lang::pretty(&env, &t);
         let reparsed = pumpkin_lang::term(&env, &printed)
             .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        prop_assert_eq!(reparsed, t);
+        assert_eq!(reparsed, t);
     });
+}
+
+#[test]
+fn structural_hash_is_stable_under_reallocation() {
+    // Equal terms built independently share a structural hash; hashing is
+    // alpha-invariant like equality.
+    check(128, |rng| {
+        let seed = rng.u64();
+        let t1 = arb_scoped(&mut Rng::new(seed), 3);
+        let t2 = arb_scoped(&mut Rng::new(seed), 3);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.structural_hash(), t2.structural_hash());
+    });
+    let a = Term::lambda("x", Term::set(), Term::rel(0));
+    let b = Term::lambda("completely_different_name", Term::set(), Term::rel(0));
+    assert_eq!(a.structural_hash(), b.structural_hash());
 }
 
 #[test]

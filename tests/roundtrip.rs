@@ -30,12 +30,16 @@ fn repaired_constants_round_trip_too() {
     let mut env = stdlib::std_env();
     pumpkin_pi::case_studies::swap_list_module(&mut env).unwrap();
     pumpkin_pi::case_studies::ornament_zip(&mut env).unwrap();
-    for name in ["New.rev_app_distr", "New.fold_app", "Sig.zip_with_is_zip", "Sig.rev_length"] {
+    for name in [
+        "New.rev_app_distr",
+        "New.fold_app",
+        "Sig.zip_with_is_zip",
+        "Sig.rev_length",
+    ] {
         let decl = env.const_decl(&name.into()).unwrap().clone();
         let body = decl.body.unwrap();
         let printed = pumpkin_lang::pretty(&env, &body);
-        let reparsed = pumpkin_lang::term(&env, &printed)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reparsed = pumpkin_lang::term(&env, &printed).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(reparsed, body, "{name}");
     }
 }
