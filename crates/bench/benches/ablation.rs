@@ -7,6 +7,10 @@
 //! * `kernel_cache/{on,off}` — the kernel-layer conv/whnf memo tables on
 //!   the whole `Swap.v` list-module repair, with hit/miss counters from
 //!   `kernel::stats`;
+//! * `repair_parallel/jobs=N` — the wavefront module-repair scheduler on
+//!   the same workload, sweeping worker counts (default {1, 2, 4}; pin
+//!   with `--jobs N` or `PUMPKIN_JOBS=N`), with per-wave/per-worker
+//!   counters from `RepairReport::schedule`;
 //! * `scaling/enum_N` — repair latency as the number of constructors grows
 //!   (the §6.1.3 Enum stress-test, parameterized);
 //! * `scaling/term_size_N` — lifting latency as the proof term grows
@@ -93,6 +97,34 @@ fn bench_kernel_cache_ablation(b: &mut Bench) {
         env.reset_kernel_stats();
         case_studies::swap_list_module(&mut env).unwrap();
         println!("  kernel_cache/{label}: {}", env.kernel_stats());
+    }
+}
+
+fn bench_repair_parallel(b: &mut Bench) {
+    // The tentpole workload again (whole swap_list_module repair), now
+    // through the wavefront scheduler at several worker counts. jobs=1
+    // measures the pure scheduling overhead against the sequential
+    // `kernel_cache/on` row; higher counts measure the parallel speedup.
+    let base = stdlib::std_env();
+    let sweep: Vec<usize> = match b.jobs() {
+        Some(j) => vec![j],
+        None => vec![1, 2, 4],
+    };
+    for jobs in sweep {
+        b.bench(
+            &format!("repair_parallel/jobs={jobs}"),
+            || base.clone(),
+            |mut env| {
+                case_studies::swap_list_module_parallel(&mut env, jobs).unwrap();
+                env
+            },
+        );
+        let mut env = base.clone();
+        env.reset_kernel_stats();
+        let report = case_studies::swap_list_module_parallel(&mut env, jobs).unwrap();
+        if let Some(sched) = &report.schedule {
+            println!("  repair_parallel/jobs={jobs}: {sched}");
+        }
     }
 }
 
@@ -195,6 +227,7 @@ fn main() {
     let mut b = Bench::from_args();
     bench_lift_cache_ablation(&mut b);
     bench_kernel_cache_ablation(&mut b);
+    bench_repair_parallel(&mut b);
     bench_enum_scaling(&mut b);
     bench_term_size_scaling(&mut b);
     b.finish();

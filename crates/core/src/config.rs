@@ -49,7 +49,12 @@ pub struct MatchedProj {
 /// Recognizers for the source side of an equivalence: the unification
 /// heuristics of paper §4.2.1. Implementations are per-configuration-class,
 /// mirroring `liftconfig.ml`.
-pub trait SideMatch {
+///
+/// `Send + Sync` is a supertrait so that a [`Lifting`] can be shared by
+/// reference across the parallel repair scheduler's worker threads;
+/// recognizers are immutable data (terms and names), so this costs
+/// implementations nothing.
+pub trait SideMatch: Send + Sync {
     /// Recognizes the type itself applied to arguments; returns the type
     /// arguments.
     fn match_type(&self, env: &Env, t: &Term) -> Option<Vec<Term>>;
@@ -75,7 +80,10 @@ pub trait SideMatch {
 /// Builders for the target side of an equivalence. Builders receive
 /// *already lifted* components and must emit reduced terms (paper Fig. 11,
 /// step 4 happens here rather than as a separate pass).
-pub trait SideBuild {
+///
+/// `Send + Sync` for the same reason as [`SideMatch`]: a configured
+/// [`Lifting`] is read-only shared state during parallel module repair.
+pub trait SideBuild: Send + Sync {
     /// Builds the type applied to the given arguments.
     fn build_type(&self, env: &Env, args: Vec<Term>) -> Result<Term>;
 

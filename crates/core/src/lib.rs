@@ -9,6 +9,7 @@ pub mod error;
 pub mod lift;
 pub mod manual;
 pub mod repair;
+pub mod schedule;
 pub mod search;
 pub mod smartelim;
 
@@ -16,4 +17,5 @@ pub use config::{Lifting, NameMap};
 pub use error::{RepairError, Result};
 pub use lift::{lift_term, repair_constant, LiftState, LiftStats};
 pub use pumpkin_kernel::stats::KernelStats;
-pub use repair::{repair, repair_all, repair_module, RepairReport};
+pub use repair::{repair, repair_all, repair_module, repair_module_parallel, RepairReport};
+pub use schedule::{default_jobs, ModuleDag, ScheduleStats};

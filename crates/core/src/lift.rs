@@ -106,6 +106,40 @@ impl LiftState {
     pub fn map_constant(&mut self, from: impl Into<GlobalName>, to: impl Into<GlobalName>) {
         self.const_map.insert(from.into(), to.into());
     }
+
+    /// A fresh state for a parallel repair worker: the accumulated caches
+    /// (constant map, closed-subterm cache, relevance memo) carry over so
+    /// dependencies repaired in earlier waves resolve without re-lifting,
+    /// but counters start at zero (so the worker's work can be attributed)
+    /// and the in-progress guard is empty (workers begin between top-level
+    /// repairs by construction).
+    pub fn fork_worker(&self) -> LiftState {
+        LiftState {
+            const_map: self.const_map.clone(),
+            term_cache: self.term_cache.clone(),
+            cache_enabled: self.cache_enabled,
+            in_progress: HashSet::new(),
+            relevant: self.relevant.clone(),
+            stats: LiftStats::default(),
+        }
+    }
+
+    /// Merges a worker's state back after its wave: new constant mappings,
+    /// closed-subterm cache entries, and relevance verdicts are unioned in,
+    /// and the worker's counters are added to this state's totals. Lifting
+    /// is deterministic, so entries present on both sides are identical and
+    /// insertion order cannot change results.
+    pub fn absorb_worker(&mut self, worker: LiftState) {
+        self.const_map.extend(worker.const_map);
+        if self.cache_enabled {
+            self.term_cache.extend(worker.term_cache);
+        }
+        self.relevant.extend(worker.relevant);
+        self.stats.cache_hits += worker.stats.cache_hits;
+        self.stats.cache_misses += worker.stats.cache_misses;
+        self.stats.constants_lifted += worker.stats.constants_lifted;
+        self.stats.visits += worker.stats.visits;
+    }
 }
 
 /// Does constant `name` (transitively) mention the source type? Memoized.

@@ -2,6 +2,8 @@
 //! `Repair Old.list New.list in rev_app_distr` and `Repair module` commands
 //! (paper §2).
 
+use std::collections::HashMap;
+
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_kernel::stats::KernelStats;
@@ -9,25 +11,46 @@ use pumpkin_kernel::stats::KernelStats;
 use crate::config::Lifting;
 use crate::error::{RepairError, Result};
 use crate::lift::{repair_constant, LiftState};
+use crate::schedule::{repair_module_wavefront, ScheduleStats};
 
 /// The result of a module repair: the constants repaired (old → new), in
 /// completion order, plus the kernel-layer work the repair cost.
 #[derive(Clone, Debug, Default)]
 pub struct RepairReport {
     /// Mapping from each repaired source constant to its repaired name.
+    /// Append through [`RepairReport::record`] so the lookup index stays
+    /// in sync.
     pub repaired: Vec<(GlobalName, GlobalName)>,
+    /// Old name → position in `repaired`, so [`RepairReport::renamed`] is
+    /// O(1) instead of a linear scan (module work lists are consulted once
+    /// per constant by the drivers and tests).
+    index: HashMap<GlobalName, usize>,
     /// Kernel counters (conv/whnf cache traffic, reduction steps) accrued
-    /// while this report's constants were repaired and re-checked.
+    /// while this report's constants were repaired and re-checked. For a
+    /// parallel run this aggregates the master and every worker clone.
     pub kernel: KernelStats,
+    /// Wavefront scheduling counters and the dependency DAG, present when
+    /// the repair ran through the parallel driver.
+    pub schedule: Option<ScheduleStats>,
 }
 
 impl RepairReport {
+    /// Appends a repaired pair, keeping the ordered list and the lookup
+    /// index consistent.
+    pub fn record(&mut self, from: GlobalName, to: GlobalName) {
+        self.index.insert(from.clone(), self.repaired.len());
+        self.repaired.push((from, to));
+    }
+
     /// Looks up where a source constant went.
     pub fn renamed(&self, from: &str) -> Option<&GlobalName> {
-        self.repaired
-            .iter()
-            .find(|(a, _)| a.as_str() == from)
-            .map(|(_, b)| b)
+        self.index.get(from).map(|&i| &self.repaired[i].1)
+    }
+
+    /// The module dependency DAG in Graphviz DOT, if this repair was
+    /// scheduled (see `examples/repair_dag.rs`).
+    pub fn dag_dot(&self) -> Option<String> {
+        self.schedule.as_ref().map(|s| s.dag.to_dot())
     }
 }
 
@@ -63,10 +86,32 @@ pub fn repair_module(
     for n in names {
         let from = GlobalName::new(*n);
         let to = repair_constant(env, lifting, state, &from)?;
-        report.repaired.push((from, to));
+        report.record(from, to);
     }
     report.kernel = env.kernel_stats().since(&kernel_before);
     Ok(report)
+}
+
+/// `Repair module`, in parallel: the same work list as
+/// [`repair_module`], scheduled over the module's dependency DAG in
+/// concurrent waves (`jobs` workers; `None` reads `PUMPKIN_JOBS`, falling
+/// back to the machine's parallelism). Repaired names and bodies are
+/// identical to the sequential driver's; see [`crate::schedule`] for the
+/// soundness argument and [`RepairReport::schedule`] for the wave/worker
+/// counters.
+///
+/// # Errors
+///
+/// Propagates the first repair failure; the environment then contains
+/// exactly the completed waves (all type-correct).
+pub fn repair_module_parallel(
+    env: &mut Env,
+    lifting: &Lifting,
+    state: &mut LiftState,
+    names: &[&str],
+    jobs: Option<usize>,
+) -> Result<RepairReport> {
+    repair_module_wavefront(env, lifting, state, names, jobs)
 }
 
 /// Repairs *every* constant in the environment that (transitively) mentions
@@ -124,7 +169,7 @@ pub fn repair_all(
             continue;
         }
         let to = repair_constant(env, lifting, state, &name)?;
-        report.repaired.push((name, to));
+        report.record(name, to);
     }
     report.kernel = env.kernel_stats().since(&kernel_before);
     Ok(report)

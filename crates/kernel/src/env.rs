@@ -92,6 +92,15 @@ impl Default for KernelCache {
 ///
 /// All mutating operations type check their input: a well-typed environment
 /// stays well-typed (modulo the documented universe simplifications).
+///
+/// ## Thread confinement
+///
+/// `Env` is `Send` but deliberately **not** `Sync`: the conv/whnf memo
+/// tables are interior-mutable (`Cell`/`RefCell`), so an environment — and
+/// with it its caches — belongs to exactly one thread at a time. The
+/// parallel repair scheduler honours this by *cloning* the master `Env`
+/// once per worker (terms are `Arc`-shared, so a clone is shallow) and
+/// moving each clone onto its thread; caches are never shared mutable.
 #[derive(Clone, Debug, Default)]
 pub struct Env {
     consts: HashMap<GlobalName, ConstDecl>,
@@ -102,6 +111,13 @@ pub struct Env {
     generation: u64,
     cache: KernelCache,
 }
+
+// Worker threads receive cloned environments by move; `RefCell`/`Cell`
+// keep `Env` !Sync, which is the cache thread-confinement invariant.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Env>();
+};
 
 impl Env {
     /// Creates an empty environment.
@@ -357,6 +373,77 @@ impl Env {
             },
         );
         Ok(())
+    }
+
+    /// Installs a constant that was *already type-checked against a clone
+    /// of this environment* — the merge half of the parallel repair
+    /// scheduler's clone/merge barrier.
+    ///
+    /// The caller guarantees the declaration was accepted (via
+    /// [`Env::define`] / [`Env::assume`]) by an environment whose globals
+    /// are a subset of this one's, all admitted through the same merge in
+    /// the worker's own insertion order. Under that discipline every name
+    /// the declaration mentions is already present with the same meaning
+    /// (globals are immutable once declared), so re-checking would
+    /// necessarily succeed; debug builds re-check anyway to keep the
+    /// well-typedness invariant machine-verified in the test suite.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already taken (or, in debug builds, if the
+    /// re-check fails — which indicates a scheduler bug).
+    pub fn admit_checked(&mut self, decl: ConstDecl) -> Result<()> {
+        if self.contains(decl.name.as_str()) {
+            return Err(KernelError::Redeclaration(decl.name));
+        }
+        #[cfg(debug_assertions)]
+        {
+            typecheck::check_is_type(self, &decl.ty)?;
+            if let Some(b) = &decl.body {
+                typecheck::check_closed(self, b, &decl.ty)?;
+            }
+        }
+        self.retire_if_observed_stuck(&decl.name);
+        self.order.push(GlobalRef::Const(decl.name.clone()));
+        self.consts.insert(decl.name.clone(), decl);
+        Ok(())
+    }
+
+    /// Removes every declaration made after `mark` (a prior
+    /// [`Env::order`]`().len()` snapshot), restoring the environment to
+    /// that declaration state. Removal can invalidate cached judgements
+    /// about terms mentioning the removed names, so the generation is
+    /// retired unconditionally.
+    ///
+    /// This is the error path of wave-based repair: when a wave fails on a
+    /// single worker running directly against the master environment, its
+    /// partial output is rolled back wholesale so the environment only
+    /// ever exposes completed waves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` exceeds the current declaration count.
+    pub fn rollback_to(&mut self, mark: usize) {
+        assert!(
+            mark <= self.order.len(),
+            "rollback mark {mark} past declaration count {}",
+            self.order.len()
+        );
+        if mark == self.order.len() {
+            return;
+        }
+        for r in self.order.drain(mark..) {
+            match r {
+                GlobalRef::Const(n) => {
+                    self.consts.remove(&n);
+                }
+                GlobalRef::Ind(n) => {
+                    self.inductives.remove(&n);
+                    self.ctor_names.retain(|_, (ind, _)| *ind != n);
+                }
+            }
+        }
+        self.bump_generation();
     }
 
     /// Declares an inductive family, checking well-formedness and (strict,

@@ -7,7 +7,8 @@
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::rc::Rc;
+
+use crate::term::TermRc;
 
 /// A binder hint. `Anonymous` prints as `_`.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -16,7 +17,7 @@ pub enum Name {
     #[default]
     Anonymous,
     /// A user-facing identifier hint.
-    Named(Rc<str>),
+    Named(TermRc<str>),
 }
 
 impl Name {
@@ -29,7 +30,7 @@ impl Name {
         if s.is_empty() || s == "_" {
             Name::Anonymous
         } else {
-            Name::Named(Rc::from(s))
+            Name::Named(TermRc::from(s))
         }
     }
 
@@ -64,16 +65,17 @@ impl From<&str> for Name {
 
 /// A fully qualified global name, e.g. `"Old.list"` or `"Old.list.cons"`.
 ///
-/// Global names are interned behind an `Rc<str>` so cloning is cheap; the
+/// Global names are interned behind a [`TermRc<str>`] (an `Arc`, so names —
+/// and with them terms — are `Send + Sync`) so cloning is cheap; the
 /// environment treats them as flat strings (dots carry no semantics beyond
 /// readability).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct GlobalName(Rc<str>);
+pub struct GlobalName(TermRc<str>);
 
 impl GlobalName {
     /// Creates a global name from an identifier.
     pub fn new(s: impl AsRef<str>) -> Self {
-        GlobalName(Rc::from(s.as_ref()))
+        GlobalName(TermRc::from(s.as_ref()))
     }
 
     /// The underlying identifier.

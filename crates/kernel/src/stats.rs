@@ -59,6 +59,24 @@ impl KernelStats {
         }
     }
 
+    /// Fieldwise sum — used by the parallel repair scheduler to aggregate
+    /// the counters accrued by per-worker environment clones into one
+    /// module-level total.
+    pub fn absorb(&mut self, other: &KernelStats) {
+        self.conv_calls += other.conv_calls;
+        self.conv_cache_hits += other.conv_cache_hits;
+        self.conv_cache_misses += other.conv_cache_misses;
+        self.whnf_calls += other.whnf_calls;
+        self.whnf_cache_hits += other.whnf_cache_hits;
+        self.whnf_cache_misses += other.whnf_cache_misses;
+        self.beta_steps += other.beta_steps;
+        self.delta_steps += other.delta_steps;
+        self.iota_steps += other.iota_steps;
+        self.zeta_steps += other.zeta_steps;
+        self.invalidations += other.invalidations;
+        self.infer_calls += other.infer_calls;
+    }
+
     /// Fraction of non-trivial `conv` calls answered by the memo table.
     pub fn conv_hit_rate(&self) -> f64 {
         ratio(

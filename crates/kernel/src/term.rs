@@ -8,7 +8,9 @@
 //!
 //! Representation choices:
 //!
-//! * Terms are immutable and shared via [`std::rc::Rc`]; `clone` is O(1).
+//! * Terms are immutable and shared via [`TermRc`] (an [`std::sync::Arc`]);
+//!   `clone` is O(1) and terms are `Send + Sync`, so the parallel module
+//!   repair scheduler can move cloned environments onto worker threads.
 //! * Applications are kept in *spine form* (`App(head, args)` where the head
 //!   is never itself an application and `args` is non-empty). The unification
 //!   heuristics of the repair engine (paper §4.2.1) pattern-match on spines.
@@ -17,10 +19,19 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
 
 use crate::name::{GlobalName, Name};
 use crate::universe::Sort;
+
+/// The shared pointer behind [`Term`] (and interned names).
+///
+/// This is the single point where the kernel commits to atomic reference
+/// counting: `Arc` makes `Term`, `Name`, and `GlobalName` `Send + Sync`,
+/// which is what lets the module-repair wavefront scheduler
+/// (`pumpkin-core`'s `schedule` module) hand cloned `Env` snapshots to
+/// worker threads. The ptr_eq and cached-structural-hash fast paths are
+/// unaffected — only the refcount bumps become atomic.
+pub type TermRc<T> = std::sync::Arc<T>;
 
 /// A binder: a name hint together with the bound variable's type.
 #[derive(Clone, Debug)]
@@ -126,11 +137,20 @@ struct TermCell {
 /// hash, so `Term` keys cost O(1) in hash maps — this is what makes the
 /// kernel's conversion/whnf caches (see [`crate::env::Env`]) affordable.
 #[derive(Clone)]
-pub struct Term(Rc<TermCell>);
+pub struct Term(TermRc<TermCell>);
+
+// The parallel repair scheduler relies on terms crossing thread boundaries;
+// keep that invariant machine-checked here rather than discovered at a
+// distant spawn site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Term>();
+    assert_send_sync::<TermCell>();
+};
 
 impl PartialEq for Term {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        TermRc::ptr_eq(&self.0, &other.0)
             || (self.0.hash == other.0.hash && self.0.data == other.0.data)
     }
 }
@@ -149,7 +169,7 @@ impl Term {
         // structural hashes are stable within (and across) processes.
         let mut h = std::collections::hash_map::DefaultHasher::new();
         data.hash(&mut h);
-        Term(Rc::new(TermCell {
+        Term(TermRc::new(TermCell {
             hash: h.finish(),
             data,
         }))
@@ -167,7 +187,7 @@ impl Term {
 
     /// Do `self` and `other` share the same allocation? Implies equality.
     pub fn same_allocation(&self, other: &Term) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        TermRc::ptr_eq(&self.0, &other.0)
     }
 
     // ------------------------------------------------------------------

@@ -17,4 +17,16 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets --locked -- -D warnings"
 cargo clippy --all-targets --locked -- -D warnings
 
+# The Send+Sync invariant behind the parallel scheduler: no std::rc in the
+# kernel or core crates (clippy.toml's disallowed-types).
+echo "==> cargo clippy -p pumpkin-kernel -p pumpkin-core (no std::rc)"
+cargo clippy -p pumpkin-kernel -p pumpkin-core --all-targets --locked -- \
+    -D warnings -D clippy::disallowed-types
+
+# Smoke-run the parallel-repair bench rows so scheduler regressions surface
+# here, not only in full EXPERIMENTS.md runs.
+echo "==> bench smoke: repair_parallel"
+cargo bench -p pumpkin-bench --locked --bench ablation -- \
+    --sample-size 3 --filter repair_parallel
+
 echo "==> all checks passed"

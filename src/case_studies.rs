@@ -6,7 +6,9 @@
 //! Configure + Transform (and where relevant Decompile), and returns the
 //! names it produced. All outputs are kernel-checked as they are defined.
 
-use pumpkin_core::{repair, repair_module, LiftState, NameMap, RepairReport, Result};
+use pumpkin_core::{
+    repair, repair_module, repair_module_parallel, LiftState, NameMap, RepairReport, Result,
+};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 
@@ -24,6 +26,27 @@ pub fn swap_list_module(env: &mut Env) -> Result<RepairReport> {
         &lifting,
         &mut st,
         pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS,
+    )
+}
+
+/// [`swap_list_module`] through the parallel wavefront scheduler with an
+/// explicit worker count — the `repair_parallel/jobs=N` ablation workload.
+/// Produces the same repaired module; the report additionally carries
+/// `schedule` counters.
+pub fn swap_list_module_parallel(env: &mut Env, jobs: usize) -> Result<RepairReport> {
+    let lifting = pumpkin_core::search::swap::configure(
+        env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )?;
+    let mut st = LiftState::new();
+    repair_module_parallel(
+        env,
+        &lifting,
+        &mut st,
+        pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS,
+        Some(jobs),
     )
 }
 
