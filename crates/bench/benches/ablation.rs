@@ -122,10 +122,29 @@ fn bench_repair_parallel(b: &mut Bench) {
         let mut env = base.clone();
         env.reset_kernel_stats();
         let report = case_studies::swap_list_module_parallel(&mut env, jobs).unwrap();
-        if let Some(sched) = &report.schedule {
-            println!("  repair_parallel/jobs={jobs}: {sched}");
-        }
+        println!("  repair_parallel/jobs={jobs}: {}", report.schedule);
     }
+}
+
+fn bench_trace_overhead(b: &mut Bench) {
+    // The observability ablation: the same swap_list_module repair with the
+    // trace sink disabled (every probe is one branch) vs full event capture.
+    // `off` should be within noise of `repair_parallel/jobs=1`.
+    b.bench("trace_overhead/off", stdlib::std_env, |mut env| {
+        case_studies::swap_list_module_parallel(&mut env, 1).unwrap();
+        env
+    });
+    b.bench("trace_overhead/on", stdlib::std_env, |mut env| {
+        case_studies::swap_list_module_traced(&mut env, 1).unwrap();
+        env
+    });
+    let mut env = stdlib::std_env();
+    let report = case_studies::swap_list_module_traced(&mut env, 1).unwrap();
+    println!(
+        "  trace_overhead/on: {} events, {} lift spans",
+        report.trace_events().len(),
+        report.metrics().counter("lift.constants"),
+    );
 }
 
 /// Builds an environment with two n-constructor enums and a function
@@ -228,6 +247,7 @@ fn main() {
     bench_lift_cache_ablation(&mut b);
     bench_kernel_cache_ablation(&mut b);
     bench_repair_parallel(&mut b);
+    bench_trace_overhead(&mut b);
     bench_enum_scaling(&mut b);
     bench_term_size_scaling(&mut b);
     b.finish();

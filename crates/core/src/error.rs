@@ -35,6 +35,17 @@ pub enum RepairError {
     UnificationFailed { term: Term, reason: String },
     /// A constant that must exist (part of a configuration) is missing.
     MissingDependency(GlobalName),
+    /// A repaired constant (or one of its reachable dependencies) still
+    /// mentions the source type — the repair is not source-free
+    /// (paper §3.2: "the old version of the specification may be removed").
+    SourceNotFree {
+        /// The constant whose source-freedom was being checked.
+        root: GlobalName,
+        /// The reachable constant that still mentions the source type.
+        constant: GlobalName,
+        /// The residual source-type subterm, pretty-printed via `lang`.
+        residual: String,
+    },
 }
 
 impl fmt::Display for RepairError {
@@ -63,6 +74,26 @@ impl fmt::Display for RepairError {
             }
             RepairError::MissingDependency(n) => {
                 write!(f, "configuration depends on missing global `{n}`")
+            }
+            RepairError::SourceNotFree {
+                root,
+                constant,
+                residual,
+            } => {
+                if root == constant {
+                    write!(
+                        f,
+                        "`{root}` is not source-free: it still mentions the \
+                         source type in `{residual}`"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "`{root}` is not source-free: its dependency \
+                         `{constant}` still mentions the source type in \
+                         `{residual}`"
+                    )
+                }
             }
         }
     }

@@ -9,6 +9,7 @@ pub mod error;
 pub mod lift;
 pub mod manual;
 pub mod repair;
+pub mod repairer;
 pub mod schedule;
 pub mod search;
 pub mod smartelim;
@@ -17,5 +18,10 @@ pub use config::{Lifting, NameMap};
 pub use error::{RepairError, Result};
 pub use lift::{lift_term, repair_constant, LiftState, LiftStats};
 pub use pumpkin_kernel::stats::KernelStats;
+/// Re-export of the structured tracing/metrics layer (event kinds, sinks,
+/// metrics registry), so callers of [`Repairer::sink`] need no separate
+/// dependency.
+pub use pumpkin_trace as trace;
 pub use repair::{repair, repair_all, repair_module, repair_module_parallel, RepairReport};
+pub use repairer::Repairer;
 pub use schedule::{default_jobs, ModuleDag, ScheduleStats};

@@ -41,6 +41,17 @@ pub struct LiftStats {
 }
 
 impl LiftStats {
+    /// Field-wise difference against an earlier snapshot (the lift-layer
+    /// analogue of [`pumpkin_kernel::stats::KernelStats::since`]).
+    pub fn since(&self, earlier: &LiftStats) -> LiftStats {
+        LiftStats {
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            constants_lifted: self.constants_lifted - earlier.constants_lifted,
+            visits: self.visits - earlier.visits,
+        }
+    }
+
     /// Fraction of cacheable lookups answered by the closed-subterm cache.
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -186,8 +197,14 @@ pub fn lift_term(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Re
     if cacheable {
         if let Some(hit) = st.term_cache.get(t) {
             st.stats.cache_hits += 1;
+            env.tracer().emit(pumpkin_trace::EventKind::CacheHit {
+                table: pumpkin_trace::CacheTable::Lift,
+            });
             return Ok(hit.clone());
         }
+        env.tracer().emit(pumpkin_trace::EventKind::CacheMiss {
+            table: pumpkin_trace::CacheTable::Lift,
+        });
     }
 
     let out = lift_uncached(env, l, st, t)?;
@@ -317,6 +334,7 @@ pub fn repair_constant(
         });
     }
     st.in_progress.insert(name.clone());
+    let span = env.tracer().begin();
     let result = (|| {
         let decl = env.const_decl(name)?.clone();
         let new_ty = lift_term(env, l, st, &decl.ty)?;
@@ -341,6 +359,12 @@ pub fn repair_constant(
         Ok(new_name)
     })();
     st.in_progress.remove(name);
+    env.tracer().end(
+        span,
+        pumpkin_trace::EventKind::LiftConstant {
+            name: name.as_str().into(),
+        },
+    );
     let new_name = result?;
     st.const_map.insert(name.clone(), new_name.clone());
     Ok(new_name)

@@ -1,20 +1,31 @@
 //! The command-level repair driver: the analogue of the paper's
 //! `Repair Old.list New.list in rev_app_distr` and `Repair module` commands
 //! (paper §2).
+//!
+//! The single front door is [`crate::Repairer`]; the free functions here
+//! are thin compatibility wrappers over it.
 
 use std::collections::HashMap;
+use std::io;
 
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_kernel::stats::KernelStats;
+use pumpkin_kernel::term::{Term, TermData};
+use pumpkin_trace::{Event, Metrics};
 
 use crate::config::Lifting;
 use crate::error::{RepairError, Result};
-use crate::lift::{repair_constant, LiftState};
-use crate::schedule::{repair_module_wavefront, ScheduleStats};
+use crate::lift::{LiftState, LiftStats};
+use crate::repairer::Repairer;
+use crate::schedule::ScheduleStats;
 
 /// The result of a module repair: the constants repaired (old → new), in
-/// completion order, plus the kernel-layer work the repair cost.
+/// completion order, plus the work the repair cost at every layer —
+/// kernel counters, lift-layer counters, wavefront scheduling stats (every
+/// run is scheduled; a sequential run is a one-worker schedule over the
+/// same DAG), and, when tracing was on, the structured event stream and
+/// the metrics registry derived from it.
 #[derive(Clone, Debug, Default)]
 pub struct RepairReport {
     /// Mapping from each repaired source constant to its repaired name.
@@ -29,9 +40,19 @@ pub struct RepairReport {
     /// while this report's constants were repaired and re-checked. For a
     /// parallel run this aggregates the master and every worker clone.
     pub kernel: KernelStats,
-    /// Wavefront scheduling counters and the dependency DAG, present when
-    /// the repair ran through the parallel driver.
-    pub schedule: Option<ScheduleStats>,
+    /// Lift-layer counters (closed-subterm cache traffic, constants
+    /// lifted, subterm visits) accrued by this run.
+    pub lift: LiftStats,
+    /// Wavefront scheduling counters and the dependency DAG. Always
+    /// present: sequential runs are one-worker schedules, so callers never
+    /// branch on job count.
+    pub schedule: ScheduleStats,
+    /// The structured trace events, when the run was executed through a
+    /// [`Repairer`] with trace capture on (empty otherwise).
+    pub trace: Vec<Event>,
+    /// Counters/histograms derived from the trace (empty when tracing was
+    /// off).
+    pub metrics: Metrics,
 }
 
 impl RepairReport {
@@ -47,49 +68,83 @@ impl RepairReport {
         self.index.get(from).map(|&i| &self.repaired[i].1)
     }
 
-    /// The module dependency DAG in Graphviz DOT, if this repair was
-    /// scheduled (see `examples/repair_dag.rs`).
-    pub fn dag_dot(&self) -> Option<String> {
-        self.schedule.as_ref().map(|s| s.dag.to_dot())
+    /// The module dependency DAG in Graphviz DOT (see
+    /// `examples/repair_dag.rs`). Available from every run — a sequential
+    /// repair is scheduled over the same DAG with one worker.
+    pub fn dag_dot(&self) -> String {
+        self.schedule.dag.to_dot()
+    }
+
+    /// The structured trace events (empty unless the run traced).
+    pub fn trace_events(&self) -> &[Event] {
+        &self.trace
+    }
+
+    /// The metrics registry derived from the trace (empty unless the run
+    /// traced).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Writes the trace as JSON lines (the `--trace out.jsonl` schema,
+    /// DESIGN.md §11).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_trace_jsonl(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        for e in &self.trace {
+            writeln!(out, "{}", e.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// The human-readable flamegraph-style summary of the trace
+    /// ([`pumpkin_trace::summary::render`]).
+    pub fn trace_summary(&self) -> String {
+        pumpkin_trace::summary::render(&self.trace)
     }
 }
 
 /// `Repair A B in name`: repairs a single constant (dependencies are
 /// repaired on demand) and returns the new constant's name.
 ///
+/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
+/// .run_one(env, name)`, which also offers jobs, tracing, and sinks.
+///
 /// # Errors
 ///
 /// Propagates configuration, unification, and kernel errors; on error the
-/// environment may contain successfully repaired dependencies (they are
-/// type-correct and harmless).
+/// failed repair's partial output is rolled back, so the environment
+/// contains only completed, type-correct repairs.
 pub fn repair(
     env: &mut Env,
     lifting: &Lifting,
     state: &mut LiftState,
     name: &GlobalName,
 ) -> Result<GlobalName> {
-    repair_constant(env, lifting, state, name)
+    Repairer::new(lifting).state(state).run_one(env, name)
 }
 
 /// `Repair module`: repairs every listed constant (the paper repairs the
 /// entire list module at once; the work list is the module's constants in
 /// any order — dependencies resolve on demand and are shared through the
 /// cache).
+///
+/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
+/// .run(env, names)`, which also offers jobs, tracing, and sinks.
+///
+/// # Errors
+///
+/// Propagates the first repair failure; the failing wave is rolled back,
+/// so the environment contains exactly the completed waves.
 pub fn repair_module(
     env: &mut Env,
     lifting: &Lifting,
     state: &mut LiftState,
     names: &[&str],
 ) -> Result<RepairReport> {
-    let kernel_before = env.kernel_stats();
-    let mut report = RepairReport::default();
-    for n in names {
-        let from = GlobalName::new(*n);
-        let to = repair_constant(env, lifting, state, &from)?;
-        report.record(from, to);
-    }
-    report.kernel = env.kernel_stats().since(&kernel_before);
-    Ok(report)
+    Repairer::new(lifting).state(state).run(env, names)
 }
 
 /// `Repair module`, in parallel: the same work list as
@@ -99,6 +154,9 @@ pub fn repair_module(
 /// identical to the sequential driver's; see [`crate::schedule`] for the
 /// soundness argument and [`RepairReport::schedule`] for the wave/worker
 /// counters.
+///
+/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
+/// .jobs(n).run(env, names)` (or `.jobs_auto()`).
 ///
 /// # Errors
 ///
@@ -111,25 +169,48 @@ pub fn repair_module_parallel(
     names: &[&str],
     jobs: Option<usize>,
 ) -> Result<RepairReport> {
-    repair_module_wavefront(env, lifting, state, names, jobs)
+    let mut r = Repairer::new(lifting).state(state);
+    r = match jobs {
+        Some(n) => r.jobs(n),
+        None => r.jobs_auto(),
+    };
+    r.run(env, names)
 }
 
-/// Repairs *every* constant in the environment that (transitively) mentions
-/// the source type, in declaration order — the fully automatic reading of
+/// Repairs *every* constant in the environment that mentions the source
+/// type, in declaration order — the fully automatic reading of
 /// `Repair module` (the paper repairs "the entire list module ... all at
 /// once"). The configuration's own artifacts (the equivalence functions and
 /// anything already mapped in `state`) are skipped.
 ///
+/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
+/// .run_all(env, exclusions)`.
+///
 /// # Errors
 ///
-/// Propagates the first repair failure; earlier repairs remain (they are
-/// type-correct).
+/// Propagates the first repair failure; the failing wave is rolled back,
+/// so the environment contains exactly the completed waves.
 pub fn repair_all(
     env: &mut Env,
     lifting: &Lifting,
     state: &mut LiftState,
     extra_exclusions: &[&str],
 ) -> Result<RepairReport> {
+    Repairer::new(lifting)
+        .state(state)
+        .run_all(env, extra_exclusions)
+}
+
+/// The environment-wide work list [`repair_all`] sweeps: constants that
+/// directly mention the source type, in declaration order, minus the
+/// configuration's own artifacts, explicit exclusions, and anything
+/// already mapped.
+pub(crate) fn sweep_work_list(
+    env: &Env,
+    lifting: &Lifting,
+    state: &LiftState,
+    extra_exclusions: &[&str],
+) -> Vec<GlobalName> {
     let mut excluded: Vec<GlobalName> = extra_exclusions
         .iter()
         .map(|s| GlobalName::new(*s))
@@ -142,37 +223,96 @@ pub fn repair_all(
             eqv.retraction.clone(),
         ]);
     }
-    let order: Vec<GlobalName> = env
-        .order()
+    env.order()
         .iter()
         .filter_map(|r| match r {
             pumpkin_kernel::env::GlobalRef::Const(n) => Some(n.clone()),
             _ => None,
         })
-        .collect();
-    let kernel_before = env.kernel_stats();
-    let mut report = RepairReport::default();
-    for name in order {
-        if excluded.contains(&name) || state.const_map.contains_key(&name) {
-            continue;
+        .filter(|name| {
+            if excluded.contains(name) || state.const_map.contains_key(name) {
+                return false;
+            }
+            let Ok(decl) = env.const_decl(name) else {
+                return false;
+            };
+            decl.ty.mentions_global(&lifting.a_name)
+                || decl
+                    .body
+                    .as_ref()
+                    .is_some_and(|b| b.mentions_global(&lifting.a_name))
+        })
+        .collect()
+}
+
+/// Maximum rendered length of the residual subterm in a
+/// [`RepairError::SourceNotFree`] message.
+const RESIDUAL_MAX_CHARS: usize = 120;
+
+/// The smallest informative subterm of `t` still mentioning `a`: descend
+/// while exactly one child mentions the source, stopping one level above a
+/// bare global so the mention keeps its application context (`Old.list
+/// nat`, not just `Old.list`).
+fn residual_subterm<'t>(t: &'t Term, a: &GlobalName) -> &'t Term {
+    fn children(t: &Term) -> Vec<&Term> {
+        match t.data() {
+            TermData::Rel(_)
+            | TermData::Sort(_)
+            | TermData::Const(_)
+            | TermData::Ind(_)
+            | TermData::Construct(_, _) => Vec::new(),
+            TermData::App(h, args) => std::iter::once(h).chain(args.iter()).collect(),
+            TermData::Lambda(b, body) | TermData::Pi(b, body) => vec![&b.ty, body],
+            TermData::Let(b, v, body) => vec![&b.ty, v, body],
+            TermData::Elim(e) => e
+                .params
+                .iter()
+                .chain(std::iter::once(&e.motive))
+                .chain(e.cases.iter())
+                .chain(std::iter::once(&e.scrutinee))
+                .collect(),
         }
-        let decl = match env.const_decl(&name) {
-            Ok(d) => d.clone(),
-            Err(_) => continue,
-        };
-        let mentions = decl.ty.mentions_global(&lifting.a_name)
-            || decl
-                .body
-                .as_ref()
-                .is_some_and(|b| b.mentions_global(&lifting.a_name));
-        if !mentions {
-            continue;
-        }
-        let to = repair_constant(env, lifting, state, &name)?;
-        report.record(name, to);
     }
-    report.kernel = env.kernel_stats().since(&kernel_before);
-    Ok(report)
+    let is_atomic = |t: &Term| {
+        matches!(
+            t.data(),
+            TermData::Const(_) | TermData::Ind(_) | TermData::Construct(_, _)
+        )
+    };
+    let mut mentioning = children(t).into_iter().filter(|c| c.mentions_global(a));
+    match (mentioning.next(), mentioning.next()) {
+        // Exactly one child carries the mention and is itself compound:
+        // the residual is in there.
+        (Some(c), None) if !is_atomic(c) => residual_subterm(c, a),
+        // The unique carrier is a bare global (or several children carry
+        // it): `t` is the smallest informative context.
+        _ => t,
+    }
+}
+
+/// Builds the [`RepairError::SourceNotFree`] for a residual mention of the
+/// source type in `decl_part` of `constant`, reachable from `root`.
+fn source_not_free(
+    env: &Env,
+    lifting: &Lifting,
+    root: &GlobalName,
+    constant: &GlobalName,
+    t: &Term,
+) -> RepairError {
+    let residual = residual_subterm(t, &lifting.a_name);
+    let mut rendered = pumpkin_lang::pretty(env, residual);
+    if rendered.chars().count() > RESIDUAL_MAX_CHARS {
+        rendered = rendered
+            .chars()
+            .take(RESIDUAL_MAX_CHARS)
+            .collect::<String>()
+            + "…";
+    }
+    RepairError::SourceNotFree {
+        root: root.clone(),
+        constant: constant.clone(),
+        residual: rendered,
+    }
 }
 
 /// Checks that a repaired constant no longer refers to the source type —
@@ -181,7 +321,8 @@ pub fn repair_all(
 ///
 /// # Errors
 ///
-/// Returns an error naming the offending constant if any reachable
+/// Returns [`RepairError::SourceNotFree`] naming the offending constant
+/// and the residual source-type subterm (pretty-printed) if any reachable
 /// definition still mentions the source type.
 pub fn check_source_free(env: &Env, lifting: &Lifting, name: &GlobalName) -> Result<()> {
     let mut visited = std::collections::HashSet::new();
@@ -193,18 +334,13 @@ pub fn check_source_free(env: &Env, lifting: &Lifting, name: &GlobalName) -> Res
         let decl = env
             .const_decl(&c)
             .map_err(|_| RepairError::MissingDependency(c.clone()))?;
-        let mut mentions = decl.ty.mentions_global(&lifting.a_name);
-        if let Some(b) = &decl.body {
-            mentions = mentions || b.mentions_global(&lifting.a_name);
+        if decl.ty.mentions_global(&lifting.a_name) {
+            return Err(source_not_free(env, lifting, name, &c, &decl.ty));
         }
-        if mentions {
-            return Err(RepairError::UnificationFailed {
-                term: pumpkin_kernel::term::Term::const_(c.clone()),
-                reason: format!(
-                    "repaired constant `{c}` still mentions `{}`",
-                    lifting.a_name
-                ),
-            });
+        if let Some(b) = &decl.body {
+            if b.mentions_global(&lifting.a_name) {
+                return Err(source_not_free(env, lifting, name, &c, b));
+            }
         }
         queue.extend(decl.ty.constants());
         if let Some(b) = &decl.body {
@@ -298,6 +434,48 @@ mod tests {
         for (_, to) in &report.repaired {
             check_source_free(&env, &lifting, to).unwrap();
         }
+    }
+
+    #[test]
+    fn source_not_free_error_names_constant_and_residual() {
+        let mut env = stdlib::std_env();
+        let lifting = swap::configure(
+            &mut env,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        // Direct mention: an unrepaired constant's type still uses the
+        // source type.
+        let err = check_source_free(&env, &lifting, &"Old.rev".into()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`Old.rev` is not source-free"), "{msg}");
+        assert!(msg.contains("Old.list"), "{msg}");
+
+        // Mention through a dependency: `outer` is clean itself, but its
+        // body references `inner`, whose body still builds an Old.list.
+        let nat = Term::ind("nat");
+        env.define(
+            "inner",
+            nat.clone(),
+            Term::app(
+                Term::const_("Old.length"),
+                [nat.clone(), list_lit("Old.list", nat.clone(), &[])],
+            ),
+        )
+        .unwrap();
+        env.define("outer", nat, Term::const_("inner")).unwrap();
+        let err = check_source_free(&env, &lifting, &"outer".into()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("`outer` is not source-free") && msg.contains("dependency `inner`"),
+            "{msg}"
+        );
+        assert!(
+            msg.contains("Old.nil"),
+            "residual should be the nil literal: {msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! The unified front door to the repair pipeline.
+//!
+//! [`Repairer`] is a builder over everything the free functions in
+//! [`crate::repair`] used to expose separately: the work-list drivers
+//! (single constant, explicit module, environment-wide sweep), the worker
+//! cap for wavefront scheduling, and the observability surface (trace
+//! capture, event sinks, metrics). One configuration, one `run`:
+//!
+//! ```
+//! use pumpkin_core::{LiftState, NameMap, Repairer};
+//! use pumpkin_core::search::swap;
+//! use pumpkin_stdlib as stdlib;
+//!
+//! # fn main() -> pumpkin_core::Result<()> {
+//! let mut env = stdlib::std_env();
+//! let lifting = swap::configure(
+//!     &mut env,
+//!     &"Old.list".into(),
+//!     &"New.list".into(),
+//!     NameMap::prefix("Old.", "New."),
+//! )?;
+//! let report = Repairer::new(&lifting)
+//!     .jobs(2)
+//!     .trace(true)
+//!     .run(&mut env, &["Old.rev", "Old.app"])?;
+//! assert_eq!(report.renamed("Old.rev").unwrap().as_str(), "New.rev");
+//! assert!(!report.trace_events().is_empty());
+//! println!("{}", report.trace_summary());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Every run — even `jobs(1)`, the default — goes through the wavefront
+//! scheduler, so [`crate::RepairReport::schedule`] (and with it
+//! [`crate::RepairReport::dag_dot`]) is uniformly available; a sequential
+//! run is simply a one-worker schedule.
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_trace::sink::{drain_into, EventSink};
+use pumpkin_trace::{Event, EventKind, Metrics, Tracer};
+
+use crate::config::Lifting;
+use crate::error::{RepairError, Result};
+use crate::lift::LiftState;
+use crate::repair::{sweep_work_list, RepairReport};
+use crate::schedule::{default_jobs, repair_module_wavefront};
+
+/// Builder-style front door to the repair pipeline: lifting + jobs +
+/// observability in, [`RepairReport`] out. See the module docs for an
+/// example.
+pub struct Repairer<'a> {
+    lifting: &'a Lifting,
+    state: Option<&'a mut LiftState>,
+    jobs: usize,
+    capture: bool,
+    sink: Option<Box<dyn EventSink + 'a>>,
+}
+
+impl<'a> Repairer<'a> {
+    /// A repairer for `lifting` with the defaults: one worker (sequential,
+    /// deterministic wall-clock), a fresh internal [`LiftState`], no
+    /// tracing.
+    pub fn new(lifting: &'a Lifting) -> Repairer<'a> {
+        Repairer {
+            lifting,
+            state: None,
+            jobs: 1,
+            capture: false,
+            sink: None,
+        }
+    }
+
+    /// Sets the worker cap for wavefront scheduling (values below 1 are
+    /// clamped to 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Worker cap from the environment: `PUMPKIN_JOBS` if set, else the
+    /// machine's available parallelism (see
+    /// [`crate::schedule::default_jobs`]).
+    pub fn jobs_auto(self) -> Self {
+        let jobs = default_jobs();
+        self.jobs(jobs)
+    }
+
+    /// Threads an existing [`LiftState`] through the run, so repeated runs
+    /// share the constant map and caches. Without this, each `run` uses a
+    /// fresh internal state.
+    pub fn state(mut self, state: &'a mut LiftState) -> Self {
+        self.state = Some(state);
+        self
+    }
+
+    /// Captures the structured event stream into
+    /// [`RepairReport::trace`] / [`RepairReport::metrics`].
+    pub fn trace(mut self, capture: bool) -> Self {
+        self.capture = capture;
+        self
+    }
+
+    /// Streams the run's events into `sink` after the repair finishes
+    /// (events are buffered thread-confined during the run). Implies
+    /// tracing; combine with [`Repairer::trace`] to also keep the events
+    /// on the report.
+    pub fn sink(mut self, sink: Box<dyn EventSink + 'a>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Repairs an explicit work list (`Repair module`, paper §2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first repair failure; the failing wave is rolled
+    /// back, so the environment contains exactly the completed waves.
+    pub fn run(self, env: &mut Env, names: &[&str]) -> Result<RepairReport> {
+        let nodes: Vec<GlobalName> = names.iter().map(|n| GlobalName::new(*n)).collect();
+        self.execute(env, nodes)
+    }
+
+    /// Repairs every constant in the environment that mentions the source
+    /// type, in declaration order, skipping the configuration's own
+    /// artifacts, `extra_exclusions`, and constants already mapped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first repair failure; the failing wave is rolled
+    /// back, so the environment contains exactly the completed waves.
+    pub fn run_all(self, env: &mut Env, extra_exclusions: &[&str]) -> Result<RepairReport> {
+        let fresh = LiftState::new();
+        let state: &LiftState = match &self.state {
+            Some(s) => s,
+            None => &fresh,
+        };
+        let nodes = sweep_work_list(env, self.lifting, state, extra_exclusions);
+        self.execute(env, nodes)
+    }
+
+    /// Repairs a single constant (`Repair A B in name`) and returns its
+    /// repaired name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the repair failure; partial output is rolled back.
+    pub fn run_one(self, env: &mut Env, name: &GlobalName) -> Result<GlobalName> {
+        let report = self.execute(env, vec![name.clone()])?;
+        report
+            .renamed(name.as_str())
+            .cloned()
+            .ok_or_else(|| RepairError::MissingDependency(name.clone()))
+    }
+
+    fn execute(mut self, env: &mut Env, nodes: Vec<GlobalName>) -> Result<RepairReport> {
+        let tracing = self.capture || self.sink.is_some();
+        // Install a fresh tracer for the run (saving whatever was there),
+        // so event streams never bleed between runs.
+        let saved = tracing.then(|| {
+            let prev = env.take_tracer();
+            env.set_tracer(Tracer::new());
+            prev
+        });
+
+        let mut fresh;
+        let state: &mut LiftState = match self.state.take() {
+            Some(s) => s,
+            None => {
+                fresh = LiftState::new();
+                &mut fresh
+            }
+        };
+        let lift_before = state.stats;
+
+        let run_span = env.tracer().begin();
+        let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
+        let result = repair_module_wavefront(env, self.lifting, state, &names, Some(self.jobs));
+        env.tracer().end(
+            run_span,
+            EventKind::Run {
+                jobs: self.jobs as u32,
+            },
+        );
+
+        // Drain + deliver events even when the repair failed: a trace of
+        // the failing run is exactly what the sink is for.
+        let events: Vec<Event> = if tracing {
+            let tracer = env.take_tracer();
+            if let Some(prev) = saved {
+                env.set_tracer(prev);
+            }
+            tracer.into_events()
+        } else {
+            Vec::new()
+        };
+        if let Some(sink) = &mut self.sink {
+            drain_into(&events, sink.as_mut());
+        }
+
+        let mut report = result?;
+        report.lift = state.stats.since(&lift_before);
+        report.metrics = Metrics::from_events(&events);
+        if self.capture {
+            report.trace = events;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NameMap;
+    use crate::search::swap;
+    use pumpkin_stdlib as stdlib;
+    use pumpkin_trace::CacheTable;
+
+    fn configured() -> (Env, Lifting) {
+        let mut env = stdlib::std_env();
+        let lifting = swap::configure(
+            &mut env,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        (env, lifting)
+    }
+
+    #[test]
+    fn default_run_reports_schedule_without_branching() {
+        let (mut env, lifting) = configured();
+        let report = Repairer::new(&lifting)
+            .run(&mut env, &["Old.rev", "Old.app"])
+            .unwrap();
+        assert_eq!(report.schedule.jobs, 1);
+        assert!(report.schedule.waves >= 1);
+        assert!(report.dag_dot().contains("Old.rev"));
+        // No tracing requested: the stream and registry stay empty.
+        assert!(report.trace_events().is_empty());
+        assert!(report.metrics().is_empty());
+    }
+
+    #[test]
+    fn traced_run_captures_spans_and_kernel_probes() {
+        let (mut env, lifting) = configured();
+        let report = Repairer::new(&lifting)
+            .trace(true)
+            .run(&mut env, &["Old.rev", "Old.app", "Old.rev_app_distr"])
+            .unwrap();
+        let events = report.trace_events();
+        let has = |pred: &dyn Fn(&EventKind) -> bool| events.iter().any(|e| pred(&e.kind));
+        assert!(has(&|k| matches!(k, EventKind::Run { jobs: 1 })));
+        assert!(has(&|k| matches!(k, EventKind::Wave { .. })));
+        assert!(has(&|k| matches!(k, EventKind::WaveStart { .. })));
+        assert!(has(&|k| matches!(k, EventKind::WaveMerge { .. })));
+        assert!(has(&|k| matches!(
+            k,
+            EventKind::LiftConstant { name } if &**name == "Old.rev_app_distr"
+        )));
+        assert!(has(&|k| matches!(k, EventKind::Whnf)));
+        assert!(has(&|k| matches!(
+            k,
+            EventKind::CacheHit {
+                table: CacheTable::Whnf
+            } | EventKind::CacheMiss {
+                table: CacheTable::Whnf
+            }
+        )));
+        // The metrics registry derives from the same stream.
+        assert_eq!(
+            report.metrics().counter("lift.constants"),
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::LiftConstant { .. }))
+                .count() as u64
+        );
+        // After the run the environment's tracer is disabled again.
+        assert!(!env.tracer().enabled());
+    }
+
+    #[test]
+    fn sink_receives_the_full_stream() {
+        let (mut env, lifting) = configured();
+        let mut lines = Vec::new();
+        {
+            let sink = pumpkin_trace::JsonLinesSink::new(&mut lines);
+            Repairer::new(&lifting)
+                .sink(Box::new(sink))
+                .run(&mut env, &["Old.length"])
+                .unwrap();
+        }
+        let text = String::from_utf8(lines).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(
+                Event::from_json(line).is_some(),
+                "sink line fails to parse: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_one_matches_free_function() {
+        let (mut env, lifting) = configured();
+        let name = Repairer::new(&lifting)
+            .run_one(&mut env, &"Old.rev".into())
+            .unwrap();
+        assert_eq!(name.as_str(), "New.rev");
+    }
+
+    #[test]
+    fn shared_state_carries_mappings_between_runs() {
+        let (mut env, lifting) = configured();
+        let mut st = LiftState::new();
+        Repairer::new(&lifting)
+            .state(&mut st)
+            .run(&mut env, &["Old.app"])
+            .unwrap();
+        assert!(st.const_map.contains_key("Old.app"));
+        // Second run resolves Old.app from the shared map.
+        let report = Repairer::new(&lifting)
+            .state(&mut st)
+            .run(&mut env, &["Old.app_assoc"])
+            .unwrap();
+        assert_eq!(
+            report.renamed("Old.app_assoc").unwrap().as_str(),
+            "New.app_assoc"
+        );
+    }
+}

@@ -41,6 +41,7 @@ use std::time::Instant;
 use pumpkin_kernel::env::{ConstDecl, Env, GlobalRef};
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_kernel::stats::KernelStats;
+use pumpkin_trace::{Event, EventKind};
 
 use crate::config::Lifting;
 use crate::error::{RepairError, Result};
@@ -304,6 +305,10 @@ struct WorkerOutput {
     state: LiftState,
     /// Kernel counters this worker accrued.
     kernel: KernelStats,
+    /// Trace events this worker recorded (empty when tracing is off);
+    /// shipped back as plain data and absorbed by the master at the
+    /// barrier — the tracer itself never crosses threads twice.
+    events: Vec<Event>,
     /// The first repair error, if any (the wave is then not merged).
     error: Option<RepairError>,
 }
@@ -344,6 +349,7 @@ fn run_worker(
         delta,
         state: st,
         kernel: env.kernel_stats().since(&before),
+        events: env.take_tracer().into_events(),
         error,
     }
 }
@@ -382,12 +388,18 @@ pub fn repair_module_wavefront(
     // own counters — keep the two separate to avoid double counting).
     let mut threaded = KernelStats::default();
 
-    for wave in &waves {
+    for (wi, wave) in waves.iter().enumerate() {
         sched.waves += 1;
         sched.wave_widths.push(wave.len());
         sched.max_width = sched.max_width.max(wave.len());
         let workers = jobs.min(wave.len());
         let mark = env.order().len();
+        let (wave_u32, width_u32) = (wi as u32, wave.len() as u32);
+        env.tracer().emit(EventKind::WaveStart {
+            wave: wave_u32,
+            width: width_u32,
+        });
+        let wave_span = env.tracer().begin();
 
         if workers == 1 {
             // Single-worker wave: one worker's merge is the identity, so
@@ -412,11 +424,28 @@ pub fn repair_module_wavefront(
             sched.worker_kernel[0].absorb(&env.kernel_stats().since(&before));
             if let Some(e) = error {
                 env.rollback_to(mark);
+                env.tracer().end(
+                    wave_span,
+                    EventKind::Wave {
+                        wave: wave_u32,
+                        width: width_u32,
+                    },
+                );
                 return Err(e);
             }
             let merge_start = Instant::now();
+            let merge_span = env.tracer().begin();
             state.absorb_worker(wst);
+            env.tracer()
+                .end(merge_span, EventKind::WaveMerge { wave: wave_u32 });
             sched.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+            env.tracer().end(
+                wave_span,
+                EventKind::Wave {
+                    wave: wave_u32,
+                    width: width_u32,
+                },
+            );
             continue;
         }
 
@@ -427,8 +456,13 @@ pub fn repair_module_wavefront(
         let outputs: Vec<WorkerOutput> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .iter()
-                .map(|chunk| {
-                    let wenv = env.clone();
+                .enumerate()
+                .map(|(w, chunk)| {
+                    let mut wenv = env.clone();
+                    // Workers are numbered from 1 within the wave; 0 is the
+                    // master. The fork shares the run's epoch so worker
+                    // timestamps are comparable with the master's.
+                    wenv.set_tracer(env.tracer().fork_worker(w as u32 + 1));
                     let wst = state.fork_worker();
                     let nodes = &nodes;
                     s.spawn(move || run_worker(wenv, lifting, wst, nodes, chunk, mark))
@@ -440,13 +474,28 @@ pub fn repair_module_wavefront(
                 .collect()
         });
 
+        // Ship worker events home first — a failing wave's trace is kept
+        // (that trace is exactly what a sink consumer wants to see).
+        let mut outputs = outputs;
+        for out in &mut outputs {
+            env.tracer().absorb(std::mem::take(&mut out.events));
+        }
+
         // Error barrier: a failing wave is dropped wholesale, so the master
         // only ever contains completed, type-correct waves.
         if let Some(e) = outputs.iter().find_map(|o| o.error.clone()) {
+            env.tracer().end(
+                wave_span,
+                EventKind::Wave {
+                    wave: wave_u32,
+                    width: width_u32,
+                },
+            );
             return Err(e);
         }
 
         let merge_start = Instant::now();
+        let merge_span = env.tracer().begin();
         for (w, out) in outputs.into_iter().enumerate() {
             sched.worker_kernel[w].absorb(&out.kernel);
             threaded.absorb(&out.kernel);
@@ -467,7 +516,16 @@ pub fn repair_module_wavefront(
             state.absorb_worker(out.state);
             repaired.extend(out.repaired);
         }
+        env.tracer()
+            .end(merge_span, EventKind::WaveMerge { wave: wave_u32 });
         sched.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+        env.tracer().end(
+            wave_span,
+            EventKind::Wave {
+                wave: wave_u32,
+                width: width_u32,
+            },
+        );
     }
 
     repaired.sort_unstable_by_key(|(i, _, _)| *i);
@@ -480,7 +538,7 @@ pub fn repair_module_wavefront(
     let mut kernel = env.kernel_stats().since(&kernel_before);
     kernel.absorb(&threaded);
     report.kernel = kernel;
-    report.schedule = Some(sched);
+    report.schedule = sched;
     Ok(report)
 }
 

@@ -16,6 +16,7 @@ pub fn conv(env: &Env, t: &Term, u: &Term) -> bool {
         return true;
     }
     env.tally(|s| s.conv_calls += 1);
+    env.tracer().emit(pumpkin_trace::EventKind::Conv);
     if let Some(verdict) = env.conv_cached(t, u) {
         return verdict;
     }

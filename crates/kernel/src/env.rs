@@ -4,6 +4,8 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 
+use pumpkin_trace::{CacheTable, EventKind, Tracer};
+
 use crate::error::{KernelError, Result};
 use crate::inductive::InductiveDecl;
 use crate::name::GlobalName;
@@ -110,6 +112,12 @@ pub struct Env {
     /// Bumped by every mutation that can change reduction or conversion.
     generation: u64,
     cache: KernelCache,
+    /// Structured trace sink for kernel probes (whnf/conv calls, cache
+    /// hits/misses, rollbacks). Disabled by default — every probe is then a
+    /// single branch. Like the memo tables, the tracer is thread-confined;
+    /// cloning an `Env` clones the tracer's *configuration* but not its
+    /// buffered events.
+    tracer: Tracer,
 }
 
 // Worker threads receive cloned environments by move; `RefCell`/`Cell`
@@ -162,6 +170,28 @@ impl Env {
     /// Resets the kernel counters to zero.
     pub fn reset_kernel_stats(&self) {
         *self.cache.stats.borrow_mut() = KernelStats::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Structured tracing (see `pumpkin_trace`)
+    // ------------------------------------------------------------------
+
+    /// Installs a tracer; kernel probes (whnf/conv calls, cache hits and
+    /// misses, rollbacks) are recorded into it from now on. Install a
+    /// [`Tracer::disabled`] to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Removes and returns the installed tracer (with its buffered
+    /// events), leaving a disabled one behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
     }
 
     /// Records an environment mutation: cached reduction/conversion
@@ -233,6 +263,15 @@ impl Env {
                 s.whnf_cache_misses += 1;
             }
         });
+        self.tracer.emit(if is_hit {
+            EventKind::CacheHit {
+                table: CacheTable::Whnf,
+            }
+        } else {
+            EventKind::CacheMiss {
+                table: CacheTable::Whnf,
+            }
+        });
         hit
     }
 
@@ -266,6 +305,15 @@ impl Env {
                 s.conv_cache_hits += 1;
             } else {
                 s.conv_cache_misses += 1;
+            }
+        });
+        self.tracer.emit(if is_hit {
+            EventKind::CacheHit {
+                table: CacheTable::Conv,
+            }
+        } else {
+            EventKind::CacheMiss {
+                table: CacheTable::Conv,
             }
         });
         hit
@@ -398,10 +446,18 @@ impl Env {
         }
         #[cfg(debug_assertions)]
         {
-            typecheck::check_is_type(self, &decl.ty)?;
-            if let Some(b) = &decl.body {
-                typecheck::check_closed(self, b, &decl.ty)?;
-            }
+            // The re-check is a debug-only invariant audit; pause tracing
+            // so debug and release builds produce identical event streams.
+            self.tracer.pause(true);
+            let recheck = (|| {
+                typecheck::check_is_type(self, &decl.ty)?;
+                if let Some(b) = &decl.body {
+                    typecheck::check_closed(self, b, &decl.ty)?;
+                }
+                Ok(())
+            })();
+            self.tracer.pause(false);
+            recheck?;
         }
         self.retire_if_observed_stuck(&decl.name);
         self.order.push(GlobalRef::Const(decl.name.clone()));
@@ -432,6 +488,9 @@ impl Env {
         if mark == self.order.len() {
             return;
         }
+        self.tracer.emit(EventKind::Rollback {
+            dropped: (self.order.len() - mark) as u32,
+        });
         for r in self.order.drain(mark..) {
             match r {
                 GlobalRef::Const(n) => {

@@ -59,6 +59,11 @@ pub mod term;
 pub mod typecheck;
 pub mod universe;
 
+/// Re-export of the structured tracing layer the kernel is instrumented
+/// with, so downstream crates can name [`trace::Tracer`] and
+/// [`trace::EventKind`] without a separate dependency.
+pub use pumpkin_trace as trace;
+
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::conv::{conv, conv_leq};

@@ -35,6 +35,7 @@ pub fn whnf(env: &Env, t: &Term) -> Term {
         _ => {}
     }
     env.tally(|s| s.whnf_calls += 1);
+    env.tracer().emit(pumpkin_trace::EventKind::Whnf);
     if let Some(r) = env.whnf_cached(t) {
         return r;
     }

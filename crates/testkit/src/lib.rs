@@ -173,15 +173,20 @@ fn jobs_from_env() -> Option<usize> {
 /// on a fresh value produced by `setup` (setup time is excluded), and
 /// prints `id ... median [min .. max]` to stdout.
 ///
-/// Passing `--filter <substr>` (or a bare positional substring, as cargo
-/// bench forwards trailing args) skips non-matching ids; `--jobs N` (or
+/// Passing `--filter <substr>[,<substr>…]` (or a bare positional
+/// substring, as cargo bench forwards trailing args) skips ids matching
+/// none of the comma-separated alternatives; `--jobs N` (or
 /// `PUMPKIN_JOBS=N`) pins worker-count ablations (see [`Bench::jobs`]);
-/// other harness flags criterion would accept (`--bench`,
-/// `--save-baseline x`, ...) are ignored for drop-in compatibility.
+/// `--json PATH` additionally writes a machine-readable JSON-lines report
+/// on [`Bench::finish`] (the committed `BENCH_*.json` format CI's bench
+/// guard compares against); other harness flags criterion would accept
+/// (`--bench`, `--save-baseline x`, ...) are ignored for drop-in
+/// compatibility.
 pub struct Bench {
     samples: usize,
     filter: Option<String>,
     jobs: Option<usize>,
+    json: Option<String>,
     results: Vec<Sample>,
 }
 
@@ -199,6 +204,7 @@ impl Bench {
             samples: 10,
             filter: None,
             jobs: jobs_from_env(),
+            json: None,
             results: Vec::new(),
         }
     }
@@ -209,7 +215,7 @@ impl Bench {
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--sample-size" | "--filter" | "--jobs" => {
+                "--sample-size" | "--filter" | "--jobs" | "--json" => {
                     let v = args.next();
                     match (a.as_str(), v) {
                         ("--sample-size", Some(v)) => match v.parse() {
@@ -229,6 +235,7 @@ impl Bench {
                                 std::process::exit(2);
                             }
                         },
+                        ("--json", Some(v)) => bench.json = Some(v),
                         _ => {}
                     }
                 }
@@ -273,7 +280,8 @@ impl Bench {
         mut routine: impl FnMut(T) -> R,
     ) -> Option<&Sample> {
         if let Some(f) = &self.filter {
-            if !id.contains(f.as_str()) {
+            // Comma-separated alternatives: keep ids matching any part.
+            if !f.split(',').any(|part| id.contains(part)) {
                 return None;
             }
         }
@@ -314,8 +322,49 @@ impl Bench {
         &self.results
     }
 
-    /// Prints a closing summary line. Call at the end of `main`.
+    /// Renders the recorded samples as JSON lines: a schema header, then
+    /// one object per sample (the `--json PATH` / `BENCH_*.json` format).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\":\"pumpkin-bench/v1\",\"samples\":{}}}\n",
+            self.samples
+        ));
+        for s in &self.results {
+            // Bench ids are plain ASCII identifiers; quote-escape anyway so
+            // the output is always valid JSON.
+            let id: String =
+                s.id.chars()
+                    .flat_map(|c| match c {
+                        '"' | '\\' => vec!['\\', c],
+                        c => vec![c],
+                    })
+                    .collect();
+            let times: Vec<String> = s.times_ns.iter().map(|t| t.to_string()).collect();
+            out.push_str(&format!(
+                "{{\"id\":\"{id}\",\"samples\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"times_ns\":[{}]}}\n",
+                s.times_ns.len(),
+                s.median().as_nanos(),
+                s.min().as_nanos(),
+                s.max().as_nanos(),
+                times.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Prints a closing summary line (and writes the `--json` report if one
+    /// was requested). Call at the end of `main`.
     pub fn finish(self) {
+        if let Some(path) = &self.json {
+            match std::fs::write(path, self.to_json_lines()) {
+                Ok(()) => println!("bench report written to {path}"),
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         println!("benchmarks complete: {} measured", self.results.len());
     }
 }
@@ -374,6 +423,20 @@ mod tests {
         let mut b2 = Bench::new();
         b2.jobs = Some(3);
         assert_eq!(b2.jobs(), Some(3));
+    }
+
+    #[test]
+    fn json_report_has_header_and_one_line_per_sample() {
+        let mut b = Bench::new().sample_size(2);
+        b.bench_fn("a/one", || 1 + 1);
+        b.bench_fn("b/two", || 2 + 2);
+        let json = b.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"schema\":\"pumpkin-bench/v1\""));
+        assert!(lines[1].contains("\"id\":\"a/one\""));
+        assert!(lines[1].contains("\"median_ns\":"));
+        assert!(lines[2].contains("\"times_ns\":["));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Minimal hand-rolled JSON helpers: string escaping for the writers and a
+//! flat-object parser for round-trip tests and tooling. Only the subset the
+//! trace/metrics schemas need — flat objects whose values are strings,
+//! unsigned integers, or floats — is supported; nested containers are
+//! rejected. This keeps the workspace's zero-external-crates discipline
+//! (see README.md, "Reproducible builds").
+
+use std::collections::BTreeMap;
+
+/// Escapes `s` as a JSON string (with surrounding quotes) into `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes `s` as a JSON string, returning it with surrounding quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+/// A parsed flat JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A (unescaped) string.
+    Str(String),
+    /// An unsigned integer (the schemas only use non-negative integers).
+    UInt(u64),
+    /// Any other number (floats, negatives).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n as f64),
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a single flat JSON object (`{"key": value, ...}` with scalar
+/// values only) into a key → value map. Returns `None` on anything
+/// malformed or nested.
+pub fn parse_flat(input: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            map.insert(key, value);
+            p.skip_ws();
+            match p.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        if self.next()? == b {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.next()? as char).to_digit(16)?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are out of scope for the schemas
+                        // (names are valid UTF-8 without astral escapes).
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-decode multi-byte UTF-8 sequences from the raw
+                    // input rather than byte-by-byte.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return None,
+                        };
+                        let end = start + width;
+                        let chunk = self.bytes.get(start..end)?;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'"' => Some(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            b'{' | b'[' => None, // flat objects only
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Option<JsonValue> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if text.is_empty() {
+            return None;
+        }
+        if let Ok(n) = text.parse::<u64>() {
+            Some(JsonValue::UInt(n))
+        } else {
+            text.parse::<f64>().ok().map(JsonValue::Num)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escape("line\nbreak\t"), "\"line\\nbreak\\t\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_flat_reads_scalars() {
+        let m = parse_flat("{\"s\": \"hi\\n\", \"n\": 42, \"x\": -1.5, \"b\": true, \"z\": null}")
+            .unwrap();
+        assert_eq!(m["s"].as_str(), Some("hi\n"));
+        assert_eq!(m["n"].as_u64(), Some(42));
+        assert_eq!(m["x"].as_f64(), Some(-1.5));
+        assert_eq!(m["b"], JsonValue::Bool(true));
+        assert_eq!(m["z"], JsonValue::Null);
+    }
+
+    #[test]
+    fn parse_flat_round_trips_escapes() {
+        let original = "name \"with\" \\ specials\nand unicode é√";
+        let line = format!("{{\"k\": {}}}", escape(original));
+        let m = parse_flat(&line).unwrap();
+        assert_eq!(m["k"].as_str(), Some(original));
+    }
+
+    #[test]
+    fn parse_flat_rejects_nested_and_malformed() {
+        assert!(parse_flat("{\"a\": {\"b\": 1}}").is_none());
+        assert!(parse_flat("{\"a\": [1]}").is_none());
+        assert!(parse_flat("{\"a\": 1,}").is_none());
+        assert!(parse_flat("{\"a\" 1}").is_none());
+        assert!(parse_flat("{\"a\": 1} trailing").is_none());
+        assert!(parse_flat("").is_none());
+        assert!(parse_flat("{}").is_some());
+    }
+}

@@ -1,0 +1,590 @@
+//! # pumpkin-trace
+//!
+//! Zero-dependency structured tracing and metrics for the repair pipeline.
+//!
+//! The paper's artifact reports one wall-clock number per case study; a
+//! production repair service needs to answer *where the time went* — per
+//! wave, per worker, per constant, per kernel cache probe — without
+//! perturbing the hot path it measures. This crate supplies that substrate
+//! under the same no-external-crates discipline as the rest of the
+//! workspace:
+//!
+//! * [`Event`] / [`EventKind`] — the typed event taxonomy (run/wave/merge
+//!   spans, per-constant lift spans, `whnf`/`conv` calls, cache hit/miss
+//!   probes, rollbacks), each stamped with a monotonic nanosecond offset
+//!   and a worker id.
+//! * [`Tracer`] — a thread-confined event buffer. A disabled tracer is a
+//!   single `Option` discriminant check per probe (no allocation, no
+//!   timestamp read), so instrumented code pays effectively nothing when
+//!   observability is off. Parallel workers get forked tracers
+//!   ([`Tracer::fork_worker`]) sharing the run's epoch; their buffers are
+//!   merged back at wave barriers ([`Tracer::absorb`]) — no locks anywhere.
+//! * [`sink`] — the [`sink::EventSink`] output trait with two built-ins: a
+//!   hand-rolled JSON-lines writer ([`sink::JsonLinesSink`], schema in
+//!   DESIGN.md §11) and a flamegraph-style text summariser
+//!   ([`sink::SummarySink`] / [`summary::render`]).
+//! * [`metrics`] — a counter/histogram registry ([`metrics::Metrics`]),
+//!   derivable from an event stream and mergeable across runs.
+//! * [`json`] — the minimal JSON encode/parse helpers backing the sink and
+//!   the golden-file round-trip tests.
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod summary;
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::time::Instant;
+
+pub use metrics::{Histogram, Metrics};
+pub use sink::{EventSink, JsonLinesSink, SummarySink};
+
+/// Which memo table a cache probe hit ([`EventKind::CacheHit`] /
+/// [`EventKind::CacheMiss`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheTable {
+    /// The kernel's weak-head-normal-form memo table.
+    Whnf,
+    /// The kernel's conversion-verdict memo table.
+    Conv,
+    /// The lift layer's closed-subterm cache (paper §4.4).
+    Lift,
+}
+
+impl CacheTable {
+    /// The stable wire name used in the JSON-lines schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheTable::Whnf => "whnf",
+            CacheTable::Conv => "conv",
+            CacheTable::Lift => "lift",
+        }
+    }
+
+    /// Parses a wire name back ([`CacheTable::as_str`]'s inverse).
+    pub fn from_str_opt(s: &str) -> Option<CacheTable> {
+        match s {
+            "whnf" => Some(CacheTable::Whnf),
+            "conv" => Some(CacheTable::Conv),
+            "lift" => Some(CacheTable::Lift),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CacheTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The typed event taxonomy. Span-shaped kinds (run, wave, merge, lift)
+/// carry their duration on the enclosing [`Event`]; instant kinds have
+/// `dur_ns == 0`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// Span over one whole repair run (the `Repairer` front door).
+    Run {
+        /// Worker cap the run was configured with.
+        jobs: u32,
+    },
+    /// Instant marker at the start of a scheduler wave.
+    WaveStart {
+        /// Wave index, starting at 0.
+        wave: u32,
+        /// Constants in the wave.
+        width: u32,
+    },
+    /// Span over a whole scheduler wave (workers + merge barrier).
+    Wave {
+        /// Wave index, starting at 0.
+        wave: u32,
+        /// Constants in the wave.
+        width: u32,
+    },
+    /// Span over a wave's merge barrier (admitting worker deltas and
+    /// folding caches back into the master).
+    WaveMerge {
+        /// Wave index, starting at 0.
+        wave: u32,
+    },
+    /// Span over the repair of one constant (nested spans mark on-demand
+    /// dependency repairs).
+    LiftConstant {
+        /// The source constant being repaired.
+        name: Box<str>,
+    },
+    /// Instant: one non-trivial weak-head-normalisation call.
+    Whnf,
+    /// Instant: one non-trivial conversion call.
+    Conv,
+    /// Instant: a memo-table probe answered from the cache.
+    CacheHit {
+        /// Which table answered.
+        table: CacheTable,
+    },
+    /// Instant: a memo-table probe that missed.
+    CacheMiss {
+        /// Which table missed.
+        table: CacheTable,
+    },
+    /// Instant: a failing wave's declarations were rolled back.
+    Rollback {
+        /// Declarations dropped.
+        dropped: u32,
+    },
+}
+
+impl EventKind {
+    /// The stable wire name used in the JSON-lines schema.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Run { .. } => "run",
+            EventKind::WaveStart { .. } => "wave_start",
+            EventKind::Wave { .. } => "wave",
+            EventKind::WaveMerge { .. } => "wave_merge",
+            EventKind::LiftConstant { .. } => "lift_constant",
+            EventKind::Whnf => "whnf",
+            EventKind::Conv => "conv",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::Rollback { .. } => "rollback",
+        }
+    }
+}
+
+/// One trace event: a typed kind, a monotonic start offset in nanoseconds
+/// since the run's epoch, a duration (0 for instants), and the id of the
+/// worker whose thread-confined buffer recorded it (0 = the master).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    /// Start offset, nanoseconds since the tracer's epoch.
+    pub t_ns: u64,
+    /// Duration in nanoseconds; 0 for instant events.
+    pub dur_ns: u64,
+    /// Recording worker (0 = master; workers are numbered from 1 per wave).
+    pub worker: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serialises the event as one JSON object (no trailing newline),
+    /// following the schema documented in DESIGN.md §11. Key order is
+    /// stable: `t_ns`, `dur_ns`, `worker`, `kind`, then kind-specific
+    /// fields.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"t_ns\":");
+        s.push_str(&self.t_ns.to_string());
+        s.push_str(",\"dur_ns\":");
+        s.push_str(&self.dur_ns.to_string());
+        s.push_str(",\"worker\":");
+        s.push_str(&self.worker.to_string());
+        s.push_str(",\"kind\":\"");
+        s.push_str(self.kind.as_str());
+        s.push('"');
+        match &self.kind {
+            EventKind::Run { jobs } => {
+                s.push_str(",\"jobs\":");
+                s.push_str(&jobs.to_string());
+            }
+            EventKind::WaveStart { wave, width } | EventKind::Wave { wave, width } => {
+                s.push_str(",\"wave\":");
+                s.push_str(&wave.to_string());
+                s.push_str(",\"width\":");
+                s.push_str(&width.to_string());
+            }
+            EventKind::WaveMerge { wave } => {
+                s.push_str(",\"wave\":");
+                s.push_str(&wave.to_string());
+            }
+            EventKind::LiftConstant { name } => {
+                s.push_str(",\"name\":");
+                json::escape_into(name, &mut s);
+            }
+            EventKind::CacheHit { table } | EventKind::CacheMiss { table } => {
+                s.push_str(",\"table\":\"");
+                s.push_str(table.as_str());
+                s.push('"');
+            }
+            EventKind::Rollback { dropped } => {
+                s.push_str(",\"dropped\":");
+                s.push_str(&dropped.to_string());
+            }
+            EventKind::Whnf | EventKind::Conv => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSON line produced by [`Event::to_json`] (or any flat
+    /// JSON object with the same fields, in any key order). Returns `None`
+    /// on malformed input or an unknown `kind`.
+    pub fn from_json(line: &str) -> Option<Event> {
+        let obj = json::parse_flat(line)?;
+        let num = |k: &str| -> Option<u64> { obj.get(k)?.as_u64() };
+        let st = |k: &str| -> Option<&str> { obj.get(k)?.as_str() };
+        let kind = match st("kind")? {
+            "run" => EventKind::Run {
+                jobs: num("jobs")? as u32,
+            },
+            "wave_start" => EventKind::WaveStart {
+                wave: num("wave")? as u32,
+                width: num("width")? as u32,
+            },
+            "wave" => EventKind::Wave {
+                wave: num("wave")? as u32,
+                width: num("width")? as u32,
+            },
+            "wave_merge" => EventKind::WaveMerge {
+                wave: num("wave")? as u32,
+            },
+            "lift_constant" => EventKind::LiftConstant {
+                name: st("name")?.into(),
+            },
+            "whnf" => EventKind::Whnf,
+            "conv" => EventKind::Conv,
+            "cache_hit" => EventKind::CacheHit {
+                table: CacheTable::from_str_opt(st("table")?)?,
+            },
+            "cache_miss" => EventKind::CacheMiss {
+                table: CacheTable::from_str_opt(st("table")?)?,
+            },
+            "rollback" => EventKind::Rollback {
+                dropped: num("dropped")? as u32,
+            },
+            _ => return None,
+        };
+        Some(Event {
+            t_ns: num("t_ns")?,
+            dur_ns: num("dur_ns")?,
+            worker: num("worker")? as u32,
+            kind,
+        })
+    }
+}
+
+/// An in-flight span handle from [`Tracer::begin`]; close it with
+/// [`Tracer::end`]. Carries the start offset (`None` when the tracer is
+/// disabled, making the whole begin/end pair free).
+#[derive(Clone, Copy, Debug)]
+#[must_use = "close the span with Tracer::end"]
+pub struct SpanStart(Option<u64>);
+
+#[derive(Debug)]
+struct TracerInner {
+    /// The run's shared monotonic epoch; forked workers keep it so event
+    /// timestamps are comparable across threads.
+    epoch: Instant,
+    /// This buffer's worker id (0 = master).
+    worker: u32,
+    /// While paused, probes are dropped (used to hide debug-only
+    /// re-typechecking from the event stream so debug and release traces
+    /// agree).
+    paused: Cell<bool>,
+    /// The thread-confined event buffer.
+    buf: RefCell<Vec<Event>>,
+}
+
+/// A thread-confined trace event buffer.
+///
+/// A `Tracer` is either *disabled* (the [`Default`], a single `None` — every
+/// probe is one branch, no timestamp read, no allocation) or *enabled*
+/// (owns an epoch and an event buffer). It deliberately has no
+/// synchronisation: each tracer belongs to one thread, mirroring the
+/// kernel `Env` cache-confinement rule. Cross-thread aggregation is
+/// explicit — fork with [`Tracer::fork_worker`], move the fork onto the
+/// worker thread, ship the events back as plain data, and fold them in
+/// with [`Tracer::absorb`] at the barrier.
+///
+/// Cloning an enabled tracer yields an enabled tracer with the same epoch,
+/// worker id, and pause state but an **empty** buffer: events belong to
+/// the buffer that recorded them, never to copies (this is what makes
+/// `Env::clone` snapshots for workers trace-safe by default).
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Option<Box<TracerInner>>,
+}
+
+impl Clone for Tracer {
+    fn clone(&self) -> Self {
+        match &self.inner {
+            None => Tracer { inner: None },
+            Some(i) => Tracer {
+                inner: Some(Box::new(TracerInner {
+                    epoch: i.epoch,
+                    worker: i.worker,
+                    paused: Cell::new(i.paused.get()),
+                    buf: RefCell::new(Vec::new()),
+                })),
+            },
+        }
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer for the master (worker 0) with a fresh epoch.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Some(Box::new(TracerInner {
+                epoch: Instant::now(),
+                worker: 0,
+                paused: Cell::new(false),
+                buf: RefCell::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A disabled tracer: every operation is a no-op costing one branch.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Is this tracer recording?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A fresh, empty tracer for a parallel worker: shares this tracer's
+    /// epoch (so timestamps are comparable) but records under `worker`.
+    /// Disabled tracers fork disabled tracers.
+    pub fn fork_worker(&self, worker: u32) -> Tracer {
+        match &self.inner {
+            None => Tracer { inner: None },
+            Some(i) => Tracer {
+                inner: Some(Box::new(TracerInner {
+                    epoch: i.epoch,
+                    worker,
+                    paused: Cell::new(false),
+                    buf: RefCell::new(Vec::new()),
+                })),
+            },
+        }
+    }
+
+    /// Pauses or resumes recording. Paused probes are dropped entirely;
+    /// used to keep debug-only re-typechecking (e.g. `Env::admit_checked`'s
+    /// debug re-check) out of the stream so debug and release traces are
+    /// identical.
+    pub fn pause(&self, paused: bool) {
+        if let Some(i) = &self.inner {
+            i.paused.set(paused);
+        }
+    }
+
+    /// Nanoseconds since this tracer's epoch (0 when disabled).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(i) => i.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Records an instant event.
+    #[inline]
+    pub fn emit(&self, kind: EventKind) {
+        let Some(i) = &self.inner else { return };
+        if i.paused.get() {
+            return;
+        }
+        let t_ns = i.epoch.elapsed().as_nanos() as u64;
+        i.buf.borrow_mut().push(Event {
+            t_ns,
+            dur_ns: 0,
+            worker: i.worker,
+            kind,
+        });
+    }
+
+    /// Opens a span: captures the start timestamp (or nothing when
+    /// disabled). Close it with [`Tracer::end`].
+    #[inline]
+    pub fn begin(&self) -> SpanStart {
+        match &self.inner {
+            None => SpanStart(None),
+            Some(i) => {
+                if i.paused.get() {
+                    SpanStart(None)
+                } else {
+                    SpanStart(Some(i.epoch.elapsed().as_nanos() as u64))
+                }
+            }
+        }
+    }
+
+    /// Closes a span opened by [`Tracer::begin`], recording one event whose
+    /// `t_ns` is the span's start and whose `dur_ns` is the elapsed time.
+    #[inline]
+    pub fn end(&self, span: SpanStart, kind: EventKind) {
+        let (Some(i), Some(start)) = (&self.inner, span.0) else {
+            return;
+        };
+        if i.paused.get() {
+            return;
+        }
+        let now = i.epoch.elapsed().as_nanos() as u64;
+        i.buf.borrow_mut().push(Event {
+            t_ns: start,
+            dur_ns: now.saturating_sub(start),
+            worker: i.worker,
+            kind,
+        });
+    }
+
+    /// Folds a batch of events (a worker's shipped buffer) into this
+    /// tracer, preserving their timestamps and worker ids. No-op when
+    /// disabled.
+    pub fn absorb(&self, events: Vec<Event>) {
+        if let Some(i) = &self.inner {
+            i.buf.borrow_mut().extend(events);
+        }
+    }
+
+    /// Takes the recorded events out, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => std::mem::take(&mut i.buf.borrow_mut()),
+        }
+    }
+
+    /// Consumes the tracer, returning its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.drain()
+    }
+
+    /// Number of buffered events (0 when disabled).
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(i) => i.buf.borrow().len(),
+        }
+    }
+
+    /// Is the buffer empty (always true when disabled)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.emit(EventKind::Whnf);
+        let sp = t.begin();
+        t.end(sp, EventKind::Run { jobs: 1 });
+        assert!(!t.enabled());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn spans_carry_start_and_duration() {
+        let t = Tracer::new();
+        let sp = t.begin();
+        t.emit(EventKind::Whnf);
+        t.end(
+            sp,
+            EventKind::LiftConstant {
+                name: "Old.rev".into(),
+            },
+        );
+        let events = t.into_events();
+        assert_eq!(events.len(), 2);
+        let lift = &events[1];
+        assert_eq!(lift.kind.as_str(), "lift_constant");
+        // The span started before the instant event inside it.
+        assert!(lift.t_ns <= events[0].t_ns);
+        assert!(lift.t_ns + lift.dur_ns >= events[0].t_ns);
+    }
+
+    #[test]
+    fn fork_shares_epoch_and_absorb_merges() {
+        let master = Tracer::new();
+        master.emit(EventKind::Whnf);
+        let worker = master.fork_worker(3);
+        worker.emit(EventKind::Conv);
+        let worker_events = worker.into_events();
+        assert_eq!(worker_events[0].worker, 3);
+        master.absorb(worker_events);
+        let all = master.into_events();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].worker, 0);
+        assert_eq!(all[1].worker, 3);
+        // Shared epoch: the worker's event is not before the master's.
+        assert!(all[1].t_ns >= all[0].t_ns);
+    }
+
+    #[test]
+    fn clone_keeps_config_but_not_events() {
+        let t = Tracer::new();
+        t.emit(EventKind::Whnf);
+        let c = t.clone();
+        assert!(c.enabled());
+        assert!(c.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn pause_drops_probes() {
+        let t = Tracer::new();
+        t.pause(true);
+        t.emit(EventKind::Whnf);
+        let sp = t.begin();
+        t.end(sp, EventKind::Conv);
+        t.pause(false);
+        t.emit(EventKind::Conv);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_json() {
+        let kinds = vec![
+            EventKind::Run { jobs: 4 },
+            EventKind::WaveStart { wave: 0, width: 6 },
+            EventKind::Wave { wave: 2, width: 1 },
+            EventKind::WaveMerge { wave: 2 },
+            EventKind::LiftConstant {
+                name: "Old.rev_app_distr \"quoted\\\"".into(),
+            },
+            EventKind::Whnf,
+            EventKind::Conv,
+            EventKind::CacheHit {
+                table: CacheTable::Whnf,
+            },
+            EventKind::CacheMiss {
+                table: CacheTable::Lift,
+            },
+            EventKind::Rollback { dropped: 7 },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let e = Event {
+                t_ns: 1000 + i as u64,
+                dur_ns: i as u64,
+                worker: i as u32,
+                kind,
+            };
+            let line = e.to_json();
+            let back = Event::from_json(&line).unwrap_or_else(|| panic!("unparsable: {line}"));
+            assert_eq!(e, back, "round trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_lines() {
+        assert_eq!(Event::from_json(""), None);
+        assert_eq!(Event::from_json("{}"), None);
+        assert_eq!(
+            Event::from_json("{\"t_ns\":1,\"dur_ns\":0,\"worker\":0,\"kind\":\"nope\"}"),
+            None
+        );
+        assert_eq!(Event::from_json("not json at all"), None);
+    }
+}

@@ -1,0 +1,415 @@
+//! The counter/histogram metrics registry.
+//!
+//! [`Metrics`] aggregates what the event stream (or instrumented code
+//! directly) observed: monotonically increasing counters and log₂-bucketed
+//! nanosecond histograms. Registries derive from an event batch
+//! ([`Metrics::from_events`]), merge across runs ([`Metrics::merge`]), and
+//! render as an aligned text table ([`Metrics::to_text`]) or one flat JSON
+//! object per entry ([`Metrics::to_json_lines`]) for the same trajectory
+//! files the bench harness writes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{json, Event, EventKind};
+
+/// Number of log₂ buckets; bucket `i` holds values in `[2^i, 2^(i+1))`
+/// nanoseconds, so 48 buckets span sub-nanosecond to ~78 hours.
+const BUCKETS: usize = 48;
+
+/// A log₂-bucketed histogram of nanosecond durations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observation count.
+    count: u64,
+    /// Sum of observed values (for the mean).
+    sum: u64,
+    /// Smallest observation (u64::MAX until the first).
+    min: u64,
+    /// Largest observation.
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        // 0 and 1 land in bucket 0; otherwise floor(log2(value)).
+        (63 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the geometric midpoint of
+    /// the bucket containing the `q`-th observation. Resolution is the
+    /// bucket width (a factor of 2), which is plenty for spotting orders
+    /// of magnitude.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lo = 1u64 << i;
+                // Geometric midpoint of [2^i, 2^(i+1)): 2^i * sqrt(2).
+                return Some(((lo as f64) * std::f64::consts::SQRT_2) as u64);
+            }
+        }
+        self.max()
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Histogram {
+    /// Renders `n=… mean=… p50≈… max=…`. With `as_ns`, values are
+    /// formatted as durations ([`fmt_ns`]); otherwise as plain numbers
+    /// (for dimensionless histograms like `wave.width`).
+    pub fn summary(&self, as_ns: bool) -> String {
+        if self.count == 0 {
+            return "(empty)".to_string();
+        }
+        let val = |v: u64| if as_ns { fmt_ns(v) } else { v.to_string() };
+        format!(
+            "n={} mean={} p50≈{} max={}",
+            self.count,
+            val(self.mean().unwrap_or(0.0) as u64),
+            val(self.quantile(0.5).unwrap_or(0)),
+            val(self.max),
+        )
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary(true))
+    }
+}
+
+/// Renders nanoseconds with a human unit (ns / µs / ms / s).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// Names are dotted paths (`cache.whnf.hits`, `lift.constant.ns`); the
+/// `.ns` suffix marks histograms of nanosecond durations by convention.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        if by > 0 {
+            *self.counters.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Records `value_ns` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value_ns: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value_ns);
+    }
+
+    /// The counter's value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Is the registry entirely empty?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one (counters add, histograms
+    /// merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The standard derivation from an event batch: event-kind counters
+    /// (`events.whnf`, `cache.conv.hits`, …) and span-duration histograms
+    /// (`lift.constant.ns`, `wave.ns`, `wave.merge.ns`, `run.ns`).
+    pub fn from_events(events: &[Event]) -> Metrics {
+        let mut m = Metrics::new();
+        m.incr("events.total", events.len() as u64);
+        for e in events {
+            match &e.kind {
+                EventKind::Run { .. } => m.observe("run.ns", e.dur_ns),
+                EventKind::WaveStart { .. } => {}
+                EventKind::Wave { width, .. } => {
+                    m.incr("schedule.waves", 1);
+                    m.observe("wave.ns", e.dur_ns);
+                    m.observe("wave.width", u64::from(*width));
+                }
+                EventKind::WaveMerge { .. } => m.observe("wave.merge.ns", e.dur_ns),
+                EventKind::LiftConstant { .. } => {
+                    m.incr("lift.constants", 1);
+                    m.observe("lift.constant.ns", e.dur_ns);
+                }
+                EventKind::Whnf => m.incr("events.whnf", 1),
+                EventKind::Conv => m.incr("events.conv", 1),
+                EventKind::CacheHit { table } => {
+                    m.incr(&format!("cache.{table}.hits"), 1);
+                }
+                EventKind::CacheMiss { table } => {
+                    m.incr(&format!("cache.{table}.misses"), 1);
+                }
+                EventKind::Rollback { dropped } => {
+                    m.incr("rollback.count", 1);
+                    m.incr("rollback.dropped", u64::from(*dropped));
+                }
+            }
+        }
+        m
+    }
+
+    /// Renders an aligned, name-ordered text table (counters first, then
+    /// histogram summaries).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("{k:<width$}  {}\n", h.summary(k.ends_with(".ns"))));
+        }
+        out
+    }
+
+    /// Renders the registry as JSON lines: one flat object per entry,
+    /// `{"metric":NAME,"type":"counter","value":N}` or
+    /// `{"metric":NAME,"type":"histogram","count":…,"sum_ns":…,"min_ns":…,
+    /// "max_ns":…,"p50_ns":…}`.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"metric\":{},\"type\":\"counter\",\"value\":{v}}}\n",
+                json::escape(k)
+            ));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{{\"metric\":{},\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\
+                 \"min_ns\":{},\"max_ns\":{},\"p50_ns\":{}}}\n",
+                json::escape(k),
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.quantile(0.5).unwrap_or(0),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheTable;
+
+    #[test]
+    fn histogram_tracks_extremes_and_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for v in [100, 200, 400, 800, 100_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(100));
+        assert_eq!(h.max(), Some(100_000));
+        let p50 = h.quantile(0.5).unwrap();
+        // Bucket resolution: the median (400) is within its power-of-two
+        // bucket [256, 512).
+        assert!((256..512).contains(&p50), "p50 {p50}");
+        assert!(h.quantile(1.0).unwrap() >= p50);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_observations() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [10, 20, 30] {
+            a.observe(v);
+            both.observe(v);
+        }
+        for v in [1000, 2000] {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn from_events_derives_standard_names() {
+        let ev = |kind: EventKind, dur: u64| Event {
+            t_ns: 0,
+            dur_ns: dur,
+            worker: 0,
+            kind,
+        };
+        let events = vec![
+            ev(EventKind::Whnf, 0),
+            ev(EventKind::Whnf, 0),
+            ev(
+                EventKind::CacheHit {
+                    table: CacheTable::Whnf,
+                },
+                0,
+            ),
+            ev(
+                EventKind::CacheMiss {
+                    table: CacheTable::Lift,
+                },
+                0,
+            ),
+            ev(
+                EventKind::LiftConstant {
+                    name: "Old.rev".into(),
+                },
+                5_000,
+            ),
+            ev(EventKind::Wave { wave: 0, width: 3 }, 9_000),
+            ev(EventKind::Run { jobs: 2 }, 20_000),
+        ];
+        let m = Metrics::from_events(&events);
+        assert_eq!(m.counter("events.whnf"), 2);
+        assert_eq!(m.counter("cache.whnf.hits"), 1);
+        assert_eq!(m.counter("cache.lift.misses"), 1);
+        assert_eq!(m.counter("lift.constants"), 1);
+        assert_eq!(m.counter("schedule.waves"), 1);
+        assert_eq!(m.histogram("lift.constant.ns").unwrap().sum(), 5_000);
+        assert_eq!(m.histogram("run.ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn text_and_json_renderings_cover_all_entries() {
+        let mut m = Metrics::new();
+        m.incr("a.count", 3);
+        m.observe("b.ns", 1234);
+        let text = m.to_text();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("b.ns"));
+        for line in m.to_json_lines().lines() {
+            let obj = json::parse_flat(line).expect("metric lines are valid flat JSON");
+            assert!(obj.contains_key("metric"));
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Metrics::new();
+        a.incr("x", 1);
+        let mut b = Metrics::new();
+        b.incr("x", 2);
+        b.incr("y", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+    }
+}

@@ -11,19 +11,12 @@ use pumpkin_pi::*;
 fn main() -> pumpkin_core::Result<()> {
     let mut env = pumpkin_stdlib::std_env();
     let report = case_studies::swap_list_module_parallel(&mut env, pumpkin_core::default_jobs())?;
-    let sched = report
-        .schedule
-        .as_ref()
-        .expect("parallel repair reports a schedule");
-    eprintln!("schedule: {sched}");
+    eprintln!("schedule: {}", report.schedule);
     eprintln!(
         "{} constants repaired across {} waves",
         report.repaired.len(),
-        sched.waves
+        report.schedule.waves
     );
-    print!(
-        "{}",
-        report.dag_dot().expect("parallel repair carries a DAG")
-    );
+    print!("{}", report.dag_dot());
     Ok(())
 }

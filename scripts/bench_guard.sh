@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Bench regression guard: compares the `repair_parallel/jobs=1` median (the
+# tentpole swap_list_module workload with the trace sink disabled) in a
+# fresh pumpkin-bench/v1 JSON report against a committed baseline, and the
+# in-run `trace_overhead/{off,on}` pair.
+#
+# Tolerance: 25%. The honest target for disabled-sink overhead is ≤ 2%
+# (EXPERIMENTS.md reports the measured number), but this gate runs on a
+# single-CPU container where run-to-run medians of a ~2 ms workload swing
+# by double-digit percents, so a 2% CI assertion would be flaky by
+# construction. The guard exists to catch real regressions (a probe left
+# enabled, an accidental clone on the hot path), which show up well above
+# noise.
+#
+# Usage: bench_guard.sh NEW.json BASELINE.json
+set -euo pipefail
+
+new=${1:?usage: bench_guard.sh NEW.json BASELINE.json}
+base=${2:?usage: bench_guard.sh NEW.json BASELINE.json}
+
+median() { # median FILE ID -> median_ns, empty if the row is absent
+    grep -F "\"id\":\"$2\"" "$1" | sed -n 's/.*"median_ns":\([0-9]*\).*/\1/p'
+}
+
+id='repair_parallel/jobs=1'
+n=$(median "$new" "$id")
+b=$(median "$base" "$id")
+if [ -z "$n" ] || [ -z "$b" ]; then
+    echo "bench_guard: missing '$id' row (new='$n' baseline='$b')" >&2
+    exit 1
+fi
+limit=$((b + b / 4))
+echo "bench_guard: $id median ${n} ns vs baseline ${b} ns (limit ${limit} ns)"
+if [ "$n" -gt "$limit" ]; then
+    echo "bench_guard: REGRESSION: $id is >25% over the committed baseline" >&2
+    exit 1
+fi
+
+# Disabled-sink overhead, measured within one invocation so both arms see
+# the same machine state: trace_overhead/off must stay within 25% of the
+# jobs=1 row it duplicates (they are the same workload; any real gap means
+# the no-op probes stopped being no-ops).
+off=$(median "$new" 'trace_overhead/off')
+if [ -n "$off" ]; then
+    olimit=$((n + n / 4))
+    echo "bench_guard: trace_overhead/off median ${off} ns vs jobs=1 ${n} ns (limit ${olimit} ns)"
+    if [ "$off" -gt "$olimit" ]; then
+        echo "bench_guard: REGRESSION: disabled-sink overhead exceeds 25%" >&2
+        exit 1
+    fi
+fi
+
+echo "bench_guard: ok"

@@ -23,10 +23,17 @@ echo "==> cargo clippy -p pumpkin-kernel -p pumpkin-core (no std::rc)"
 cargo clippy -p pumpkin-kernel -p pumpkin-core --all-targets --locked -- \
     -D warnings -D clippy::disallowed-types
 
-# Smoke-run the parallel-repair bench rows so scheduler regressions surface
-# here, not only in full EXPERIMENTS.md runs.
-echo "==> bench smoke: repair_parallel"
+# Smoke-run the parallel-repair + observability bench rows so scheduler or
+# probe regressions surface here, not only in full EXPERIMENTS.md runs. The
+# run writes a pumpkin-bench/v1 JSON report that the guard compares against
+# the committed PR 2 baseline (disabled-sink overhead must stay in noise).
+echo "==> bench: repair_parallel + trace_overhead → BENCH_pr3.json"
+# Absolute path: cargo runs the bench binary with cwd = the package dir.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
-    --sample-size 3 --filter repair_parallel
+    --sample-size 5 --filter repair_parallel/jobs=1,trace_overhead \
+    --json "$(pwd)/BENCH_pr3.json"
+
+echo "==> bench guard vs BENCH_pr2.json"
+scripts/bench_guard.sh BENCH_pr3.json BENCH_pr2.json
 
 echo "==> all checks passed"

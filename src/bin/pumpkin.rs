@@ -1,17 +1,53 @@
 //! `pumpkin` — a command-line driver for the repair engine.
 //!
-//! Usage: `pumpkin <script.pi | ->`. See [`pumpkin_pi::cli`] for the
-//! directive reference and `examples/scripts/` for walkthroughs.
+//! Usage: `pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <script.pi | ->`.
+//! See [`pumpkin_pi::cli`] for the directive reference and
+//! `examples/scripts/` for walkthroughs.
+//!
+//! * `--jobs N` — worker cap for the repair commands (0 = auto).
+//! * `--trace out.jsonl` — write each repair command's structured event
+//!   stream as JSON lines (schema in DESIGN.md §11).
+//! * `--metrics` — print the derived counters/histograms after each
+//!   repair command.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use pumpkin_pi::cli::{run_script, Session};
 
+const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <script.pi | ->";
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(path) = args.get(1) else {
-        eprintln!("usage: pumpkin <script.pi | ->");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = Session::new();
+    let mut path: Option<String> = None;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                session.set_jobs(n);
+            }
+            "--trace" => {
+                let Some(file) = args.next() else {
+                    eprintln!("--trace needs a file path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                session.set_trace_path(file);
+            }
+            "--metrics" => session.set_show_metrics(true),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let script = if path == "-" {
@@ -21,7 +57,7 @@ fn main() -> ExitCode {
             .expect("read stdin");
         buf
     } else {
-        match std::fs::read_to_string(path) {
+        match std::fs::read_to_string(&path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
@@ -29,7 +65,6 @@ fn main() -> ExitCode {
             }
         }
     };
-    let mut session = Session::new();
     if run_script(&mut session, &script) == 0 {
         ExitCode::SUCCESS
     } else {

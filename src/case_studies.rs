@@ -7,7 +7,8 @@
 //! names it produced. All outputs are kernel-checked as they are defined.
 
 use pumpkin_core::{
-    repair, repair_module, repair_module_parallel, LiftState, NameMap, RepairReport, Result,
+    repair, repair_module, repair_module_parallel, LiftState, NameMap, RepairReport, Repairer,
+    Result,
 };
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
@@ -48,6 +49,23 @@ pub fn swap_list_module_parallel(env: &mut Env, jobs: usize) -> Result<RepairRep
         pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS,
         Some(jobs),
     )
+}
+
+/// [`swap_list_module`] through the [`Repairer`] front door with trace
+/// capture on — the `trace_overhead/on` ablation workload and the
+/// reference producer for the `--trace` JSON-lines schema. The report
+/// carries the full event stream and the derived metrics registry.
+pub fn swap_list_module_traced(env: &mut Env, jobs: usize) -> Result<RepairReport> {
+    let lifting = pumpkin_core::search::swap::configure(
+        env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )?;
+    Repairer::new(&lifting)
+        .jobs(jobs)
+        .trace(true)
+        .run(env, pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS)
 }
 
 /// The `Old.Term` development repaired in one REPLICA variant.

@@ -3,7 +3,9 @@
 //! from script files. See `src/bin/pumpkin.rs` for the file format and
 //! `examples/scripts/` for walkthroughs.
 
-use pumpkin_core::{LiftState, Lifting, NameMap};
+use std::path::PathBuf;
+
+use pumpkin_core::{LiftState, Lifting, NameMap, RepairReport, Repairer};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 
@@ -12,6 +14,9 @@ pub struct Session {
     pub env: Env,
     lifting: Option<Lifting>,
     state: LiftState,
+    jobs: usize,
+    trace_path: Option<PathBuf>,
+    show_metrics: bool,
 }
 
 impl Session {
@@ -22,7 +27,63 @@ impl Session {
             env: Env::new(),
             lifting: None,
             state: LiftState::new(),
+            jobs: 1,
+            trace_path: None,
+            show_metrics: false,
         }
+    }
+
+    /// Worker cap for the repair commands (`--jobs N`; 0 means auto).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = if jobs == 0 {
+            pumpkin_core::default_jobs()
+        } else {
+            jobs
+        };
+    }
+
+    /// Writes every repair command's event stream to `path` as JSON lines
+    /// (`--trace out.jsonl`). Each repair command truncates and rewrites
+    /// the file, so it holds the last run's trace.
+    pub fn set_trace_path(&mut self, path: impl Into<PathBuf>) {
+        self.trace_path = Some(path.into());
+    }
+
+    /// Prints the derived metrics registry after each repair command
+    /// (`--metrics`).
+    pub fn set_show_metrics(&mut self, on: bool) {
+        self.show_metrics = on;
+    }
+
+    /// Runs the configured [`Repairer`] over `names` (or, with `None`, the
+    /// environment-wide sweep), honoring the session's jobs/trace/metrics
+    /// settings.
+    fn run_repairer(&mut self, names: Option<&[&str]>) -> Result<RepairReport, String> {
+        let lifting = self.lifting.as_ref().ok_or("no configuration active")?;
+        let mut repairer = Repairer::new(lifting)
+            .jobs(self.jobs)
+            .state(&mut self.state);
+        if self.show_metrics {
+            repairer = repairer.trace(true);
+        }
+        if let Some(path) = &self.trace_path {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            let sink = pumpkin_core::trace::JsonLinesSink::new(std::io::BufWriter::new(file));
+            repairer = repairer.sink(Box::new(sink));
+        }
+        let report = match names {
+            Some(names) => repairer.run(&mut self.env, names),
+            None => repairer.run_all(&mut self.env, &[]),
+        }
+        .map_err(|e| format!("{e}"))?;
+        if let Some(path) = &self.trace_path {
+            println!("trace written to {}", path.display());
+        }
+        if self.show_metrics {
+            print!("{}", report.metrics().to_text());
+        }
+        Ok(report)
     }
 
     fn lifting(&self) -> Result<&Lifting, String> {
@@ -139,25 +200,28 @@ impl Session {
                 if args.is_empty() {
                     return Err("usage: repair NAME…".into());
                 }
-                // Take a snapshot of the lifting so we can borrow state
-                // mutably; Lifting is not cloneable, so split borrows.
-                let lifting = self.lifting.as_ref().ok_or("no configuration active")?;
+                let report = self.run_repairer(Some(args))?;
                 for name in args {
-                    let to = pumpkin_core::repair(
-                        &mut self.env,
-                        lifting,
-                        &mut self.state,
-                        &GlobalName::new(*name),
-                    )
-                    .map_err(|e| fail(&e))?;
-                    println!("repaired {name} ↦ {to}");
+                    match report.renamed(name) {
+                        Some(to) => println!("repaired {name} ↦ {to}"),
+                        None => println!("{name} already repaired"),
+                    }
                 }
                 Ok(())
             }
+            "repair-module" => {
+                if args.is_empty() {
+                    return Err("usage: repair-module NAME…".into());
+                }
+                let report = self.run_repairer(Some(args))?;
+                for (from, to) in &report.repaired {
+                    println!("repaired {from} ↦ {to}");
+                }
+                println!("schedule: {}", report.schedule);
+                Ok(())
+            }
             "repair-all" => {
-                let lifting = self.lifting.as_ref().ok_or("no configuration active")?;
-                let report = pumpkin_core::repair_all(&mut self.env, lifting, &mut self.state, &[])
-                    .map_err(|e| fail(&e))?;
+                let report = self.run_repairer(None)?;
                 for (from, to) in &report.repaired {
                     println!("repaired {from} ↦ {to}");
                 }
