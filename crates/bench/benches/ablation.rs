@@ -128,23 +128,67 @@ fn bench_repair_parallel(b: &mut Bench) {
 
 fn bench_trace_overhead(b: &mut Bench) {
     // The observability ablation: the same swap_list_module repair with the
-    // trace sink disabled (every probe is one branch) vs full event capture.
-    // `off` should be within noise of `repair_parallel/jobs=1`.
+    // trace sink disabled (every probe is one branch) vs event capture.
+    // `off` should be within noise of `repair_parallel/jobs=1`. The `on`
+    // arm measures event capture alone (provenance explicitly off, keeping
+    // the row comparable across baselines); `prov` is the provenance
+    // recorder alone; `full` is both.
     b.bench("trace_overhead/off", stdlib::std_env, |mut env| {
         case_studies::swap_list_module_parallel(&mut env, 1).unwrap();
         env
     });
     b.bench("trace_overhead/on", stdlib::std_env, |mut env| {
+        swap_module_repairer(&mut env, |r| r.trace(true).provenance(false));
+        env
+    });
+    // Provenance recorder on, sink off: the per-subterm attribution cost
+    // in isolation.
+    b.bench("trace_overhead/prov", stdlib::std_env, |mut env| {
+        case_studies::swap_list_module_provenance(&mut env, 1).unwrap();
+        env
+    });
+    b.bench("trace_overhead/full", stdlib::std_env, |mut env| {
         case_studies::swap_list_module_traced(&mut env, 1).unwrap();
         env
     });
     let mut env = stdlib::std_env();
     let report = case_studies::swap_list_module_traced(&mut env, 1).unwrap();
     println!(
-        "  trace_overhead/on: {} events, {} lift spans",
+        "  trace_overhead/full: {} events, {} lift spans",
         report.trace_events().len(),
         report.metrics().counter("lift.constants"),
     );
+    let mut env = stdlib::std_env();
+    let report = case_studies::swap_list_module_provenance(&mut env, 1).unwrap();
+    println!(
+        "  trace_overhead/prov: {} constants, {} sites",
+        report.provenance.len(),
+        report
+            .provenance
+            .iter()
+            .map(|p| p.sites.len())
+            .sum::<usize>(),
+    );
+}
+
+/// Runs the swap list-module repair through a [`pumpkin_core::Repairer`]
+/// customised by `cfg` (used by the trace_overhead arms that need a
+/// specific trace/provenance combination).
+fn swap_module_repairer(
+    env: &mut Env,
+    cfg: impl for<'a> FnOnce(pumpkin_core::Repairer<'a>) -> pumpkin_core::Repairer<'a>,
+) {
+    let lifting = pumpkin_core::search::swap::configure(
+        env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    cfg(pumpkin_core::Repairer::new(&lifting))
+        .jobs(1)
+        .run(env, stdlib::swap::OLD_MODULE_CONSTANTS)
+        .unwrap();
 }
 
 /// Builds an environment with two n-constructor enums and a function

@@ -8,6 +8,7 @@ pub mod config;
 pub mod error;
 pub mod lift;
 pub mod manual;
+pub mod prov;
 pub mod repair;
 pub mod repairer;
 pub mod schedule;
@@ -17,6 +18,7 @@ pub mod smartelim;
 pub use config::{Lifting, NameMap};
 pub use error::{RepairError, Result};
 pub use lift::{lift_term, repair_constant, LiftState, LiftStats};
+pub use prov::{ConstProv, ProvRecorder, Rule, TermSite};
 pub use pumpkin_kernel::stats::KernelStats;
 /// Re-export of the structured tracing/metrics layer (event kinds, sinks,
 /// metrics registry), so callers of [`Repairer::sink`] need no separate

@@ -22,6 +22,7 @@ use pumpkin_kernel::term::{Binder, ElimData, Term, TermData};
 
 use crate::config::{Lifting, MatchedElim, MatchedProj};
 use crate::error::{RepairError, Result};
+use crate::prov::{ConstProv, ProvRecorder, Rule};
 
 /// Counters exposed for the benchmark harness (cache ablation, §6.4).
 ///
@@ -92,6 +93,9 @@ pub struct LiftState {
     relevant: HashMap<GlobalName, bool>,
     /// Counters.
     pub stats: LiftStats,
+    /// Per-subterm rule attribution; `None` (the default) makes every
+    /// provenance probe a single branch (see [`crate::prov`]).
+    prov: Option<Box<ProvRecorder>>,
 }
 
 impl LiftState {
@@ -132,6 +136,82 @@ impl LiftState {
             in_progress: HashSet::new(),
             relevant: self.relevant.clone(),
             stats: LiftStats::default(),
+            // Recording carries over as a fresh recorder; the worker's
+            // finished trees are folded back in absorb_worker.
+            prov: self.prov.as_ref().map(|_| Box::default()),
+        }
+    }
+
+    /// Turns provenance recording on: subsequent lifts attribute every
+    /// rewrite site to the configuration rule that fired. Costs one extra
+    /// branch per probe when off; see [`crate::prov`].
+    pub fn record_provenance(&mut self) {
+        if self.prov.is_none() {
+            self.prov = Some(Box::default());
+        }
+    }
+
+    /// Is provenance recording on?
+    pub fn provenance_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// Takes the finished provenance trees accumulated since
+    /// [`LiftState::record_provenance`], leaving recording on with an
+    /// empty recorder.
+    pub fn take_provenance(&mut self) -> Vec<ConstProv> {
+        match &mut self.prov {
+            Some(p) => p.take_finished(),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn prov_push(&mut self, i: u32) {
+        if let Some(p) = &mut self.prov {
+            p.push(i);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn prov_pop(&mut self) {
+        if let Some(p) = &mut self.prov {
+            p.pop();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn prov_suppress(&mut self) {
+        if let Some(p) = &mut self.prov {
+            p.suppress();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn prov_unsuppress(&mut self) {
+        if let Some(p) = &mut self.prov {
+            p.unsuppress();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn prov_site(&mut self, rule: Rule, src: &Term, dst: &Term) {
+        if let Some(p) = &mut self.prov {
+            p.site(rule, src, dst);
+        }
+    }
+
+    #[inline]
+    fn prov_begin_const(&mut self, name: &GlobalName) {
+        if let Some(p) = &mut self.prov {
+            p.begin_const(name);
+        }
+    }
+
+    #[inline]
+    fn prov_end_const(&mut self, to: Option<&GlobalName>) {
+        if let Some(p) = &mut self.prov {
+            p.end_const(to);
         }
     }
 
@@ -146,6 +226,9 @@ impl LiftState {
             self.term_cache.extend(worker.term_cache);
         }
         self.relevant.extend(worker.relevant);
+        if let (Some(mine), Some(theirs)) = (&mut self.prov, worker.prov) {
+            mine.absorb(*theirs);
+        }
         self.stats.cache_hits += worker.stats.cache_hits;
         self.stats.cache_misses += worker.stats.cache_misses;
         self.stats.constants_lifted += worker.stats.constants_lifted;
@@ -196,11 +279,16 @@ pub fn lift_term(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Re
     let cacheable = st.cache_enabled && t.is_closed();
     if cacheable {
         if let Some(hit) = st.term_cache.get(t) {
+            let hit = hit.clone();
             st.stats.cache_hits += 1;
             env.tracer().emit(pumpkin_trace::EventKind::CacheHit {
                 table: pumpkin_trace::CacheTable::Lift,
             });
-            return Ok(hit.clone());
+            // The rules that produced the cached result fired under the
+            // constant that first lifted this subterm; here they replay as
+            // one opaque rewrite.
+            st.prov_site(Rule::Cached, t, &hit);
+            return Ok(hit);
         }
         env.tracer().emit(pumpkin_trace::EventKind::CacheMiss {
             table: pumpkin_trace::CacheTable::Lift,
@@ -217,94 +305,149 @@ pub fn lift_term(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Re
 }
 
 fn lift_uncached(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Result<Term> {
+    // Matched-rule branches record one provenance site for the whole
+    // rewritten subterm; component lifts run suppressed (see
+    // `crate::prov` — component paths do not follow the source indexing).
+    //
     // Iota first: Iota markers are constants whose types mention the source
     // type, and must not be repaired as ordinary dependencies.
     if let Some((j, args)) = l.matcher.match_iota(env, t) {
-        let args = lift_all(env, l, st, &args)?;
-        return l.builder.build_iota(env, j, args);
+        st.prov_suppress();
+        let args = lift_all(env, l, st, &args);
+        st.prov_unsuppress();
+        let out = l.builder.build_iota(env, j, args?)?;
+        st.prov_site(Rule::Iota, t, &out);
+        return Ok(out);
     }
     // Dep-Elim.
     if let Some(me) = l.matcher.match_elim(env, t) {
-        let lifted = MatchedElim {
-            type_args: lift_all(env, l, st, &me.type_args)?,
-            motive: lift_term(env, l, st, &me.motive)?,
-            cases: lift_all(env, l, st, &me.cases)?,
-            scrutinee: lift_term(env, l, st, &me.scrutinee)?,
-        };
-        return l.builder.build_elim(env, lifted);
+        st.prov_suppress();
+        let lifted = (|| -> Result<MatchedElim> {
+            Ok(MatchedElim {
+                type_args: lift_all(env, l, st, &me.type_args)?,
+                motive: lift_term(env, l, st, &me.motive)?,
+                cases: lift_all(env, l, st, &me.cases)?,
+                scrutinee: lift_term(env, l, st, &me.scrutinee)?,
+            })
+        })();
+        st.prov_unsuppress();
+        let out = l.builder.build_elim(env, lifted?)?;
+        st.prov_site(Rule::DepElim, t, &out);
+        return Ok(out);
     }
     // Dep-Constr.
     if let Some((j, args)) = l.matcher.match_constr(env, t) {
-        let args = lift_all(env, l, st, &args)?;
-        return l.builder.build_constr(env, j, args);
+        st.prov_suppress();
+        let args = lift_all(env, l, st, &args);
+        st.prov_unsuppress();
+        let out = l.builder.build_constr(env, j, args?)?;
+        st.prov_site(Rule::DepConstr, t, &out);
+        return Ok(out);
     }
     // Eta / projections.
     if let Some(mp) = l.matcher.match_proj(env, t) {
+        st.prov_suppress();
+        let target = lift_term(env, l, st, &mp.target);
+        st.prov_unsuppress();
         let lifted = MatchedProj {
             field: mp.field,
-            target: lift_term(env, l, st, &mp.target)?,
+            target: target?,
         };
-        return l.builder.build_proj(env, lifted);
+        let out = l.builder.build_proj(env, lifted)?;
+        st.prov_site(Rule::Eta, t, &out);
+        return Ok(out);
     }
     // Equivalence (the type itself).
     if let Some(args) = l.matcher.match_type(env, t) {
-        let args = lift_all(env, l, st, &args)?;
-        return l.builder.build_type(env, args);
+        st.prov_suppress();
+        let args = lift_all(env, l, st, &args);
+        st.prov_unsuppress();
+        let out = l.builder.build_type(env, args?)?;
+        st.prov_site(Rule::Equivalence, t, &out);
+        return Ok(out);
     }
 
-    // Structural rules.
+    // Structural rules. Children are lifted under their canonical path
+    // index (`lift_child`) so recorded sites line up with the `explain`
+    // diff walk.
     match t.data() {
         TermData::Rel(_) | TermData::Sort(_) => Ok(t.clone()),
         TermData::Const(name) => {
             if let Some(mapped) = st.const_map.get(name) {
-                return Ok(Term::const_(mapped.clone()));
+                let out = Term::const_(mapped.clone());
+                st.prov_site(Rule::Constant, t, &out);
+                return Ok(out);
             }
             if is_relevant(env, l, st, name) {
                 let new_name = repair_constant(env, l, st, name)?;
-                Ok(Term::const_(new_name))
+                let out = Term::const_(new_name);
+                st.prov_site(Rule::Constant, t, &out);
+                Ok(out)
             } else {
                 Ok(t.clone())
             }
         }
         TermData::Ind(_) | TermData::Construct(_, _) => Ok(t.clone()),
         TermData::App(h, args) => {
-            let h = lift_term(env, l, st, h)?;
-            let args = lift_all(env, l, st, args)?;
-            Ok(Term::app(h, args))
+            let h = lift_child(env, l, st, h, 0)?;
+            let mut out_args = Vec::with_capacity(args.len());
+            for (i, a) in args.iter().enumerate() {
+                out_args.push(lift_child(env, l, st, a, 1 + i as u32)?);
+            }
+            Ok(Term::app(h, out_args))
         }
         TermData::Lambda(b, body) => Ok(Term::new(TermData::Lambda(
             Binder {
                 name: b.name.clone(),
-                ty: lift_term(env, l, st, &b.ty)?,
+                ty: lift_child(env, l, st, &b.ty, 0)?,
             },
-            lift_term(env, l, st, body)?,
+            lift_child(env, l, st, body, 1)?,
         ))),
         TermData::Pi(b, body) => Ok(Term::new(TermData::Pi(
             Binder {
                 name: b.name.clone(),
-                ty: lift_term(env, l, st, &b.ty)?,
+                ty: lift_child(env, l, st, &b.ty, 0)?,
             },
-            lift_term(env, l, st, body)?,
+            lift_child(env, l, st, body, 1)?,
         ))),
         TermData::Let(b, v, body) => Ok(Term::new(TermData::Let(
             Binder {
                 name: b.name.clone(),
-                ty: lift_term(env, l, st, &b.ty)?,
+                ty: lift_child(env, l, st, &b.ty, 0)?,
             },
-            lift_term(env, l, st, v)?,
-            lift_term(env, l, st, body)?,
+            lift_child(env, l, st, v, 1)?,
+            lift_child(env, l, st, body, 2)?,
         ))),
         TermData::Elim(e) => {
             // An eliminator over some *other* inductive: structural.
+            let n = e.params.len() as u32;
+            let mut params = Vec::with_capacity(e.params.len());
+            for (i, p) in e.params.iter().enumerate() {
+                params.push(lift_child(env, l, st, p, i as u32)?);
+            }
+            let motive = lift_child(env, l, st, &e.motive, n)?;
+            let mut cases = Vec::with_capacity(e.cases.len());
+            for (i, c) in e.cases.iter().enumerate() {
+                cases.push(lift_child(env, l, st, c, n + 1 + i as u32)?);
+            }
+            let scrutinee = lift_child(env, l, st, &e.scrutinee, n + 1 + e.cases.len() as u32)?;
             Ok(Term::elim(ElimData {
                 ind: e.ind.clone(),
-                params: lift_all(env, l, st, &e.params)?,
-                motive: lift_term(env, l, st, &e.motive)?,
-                cases: lift_all(env, l, st, &e.cases)?,
-                scrutinee: lift_term(env, l, st, &e.scrutinee)?,
+                params,
+                motive,
+                cases,
+                scrutinee,
             }))
         }
     }
+}
+
+/// Lifts one structural child under its canonical path index.
+fn lift_child(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term, idx: u32) -> Result<Term> {
+    st.prov_push(idx);
+    let out = lift_term(env, l, st, t);
+    st.prov_pop();
+    out
 }
 
 fn lift_all(env: &mut Env, l: &Lifting, st: &mut LiftState, ts: &[Term]) -> Result<Vec<Term>> {
@@ -335,11 +478,15 @@ pub fn repair_constant(
     }
     st.in_progress.insert(name.clone());
     let span = env.tracer().begin();
+    // Provenance frame for this constant: the declaration's type records
+    // under path prefix 0, the body under 1. On failure the frame (and its
+    // sites) is discarded with the rest of the partial repair.
+    st.prov_begin_const(name);
     let result = (|| {
         let decl = env.const_decl(name)?.clone();
-        let new_ty = lift_term(env, l, st, &decl.ty)?;
+        let new_ty = lift_child(env, l, st, &decl.ty, 0)?;
         let new_body = match &decl.body {
-            Some(b) => Some(lift_term(env, l, st, b)?),
+            Some(b) => Some(lift_child(env, l, st, b, 1)?),
             None => None,
         };
         let new_name = l.names.rename(name);
@@ -365,6 +512,7 @@ pub fn repair_constant(
             name: name.as_str().into(),
         },
     );
+    st.prov_end_const(result.as_ref().ok());
     let new_name = result?;
     st.const_map.insert(name.clone(), new_name.clone());
     Ok(new_name)

@@ -53,6 +53,12 @@ pub struct RepairReport {
     /// Counters/histograms derived from the trace (empty when tracing was
     /// off).
     pub metrics: Metrics,
+    /// Per-constant provenance trees — every rewrite site attributed to
+    /// the configuration rule that fired — when the run recorded
+    /// provenance (tracing on, or [`Repairer::provenance`]); empty
+    /// otherwise. Pretty-printed wire form; the order follows completion
+    /// order.
+    pub provenance: Vec<pumpkin_trace::prov::ConstProvenance>,
 }
 
 impl RepairReport {
@@ -103,6 +109,14 @@ impl RepairReport {
     /// ([`pumpkin_trace::summary::render`]).
     pub fn trace_summary(&self) -> String {
         pumpkin_trace::summary::render(&self.trace)
+    }
+
+    /// The provenance tree for a constant, looked up by its source *or*
+    /// repaired name (empty report or untraced run → `None`).
+    pub fn provenance_for(&self, name: &str) -> Option<&pumpkin_trace::prov::ConstProvenance> {
+        self.provenance
+            .iter()
+            .find(|p| p.from == name || p.to == name)
     }
 }
 

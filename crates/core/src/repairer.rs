@@ -37,6 +37,7 @@
 
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
+use pumpkin_kernel::term::{Term, TermData};
 use pumpkin_trace::sink::{drain_into, EventSink};
 use pumpkin_trace::{Event, EventKind, Metrics, Tracer};
 
@@ -54,6 +55,7 @@ pub struct Repairer<'a> {
     state: Option<&'a mut LiftState>,
     jobs: usize,
     capture: bool,
+    prov: Option<bool>,
     sink: Option<Box<dyn EventSink + 'a>>,
 }
 
@@ -67,6 +69,7 @@ impl<'a> Repairer<'a> {
             state: None,
             jobs: 1,
             capture: false,
+            prov: None,
             sink: None,
         }
     }
@@ -98,6 +101,18 @@ impl<'a> Repairer<'a> {
     /// [`RepairReport::trace`] / [`RepairReport::metrics`].
     pub fn trace(mut self, capture: bool) -> Self {
         self.capture = capture;
+        self
+    }
+
+    /// Overrides provenance recording. By default provenance follows the
+    /// tracing switch (a traced run attributes every rewrite site to its
+    /// configuration rule and emits the `prov` event family); pass `true`
+    /// to record provenance on an otherwise untraced run (filling
+    /// [`RepairReport::provenance`] only) or `false` to keep a traced
+    /// run's stream free of `prov` events. Recording off is free — one
+    /// branch per probe (see [`crate::prov`]).
+    pub fn provenance(mut self, record: bool) -> Self {
+        self.prov = Some(record);
         self
     }
 
@@ -172,6 +187,10 @@ impl<'a> Repairer<'a> {
             }
         };
         let lift_before = state.stats;
+        let prov_on = self.prov.unwrap_or(tracing);
+        if prov_on {
+            state.record_provenance();
+        }
 
         let run_span = env.tracer().begin();
         let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
@@ -182,6 +201,27 @@ impl<'a> Repairer<'a> {
                 jobs: self.jobs as u32,
             },
         );
+
+        // Stringify the finished provenance trees (outside the run span so
+        // pretty-printing cost never skews run.ns) and append them to the
+        // stream as the `prov` event family. Failed runs keep the trees of
+        // their completed waves — useful triage context.
+        let provenance: Vec<pumpkin_trace::prov::ConstProvenance> = if prov_on {
+            state
+                .take_provenance()
+                .iter()
+                .map(|c| render_provenance(env, c))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if tracing {
+            for c in &provenance {
+                for kind in c.to_events() {
+                    env.tracer().emit(kind);
+                }
+            }
+        }
 
         // Drain + deliver events even when the repair failed: a trace of
         // the failing run is exactly what the sink is for.
@@ -201,10 +241,111 @@ impl<'a> Repairer<'a> {
         let mut report = result?;
         report.lift = state.stats.since(&lift_before);
         report.metrics = Metrics::from_events(&events);
+        report.provenance = provenance;
         if self.capture {
             report.trace = events;
         }
         Ok(report)
+    }
+}
+
+/// Maximum rendered length of a provenance site's pretty-printed subterm.
+const SITE_MAX_CHARS: usize = 120;
+
+/// Terms above this node count get a head-symbol summary instead of a
+/// full pretty-print: rendering a thousand-node proof term only to clip
+/// it to [`SITE_MAX_CHARS`] characters would dominate the provenance
+/// path's cost.
+const SITE_MAX_NODES: usize = 32;
+
+fn clip(s: String) -> String {
+    if s.chars().count() > SITE_MAX_CHARS {
+        s.chars().take(SITE_MAX_CHARS).collect::<String>() + "…"
+    } else {
+        s
+    }
+}
+
+/// Node-count check with early exit, so huge terms cost O(budget) here
+/// rather than a full traversal.
+fn small_enough(t: &Term, mut budget: usize) -> bool {
+    let mut stack = vec![t];
+    while let Some(t) = stack.pop() {
+        if budget == 0 {
+            return false;
+        }
+        budget -= 1;
+        match t.data() {
+            TermData::Rel(_)
+            | TermData::Sort(_)
+            | TermData::Const(_)
+            | TermData::Ind(_)
+            | TermData::Construct(_, _) => {}
+            TermData::App(h, args) => {
+                stack.push(h);
+                stack.extend(args);
+            }
+            TermData::Lambda(b, body) | TermData::Pi(b, body) => {
+                stack.push(&b.ty);
+                stack.push(body);
+            }
+            TermData::Let(b, v, body) => {
+                stack.push(&b.ty);
+                stack.push(v);
+                stack.push(body);
+            }
+            TermData::Elim(e) => {
+                stack.extend(&e.params);
+                stack.push(&e.motive);
+                stack.extend(&e.cases);
+                stack.push(&e.scrutinee);
+            }
+        }
+    }
+    true
+}
+
+/// A cheap head-symbol summary for terms too large to pretty-print.
+fn summarize(t: &Term) -> String {
+    match t.data() {
+        TermData::App(h, _) => summarize(h),
+        TermData::Const(n) | TermData::Ind(n) => format!("{n} …"),
+        TermData::Construct(ind, j) => format!("{ind}#{j} …"),
+        TermData::Lambda(..) => "fun …".into(),
+        TermData::Pi(..) => "forall …".into(),
+        TermData::Let(..) => "let …".into(),
+        TermData::Elim(e) => format!("elim … : {}", e.ind),
+        TermData::Rel(i) => format!("#{i} …"),
+        TermData::Sort(s) => format!("{s} …"),
+    }
+}
+
+fn render_term(env: &Env, t: &Term) -> String {
+    if small_enough(t, SITE_MAX_NODES) {
+        clip(pumpkin_lang::pretty(env, t))
+    } else {
+        summarize(t)
+    }
+}
+
+/// Pretty-prints one term-level provenance tree into its wire form.
+fn render_provenance(
+    env: &Env,
+    c: &crate::prov::ConstProv,
+) -> pumpkin_trace::prov::ConstProvenance {
+    pumpkin_trace::prov::ConstProvenance {
+        from: c.from.as_str().to_string(),
+        to: c.to.as_str().to_string(),
+        sites: c
+            .sites
+            .iter()
+            .map(|s| pumpkin_trace::prov::ProvSite {
+                path: s.path.to_vec(),
+                rule: s.rule,
+                src: render_term(env, &s.src),
+                dst: render_term(env, &s.dst),
+            })
+            .collect(),
     }
 }
 

@@ -28,12 +28,14 @@
 
 pub mod ast;
 pub mod error;
+pub mod explain;
 pub mod lex;
 pub mod parse;
 pub mod pretty;
 pub mod resolve;
 
 pub use error::{LangError, Pos};
+pub use explain::{explain_decl, explain_term, DiffSite, Divergence, Explanation};
 pub use parse::{parse_items, parse_term};
 pub use pretty::{pretty, pretty_open};
 pub use resolve::{load_item, load_source, term, Resolver};

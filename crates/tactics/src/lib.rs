@@ -15,5 +15,5 @@ pub mod second_pass;
 pub use decompile::{decompile, decompile_constant};
 pub use error::TacticError;
 pub use interp::prove;
-pub use qtac::{render, Dir, Script, Tactic};
+pub use qtac::{render, render_annotated, Dir, Script, Tactic};
 pub use second_pass::second_pass;

@@ -136,11 +136,87 @@ impl Script {
     }
 }
 
+impl Tactic {
+    /// Every global constant mentioned by this tactic's embedded terms
+    /// (not descending into sub-scripts — each nested tactic reports its
+    /// own). Used by annotators to tie tactics back to repaired
+    /// constants.
+    pub fn constants(&self) -> Vec<GlobalName> {
+        let mut out: Vec<GlobalName> = Vec::new();
+        let add_term = |t: &Term, out: &mut Vec<GlobalName>| {
+            for c in t.constants() {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        };
+        match self {
+            Tactic::Rewrite {
+                ty,
+                x,
+                motive,
+                y,
+                eq,
+                ..
+            } => {
+                for t in [ty, x, motive, y, eq] {
+                    add_term(t, &mut out);
+                }
+            }
+            Tactic::Induction {
+                ind,
+                params,
+                motive,
+                scrut,
+                ..
+            } => {
+                out.push(ind.clone());
+                for t in params.iter().chain([motive, scrut]) {
+                    add_term(t, &mut out);
+                }
+            }
+            Tactic::CustomInduction {
+                elim,
+                pre,
+                motive,
+                scrut,
+                ..
+            } => {
+                out.push(elim.clone());
+                for t in pre.iter().chain([motive, scrut]) {
+                    add_term(t, &mut out);
+                }
+            }
+            Tactic::Apply { f, .. } => add_term(f, &mut out),
+            Tactic::Pose { ty, val, .. } => {
+                add_term(ty, &mut out);
+                add_term(val, &mut out);
+            }
+            Tactic::Exact(t) => add_term(t, &mut out),
+            _ => {}
+        }
+        out
+    }
+}
+
 /// Pretty-prints a script in Coq style, with `-`/`+`/`*` bullets per depth
 /// (paper Fig. 2 / Fig. 15).
 pub fn render(env: &Env, ctx: &[String], script: &Script) -> String {
+    render_annotated(env, ctx, script, &|_| None)
+}
+
+/// Like [`render`], but consults `annotate` for each tactic: a returned
+/// string is appended to that tactic's head line as a Coq comment
+/// (`(* … *)`). The repair CLI uses this to cite the provenance of the
+/// constants each tactic mentions.
+pub fn render_annotated(
+    env: &Env,
+    ctx: &[String],
+    script: &Script,
+    annotate: &dyn Fn(&Tactic) -> Option<String>,
+) -> String {
     let mut out = String::new();
-    render_inner(env, &mut ctx.to_vec(), script, 0, &mut out);
+    render_inner(env, &mut ctx.to_vec(), script, 0, &mut out, annotate);
     out
 }
 
@@ -152,31 +228,47 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
-fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize, out: &mut String) {
+/// Appends a tactic's head line plus its annotation comment, if any.
+fn emit(out: &mut String, line: &str, tac: &Tactic, annotate: &dyn Fn(&Tactic) -> Option<String>) {
+    out.push_str(line);
+    if let Some(note) = annotate(tac) {
+        out.push_str(&format!(" (* {note} *)"));
+    }
+    out.push('\n');
+}
+
+fn render_inner(
+    env: &Env,
+    ctx: &mut Vec<String>,
+    script: &Script,
+    depth: usize,
+    out: &mut String,
+    annotate: &dyn Fn(&Tactic) -> Option<String>,
+) {
     let pushed_at_entry = ctx.len();
     for tac in &script.0 {
         match tac {
             Tactic::Intro(n) => {
                 indent(out, depth);
-                out.push_str(&format!("intro {n}.\n"));
+                emit(out, &format!("intro {n}."), tac, annotate);
                 ctx.push(n.clone());
             }
             Tactic::Intros(ns) => {
                 indent(out, depth);
-                out.push_str(&format!("intros {}.\n", ns.join(" ")));
+                emit(out, &format!("intros {}.", ns.join(" ")), tac, annotate);
                 ctx.extend(ns.iter().cloned());
             }
             Tactic::Simpl => {
                 indent(out, depth);
-                out.push_str("simpl.\n");
+                emit(out, "simpl.", tac, annotate);
             }
             Tactic::Symmetry => {
                 indent(out, depth);
-                out.push_str("symmetry.\n");
+                emit(out, "symmetry.", tac, annotate);
             }
             Tactic::Reflexivity => {
                 indent(out, depth);
-                out.push_str("reflexivity.\n");
+                emit(out, "reflexivity.", tac, annotate);
             }
             Tactic::Rewrite { dir, eq, .. } => {
                 indent(out, depth);
@@ -184,10 +276,15 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
                     Dir::Fwd => "",
                     Dir::Bwd => "<- ",
                 };
-                out.push_str(&format!(
-                    "rewrite {arrow}({}).\n",
-                    pumpkin_lang::pretty_open(env, ctx, eq)
-                ));
+                emit(
+                    out,
+                    &format!(
+                        "rewrite {arrow}({}).",
+                        pumpkin_lang::pretty_open(env, ctx, eq)
+                    ),
+                    tac,
+                    annotate,
+                );
             }
             Tactic::Induction { scrut, cases, .. } => {
                 indent(out, depth);
@@ -206,11 +303,16 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
                         names.join(" ")
                     })
                     .collect();
-                out.push_str(&format!(
-                    "induction ({}) as [{}].\n",
-                    pumpkin_lang::pretty_open(env, ctx, scrut),
-                    pats.join("|")
-                ));
+                emit(
+                    out,
+                    &format!(
+                        "induction ({}) as [{}].",
+                        pumpkin_lang::pretty_open(env, ctx, scrut),
+                        pats.join("|")
+                    ),
+                    tac,
+                    annotate,
+                );
                 let bullet = BULLETS[depth % BULLETS.len()];
                 for case in cases {
                     indent(out, depth);
@@ -237,7 +339,7 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
                     if rest.is_empty() {
                         body.push_str("idtac.\n");
                     } else {
-                        render_inner(env, &mut cctx, &rest, depth + 1, &mut body);
+                        render_inner(env, &mut cctx, &rest, depth + 1, &mut body, annotate);
                     }
                     let trimmed = body.trim_start();
                     out.push_str(trimmed);
@@ -264,11 +366,16 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
                         names.join(" ")
                     })
                     .collect();
-                out.push_str(&format!(
-                    "induction ({}) using {elim} as [{}].\n",
-                    pumpkin_lang::pretty_open(env, ctx, scrut),
-                    pats.join("|")
-                ));
+                emit(
+                    out,
+                    &format!(
+                        "induction ({}) using {elim} as [{}].",
+                        pumpkin_lang::pretty_open(env, ctx, scrut),
+                        pats.join("|")
+                    ),
+                    tac,
+                    annotate,
+                );
                 let bullet = BULLETS[depth % BULLETS.len()];
                 for case in cases {
                     indent(out, depth);
@@ -293,7 +400,7 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
                     if rest.is_empty() {
                         body.push_str("idtac.\n");
                     } else {
-                        render_inner(env, &mut cctx, &rest, depth + 1, &mut body);
+                        render_inner(env, &mut cctx, &rest, depth + 1, &mut body, annotate);
                     }
                     let trimmed = body.trim_start();
                     out.push_str(trimmed);
@@ -304,50 +411,99 @@ fn render_inner(env: &Env, ctx: &mut Vec<String>, script: &Script, depth: usize,
             }
             Tactic::Apply { f, sub } => {
                 indent(out, depth);
-                out.push_str(&format!(
-                    "apply ({}).\n",
-                    pumpkin_lang::pretty_open(env, ctx, f)
-                ));
+                emit(
+                    out,
+                    &format!("apply ({}).", pumpkin_lang::pretty_open(env, ctx, f)),
+                    tac,
+                    annotate,
+                );
                 let mut cctx = ctx.clone();
-                render_inner(env, &mut cctx, sub, depth, out);
+                render_inner(env, &mut cctx, sub, depth, out, annotate);
             }
             Tactic::Split(a, b) => {
                 indent(out, depth);
-                out.push_str("split.\n");
+                emit(out, "split.", tac, annotate);
                 let bullet = BULLETS[depth % BULLETS.len()];
                 for case in [a, b] {
                     indent(out, depth);
                     out.push_str(&format!("{bullet} "));
                     let mut body = String::new();
                     let mut cctx = ctx.clone();
-                    render_inner(env, &mut cctx, case, depth + 1, &mut body);
+                    render_inner(env, &mut cctx, case, depth + 1, &mut body, annotate);
                     out.push_str(body.trim_start());
                 }
             }
             Tactic::Left => {
                 indent(out, depth);
-                out.push_str("left.\n");
+                emit(out, "left.", tac, annotate);
             }
             Tactic::Right => {
                 indent(out, depth);
-                out.push_str("right.\n");
+                emit(out, "right.", tac, annotate);
             }
             Tactic::Pose { name, val, .. } => {
                 indent(out, depth);
-                out.push_str(&format!(
-                    "pose ({}) as {name}.\n",
-                    pumpkin_lang::pretty_open(env, ctx, val)
-                ));
+                emit(
+                    out,
+                    &format!(
+                        "pose ({}) as {name}.",
+                        pumpkin_lang::pretty_open(env, ctx, val)
+                    ),
+                    tac,
+                    annotate,
+                );
                 ctx.push(name.clone());
             }
             Tactic::Exact(t) => {
                 indent(out, depth);
-                out.push_str(&format!(
-                    "exact ({}).\n",
-                    pumpkin_lang::pretty_open(env, ctx, t)
-                ));
+                emit(
+                    out,
+                    &format!("exact ({}).", pumpkin_lang::pretty_open(env, ctx, t)),
+                    tac,
+                    annotate,
+                );
             }
         }
     }
     ctx.truncate(pushed_at_entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_annotated_appends_comments_per_tactic() {
+        let env = Env::new();
+        let script = Script(vec![
+            Tactic::Intro("x".into()),
+            Tactic::Simpl,
+            Tactic::Reflexivity,
+        ]);
+        let plain = render(&env, &[], &script);
+        assert_eq!(plain, "intro x.\nsimpl.\nreflexivity.\n");
+        let annotated = render_annotated(&env, &[], &script, &|t| match t {
+            Tactic::Simpl => Some("repaired: eta".to_string()),
+            _ => None,
+        });
+        assert_eq!(
+            annotated,
+            "intro x.\nsimpl. (* repaired: eta *)\nreflexivity.\n"
+        );
+    }
+
+    #[test]
+    fn tactic_constants_reports_embedded_globals() {
+        let t = Tactic::Exact(Term::app(
+            Term::const_("New.rev"),
+            vec![Term::const_("New.nil")],
+        ));
+        let names: Vec<String> = t
+            .constants()
+            .iter()
+            .map(|n| n.as_str().to_string())
+            .collect();
+        assert_eq!(names, ["New.rev", "New.nil"]);
+        assert!(Tactic::Simpl.constants().is_empty());
+    }
 }

@@ -275,4 +275,49 @@ mod tests {
         assert!(parse_flat("").is_none());
         assert!(parse_flat("{}").is_some());
     }
+
+    #[test]
+    fn parse_flat_rejects_bad_escapes() {
+        // Unknown escape letter.
+        assert!(parse_flat("{\"a\": \"bad \\q escape\"}").is_none());
+        // \u with non-hex digits, and \u cut short by the closing quote.
+        assert!(parse_flat("{\"a\": \"\\uZZZZ\"}").is_none());
+        assert!(parse_flat("{\"a\": \"\\u12\"}").is_none());
+        // A lone surrogate code point is not a valid char.
+        assert!(parse_flat("{\"a\": \"\\ud800\"}").is_none());
+        // Backslash at end of input.
+        assert!(parse_flat("{\"a\": \"dangling\\").is_none());
+    }
+
+    #[test]
+    fn parse_flat_rejects_truncated_lines() {
+        // Every prefix of a valid line must fail cleanly, never panic:
+        // truncated tails are exactly what a killed `--trace` run leaves.
+        let full = "{\"t_ns\":12,\"worker\":0,\"kind\":\"lift_constant\",\"name\":\"Old.rev\"}";
+        for cut in 1..full.len() {
+            if full.is_char_boundary(cut) {
+                assert!(
+                    parse_flat(&full[..cut]).is_none(),
+                    "prefix {:?} should not parse",
+                    &full[..cut]
+                );
+            }
+        }
+        assert!(parse_flat(full).is_some());
+    }
+
+    #[test]
+    fn parse_flat_handles_invalid_utf8_continuation() {
+        // A multi-byte lead byte followed by the closing quote: the decoder
+        // must reject it, not slice out of bounds.
+        assert!(parse_flat("{\"a\": \"\u{e9}").is_none());
+        assert!(parse_flat("{\"a\": \"caf\u{e9}\"}").is_some());
+    }
+
+    #[test]
+    fn parse_flat_rejects_bare_number_soup() {
+        assert!(parse_flat("{\"a\": --3}").is_none());
+        assert!(parse_flat("{\"a\": 1e}").is_none());
+        assert!(parse_flat("{\"a\": +}").is_none());
+    }
 }

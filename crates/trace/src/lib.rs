@@ -27,9 +27,16 @@
 //!   derivable from an event stream and mergeable across runs.
 //! * [`json`] — the minimal JSON encode/parse helpers backing the sink and
 //!   the golden-file round-trip tests.
+//! * [`prov`] — the versioned `prov` event family: per-subterm attribution
+//!   of every rewrite to the configuration rule that fired (paper §4).
+//! * [`report`] — offline trace analysis (`pumpkin trace-report`):
+//!   critical-path extraction, hottest lifts, per-constant cache
+//!   behaviour, structural diff of two traces, schema lint.
 
 pub mod json;
 pub mod metrics;
+pub mod prov;
+pub mod report;
 pub mod sink;
 pub mod summary;
 
@@ -134,6 +141,41 @@ pub enum EventKind {
         /// Declarations dropped.
         dropped: u32,
     },
+    /// Instant (`prov` family, versioned): header for one repaired
+    /// constant's provenance tree; followed by `sites` [`EventKind::ProvSite`]
+    /// events.
+    ProvConst {
+        /// The source constant.
+        name: Box<str>,
+        /// Its repaired name.
+        to: Box<str>,
+        /// How many `prov_site` events follow for this constant.
+        sites: u32,
+    },
+    /// Instant (`prov` family, versioned): one rewrite site inside a
+    /// repaired constant — at `path`, `rule` rewrote `src` into `dst`.
+    ProvSite {
+        /// The source constant this site belongs to.
+        constant: Box<str>,
+        /// Dotted canonical subterm path (`""` = declaration root; see
+        /// [`prov`] module docs).
+        path: Box<str>,
+        /// The configuration rule that fired.
+        rule: prov::Rule,
+        /// Pretty-printed (truncated) source subterm.
+        src: Box<str>,
+        /// Pretty-printed (truncated) produced subterm.
+        dst: Box<str>,
+    },
+    /// A schema-valid line whose `kind` (or `prov` schema version) this
+    /// reader does not know. The raw line is preserved verbatim so
+    /// re-serialising a trace written by a newer producer is lossless.
+    Unknown {
+        /// The wire `kind` string we did not recognise.
+        kind: Box<str>,
+        /// The original line, byte for byte.
+        raw: Box<str>,
+    },
 }
 
 impl EventKind {
@@ -150,6 +192,11 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::Rollback { .. } => "rollback",
+            EventKind::ProvConst { .. } => "prov_const",
+            EventKind::ProvSite { .. } => "prov_site",
+            // The preserved wire kind lives in the variant's `kind` field;
+            // this is the reader-side taxonomy name.
+            EventKind::Unknown { .. } => "unknown",
         }
     }
 }
@@ -173,8 +220,12 @@ impl Event {
     /// Serialises the event as one JSON object (no trailing newline),
     /// following the schema documented in DESIGN.md §11. Key order is
     /// stable: `t_ns`, `dur_ns`, `worker`, `kind`, then kind-specific
-    /// fields.
+    /// fields. [`EventKind::Unknown`] events re-serialise as their
+    /// preserved raw line, byte for byte.
     pub fn to_json(&self) -> String {
+        if let EventKind::Unknown { raw, .. } = &self.kind {
+            return raw.to_string();
+        }
         let mut s = String::with_capacity(96);
         s.push_str("{\"t_ns\":");
         s.push_str(&self.t_ns.to_string());
@@ -213,7 +264,39 @@ impl Event {
                 s.push_str(",\"dropped\":");
                 s.push_str(&dropped.to_string());
             }
+            EventKind::ProvConst { name, to, sites } => {
+                s.push_str(",\"v\":");
+                s.push_str(&prov::PROV_SCHEMA_VERSION.to_string());
+                s.push_str(",\"name\":");
+                json::escape_into(name, &mut s);
+                s.push_str(",\"to\":");
+                json::escape_into(to, &mut s);
+                s.push_str(",\"sites\":");
+                s.push_str(&sites.to_string());
+            }
+            EventKind::ProvSite {
+                constant,
+                path,
+                rule,
+                src,
+                dst,
+            } => {
+                s.push_str(",\"v\":");
+                s.push_str(&prov::PROV_SCHEMA_VERSION.to_string());
+                s.push_str(",\"const\":");
+                json::escape_into(constant, &mut s);
+                s.push_str(",\"path\":");
+                json::escape_into(path, &mut s);
+                s.push_str(",\"rule\":\"");
+                s.push_str(rule.as_str());
+                s.push('"');
+                s.push_str(",\"src\":");
+                json::escape_into(src, &mut s);
+                s.push_str(",\"dst\":");
+                json::escape_into(dst, &mut s);
+            }
             EventKind::Whnf | EventKind::Conv => {}
+            EventKind::Unknown { .. } => unreachable!("handled above"),
         }
         s.push('}');
         s
@@ -221,11 +304,19 @@ impl Event {
 
     /// Parses one JSON line produced by [`Event::to_json`] (or any flat
     /// JSON object with the same fields, in any key order). Returns `None`
-    /// on malformed input or an unknown `kind`.
+    /// only on malformed input (bad JSON, missing base fields, or a known
+    /// kind with broken payload); a structurally valid line with an
+    /// *unrecognised* `kind` — or a `prov` event from a newer schema
+    /// version — parses to [`EventKind::Unknown`], preserving the raw line
+    /// so forward-compatible round-trips are lossless.
     pub fn from_json(line: &str) -> Option<Event> {
         let obj = json::parse_flat(line)?;
         let num = |k: &str| -> Option<u64> { obj.get(k)?.as_u64() };
         let st = |k: &str| -> Option<&str> { obj.get(k)?.as_str() };
+        let unknown = |kind: &str| EventKind::Unknown {
+            kind: kind.into(),
+            raw: line.into(),
+        };
         let kind = match st("kind")? {
             "run" => EventKind::Run {
                 jobs: num("jobs")? as u32,
@@ -255,7 +346,26 @@ impl Event {
             "rollback" => EventKind::Rollback {
                 dropped: num("dropped")? as u32,
             },
-            _ => return None,
+            k @ ("prov_const" | "prov_site")
+                if num("v") != Some(u64::from(prov::PROV_SCHEMA_VERSION)) =>
+            {
+                // A future (or missing) prov schema version: preserve, don't
+                // guess at field meanings.
+                unknown(k)
+            }
+            "prov_const" => EventKind::ProvConst {
+                name: st("name")?.into(),
+                to: st("to")?.into(),
+                sites: num("sites")? as u32,
+            },
+            "prov_site" => EventKind::ProvSite {
+                constant: st("const")?.into(),
+                path: st("path")?.into(),
+                rule: prov::Rule::from_str_opt(st("rule")?)?,
+                src: st("src")?.into(),
+                dst: st("dst")?.into(),
+            },
+            k => unknown(k),
         };
         Some(Event {
             t_ns: num("t_ns")?,
@@ -563,6 +673,18 @@ mod tests {
                 table: CacheTable::Lift,
             },
             EventKind::Rollback { dropped: 7 },
+            EventKind::ProvConst {
+                name: "Old.rev".into(),
+                to: "New.rev".into(),
+                sites: 3,
+            },
+            EventKind::ProvSite {
+                constant: "Old.rev".into(),
+                path: "1.0.2".into(),
+                rule: prov::Rule::DepConstr,
+                src: "Old.cons nat".into(),
+                dst: "New.cons nat".into(),
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let e = Event {
@@ -581,10 +703,38 @@ mod tests {
     fn from_json_rejects_malformed_lines() {
         assert_eq!(Event::from_json(""), None);
         assert_eq!(Event::from_json("{}"), None);
+        assert_eq!(Event::from_json("not json at all"), None);
+        // A known kind with a broken payload is malformed, not unknown.
         assert_eq!(
-            Event::from_json("{\"t_ns\":1,\"dur_ns\":0,\"worker\":0,\"kind\":\"nope\"}"),
+            Event::from_json("{\"t_ns\":1,\"dur_ns\":0,\"worker\":0,\"kind\":\"rollback\"}"),
             None
         );
-        assert_eq!(Event::from_json("not json at all"), None);
+    }
+
+    #[test]
+    fn unknown_kinds_are_preserved_and_round_trip_verbatim() {
+        let line = "{\"t_ns\":1,\"dur_ns\":0,\"worker\":0,\"kind\":\"nope\",\"extra\":42}";
+        let e = Event::from_json(line).expect("unknown kinds parse, not reject");
+        assert_eq!(e.t_ns, 1);
+        match &e.kind {
+            EventKind::Unknown { kind, raw } => {
+                assert_eq!(&**kind, "nope");
+                assert_eq!(&**raw, line);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        assert_eq!(e.to_json(), line, "raw line preserved byte for byte");
+    }
+
+    #[test]
+    fn future_prov_schema_versions_parse_as_unknown() {
+        let future = format!(
+            "{{\"t_ns\":0,\"dur_ns\":0,\"worker\":0,\"kind\":\"prov_const\",\"v\":{},\
+             \"name\":\"a\",\"to\":\"b\",\"sites\":0}}",
+            prov::PROV_SCHEMA_VERSION + 1
+        );
+        let e = Event::from_json(&future).expect("future prov events parse");
+        assert!(matches!(e.kind, EventKind::Unknown { .. }));
+        assert_eq!(e.to_json(), future);
     }
 }

@@ -253,7 +253,65 @@ impl Metrics {
                     m.incr("rollback.count", 1);
                     m.incr("rollback.dropped", u64::from(*dropped));
                 }
+                EventKind::ProvConst { .. } => m.incr("prov.constants", 1),
+                EventKind::ProvSite { rule, .. } => {
+                    m.incr("prov.sites", 1);
+                    m.incr(&format!("prov.rule.{rule}"), 1);
+                }
+                EventKind::Unknown { .. } => m.incr("events.unknown", 1),
             }
+        }
+        m
+    }
+
+    /// Folds the registry into a job-count-invariant canonical form.
+    ///
+    /// Kernel cache probe counts (`cache.*`, `events.whnf`, `events.conv`)
+    /// legitimately vary with the worker count: each worker forks its own
+    /// memo tables, so hit/miss patterns — and the recursion they prune —
+    /// differ run to run (see `semantic_events_agree_across_worker_counts`
+    /// in the integration tests). The same goes for timing histograms and
+    /// for provenance *site* counts (a worker that misses the lift cache
+    /// re-expands a subtree's sites; `rule.cached` absorbs the difference).
+    ///
+    /// Canonicalization keeps the semantic counters verbatim
+    /// (`schedule.waves`, `lift.constants`, `prov.constants`,
+    /// `rollback.*`) plus the dimensionless `wave.width` histogram, and
+    /// folds each job-variant family into a presence flag:
+    /// `cache.<table>.used`, `kernel.whnf.used`, `kernel.conv.used`,
+    /// `prov.recorded` (1 when any probe of that family fired). Two runs
+    /// of the same repair at different `--jobs` canonicalize identically.
+    pub fn canonicalize(&self) -> Metrics {
+        let mut m = Metrics::new();
+        for (k, &v) in &self.counters {
+            if k == "schedule.waves"
+                || k == "lift.constants"
+                || k == "prov.constants"
+                || k == "events.unknown"
+                || k.starts_with("rollback.")
+            {
+                m.incr(k, v);
+            }
+        }
+        for table in ["whnf", "conv", "lift"] {
+            if self.counter(&format!("cache.{table}.hits"))
+                + self.counter(&format!("cache.{table}.misses"))
+                > 0
+            {
+                m.incr(&format!("cache.{table}.used"), 1);
+            }
+        }
+        if self.counter("events.whnf") > 0 {
+            m.incr("kernel.whnf.used", 1);
+        }
+        if self.counter("events.conv") > 0 {
+            m.incr("kernel.conv.used", 1);
+        }
+        if self.counter("prov.sites") > 0 {
+            m.incr("prov.recorded", 1);
+        }
+        if let Some(h) = self.histogram("wave.width") {
+            m.histograms.insert("wave.width".to_string(), h.clone());
         }
         m
     }
@@ -399,6 +457,43 @@ mod tests {
             let obj = json::parse_flat(line).expect("metric lines are valid flat JSON");
             assert!(obj.contains_key("metric"));
         }
+    }
+
+    #[test]
+    fn canonicalize_folds_job_variant_counters_into_presence_flags() {
+        let mut fast = Metrics::new(); // e.g. jobs=1: warm shared caches
+        let mut slow = Metrics::new(); // e.g. jobs=4: forked per-worker caches
+        for m in [&mut fast, &mut slow] {
+            m.incr("schedule.waves", 4);
+            m.incr("lift.constants", 18);
+            m.incr("prov.constants", 18);
+            m.observe("wave.width", 6);
+        }
+        fast.incr("cache.whnf.hits", 900);
+        fast.incr("cache.whnf.misses", 100);
+        fast.incr("events.whnf", 100);
+        fast.incr("prov.sites", 40);
+        fast.incr("prov.rule.dep_constr", 30);
+        fast.incr("prov.rule.cached", 10);
+        fast.observe("run.ns", 1_000_000);
+        slow.incr("cache.whnf.hits", 600);
+        slow.incr("cache.whnf.misses", 400);
+        slow.incr("events.whnf", 400);
+        slow.incr("prov.sites", 55);
+        slow.incr("prov.rule.dep_constr", 30);
+        slow.incr("prov.rule.cached", 25);
+        slow.observe("run.ns", 700_000);
+
+        assert_ne!(fast, slow);
+        let (a, b) = (fast.canonicalize(), slow.canonicalize());
+        assert_eq!(a, b, "canonical forms are job-count-invariant");
+        assert_eq!(a.counter("lift.constants"), 18);
+        assert_eq!(a.counter("cache.whnf.used"), 1);
+        assert_eq!(a.counter("kernel.whnf.used"), 1);
+        assert_eq!(a.counter("prov.recorded"), 1);
+        assert_eq!(a.counter("cache.conv.used"), 0);
+        assert!(a.histogram("run.ns").is_none(), "timings dropped");
+        assert_eq!(a.histogram("wave.width").unwrap().count(), 1);
     }
 
     #[test]

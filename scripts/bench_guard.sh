@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Bench regression guard: compares the `repair_parallel/jobs=1` median (the
-# tentpole swap_list_module workload with the trace sink disabled) in a
-# fresh pumpkin-bench/v1 JSON report against a committed baseline, and the
-# in-run `trace_overhead/{off,on}` pair.
+# Bench regression guard over pumpkin-bench/v1 JSON reports.
+#
+# Gates EVERY benchmark id present in both the fresh report and the
+# baseline: each shared row's median must stay within 25% of the
+# committed number. Rows only in one file are reported but not fatal
+# (benchmarks come and go across PRs).
+#
+# Baseline selection: pass one explicitly, or the guard picks the most
+# recent committed BENCH_*.json (version sort), excluding the fresh
+# report itself.
 #
 # Tolerance: 25%. The honest target for disabled-sink overhead is ≤ 2%
 # (EXPERIMENTS.md reports the measured number), but this gate runs on a
@@ -12,27 +18,55 @@
 # enabled, an accidental clone on the hot path), which show up well above
 # noise.
 #
-# Usage: bench_guard.sh NEW.json BASELINE.json
+# Usage: bench_guard.sh NEW.json [BASELINE.json]
 set -euo pipefail
+cd "$(dirname "$0")/.."
 
-new=${1:?usage: bench_guard.sh NEW.json BASELINE.json}
-base=${2:?usage: bench_guard.sh NEW.json BASELINE.json}
+new=${1:?usage: bench_guard.sh NEW.json [BASELINE.json]}
+base=${2:-}
 
+if [ -z "$base" ]; then
+    # Most recent committed baseline: highest BENCH_*.json by version
+    # sort that is not the report under test.
+    base=$(ls BENCH_*.json 2>/dev/null | grep -Fxv "$(basename "$new")" | sort -V | tail -1 || true)
+    if [ -z "$base" ]; then
+        echo "bench_guard: no committed BENCH_*.json baseline found" >&2
+        exit 1
+    fi
+fi
+echo "bench_guard: comparing $new against baseline $base"
+
+ids() { sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$1"; }
 median() { # median FILE ID -> median_ns, empty if the row is absent
-    grep -F "\"id\":\"$2\"" "$1" | sed -n 's/.*"median_ns":\([0-9]*\).*/\1/p'
+    grep -F "\"id\":\"$2\"" "$1" | sed -n 's/.*"median_ns":\([0-9]*\).*/\1/p' | head -1
 }
 
-id='repair_parallel/jobs=1'
-n=$(median "$new" "$id")
-b=$(median "$base" "$id")
-if [ -z "$n" ] || [ -z "$b" ]; then
-    echo "bench_guard: missing '$id' row (new='$n' baseline='$b')" >&2
-    exit 1
-fi
-limit=$((b + b / 4))
-echo "bench_guard: $id median ${n} ns vs baseline ${b} ns (limit ${limit} ns)"
-if [ "$n" -gt "$limit" ]; then
-    echo "bench_guard: REGRESSION: $id is >25% over the committed baseline" >&2
+shared=0
+failures=0
+while IFS= read -r id; do
+    n=$(median "$new" "$id")
+    if [ -z "$n" ]; then
+        echo "bench_guard: note: '$id' only in baseline (skipped)"
+        continue
+    fi
+    b=$(median "$base" "$id")
+    shared=$((shared + 1))
+    limit=$((b + b / 4))
+    echo "bench_guard: $id median ${n} ns vs baseline ${b} ns (limit ${limit} ns)"
+    if [ "$n" -gt "$limit" ]; then
+        echo "bench_guard: REGRESSION: $id is >25% over the committed baseline" >&2
+        failures=$((failures + 1))
+    fi
+done < <(ids "$base")
+
+while IFS= read -r id; do
+    if [ -z "$(median "$base" "$id")" ]; then
+        echo "bench_guard: note: '$id' only in $new (no baseline yet)"
+    fi
+done < <(ids "$new")
+
+if [ "$shared" -eq 0 ]; then
+    echo "bench_guard: no shared benchmark rows between $new and $base" >&2
     exit 1
 fi
 
@@ -40,14 +74,32 @@ fi
 # the same machine state: trace_overhead/off must stay within 25% of the
 # jobs=1 row it duplicates (they are the same workload; any real gap means
 # the no-op probes stopped being no-ops).
+j1=$(median "$new" 'repair_parallel/jobs=1')
 off=$(median "$new" 'trace_overhead/off')
-if [ -n "$off" ]; then
-    olimit=$((n + n / 4))
-    echo "bench_guard: trace_overhead/off median ${off} ns vs jobs=1 ${n} ns (limit ${olimit} ns)"
+if [ -n "$j1" ] && [ -n "$off" ]; then
+    olimit=$((j1 + j1 / 4))
+    echo "bench_guard: trace_overhead/off median ${off} ns vs jobs=1 ${j1} ns (limit ${olimit} ns)"
     if [ "$off" -gt "$olimit" ]; then
         echo "bench_guard: REGRESSION: disabled-sink overhead exceeds 25%" >&2
-        exit 1
+        failures=$((failures + 1))
+    fi
+fi
+# Same in-run comparison for the provenance recorder, against the `off`
+# arm (the identical workload measured adjacently in the same invocation;
+# the jobs=1 row runs earlier in the binary and carries ordering bias):
+# recorder + site rendering must stay within 25% of the plain run.
+prov=$(median "$new" 'trace_overhead/prov')
+if [ -n "$off" ] && [ -n "$prov" ]; then
+    plimit=$((off + off / 4))
+    echo "bench_guard: trace_overhead/prov median ${prov} ns vs off ${off} ns (limit ${plimit} ns)"
+    if [ "$prov" -gt "$plimit" ]; then
+        echo "bench_guard: REGRESSION: provenance recorder overhead exceeds 25%" >&2
+        failures=$((failures + 1))
     fi
 fi
 
-echo "bench_guard: ok"
+if [ "$failures" -gt 0 ]; then
+    echo "bench_guard: $failures regression(s)" >&2
+    exit 1
+fi
+echo "bench_guard: ok ($shared shared row(s) gated)"

@@ -23,17 +23,23 @@ echo "==> cargo clippy -p pumpkin-kernel -p pumpkin-core (no std::rc)"
 cargo clippy -p pumpkin-kernel -p pumpkin-core --all-targets --locked -- \
     -D warnings -D clippy::disallowed-types
 
+# Committed golden traces must satisfy the JSON-lines schema, including
+# the versioned `prov` event family (DESIGN.md §11–12).
+echo "==> trace lint over tests/golden/*.jsonl"
+scripts/trace_lint.sh
+
 # Smoke-run the parallel-repair + observability bench rows so scheduler or
 # probe regressions surface here, not only in full EXPERIMENTS.md runs. The
-# run writes a pumpkin-bench/v1 JSON report that the guard compares against
-# the committed PR 2 baseline (disabled-sink overhead must stay in noise).
-echo "==> bench: repair_parallel + trace_overhead → BENCH_pr3.json"
+# run writes a pumpkin-bench/v1 JSON report that the guard gates row by
+# row against the most recent committed baseline (disabled-sink and
+# disabled-provenance overhead must stay in noise).
+echo "==> bench: repair_parallel + trace_overhead → BENCH_pr4.json"
 # Absolute path: cargo runs the bench binary with cwd = the package dir.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
     --sample-size 5 --filter repair_parallel/jobs=1,trace_overhead \
-    --json "$(pwd)/BENCH_pr3.json"
+    --json "$(pwd)/BENCH_pr4.json"
 
-echo "==> bench guard vs BENCH_pr2.json"
-scripts/bench_guard.sh BENCH_pr3.json BENCH_pr2.json
+echo "==> bench guard (auto baseline)"
+scripts/bench_guard.sh BENCH_pr4.json
 
 echo "==> all checks passed"

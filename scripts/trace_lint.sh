@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Trace schema lint: every committed golden JSON-lines trace (including
+# the versioned `prov` event family) must parse with zero malformed lines
+# and zero unknown event kinds. Backed by `pumpkin trace-report --lint`
+# (crates/trace/src/report.rs); schema in DESIGN.md §11–12.
+#
+# Usage: trace_lint.sh [FILE...]   (defaults to tests/golden/*.jsonl)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pumpkin=target/release/pumpkin
+if [ ! -x "$pumpkin" ]; then
+    pumpkin=target/debug/pumpkin
+fi
+if [ ! -x "$pumpkin" ]; then
+    echo "trace_lint: no pumpkin binary; run cargo build first" >&2
+    exit 1
+fi
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(tests/golden/*.jsonl)
+fi
+
+status=0
+for f in "${files[@]}"; do
+    echo "==> trace_lint: $f"
+    if ! "$pumpkin" trace-report --lint "$f"; then
+        status=1
+    fi
+done
+exit $status

@@ -9,16 +9,89 @@
 //!   stream as JSON lines (schema in DESIGN.md §11).
 //! * `--metrics` — print the derived counters/histograms after each
 //!   repair command.
+//!
+//! A second mode analyzes traces offline (no script, no environment):
+//! `pumpkin trace-report [--lint] [--top K] <file.jsonl> [file2.jsonl]`.
+//! One file renders the full report (critical path, hottest lifts, cache
+//! behavior per constant, provenance summary); two files render a
+//! structural diff; `--lint` validates the file(s) against the schema and
+//! exits nonzero on violations.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use pumpkin_pi::cli::{run_script, Session};
 
-const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <script.pi | ->";
+const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <script.pi | ->\n\
+                     \x20      pumpkin trace-report [--lint] [--top K] <file.jsonl> [file2.jsonl]";
+
+fn trace_report(argv: &[String]) -> ExitCode {
+    use pumpkin_core::trace::report;
+    let mut lint = false;
+    let mut top_k = 5usize;
+    let mut files: Vec<&String> = Vec::new();
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lint" => lint = true,
+            "--top" => {
+                let Some(k) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--top needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                top_k = k;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() || files.len() > 2 {
+        eprintln!("trace-report takes one or two trace files\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut texts = Vec::new();
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(s) => texts.push(s),
+            Err(e) => {
+                eprintln!("cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if lint {
+        let mut violations = 0;
+        for (f, text) in files.iter().zip(&texts) {
+            for v in report::lint(text) {
+                println!("{f}: {v}");
+                violations += 1;
+            }
+        }
+        println!("{violations} violation(s)");
+        return if violations == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let parsed: Vec<_> = texts.iter().map(|t| report::parse_lines(t)).collect();
+    for (f, p) in files.iter().zip(&parsed) {
+        for (line, err) in &p.errors {
+            eprintln!("{f}:{line}: skipping malformed line: {err}");
+        }
+    }
+    match parsed.as_slice() {
+        [one] => print!("{}", report::render(&one.events, top_k)),
+        [a, b] => print!("{}", report::diff(&a.events, &b.events, top_k)),
+        _ => unreachable!(),
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace-report") {
+        return trace_report(&argv[1..]);
+    }
     let mut session = Session::new();
     let mut path: Option<String> = None;
     let mut args = argv.iter();

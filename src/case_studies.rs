@@ -68,6 +68,22 @@ pub fn swap_list_module_traced(env: &mut Env, jobs: usize) -> Result<RepairRepor
         .run(env, pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS)
 }
 
+/// [`swap_list_module`] with the provenance recorder on but the trace
+/// sink off — the `trace_overhead/prov` ablation workload. The report
+/// carries per-constant provenance trees and no event stream.
+pub fn swap_list_module_provenance(env: &mut Env, jobs: usize) -> Result<RepairReport> {
+    let lifting = pumpkin_core::search::swap::configure(
+        env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )?;
+    Repairer::new(&lifting)
+        .jobs(jobs)
+        .provenance(true)
+        .run(env, pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS)
+}
+
 /// The `Old.Term` development repaired in one REPLICA variant.
 pub const REPLICA_CONSTANTS: &[&str] = &[
     "Old.size",

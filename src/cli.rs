@@ -17,6 +17,9 @@ pub struct Session {
     jobs: usize,
     trace_path: Option<PathBuf>,
     show_metrics: bool,
+    /// Provenance trees from the most recent repair command, indexed by
+    /// both old and new constant names (for `explain` / `script`).
+    provenance: Vec<pumpkin_core::trace::prov::ConstProvenance>,
 }
 
 impl Session {
@@ -30,6 +33,7 @@ impl Session {
             jobs: 1,
             trace_path: None,
             show_metrics: false,
+            provenance: Vec::new(),
         }
     }
 
@@ -62,7 +66,8 @@ impl Session {
         let lifting = self.lifting.as_ref().ok_or("no configuration active")?;
         let mut repairer = Repairer::new(lifting)
             .jobs(self.jobs)
-            .state(&mut self.state);
+            .state(&mut self.state)
+            .provenance(true);
         if self.show_metrics {
             repairer = repairer.trace(true);
         }
@@ -83,6 +88,12 @@ impl Session {
         if self.show_metrics {
             print!("{}", report.metrics().to_text());
         }
+        // Accumulate provenance across commands so `explain` still works
+        // after several `repair` invocations; newest run wins per constant.
+        let fresh: Vec<_> = report.provenance.clone();
+        self.provenance
+            .retain(|p| !fresh.iter().any(|f| f.from == p.from));
+        self.provenance.extend(fresh);
         Ok(report)
     }
 
@@ -270,6 +281,32 @@ impl Session {
                 }
                 Ok(())
             }
+            "explain" => {
+                let [name] = args else {
+                    return Err("usage: explain NAME".into());
+                };
+                let p = self
+                    .provenance
+                    .iter()
+                    .find(|p| p.from == *name || p.to == *name)
+                    .ok_or_else(|| {
+                        format!("no provenance recorded for `{name}` (run a repair command first)")
+                    })?;
+                let sites: Vec<pumpkin_lang::DiffSite> = p
+                    .sites
+                    .iter()
+                    .map(|s| pumpkin_lang::DiffSite {
+                        path: &s.path,
+                        rule: s.rule.as_str(),
+                    })
+                    .collect();
+                let explanation = pumpkin_lang::explain_decl(&self.env, &p.from, &p.to, &sites)
+                    .ok_or_else(|| {
+                        format!("`{}` or `{}` is not in the environment", p.from, p.to)
+                    })?;
+                print!("{}", explanation.render());
+                Ok(())
+            }
             "script" => {
                 let [name] = args else {
                     return Err("usage: script NAME".into());
@@ -277,8 +314,30 @@ impl Session {
                 let (goal, raw) = pumpkin_tactics::decompile_constant(&self.env, name)
                     .ok_or_else(|| format!("`{name}` has no body"))?;
                 let script = pumpkin_tactics::second_pass(&raw);
+                let prov = &self.provenance;
+                let annotate = |t: &pumpkin_tactics::Tactic| -> Option<String> {
+                    let mut notes: Vec<String> = Vec::new();
+                    for c in t.constants() {
+                        if let Some(p) = prov
+                            .iter()
+                            .find(|p| p.to == c.as_str() && !p.sites.is_empty())
+                        {
+                            let note = format!("{}: {}", p.to, p.citation());
+                            if !notes.contains(&note) {
+                                notes.push(note);
+                            }
+                        }
+                    }
+                    if notes.is_empty() {
+                        None
+                    } else {
+                        Some(notes.join("; "))
+                    }
+                };
                 println!("Proof.");
-                for line in pumpkin_tactics::render(&self.env, &[], &script).lines() {
+                for line in
+                    pumpkin_tactics::render_annotated(&self.env, &[], &script, &annotate).lines()
+                {
                     println!("  {line}");
                 }
                 match pumpkin_tactics::prove(&self.env, &goal, &script) {
@@ -390,5 +449,23 @@ mod tests {
     fn unknown_command_is_an_error() {
         let mut s = Session::new();
         assert_eq!(run_script(&mut s, "frobnicate\n"), 1);
+    }
+
+    #[test]
+    fn explain_works_after_repair_and_fails_before() {
+        let mut s = Session::new();
+        let failures = run_script(
+            &mut s,
+            "load-std\n\
+             configure-swap Old.list New.list Old.=New.\n\
+             repair Old.rev\n\
+             explain Old.rev\n\
+             explain New.rev\n\
+             script New.rev\n",
+        );
+        assert_eq!(failures, 0);
+        // Without a prior repair there is no provenance to cite.
+        let mut s2 = Session::new();
+        assert_eq!(run_script(&mut s2, "load-std\nexplain Old.rev\n"), 1);
     }
 }

@@ -210,3 +210,190 @@ fn metrics_registry_matches_event_stream() {
         m.counter("lift.constants")
     );
 }
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check_golden(got: &str, path: &PathBuf) {
+    if std::env::var_os("PUMPKIN_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with PUMPKIN_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "output drifted from {}; regenerate with PUMPKIN_UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn trace_report_critical_path_golden() {
+    // A hand-crafted fixture with fixed timestamps, so the rendered report
+    // is identical in debug and release builds.
+    use pumpkin_pi::pumpkin_core::trace::report;
+    let fixture = std::fs::read_to_string(golden_dir().join("trace_report_fixture.jsonl"))
+        .expect("read fixture");
+    assert!(report::lint(&fixture).is_empty(), "fixture must lint clean");
+    let parsed = report::parse_lines(&fixture);
+    assert!(parsed.errors.is_empty());
+    let got = report::render(&parsed.events, 3);
+    assert!(got.contains("critical path (2 waves):"), "{got}");
+    check_golden(&got, &golden_dir().join("trace_report_fixture.txt"));
+}
+
+#[test]
+fn prov_events_appear_in_stream_and_reassemble() {
+    use pumpkin_pi::pumpkin_core::trace::prov::ConstProvenance;
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    let report = Repairer::new(&lifting)
+        .trace(true)
+        .run(&mut env, &["Old.rev"])
+        .unwrap();
+    // Tracing defaults provenance on: the stream carries the prov family
+    // and it reassembles to exactly the report's provenance trees.
+    assert!(!report.provenance.is_empty());
+    let from_stream = ConstProvenance::from_events(&report.trace);
+    assert_eq!(from_stream, report.provenance);
+    let rev = report
+        .provenance_for("Old.rev")
+        .expect("Old.rev provenance");
+    assert_eq!(rev.to, "New.rev");
+    assert!(!rev.sites.is_empty());
+}
+
+#[test]
+fn provenance_is_zero_cost_when_off() {
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    // Explicitly disabled even though tracing is on: no prov events in the
+    // stream, no provenance on the report, result unchanged.
+    let report = Repairer::new(&lifting)
+        .trace(true)
+        .provenance(false)
+        .run(&mut env, &["Old.rev"])
+        .unwrap();
+    assert!(report.provenance.is_empty());
+    assert!(!report.trace.iter().any(|e| matches!(
+        e.kind,
+        EventKind::ProvConst { .. } | EventKind::ProvSite { .. }
+    )));
+    assert!(env.contains("New.rev"));
+}
+
+#[test]
+fn canonical_metrics_agree_across_worker_counts() {
+    // Satellite: the canonicalization pass folds job-variant cache/timing
+    // counters into invariant aggregates, so the canonical form of the
+    // same repair is identical at jobs ∈ {1, 2, 4}.
+    use pumpkin_pi::pumpkin_core::trace::Metrics;
+    let mut canon = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let mut env = stdlib::std_env();
+        let report = case_studies::swap_list_module_traced(&mut env, jobs).unwrap();
+        canon.push((jobs, Metrics::from_events(&report.trace).canonicalize()));
+    }
+    let (_, base) = &canon[0];
+    for (jobs, m) in &canon[1..] {
+        assert_eq!(
+            m.to_text(),
+            base.to_text(),
+            "canonical metrics differ between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn explain_attributes_swap_module_rewrites() {
+    // Acceptance criterion: `pumpkin explain` on the swap-list case study
+    // attributes at least 95% of rewritten subterms to a named rule.
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    let report = Repairer::new(&lifting)
+        .provenance(true)
+        .run(&mut env, stdlib::swap::OLD_MODULE_CONSTANTS)
+        .unwrap();
+    assert!(!report.provenance.is_empty());
+    let (mut total, mut attributed) = (0usize, 0usize);
+    for p in &report.provenance {
+        let sites: Vec<pumpkin_pi::pumpkin_lang::DiffSite> = p
+            .sites
+            .iter()
+            .map(|s| pumpkin_pi::pumpkin_lang::DiffSite {
+                path: &s.path,
+                rule: s.rule.as_str(),
+            })
+            .collect();
+        let e = pumpkin_pi::pumpkin_lang::explain_decl(&env, &p.from, &p.to, &sites)
+            .unwrap_or_else(|| panic!("{} / {} not in env", p.from, p.to));
+        assert!(
+            !e.divergences.is_empty(),
+            "{} was repaired but shows no diff",
+            p.from
+        );
+        total += e.divergences.len();
+        attributed += e.attributed();
+    }
+    assert!(total > 0);
+    let coverage = attributed as f64 / total as f64;
+    assert!(
+        coverage >= 0.95,
+        "explain attributed only {attributed}/{total} divergences ({:.1}%)",
+        100.0 * coverage
+    );
+}
+
+#[test]
+fn source_not_free_error_rendering_golden() {
+    // Pins the exact rendered form of the SourceNotFree diagnostic — both
+    // the direct-mention shape and the through-a-dependency shape with its
+    // residual subterm.
+    let mut env = stdlib::std_env();
+    let lifting = pumpkin_core::search::swap::configure(
+        &mut env,
+        &"Old.list".into(),
+        &"New.list".into(),
+        NameMap::prefix("Old.", "New."),
+    )
+    .unwrap();
+    pumpkin_pi::pumpkin_lang::load_source(
+        &mut env,
+        "Definition inner : nat := Old.length nat (Old.nil nat).
+         Definition outer : nat := inner.",
+    )
+    .unwrap();
+    let direct = pumpkin_core::repair::check_source_free(&env, &lifting, &"Old.rev".into())
+        .unwrap_err()
+        .to_string();
+    let through_dep = pumpkin_core::repair::check_source_free(&env, &lifting, &"outer".into())
+        .unwrap_err()
+        .to_string();
+    let got = format!("{direct}\n{through_dep}\n");
+    check_golden(&got, &golden_dir().join("source_not_free.txt"));
+}
