@@ -286,6 +286,107 @@ fn bench_term_size_scaling(b: &mut Bench) {
     }
 }
 
+fn bench_persist_cache(b: &mut Bench) {
+    // The cross-run lift cache: `cold` starts from an empty cache
+    // directory every iteration (each run both lifts and populates);
+    // `warm` hits a pre-populated directory (each run replays serialized
+    // lifted declarations instead of lifting). The configure step runs in
+    // setup so both rows time the module repair alone. bench_guard.sh
+    // gates warm at >= 5x faster than cold.
+    let base = stdlib::std_env();
+    let dir = std::env::temp_dir().join(format!("pumpkin-bench-persist-{}", std::process::id()));
+    let configure = |env: &mut Env| {
+        pumpkin_core::search::swap::configure(
+            env,
+            &"Old.list".into(),
+            &"New.list".into(),
+            NameMap::prefix("Old.", "New."),
+        )
+        .unwrap()
+    };
+    let run = |env: &mut Env, lifting: &pumpkin_core::Lifting| {
+        let mut st = LiftState::new();
+        let report = pumpkin_core::Repairer::new(lifting)
+            .persist_cache(&dir)
+            .state(&mut st)
+            .run(env, stdlib::swap::OLD_MODULE_CONSTANTS)
+            .unwrap();
+        (report, st.stats.persist_hits, st.stats.persist_misses)
+    };
+    b.bench(
+        "persist_cache/cold",
+        || {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut env = base.clone();
+            let lifting = configure(&mut env);
+            (env, lifting)
+        },
+        |(mut env, lifting)| run(&mut env, &lifting),
+    );
+    // Populate once, then every warm iteration replays from disk.
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut env = base.clone();
+        let lifting = configure(&mut env);
+        let (_, hits, misses) = run(&mut env, &lifting);
+        assert_eq!((hits, misses > 0), (0, true), "populating run must be cold");
+    }
+    b.bench(
+        "persist_cache/warm",
+        || {
+            let mut env = base.clone();
+            let lifting = configure(&mut env);
+            (env, lifting)
+        },
+        |(mut env, lifting)| run(&mut env, &lifting),
+    );
+    let mut env = base.clone();
+    let lifting = configure(&mut env);
+    let (_, hits, misses) = run(&mut env, &lifting);
+    println!("  persist_cache/warm: {hits} hits, {misses} misses");
+    assert_eq!(misses, 0, "warm run must replay entirely from the cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_serve_roundtrip(b: &mut Bench) {
+    // End-to-end daemon latency: connect, repair a three-constant module
+    // over newline-delimited JSON-RPC, read the reply. Covers framing,
+    // request parsing, the per-connection env clone, the repair itself,
+    // and reply serialization — the price of moving the engine behind a
+    // socket.
+    use pumpkin_pi::pumpkin_serve::{Client, Server, ServerConfig};
+    use pumpkin_pi::pumpkin_wire::{LiftSpec, Value};
+    let server = Server::bind(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("addr").to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
+    let params = Value::Obj(vec![
+        ("lifting".into(), spec.to_value()),
+        (
+            "names".into(),
+            Value::Arr(
+                ["Old.rev", "Old.app", "Old.rev_involutive"]
+                    .iter()
+                    .map(|n| Value::str(*n))
+                    .collect(),
+            ),
+        ),
+    ]);
+    b.bench(
+        "serve_roundtrip",
+        || (addr.clone(), params.clone()),
+        |(addr, params)| {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.call("repair_module", params).expect("repair_module")
+        },
+    );
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .call("shutdown", Value::Obj(vec![]))
+        .expect("shutdown");
+    daemon.join().expect("daemon thread").expect("clean drain");
+}
+
 fn main() {
     let mut b = Bench::from_args();
     bench_lift_cache_ablation(&mut b);
@@ -294,5 +395,7 @@ fn main() {
     bench_trace_overhead(&mut b);
     bench_enum_scaling(&mut b);
     bench_term_size_scaling(&mut b);
+    bench_persist_cache(&mut b);
+    bench_serve_roundtrip(&mut b);
     b.finish();
 }

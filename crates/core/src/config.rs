@@ -131,6 +131,12 @@ impl NameMap {
         self
     }
 
+    /// The rules, in application order (used by the persistent lift cache
+    /// to fold the renaming policy into the configuration digest).
+    pub fn rules(&self) -> &[(String, String)] {
+        &self.rules
+    }
+
     /// Renames a constant. Falls back to appending `_repaired` when no rule
     /// matches, so repair never fails on an unanticipated name.
     pub fn rename(&self, name: &GlobalName) -> GlobalName {

@@ -35,6 +35,12 @@ pub enum RepairError {
     UnificationFailed { term: Term, reason: String },
     /// A constant that must exist (part of a configuration) is missing.
     MissingDependency(GlobalName),
+    /// The repair was cancelled at a wave boundary — a deadline expired or
+    /// a [`crate::schedule::CancelToken`] fired. Waves completed before the
+    /// cancellation point remain installed in the environment.
+    Cancelled { completed_waves: usize },
+    /// The persistent lift cache directory could not be opened or written.
+    PersistCache(String),
     /// A repaired constant (or one of its reachable dependencies) still
     /// mentions the source type — the repair is not source-free
     /// (paper §3.2: "the old version of the specification may be removed").
@@ -75,6 +81,13 @@ impl fmt::Display for RepairError {
             RepairError::MissingDependency(n) => {
                 write!(f, "configuration depends on missing global `{n}`")
             }
+            RepairError::Cancelled { completed_waves } => {
+                write!(
+                    f,
+                    "repair cancelled at a wave boundary ({completed_waves} wave(s) completed)"
+                )
+            }
+            RepairError::PersistCache(m) => write!(f, "persistent lift cache: {m}"),
             RepairError::SourceNotFree {
                 root,
                 constant,

@@ -8,6 +8,7 @@ pub mod config;
 pub mod error;
 pub mod lift;
 pub mod manual;
+pub mod persist;
 pub mod prov;
 pub mod repair;
 pub mod repairer;
@@ -18,12 +19,16 @@ pub mod smartelim;
 pub use config::{Lifting, NameMap};
 pub use error::{RepairError, Result};
 pub use lift::{lift_term, repair_constant, LiftState, LiftStats};
+pub use persist::PersistCache;
 pub use prov::{ConstProv, ProvRecorder, Rule, TermSite};
 pub use pumpkin_kernel::stats::KernelStats;
 /// Re-export of the structured tracing/metrics layer (event kinds, sinks,
 /// metrics registry), so callers of [`Repairer::sink`] need no separate
 /// dependency.
 pub use pumpkin_trace as trace;
+/// Re-export of the wire serialization layer (term/decl codecs, digests),
+/// so persistent-cache and service callers need no separate dependency.
+pub use pumpkin_wire as wire;
 pub use repair::{repair, repair_all, repair_module, repair_module_parallel, RepairReport};
 pub use repairer::Repairer;
-pub use schedule::{default_jobs, ModuleDag, ScheduleStats};
+pub use schedule::{default_jobs, CancelToken, ModuleDag, ScheduleStats};

@@ -39,6 +39,10 @@ pub struct LiftStats {
     pub constants_lifted: u64,
     /// Total subterm visits.
     pub visits: u64,
+    /// Whole constants replayed from the persistent (cross-run) cache.
+    pub persist_hits: u64,
+    /// Persistent-cache probes that fell back to a fresh lift.
+    pub persist_misses: u64,
 }
 
 impl LiftStats {
@@ -50,6 +54,8 @@ impl LiftStats {
             cache_misses: self.cache_misses - earlier.cache_misses,
             constants_lifted: self.constants_lifted - earlier.constants_lifted,
             visits: self.visits - earlier.visits,
+            persist_hits: self.persist_hits - earlier.persist_hits,
+            persist_misses: self.persist_misses - earlier.persist_misses,
         }
     }
 
@@ -74,7 +80,16 @@ impl std::fmt::Display for LiftStats {
             100.0 * self.hit_rate(),
             self.constants_lifted,
             self.visits,
-        )
+        )?;
+        if self.persist_hits + self.persist_misses > 0 {
+            write!(
+                f,
+                ", persist {}/{} hits",
+                self.persist_hits,
+                self.persist_hits + self.persist_misses,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -96,6 +111,10 @@ pub struct LiftState {
     /// Per-subterm rule attribution; `None` (the default) makes every
     /// provenance probe a single branch (see [`crate::prov`]).
     prov: Option<Box<ProvRecorder>>,
+    /// Persistent cross-run cache handle, shared across wavefront workers
+    /// (see [`crate::persist::PersistCache`]); `None` (the default) keeps
+    /// [`repair_constant`] purely in-memory.
+    persist: Option<std::sync::Arc<crate::persist::PersistCache>>,
 }
 
 impl LiftState {
@@ -139,7 +158,21 @@ impl LiftState {
             // Recording carries over as a fresh recorder; the worker's
             // finished trees are folded back in absorb_worker.
             prov: self.prov.as_ref().map(|_| Box::default()),
+            persist: self.persist.clone(),
         }
+    }
+
+    /// Attaches (or detaches) a persistent cross-run cache: subsequent
+    /// [`repair_constant`] calls replay previously persisted repairs and
+    /// persist fresh ones. Prefer [`crate::Repairer::persist_cache`],
+    /// which opens the store and installs it for the run.
+    pub fn set_persist(&mut self, cache: Option<std::sync::Arc<crate::persist::PersistCache>>) {
+        self.persist = cache;
+    }
+
+    /// Is a persistent cache attached?
+    pub fn persist_enabled(&self) -> bool {
+        self.persist.is_some()
     }
 
     /// Turns provenance recording on: subsequent lifts attribute every
@@ -233,6 +266,8 @@ impl LiftState {
         self.stats.cache_misses += worker.stats.cache_misses;
         self.stats.constants_lifted += worker.stats.constants_lifted;
         self.stats.visits += worker.stats.visits;
+        self.stats.persist_hits += worker.stats.persist_hits;
+        self.stats.persist_misses += worker.stats.persist_misses;
     }
 }
 
@@ -484,6 +519,18 @@ pub fn repair_constant(
     st.prov_begin_const(name);
     let result = (|| {
         let decl = env.const_decl(name)?.clone();
+        // Persistent cross-run cache: replay a previously persisted repair
+        // of this exact declaration under this exact configuration. A
+        // validated hit skips the whole lift below.
+        if let Some(cache) = st.persist.clone() {
+            if let Some(hit) = cache.lookup(&decl) {
+                if let Some(new_name) = replay_persisted(env, l, st, name, &decl, hit)? {
+                    st.stats.persist_hits += 1;
+                    return Ok(new_name);
+                }
+            }
+            st.stats.persist_misses += 1;
+        }
         let new_ty = lift_child(env, l, st, &decl.ty, 0)?;
         let new_body = match &decl.body {
             Some(b) => Some(lift_child(env, l, st, b, 1)?),
@@ -503,6 +550,9 @@ pub fn repair_constant(
             None => env.assume(new_name.clone(), new_ty)?,
         }
         st.stats.constants_lifted += 1;
+        if let Some(cache) = &st.persist {
+            cache.store(&decl, env.const_decl(&new_name)?);
+        }
         Ok(new_name)
     })();
     st.in_progress.remove(name);
@@ -516,4 +566,63 @@ pub fn repair_constant(
     let new_name = result?;
     st.const_map.insert(name.clone(), new_name.clone());
     Ok(new_name)
+}
+
+/// Replays a persisted repaired declaration.
+///
+/// The cache key already pins the configuration and the old declaration's
+/// content, so `hit` is the declaration a fresh lift would produce — but
+/// the environment must first contain everything it references. The old
+/// declaration's relevant dependencies are repaired first (recursively;
+/// on a warm run those replay from the cache too), exactly as the lift
+/// would have repaired them on demand. Returns `Ok(None)` — fall back to
+/// a fresh lift — when the entry cannot be validated against this
+/// environment (a stale name, or a cache shared across environments).
+///
+/// Installation goes through `Env::admit_checked`: debug builds
+/// re-typecheck the replayed declaration, release builds trust the
+/// digest-verified frame — which is what makes the warm path cheap.
+fn replay_persisted(
+    env: &mut Env,
+    l: &Lifting,
+    st: &mut LiftState,
+    name: &GlobalName,
+    old: &pumpkin_kernel::env::ConstDecl,
+    hit: pumpkin_kernel::env::ConstDecl,
+) -> Result<Option<GlobalName>> {
+    if hit.name != l.names.rename(name) {
+        return Ok(None);
+    }
+    let mut deps = old.ty.constants();
+    if let Some(b) = &old.body {
+        for c in b.constants() {
+            if !deps.contains(&c) {
+                deps.push(c);
+            }
+        }
+    }
+    for c in &deps {
+        if c != name && !st.const_map.contains_key(c) && is_relevant(env, l, st, c) {
+            repair_constant(env, l, st, c)?;
+        }
+    }
+    let mut mentioned = hit.ty.constants();
+    if let Some(b) = &hit.body {
+        mentioned.extend(b.constants());
+    }
+    if mentioned.iter().any(|c| !env.contains(c.as_str())) {
+        return Ok(None);
+    }
+    let new_name = hit.name.clone();
+    if env.contains(new_name.as_str()) {
+        // Idempotence, as in the fresh-lift path.
+        let existing = env.const_decl(&new_name)?;
+        if existing.ty == hit.ty && existing.body == hit.body {
+            return Ok(Some(new_name));
+        }
+        return Err(RepairError::Kernel(KernelError::Redeclaration(new_name)));
+    }
+    env.admit_checked(hit)?;
+    st.stats.constants_lifted += 1;
+    Ok(Some(new_name))
 }

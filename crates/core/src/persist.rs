@@ -1,0 +1,176 @@
+//! The persistent, cross-run lift cache.
+//!
+//! A [`PersistCache`] is a content-addressed store of repaired
+//! declarations on disk:
+//!
+//! ```text
+//! <root>/v<WIRE_VERSION>/<config-digest>/<decl-digest>.bin
+//! ```
+//!
+//! * `<root>` is the user-chosen cache directory (`--cache-dir`, or the
+//!   daemon's default under `~/.cache/pumpkin`).
+//! * `v<WIRE_VERSION>` is the invalidation tag: bumping the wire format
+//!   orphans every old entry wholesale (they are simply never looked at
+//!   again), and entries that fail to decode — including any whose
+//!   embedded digest no longer verifies — read as absent.
+//! * `<config-digest>` identifies the lifting recipe: the equivalence's
+//!   endpoint names, the rename rules in order, and the generated
+//!   equivalence constants (see [`config_digest`]). Two different
+//!   configurations can never observe each other's entries.
+//! * `<decl-digest>` is [`pumpkin_wire::decl_digest`] of the *old*
+//!   declaration — name, type and body digests, opacity — so a source
+//!   edit re-keys the entry automatically.
+//!
+//! The value is the [`pumpkin_wire::encode_decl`] binary frame of the
+//! *repaired* declaration. Replay installs it via `Env::admit_checked`
+//! (debug builds re-typecheck; release builds trust the digests, which is
+//! where the warm-path speedup comes from — see `repair_constant`).
+//! Writes are atomic (temp file + rename), so concurrent daemons sharing
+//! a cache directory never observe partial entries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pumpkin_kernel::env::ConstDecl;
+use pumpkin_wire::{
+    decl_digest, decode_decl, encode_decl, DigestBuilder, TermDigest, WIRE_VERSION,
+};
+
+use crate::config::Lifting;
+
+/// The digest identifying a lifting configuration for cache-keying
+/// purposes: wire version, endpoint type names, rename rules in order,
+/// and the equivalence constants (when generated). A `Lifting` holds
+/// trait objects, so this digests the *recipe's observable identity*, not
+/// the code; all in-tree search procedures derive their behavior from
+/// exactly these names.
+pub fn config_digest(l: &Lifting) -> TermDigest {
+    let mut h = DigestBuilder::new();
+    h.write_u64(WIRE_VERSION as u64);
+    h.write_str(l.a_name.as_str());
+    h.write_str(l.b_name.as_str());
+    let rules = l.names.rules();
+    h.write_u64(rules.len() as u64);
+    for (from, to) in rules {
+        h.write_str(from);
+        h.write_str(to);
+    }
+    match &l.equivalence {
+        Some(eqv) => {
+            h.write_u64(1);
+            h.write_str(eqv.f.as_str());
+            h.write_str(eqv.g.as_str());
+            h.write_str(eqv.section.as_str());
+            h.write_str(eqv.retraction.as_str());
+        }
+        None => h.write_u64(0),
+    }
+    TermDigest(h.finish())
+}
+
+/// An open handle on one configuration's shard of the on-disk cache.
+///
+/// Immutable after opening (all I/O goes through `&self`), so it is
+/// shared across wavefront workers behind an `Arc`.
+#[derive(Debug)]
+pub struct PersistCache {
+    dir: PathBuf,
+}
+
+impl PersistCache {
+    /// Opens (creating as needed) the shard of `root` belonging to this
+    /// lifting configuration.
+    pub fn open(root: impl AsRef<Path>, lifting: &Lifting) -> std::io::Result<PersistCache> {
+        let dir = root
+            .as_ref()
+            .join(format!("v{WIRE_VERSION}"))
+            .join(config_digest(lifting).to_string());
+        fs::create_dir_all(&dir)?;
+        Ok(PersistCache { dir })
+    }
+
+    /// The shard directory (for diagnostics and tests).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks up the repaired declaration persisted for `old`. Corrupt,
+    /// truncated, or digest-mismatching entries read as absent — the
+    /// caller falls back to a fresh lift and rewrites them.
+    pub fn lookup(&self, old: &ConstDecl) -> Option<ConstDecl> {
+        let bytes = fs::read(self.entry_path(old)).ok()?;
+        decode_decl(&bytes).ok()
+    }
+
+    /// Persists `new` as the repair of `old`. Best-effort: I/O failures
+    /// are swallowed (the cache is an accelerator, never a correctness
+    /// dependency). The write is atomic — temp file, then rename — so a
+    /// concurrent reader sees either nothing or a complete frame.
+    pub fn store(&self, old: &ConstDecl, new: &ConstDecl) {
+        let path = self.entry_path(old);
+        if path.exists() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if fs::write(&tmp, encode_decl(new)).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    fn entry_path(&self, old: &ConstDecl) -> PathBuf {
+        self.dir.join(format!("{}.bin", decl_digest(old)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumpkin_kernel::term::Term;
+
+    fn sample_lifting(env: &mut pumpkin_kernel::env::Env) -> Lifting {
+        crate::search::swap::configure(
+            env,
+            &"Old.list".into(),
+            &"New.list".into(),
+            crate::config::NameMap::prefix("Old.", "New."),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let mut env = pumpkin_stdlib::std_env();
+        let lifting = sample_lifting(&mut env);
+        let root =
+            std::env::temp_dir().join(format!("pumpkin-persist-test-{}", std::process::id()));
+        let cache = PersistCache::open(&root, &lifting).unwrap();
+        let old = env.const_decl(&"Old.rev".into()).unwrap().clone();
+        let new = ConstDecl {
+            name: "New.rev".into(),
+            ty: Term::prop(),
+            body: None,
+            opaque: false,
+        };
+        assert!(cache.lookup(&old).is_none());
+        cache.store(&old, &new);
+        assert_eq!(cache.lookup(&old), Some(new));
+        // A corrupt entry reads as absent.
+        let path = cache.entry_path(&old);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] ^= 0xff;
+        fs::write(&path, bytes).unwrap();
+        assert!(cache.lookup(&old).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn config_digest_separates_recipes() {
+        let mut env = pumpkin_stdlib::std_env();
+        let a = sample_lifting(&mut env);
+        let d1 = config_digest(&a);
+        let mut b = sample_lifting(&mut env);
+        b.names = crate::config::NameMap::prefix("Old.", "Other.");
+        assert_ne!(d1, config_digest(&b));
+        assert_eq!(d1, config_digest(&a));
+    }
+}

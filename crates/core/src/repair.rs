@@ -59,6 +59,12 @@ pub struct RepairReport {
     /// otherwise. Pretty-printed wire form; the order follows completion
     /// order.
     pub provenance: Vec<pumpkin_trace::prov::ConstProvenance>,
+    /// End-to-end wall-clock latency of the run in nanoseconds, measured
+    /// by [`Repairer`] around the whole request (scheduling, lifting,
+    /// provenance rendering, sink delivery) — what a service client
+    /// actually waited, as opposed to the per-span timings inside the
+    /// trace. Zero for reports not produced through a `Repairer`.
+    pub wall_ns: u64,
 }
 
 impl RepairReport {
@@ -117,6 +123,39 @@ impl RepairReport {
         self.provenance
             .iter()
             .find(|p| p.from == name || p.to == name)
+    }
+
+    /// The serializable projection served to repair-service clients
+    /// ([`pumpkin_wire::ReportWire`]): repaired pairs, schedule shape,
+    /// lift-layer and event-derived counters, and the end-to-end latency.
+    /// Raw [`KernelStats`] are deliberately omitted — debug builds
+    /// re-typecheck merged declarations, so those counters differ across
+    /// build profiles, while the event-derived ones agree.
+    pub fn to_wire(&self) -> pumpkin_wire::ReportWire {
+        let mut counters: Vec<(String, u64)> = self
+            .metrics
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        counters.sort();
+        pumpkin_wire::ReportWire {
+            repaired: self
+                .repaired
+                .iter()
+                .map(|(f, t)| (f.as_str().to_string(), t.as_str().to_string()))
+                .collect(),
+            jobs: self.schedule.jobs as u64,
+            waves: self.schedule.waves as u64,
+            max_width: self.schedule.max_width as u64,
+            cache_hits: self.lift.cache_hits,
+            cache_misses: self.lift.cache_misses,
+            constants_lifted: self.lift.constants_lifted,
+            visits: self.lift.visits,
+            persist_hits: self.lift.persist_hits,
+            persist_misses: self.lift.persist_misses,
+            wall_ns: self.wall_ns,
+            counters,
+        }
     }
 }
 

@@ -35,6 +35,10 @@
 //! [`crate::RepairReport::dag_dot`]) is uniformly available; a sequential
 //! run is simply a one-worker schedule.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_kernel::term::{Term, TermData};
@@ -44,8 +48,9 @@ use pumpkin_trace::{Event, EventKind, Metrics, Tracer};
 use crate::config::Lifting;
 use crate::error::{RepairError, Result};
 use crate::lift::LiftState;
+use crate::persist::PersistCache;
 use crate::repair::{sweep_work_list, RepairReport};
-use crate::schedule::{default_jobs, repair_module_wavefront};
+use crate::schedule::{default_jobs, repair_module_wavefront, CancelToken};
 
 /// Builder-style front door to the repair pipeline: lifting + jobs +
 /// observability in, [`RepairReport`] out. See the module docs for an
@@ -57,6 +62,8 @@ pub struct Repairer<'a> {
     capture: bool,
     prov: Option<bool>,
     sink: Option<Box<dyn EventSink + 'a>>,
+    persist_dir: Option<PathBuf>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Repairer<'a> {
@@ -71,6 +78,8 @@ impl<'a> Repairer<'a> {
             capture: false,
             prov: None,
             sink: None,
+            persist_dir: None,
+            cancel: None,
         }
     }
 
@@ -125,6 +134,33 @@ impl<'a> Repairer<'a> {
         self
     }
 
+    /// Consults (and fills) the persistent cross-run lift cache rooted at
+    /// `dir` (see [`crate::persist`]): constants whose old declaration and
+    /// lifting configuration digest-match an earlier run are replayed from
+    /// disk instead of re-lifted. [`crate::LiftStats::persist_hits`] /
+    /// `persist_misses` on the report count the traffic.
+    pub fn persist_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Gives the run a wall-clock budget: once it elapses, the run stops
+    /// at the next wave boundary with [`RepairError::Cancelled`], keeping
+    /// every completed wave installed.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.cancel = Some(CancelToken::with_deadline(budget));
+        self
+    }
+
+    /// Attaches an externally controlled [`CancelToken`] (e.g. tripped by
+    /// a service on client disconnect). Replaces any token installed by
+    /// [`Repairer::deadline`]; use [`CancelToken::with_deadline`] to
+    /// combine both behaviors in one token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Repairs an explicit work list (`Repair module`, paper §2).
     ///
     /// # Errors
@@ -169,6 +205,7 @@ impl<'a> Repairer<'a> {
     }
 
     fn execute(mut self, env: &mut Env, nodes: Vec<GlobalName>) -> Result<RepairReport> {
+        let wall_start = Instant::now();
         let tracing = self.capture || self.sink.is_some();
         // Install a fresh tracer for the run (saving whatever was there),
         // so event streams never bleed between runs.
@@ -191,10 +228,29 @@ impl<'a> Repairer<'a> {
         if prov_on {
             state.record_provenance();
         }
+        if let Some(dir) = &self.persist_dir {
+            let cache = PersistCache::open(dir, self.lifting).map_err(|e| {
+                RepairError::PersistCache(format!("cannot open `{}`: {e}", dir.display()))
+            })?;
+            state.set_persist(Some(Arc::new(cache)));
+        }
 
         let run_span = env.tracer().begin();
         let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
-        let result = repair_module_wavefront(env, self.lifting, state, &names, Some(self.jobs));
+        let result = repair_module_wavefront(
+            env,
+            self.lifting,
+            state,
+            &names,
+            Some(self.jobs),
+            self.cancel.as_ref(),
+        );
+        if self.persist_dir.is_some() {
+            // The handle must not outlive the run: a shared `LiftState`
+            // threaded into a later `Repairer` without `persist_cache`
+            // should not silently keep writing to the old directory.
+            state.set_persist(None);
+        }
         env.tracer().end(
             run_span,
             EventKind::Run {
@@ -235,6 +291,7 @@ impl<'a> Repairer<'a> {
             Vec::new()
         };
         if let Some(sink) = &mut self.sink {
+            sink.request_wall(wall_start.elapsed().as_nanos() as u64);
             drain_into(&events, sink.as_mut());
         }
 
@@ -245,6 +302,10 @@ impl<'a> Repairer<'a> {
         if self.capture {
             report.trace = events;
         }
+        // End-to-end request latency, distinct from the in-run span
+        // timings: it includes scheduling, provenance rendering, and sink
+        // delivery — what a service client actually waited.
+        report.wall_ns = wall_start.elapsed().as_nanos() as u64;
         Ok(report)
     }
 }
@@ -449,6 +510,66 @@ mod tests {
             .run_one(&mut env, &"Old.rev".into())
             .unwrap();
         assert_eq!(name.as_str(), "New.rev");
+    }
+
+    #[test]
+    fn persist_cache_replays_identical_declarations() {
+        let dir =
+            std::env::temp_dir().join(format!("pumpkin-repairer-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let module = pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS;
+
+        // Cold run: everything is a persistent-cache miss.
+        let (mut env1, lifting1) = configured();
+        let cold = Repairer::new(&lifting1)
+            .persist_cache(&dir)
+            .run(&mut env1, module)
+            .unwrap();
+        assert_eq!(cold.lift.persist_hits, 0);
+        assert!(cold.lift.persist_misses > 0);
+
+        // Warm run from a fresh environment: every listed constant replays
+        // from disk, and the declarations are byte-identical.
+        let (mut env2, lifting2) = configured();
+        let warm = Repairer::new(&lifting2)
+            .persist_cache(&dir)
+            .run(&mut env2, module)
+            .unwrap();
+        assert_eq!(warm.lift.persist_hits as usize, module.len());
+        assert_eq!(warm.lift.persist_misses, 0);
+        for c in module {
+            let n = warm.renamed(c).unwrap();
+            assert_eq!(
+                env1.const_decl(n).unwrap(),
+                env2.const_decl(n).unwrap(),
+                "persisted replay diverged on {n}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_zero_cancels_before_any_work() {
+        let (mut env, lifting) = configured();
+        let err = Repairer::new(&lifting)
+            .deadline(Duration::from_nanos(0))
+            .run(&mut env, &["Old.rev"])
+            .unwrap_err();
+        assert!(matches!(err, RepairError::Cancelled { completed_waves: 0 }));
+        assert!(!env.contains("New.rev"));
+    }
+
+    #[test]
+    fn reports_carry_request_latency() {
+        let (mut env, lifting) = configured();
+        let report = Repairer::new(&lifting).run(&mut env, &["Old.rev"]).unwrap();
+        assert!(report.wall_ns > 0);
+        let wire = report.to_wire();
+        assert_eq!(wire.wall_ns, report.wall_ns);
+        assert_eq!(
+            wire.repaired,
+            vec![("Old.rev".to_string(), "New.rev".to_string())]
+        );
     }
 
     #[test]

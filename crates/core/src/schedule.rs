@@ -36,7 +36,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use pumpkin_kernel::env::{ConstDecl, Env, GlobalRef};
 use pumpkin_kernel::name::GlobalName;
@@ -72,6 +74,49 @@ pub fn default_jobs() -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A cooperative cancellation handle for [`repair_module_wavefront`].
+///
+/// The scheduler polls the token *between* waves only: completed waves are
+/// already merged and type-correct, and a wave in flight always runs to its
+/// merge barrier, so cancellation never leaves the environment half-updated.
+/// A cancelled run fails with [`RepairError::Cancelled`], reporting how many
+/// waves were kept.
+///
+/// Tokens are cheap to clone (an `Arc`'d flag plus an optional deadline);
+/// the service layer hands one clone to the request thread and keeps
+/// another to fire on client disconnect or server drain.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally trips once `budget` has elapsed (measured
+    /// from now). Explicit [`CancelToken::cancel`] still works earlier.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Requests cancellation; takes effect at the next wave boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested (or the deadline passed)?
+    pub fn cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// The constant-level dependency DAG of a module work list.
@@ -364,12 +409,15 @@ fn run_worker(
 /// Propagates the first repair error (by work-list order within the failing
 /// wave's workers). The failing wave is *not* merged: the master
 /// environment contains exactly the completed waves, all type-correct.
+/// A tripped `cancel` token fails with [`RepairError::Cancelled`] at the
+/// next wave boundary, keeping every completed wave installed.
 pub fn repair_module_wavefront(
     env: &mut Env,
     lifting: &Lifting,
     state: &mut LiftState,
     names: &[&str],
     jobs: Option<usize>,
+    cancel: Option<&CancelToken>,
 ) -> Result<RepairReport> {
     let jobs = jobs.unwrap_or_else(default_jobs).max(1);
     let nodes: Vec<GlobalName> = names.iter().map(|n| GlobalName::new(*n)).collect();
@@ -389,6 +437,11 @@ pub fn repair_module_wavefront(
     let mut threaded = KernelStats::default();
 
     for (wi, wave) in waves.iter().enumerate() {
+        if cancel.is_some_and(CancelToken::cancelled) {
+            return Err(RepairError::Cancelled {
+                completed_waves: wi,
+            });
+        }
         sched.waves += 1;
         sched.wave_widths.push(wave.len());
         sched.max_width = sched.max_width.max(wave.len());
@@ -596,5 +649,46 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_the_first_wave() {
+        let mut env = pumpkin_stdlib::std_env();
+        let lifting = crate::search::swap::configure(
+            &mut env,
+            &"Old.list".into(),
+            &"New.list".into(),
+            crate::config::NameMap::prefix("Old.", "New."),
+        )
+        .unwrap();
+        let mark = env.order().len();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut state = LiftState::default();
+        let err = repair_module_wavefront(
+            &mut env,
+            &lifting,
+            &mut state,
+            &["Old.rev", "Old.app"],
+            Some(1),
+            Some(&token),
+        )
+        .unwrap_err();
+        match err {
+            RepairError::Cancelled { completed_waves } => assert_eq!(completed_waves, 0),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // Nothing was installed.
+        assert_eq!(env.order().len(), mark);
+    }
+
+    #[test]
+    fn elapsed_deadline_reads_as_cancelled() {
+        let token = CancelToken::with_deadline(Duration::from_nanos(0));
+        assert!(token.cancelled());
+        let fresh = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!fresh.cancelled());
+        fresh.cancel();
+        assert!(fresh.cancelled());
     }
 }

@@ -1,0 +1,129 @@
+//! A minimal blocking client for the pumpkind protocol.
+//!
+//! One TCP connection, strictly request → reply. The `pumpkin client`
+//! subcommand and `examples/serve_roundtrip.rs` are thin layers over
+//! this.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use pumpkin_wire::Value;
+
+/// What a call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The reply line was not a well-formed reply envelope.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server {
+        /// Machine-readable code (see [`crate::proto::code`]).
+        code: String,
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client with an id counter.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a pumpkind TCP address (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its reply's `result`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carries the daemon's structured error;
+    /// the other variants are transport/framing failures.
+    pub fn call(&mut self, method: &str, params: Value) -> Result<Value, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Value::Obj(vec![
+            ("id".into(), Value::UInt(id)),
+            ("method".into(), Value::str(method)),
+            ("params".into(), params),
+        ])
+        .to_string();
+        let line = self.call_raw(&request)?;
+        let v = Value::parse(&line)
+            .map_err(|e| ClientError::Protocol(format!("bad reply `{line}`: {e}")))?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => v
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("reply has no `result`".into())),
+            Some(false) => {
+                let err = v.get("error");
+                let get = |k: &str| {
+                    err.and_then(|e| e.get(k))
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string()
+                };
+                Err(ClientError::Server {
+                    code: get("code"),
+                    message: get("message"),
+                })
+            }
+            None => Err(ClientError::Protocol(format!("reply has no `ok`: {line}"))),
+        }
+    }
+
+    /// Sends one raw line and reads one raw reply line (for tests and
+    /// transcript tooling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; EOF before a reply is an error.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}

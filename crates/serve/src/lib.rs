@@ -1,0 +1,32 @@
+//! # pumpkin-serve
+//!
+//! `pumpkind`: a persistent repair service over the Pumpkin Pi engine.
+//!
+//! The paper's workflow is batch — configure an equivalence, repair a
+//! module, exit. This crate keeps the expensive parts resident: the
+//! standard-library environment is built once and cloned (cheaply —
+//! terms are shared) per connection, configured equivalences are cached
+//! per session, and repaired declarations persist across *processes*
+//! through the content-addressed lift cache (`pumpkin_core::persist`).
+//!
+//! The protocol is newline-delimited JSON-RPC over TCP (and optionally a
+//! Unix socket): see [`proto`] for framing and error codes, [`Session`]
+//! for the method set (`ping`, `repair`, `repair_module`, `explain`,
+//! `trace_report`, `eval`, `metrics`, `shutdown`), and [`Server`] for
+//! the daemon (bounded session pool, busy backpressure, graceful
+//! drain). Everything is `std`-only.
+//!
+//! Replies are deterministic by construction — each request runs against
+//! a throwaway clone of the configured environment — and requests can
+//! additionally ask for `"deterministic": true` to zero the wall-clock
+//! fields, which makes daemon output byte-identical to one-shot runs
+//! (the golden-transcript and concurrency tests rely on this).
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig};
+pub use session::{Control, Session};

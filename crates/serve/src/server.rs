@@ -1,0 +1,339 @@
+//! The pumpkind daemon proper: listeners, the session pool, and drain.
+//!
+//! `std::net` only. One thread per connection, each owning a [`Session`]
+//! with its own clone of the warm environment (the kernel's `Env` is
+//! `Send` but not `Sync`, so this is also the only sound sharing
+//! strategy). Admission control is a simple bounded counter: a
+//! connection beyond the cap gets one [`code::BUSY`] reply and is
+//! closed — clients retry; the daemon never queues unbounded work.
+//!
+//! Shutdown is graceful: the session that receives `shutdown` answers
+//! it, flips the server-wide flag, and wakes the accept loops by
+//! self-connecting; the loops stop accepting. Idle sessions are drained
+//! by half-closing the read side of every open connection — a session
+//! mid-request finishes and still delivers its reply (the write half
+//! stays open), a session blocked waiting for the next frame sees EOF
+//! and exits. `std::thread::scope` then joins every session thread
+//! before [`Server::run`] returns — a drain, not an abort.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pumpkin_core::trace::Metrics;
+use pumpkin_kernel::env::Env;
+use pumpkin_wire::Value;
+
+use crate::proto::{self, code, Frame};
+use crate::session::{Control, Session};
+
+/// A thunk that half-closes one connection's read side, unblocking a
+/// session waiting for its next frame without cutting off a reply in
+/// flight.
+type ReadCloser = Box<dyn Fn() + Send>;
+
+/// A connection the daemon can serve: readable, writable, and drainable
+/// (its blocked reads can be interrupted from another thread).
+pub trait Conn: Read + Write {
+    /// Returns a thunk that half-closes this connection's read side, or
+    /// `None` when the transport cannot be cloned (such a connection
+    /// only drains when the client closes it).
+    fn read_closer(&self) -> Option<ReadCloser>;
+}
+
+impl Conn for TcpStream {
+    fn read_closer(&self) -> Option<ReadCloser> {
+        let clone = self.try_clone().ok()?;
+        Some(Box::new(move || {
+            let _ = clone.shutdown(Shutdown::Read);
+        }))
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn read_closer(&self) -> Option<ReadCloser> {
+        let clone = self.try_clone().ok()?;
+        Some(Box::new(move || {
+            let _ = clone.shutdown(Shutdown::Read);
+        }))
+    }
+}
+
+/// How a [`Server`] is assembled.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP listen address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Optional additional Unix-domain listener (ignored off unix).
+    pub unix: Option<PathBuf>,
+    /// Per-request worker cap handed to each session's repairs.
+    pub jobs: usize,
+    /// Concurrent-session cap; connections beyond it get a `busy` reply.
+    pub max_sessions: usize,
+    /// Root of the persistent cross-run lift cache, if enabled.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            unix: None,
+            jobs: 1,
+            max_sessions: 8,
+            cache_dir: None,
+        }
+    }
+}
+
+/// State shared by accept loops and session threads. Deliberately holds
+/// no `Env` (it is not `Sync`); each accept loop keeps its own warm copy
+/// and clones it per connection.
+struct Shared {
+    jobs: usize,
+    max_sessions: usize,
+    cache_dir: Option<PathBuf>,
+    metrics: Arc<Mutex<Metrics>>,
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Wake targets for draining blocked accept loops.
+    tcp_addr: SocketAddr,
+    unix_path: Option<PathBuf>,
+    /// Read-closers for every live connection, keyed by a connection id
+    /// (each session removes its own entry when it exits).
+    conns: Mutex<HashMap<u64, ReadCloser>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Unblocks every accept loop (so it can observe the shutdown flag)
+    /// and every idle session (by half-closing its read side).
+    fn wake(&self) {
+        let _ = TcpStream::connect(self.tcp_addr);
+        #[cfg(unix)]
+        if let Some(p) = &self.unix_path {
+            let _ = UnixStream::connect(p);
+        }
+        for closer in self.conns.lock().expect("conns lock").values() {
+            closer();
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    #[cfg(unix)]
+    unix: Option<UnixListener>,
+    base: Env,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listeners and builds the warm base environment (the
+    /// standard library) once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failures.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let tcp_addr = listener.local_addr()?;
+        #[cfg(unix)]
+        let unix = match &cfg.unix {
+            Some(p) => {
+                // A stale socket file from a previous run would fail the
+                // bind; replacing it is the conventional daemon behavior.
+                let _ = std::fs::remove_file(p);
+                Some(UnixListener::bind(p)?)
+            }
+            None => None,
+        };
+        #[cfg(not(unix))]
+        let _ = &cfg.unix;
+        Ok(Server {
+            listener,
+            #[cfg(unix)]
+            unix,
+            base: pumpkin_stdlib::std_env(),
+            shared: Arc::new(Shared {
+                jobs: cfg.jobs.max(1),
+                max_sessions: cfg.max_sessions.max(1),
+                cache_dir: cfg.cache_dir,
+                metrics: Arc::new(Mutex::new(Metrics::new())),
+                active: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                tcp_addr,
+                unix_path: if cfg!(unix) { cfg.unix } else { None },
+                conns: Mutex::new(HashMap::new()),
+                next_conn: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound TCP address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client sends `shutdown`, then drains: stops
+    /// accepting, waits for every in-flight session, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection errors only end
+    /// that connection).
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            #[cfg(unix)]
+            unix,
+            base,
+            shared,
+        } = self;
+        std::thread::scope(|s| {
+            #[cfg(unix)]
+            if let Some(ul) = unix {
+                let ubase = base.clone();
+                let ushared = Arc::clone(&shared);
+                s.spawn(move || {
+                    accept_loop(s, || ul.accept().map(|(c, _)| c), &ubase, &ushared);
+                });
+            }
+            accept_loop(s, || listener.accept().map(|(c, _)| c), &base, &shared);
+        });
+        if let Some(p) = &shared.unix_path {
+            let _ = std::fs::remove_file(p);
+        }
+        Ok(())
+    }
+}
+
+/// Accepts until the shutdown flag trips, spawning one session thread
+/// per admitted connection inside the caller's scope (so the scope's
+/// exit is the drain barrier).
+fn accept_loop<'scope, S>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    mut accept: impl FnMut() -> io::Result<S>,
+    base: &Env,
+    shared: &Arc<Shared>,
+) where
+    S: Conn + Send + 'scope,
+{
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut stream = match accept() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Likely the wake-up self-connect; anyone else racing the
+            // drain gets told so.
+            let _ = writeln!(
+                stream,
+                "{}",
+                proto::err_reply(&Value::Null, code::SHUTTING_DOWN, "server is draining")
+            );
+            return;
+        }
+        if shared.active.fetch_add(1, Ordering::AcqRel) >= shared.max_sessions {
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            let _ = writeln!(
+                stream,
+                "{}",
+                proto::err_reply(&Value::Null, code::BUSY, "session cap reached; retry later")
+            );
+            continue;
+        }
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::AcqRel);
+        if let Some(closer) = stream.read_closer() {
+            shared
+                .conns
+                .lock()
+                .expect("conns lock")
+                .insert(conn_id, closer);
+            // A shutdown racing this insert may have already swept the
+            // map; close the read side ourselves so the new session
+            // cannot outlive the drain (closing twice is harmless).
+            if shared.shutdown.load(Ordering::Acquire) {
+                if let Some(closer) = shared.conns.lock().expect("conns lock").get(&conn_id) {
+                    closer();
+                }
+            }
+        }
+        let env = base.clone();
+        let shared = Arc::clone(shared);
+        scope.spawn(move || {
+            let wants_shutdown = serve_connection(stream, env, &shared);
+            shared.conns.lock().expect("conns lock").remove(&conn_id);
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            if wants_shutdown {
+                shared.shutdown.store(true, Ordering::Release);
+                shared.wake();
+            }
+        });
+    }
+}
+
+/// Runs one connection's request loop; returns whether the client asked
+/// the whole server to shut down.
+fn serve_connection<S: Read + Write>(stream: S, env: Env, shared: &Shared) -> bool {
+    let mut session = Session::new(
+        env,
+        shared.jobs,
+        shared.cache_dir.clone(),
+        Arc::clone(&shared.metrics),
+    );
+    let mut reader = BufReader::new(stream);
+    loop {
+        let reply = match proto::read_frame(&mut reader) {
+            Err(_) | Ok(Frame::Eof) => return false,
+            Ok(Frame::Oversized) => (
+                proto::err_reply(
+                    &Value::Null,
+                    code::OVERSIZED,
+                    &format!("frame exceeds {} bytes", proto::MAX_FRAME),
+                ),
+                Control::Continue,
+            ),
+            Ok(Frame::Truncated) => {
+                // Best-effort: the read side is gone, but the client may
+                // still be listening on its read half.
+                let _ = writeln!(
+                    reader.get_mut(),
+                    "{}",
+                    proto::err_reply(&Value::Null, code::TRUNCATED, "connection closed mid-frame")
+                );
+                return false;
+            }
+            Ok(Frame::Line(bytes)) => match String::from_utf8(bytes) {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => session.handle_line(&line),
+                Err(_) => (
+                    proto::err_reply(&Value::Null, code::PARSE, "frame is not UTF-8"),
+                    Control::Continue,
+                ),
+            },
+        };
+        let (text, ctl) = reply;
+        if writeln!(reader.get_mut(), "{text}").is_err() {
+            return false;
+        }
+        let _ = reader.get_mut().flush();
+        if ctl == Control::Shutdown {
+            return true;
+        }
+    }
+}

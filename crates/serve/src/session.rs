@@ -1,0 +1,512 @@
+//! Per-connection request handling.
+//!
+//! A [`Session`] owns a clone of the daemon's warm environment and
+//! serves requests against *throwaway* copies of it: every repair
+//! request re-clones the configured snapshot, so replies are pure
+//! functions of the request (plus the persistent cache, which only
+//! changes *how fast* a reply is computed, never its content). This is
+//! what makes the daemon's replies byte-identical to one-shot runs and
+//! lets concurrent sessions proceed without sharing mutable kernel
+//! state.
+//!
+//! The one piece of cross-request state inside a session is the
+//! *configuration cache*: running a search procedure (`configure`) is
+//! expensive, so the session keeps the most recent `(spec digest,
+//! configured environment, lifting)` and reuses it while clients keep
+//! asking for the same recipe.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pumpkin_core::trace::Metrics;
+use pumpkin_core::wire::{term_from_envelope, term_to_envelope, LiftSpec, TermDigest, WireError};
+use pumpkin_core::{LiftState, Lifting, NameMap, RepairError, RepairReport, Repairer};
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_wire::Value;
+
+use crate::proto::{self, code, Request, PROTO_VERSION};
+
+/// What the connection loop should do after writing the reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading frames.
+    Continue,
+    /// The client asked the server to drain; close after this reply.
+    Shutdown,
+}
+
+/// The most recent configuration, keyed by its spec digest.
+struct Configured {
+    digest: TermDigest,
+    /// The warm environment *after* the search procedure ran (holds the
+    /// equivalence constants); cloned per request.
+    env: Env,
+    lifting: Lifting,
+}
+
+/// One connection's worth of request-handling state.
+pub struct Session {
+    base: Env,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    configured: Option<Configured>,
+    /// Server-wide cumulative metrics registry; every repair-family
+    /// request merges its event-derived counters here.
+    metrics: Arc<Mutex<Metrics>>,
+}
+
+type MethodResult = Result<(Value, Control), (&'static str, String)>;
+
+impl Session {
+    /// A session over a (cloned, warm) base environment. `jobs` is the
+    /// per-request worker cap; `cache_dir` enables the persistent lift
+    /// cache; `metrics` is the server-wide registry shared by every
+    /// session (pass a fresh one for standalone use).
+    pub fn new(
+        base: Env,
+        jobs: usize,
+        cache_dir: Option<PathBuf>,
+        metrics: Arc<Mutex<Metrics>>,
+    ) -> Session {
+        Session {
+            base,
+            jobs: jobs.max(1),
+            cache_dir,
+            configured: None,
+            metrics,
+        }
+    }
+
+    /// Handles one frame: parses, dispatches, and renders the reply line
+    /// (without trailing newline). Never panics on malformed input —
+    /// errors become structured replies and the connection stays open.
+    pub fn handle_line(&mut self, line: &str) -> (String, Control) {
+        let req = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                return (
+                    proto::err_reply(&Value::Null, code::PARSE, &msg),
+                    Control::Continue,
+                )
+            }
+        };
+        match self.dispatch(&req) {
+            Ok((result, ctl)) => (proto::ok_reply(&req.id, result), ctl),
+            Err((c, msg)) => (proto::err_reply(&req.id, c, &msg), Control::Continue),
+        }
+    }
+
+    fn dispatch(&mut self, req: &Request) -> MethodResult {
+        match req.method.as_str() {
+            "ping" => Ok((
+                Value::Obj(vec![
+                    ("pong".into(), Value::Bool(true)),
+                    ("proto".into(), Value::UInt(u64::from(PROTO_VERSION))),
+                    ("wire".into(), Value::str(pumpkin_wire::WIRE_TAG)),
+                ]),
+                Control::Continue,
+            )),
+            "repair" => self.repair(&req.params, true),
+            "repair_module" => self.repair(&req.params, false),
+            "explain" => self.explain(&req.params),
+            "trace_report" => self.trace_report(&req.params),
+            "eval" => self.eval(&req.params),
+            "metrics" => self.metrics_text(&req.params),
+            "shutdown" => Ok((
+                Value::Obj(vec![("draining".into(), Value::Bool(true))]),
+                Control::Shutdown,
+            )),
+            other => Err((code::UNKNOWN_METHOD, format!("unknown method `{other}`"))),
+        }
+    }
+
+    /// `repair` (single constant) and `repair_module` (explicit list).
+    fn repair(&mut self, params: &Value, single: bool) -> MethodResult {
+        let names = request_names(params, single)?;
+        let deterministic = flag(params, "deterministic");
+        let (report, _env) = self.run_repairer(params, &names, false)?;
+        let mut wire = report.to_wire();
+        if deterministic {
+            wire.wall_ns = 0;
+        }
+        let mut fields = vec![("report".into(), wire.to_value())];
+        if single {
+            let to = report
+                .renamed(&names[0])
+                .map(|n| Value::str(n.as_str()))
+                .unwrap_or(Value::Null);
+            fields.insert(0, ("to".into(), to));
+            fields.insert(0, ("from".into(), Value::str(&names[0])));
+        }
+        Ok((Value::Obj(fields), Control::Continue))
+    }
+
+    /// `explain`: repair with provenance, then render the paper-style
+    /// explanation of where and why the named constant changed.
+    fn explain(&mut self, params: &Value) -> MethodResult {
+        let names = request_names(params, true)?;
+        let (report, env) = self.run_repairer(params, &names, true)?;
+        let name = names[0].as_str();
+        let p = report.provenance_for(name).ok_or_else(|| {
+            (
+                code::BAD_PARAMS,
+                format!("no provenance recorded for `{name}`"),
+            )
+        })?;
+        let sites: Vec<pumpkin_lang::DiffSite> = p
+            .sites
+            .iter()
+            .map(|s| pumpkin_lang::DiffSite {
+                path: &s.path,
+                rule: s.rule.as_str(),
+            })
+            .collect();
+        let explanation =
+            pumpkin_lang::explain_decl(&env, &p.from, &p.to, &sites).ok_or_else(|| {
+                (
+                    code::REPAIR_FAILED,
+                    format!("`{}` or `{}` vanished from the environment", p.from, p.to),
+                )
+            })?;
+        Ok((
+            Value::Obj(vec![
+                ("from".into(), Value::str(&p.from)),
+                ("to".into(), Value::str(&p.to)),
+                ("explanation".into(), Value::str(explanation.render())),
+            ]),
+            Control::Continue,
+        ))
+    }
+
+    /// `trace_report`: run the repair traced and render the offline
+    /// analyzer's report. Deterministic requests get the canonicalized
+    /// metrics view instead (the full report quotes wall-clock times).
+    fn trace_report(&mut self, params: &Value) -> MethodResult {
+        let names = request_names(params, false)?;
+        let deterministic = flag(params, "deterministic");
+        let top_k = params.get("top").and_then(Value::as_u64).unwrap_or(5) as usize;
+        let (report, _env) = self.run_repairer(params, &names, false)?;
+        let text = if deterministic {
+            Metrics::from_events(report.trace_events())
+                .canonicalize()
+                .to_text()
+        } else {
+            pumpkin_core::trace::report::render(report.trace_events(), top_k)
+        };
+        Ok((
+            Value::Obj(vec![("report".into(), Value::str(&text))]),
+            Control::Continue,
+        ))
+    }
+
+    /// `eval`: decode a digest-verified term envelope, typecheck and
+    /// normalize it against the base environment, and return both the
+    /// pretty form and the normal form's envelope.
+    fn eval(&mut self, params: &Value) -> MethodResult {
+        let envelope = params
+            .get("term")
+            .ok_or_else(|| (code::BAD_PARAMS, "eval needs a `term` envelope".into()))?;
+        let term = term_from_envelope(envelope).map_err(|e| match e {
+            WireError::BadDigest { .. } => (code::BAD_DIGEST, e.to_string()),
+            other => (code::BAD_PARAMS, other.to_string()),
+        })?;
+        pumpkin_kernel::typecheck::infer_closed(&self.base, &term)
+            .map_err(|e| (code::BAD_PARAMS, format!("term does not typecheck: {e}")))?;
+        let normal = pumpkin_kernel::reduce::normalize(&self.base, &term);
+        Ok((
+            Value::Obj(vec![
+                (
+                    "pretty".into(),
+                    Value::str(pumpkin_lang::pretty(&self.base, &normal)),
+                ),
+                ("term".into(), term_to_envelope(&normal)),
+            ]),
+            Control::Continue,
+        ))
+    }
+
+    /// `metrics`: the server-wide cumulative registry; `canonical: true`
+    /// returns the job-count-invariant projection.
+    fn metrics_text(&mut self, params: &Value) -> MethodResult {
+        let canonical = flag(params, "canonical");
+        let m = self.metrics.lock().expect("metrics lock poisoned");
+        let text = if canonical {
+            m.canonicalize().to_text()
+        } else {
+            m.to_text()
+        };
+        Ok((
+            Value::Obj(vec![("text".into(), Value::str(&text))]),
+            Control::Continue,
+        ))
+    }
+
+    /// The shared run path for repair/explain/trace_report: resolve the
+    /// lifting spec (configuring if it differs from the cached one),
+    /// clone the configured environment, and run a [`Repairer`] over it.
+    fn run_repairer(
+        &mut self,
+        params: &Value,
+        names: &[String],
+        provenance: bool,
+    ) -> Result<(RepairReport, Env), (&'static str, String)> {
+        let spec_value = params
+            .get("lifting")
+            .ok_or_else(|| (code::BAD_PARAMS, "request needs a `lifting` spec".into()))?;
+        let spec =
+            LiftSpec::from_value(spec_value).map_err(|e| (code::BAD_PARAMS, e.to_string()))?;
+        self.ensure_configured(&spec)?;
+        let cfg = self.configured.as_ref().expect("just configured");
+
+        let jobs = params
+            .get("jobs")
+            .and_then(Value::as_u64)
+            .map_or(self.jobs, |j| (j as usize).max(1));
+        let mut env = cfg.env.clone();
+        let mut st = LiftState::new();
+        let mut repairer = Repairer::new(&cfg.lifting)
+            .jobs(jobs)
+            .state(&mut st)
+            .trace(true)
+            .provenance(provenance);
+        if let Some(ms) = params.get("deadline_ms").and_then(Value::as_u64) {
+            repairer = repairer.deadline(Duration::from_millis(ms));
+        }
+        if let Some(dir) = &self.cache_dir {
+            repairer = repairer.persist_cache(dir);
+        }
+        let borrowed: Vec<&str> = names.iter().map(String::as_str).collect();
+        let report = repairer.run(&mut env, &borrowed).map_err(|e| match e {
+            RepairError::Cancelled { .. } => (code::DEADLINE, e.to_string()),
+            other => (code::REPAIR_FAILED, other.to_string()),
+        })?;
+        self.metrics
+            .lock()
+            .expect("metrics lock poisoned")
+            .merge(&report.metrics);
+        Ok((report, env))
+    }
+
+    fn ensure_configured(&mut self, spec: &LiftSpec) -> Result<(), (&'static str, String)> {
+        let digest = spec.digest();
+        if self.configured.as_ref().is_some_and(|c| c.digest == digest) {
+            return Ok(());
+        }
+        let mut env = self.base.clone();
+        let lifting = build_lifting(&mut env, spec).map_err(|msg| (code::REPAIR_FAILED, msg))?;
+        self.configured = Some(Configured {
+            digest,
+            env,
+            lifting,
+        });
+        Ok(())
+    }
+}
+
+/// Runs the search procedure a [`LiftSpec`] names against `env`.
+fn build_lifting(env: &mut Env, spec: &LiftSpec) -> Result<Lifting, String> {
+    let mut names = NameMap::default();
+    for (f, t) in &spec.rename {
+        names = names.with_rule(f.as_str(), t.as_str());
+    }
+    let a = GlobalName::new(spec.a.as_str());
+    let b = GlobalName::new(spec.b.as_str());
+    let fail = |e: &dyn std::fmt::Display| e.to_string();
+    match spec.kind.as_str() {
+        "swap" => pumpkin_core::search::swap::configure(env, &a, &b, names).map_err(|e| fail(&e)),
+        "factor" => pumpkin_core::search::factor::configure_with(env, &a, &b, [0, 1], names)
+            .map_err(|e| fail(&e)),
+        "ornament" => pumpkin_core::search::ornament::configure(env, names).map_err(|e| fail(&e)),
+        "bin" => pumpkin_core::manual::configure_nat_to_bin(env, names).map_err(|e| fail(&e)),
+        "records" => {
+            let projs = pumpkin_core::search::tuple_record::connection_projs();
+            pumpkin_core::search::tuple_record::configure_to_record(env, &a, &b, &projs, names)
+                .map_err(|e| fail(&e))
+        }
+        other => Err(format!("unknown lifting kind `{other}`")),
+    }
+}
+
+/// Extracts the work list: `name` (string) for single-constant methods,
+/// `names` (non-empty string array) otherwise.
+fn request_names(params: &Value, single: bool) -> Result<Vec<String>, (&'static str, String)> {
+    if single {
+        let name = params
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| (code::BAD_PARAMS, "request needs a string `name`".into()))?;
+        return Ok(vec![name.to_string()]);
+    }
+    let arr = params
+        .get("names")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| (code::BAD_PARAMS, "request needs a `names` array".into()))?;
+    let names: Vec<String> = arr
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<_>>()
+        .ok_or_else(|| (code::BAD_PARAMS, "`names` must hold strings".into()))?;
+    if names.is_empty() {
+        return Err((code::BAD_PARAMS, "`names` must not be empty".into()));
+    }
+    Ok(names)
+}
+
+fn flag(params: &Value, key: &str) -> bool {
+    params.get(key).and_then(Value::as_bool).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::new(
+            pumpkin_stdlib::std_env(),
+            1,
+            None,
+            Arc::new(Mutex::new(Metrics::new())),
+        )
+    }
+
+    fn swap_spec() -> String {
+        LiftSpec::swap("Old.list", "New.list", "Old.", "New.")
+            .to_value()
+            .to_string()
+    }
+
+    #[test]
+    fn ping_names_the_protocol() {
+        let mut s = session();
+        let (reply, ctl) = s.handle_line(r#"{"id":1,"method":"ping"}"#);
+        assert_eq!(ctl, Control::Continue);
+        assert_eq!(
+            reply,
+            r#"{"id":1,"ok":true,"result":{"pong":true,"proto":1,"wire":"pumpkin-wire/1"}}"#
+        );
+    }
+
+    #[test]
+    fn repair_module_replies_with_a_report() {
+        let mut s = session();
+        let line = format!(
+            r#"{{"id":2,"method":"repair_module","params":{{"lifting":{},"names":["Old.rev","Old.app"],"deterministic":true}}}}"#,
+            swap_spec()
+        );
+        let (reply, _) = s.handle_line(&line);
+        let v = Value::parse(&reply).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let report = v.get("result").unwrap().get("report").unwrap();
+        assert_eq!(report.get("wall_ns"), Some(&Value::UInt(0)));
+        let repaired = report.get("repaired").and_then(Value::as_arr).unwrap();
+        assert_eq!(repaired.len(), 2);
+        // Sessions serve throwaway environments: a second identical
+        // request returns byte-identical output.
+        let (again, _) = s.handle_line(&line);
+        assert_eq!(reply, again);
+    }
+
+    #[test]
+    fn explain_cites_the_rules() {
+        let mut s = session();
+        let line = format!(
+            r#"{{"id":3,"method":"explain","params":{{"lifting":{},"name":"Old.rev"}}}}"#,
+            swap_spec()
+        );
+        let (reply, _) = s.handle_line(&line);
+        let v = Value::parse(&reply).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{reply}");
+        let result = v.get("result").unwrap();
+        assert_eq!(result.get("to").and_then(Value::as_str), Some("New.rev"));
+        assert!(result
+            .get("explanation")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("New.rev"));
+    }
+
+    #[test]
+    fn structured_errors_keep_the_connection_usable() {
+        let mut s = session();
+        for (line, want_code) in [
+            ("{]", code::PARSE),
+            (r#"{"id":1,"method":"frobnicate"}"#, code::UNKNOWN_METHOD),
+            (r#"{"id":1,"method":"repair_module"}"#, code::BAD_PARAMS),
+            (
+                r#"{"id":1,"method":"repair_module","params":{"lifting":{"kind":"swap","a":"A","b":"B","rename":[]},"names":[]}}"#,
+                code::BAD_PARAMS,
+            ),
+            (
+                r#"{"id":1,"method":"eval","params":{"term":{"wire":"pumpkin-wire/1","digest":"0000000000000000","term":{"k":"sort","s":"prop"}}}}"#,
+                code::BAD_DIGEST,
+            ),
+        ] {
+            let (reply, ctl) = s.handle_line(line);
+            assert_eq!(ctl, Control::Continue);
+            let v = Value::parse(&reply).unwrap();
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{line}");
+            assert_eq!(
+                v.get("error").unwrap().get("code").and_then(Value::as_str),
+                Some(want_code),
+                "{line} -> {reply}"
+            );
+        }
+        // After every error, a good request still succeeds.
+        let (reply, _) = s.handle_line(r#"{"id":9,"method":"ping"}"#);
+        assert!(reply.contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn eval_normalizes_digest_verified_terms() {
+        use pumpkin_kernel::term::Term;
+        let mut s = session();
+        // S (S O) + O, as an applied constant — normalizes to a literal.
+        let two = Term::app(
+            Term::construct("nat", 1),
+            [Term::app(
+                Term::construct("nat", 1),
+                [Term::construct("nat", 0)],
+            )],
+        );
+        let t = Term::app(Term::const_("add"), [two, Term::construct("nat", 0)]);
+        let line = format!(
+            r#"{{"id":4,"method":"eval","params":{{"term":{}}}}}"#,
+            term_to_envelope(&t)
+        );
+        let (reply, _) = s.handle_line(&line);
+        let v = Value::parse(&reply).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{reply}");
+        let pretty = v
+            .get("result")
+            .unwrap()
+            .get("pretty")
+            .and_then(Value::as_str)
+            .unwrap();
+        assert_eq!(pretty, "S (S O)");
+    }
+
+    #[test]
+    fn deadline_zero_reports_a_deadline_error() {
+        let mut s = session();
+        let line = format!(
+            r#"{{"id":5,"method":"repair_module","params":{{"lifting":{},"names":["Old.rev"],"deadline_ms":0}}}}"#,
+            swap_spec()
+        );
+        let (reply, _) = s.handle_line(&line);
+        let v = Value::parse(&reply).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").and_then(Value::as_str),
+            Some(code::DEADLINE),
+            "{reply}"
+        );
+        // The session is still healthy.
+        let ok_line = format!(
+            r#"{{"id":6,"method":"repair_module","params":{{"lifting":{},"names":["Old.rev"]}}}}"#,
+            swap_spec()
+        );
+        let (reply, _) = s.handle_line(&ok_line);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+    }
+}

@@ -19,6 +19,14 @@ pub trait EventSink {
     /// Called once after the last event; flush buffers here. The default
     /// does nothing.
     fn finish(&mut self) {}
+
+    /// Reports the end-to-end wall-clock latency of the request that
+    /// produced the stream, in nanoseconds — measured *around* the run
+    /// (scheduling, lifting, provenance rendering), so it is distinct
+    /// from, and an upper bound on, the in-stream span timings. Called at
+    /// most once, before the first [`EventSink::emit`]. The default
+    /// ignores it.
+    fn request_wall(&mut self, _ns: u64) {}
 }
 
 /// Writes each event as one JSON object per line (the `--trace out.jsonl`
@@ -80,6 +88,7 @@ impl<W: Write> EventSink for JsonLinesSink<W> {
 pub struct SummarySink<W: Write> {
     out: W,
     events: Vec<Event>,
+    wall_ns: Option<u64>,
     error: Option<io::Error>,
 }
 
@@ -89,6 +98,7 @@ impl<W: Write> SummarySink<W> {
         SummarySink {
             out,
             events: Vec::new(),
+            wall_ns: None,
             error: None,
         }
     }
@@ -104,8 +114,17 @@ impl<W: Write> EventSink for SummarySink<W> {
         self.events.push(event.clone());
     }
 
+    fn request_wall(&mut self, ns: u64) {
+        self.wall_ns = Some(ns);
+    }
+
     fn finish(&mut self) {
-        let text = summary::render(&self.events);
+        let mut text = summary::render(&self.events);
+        if let Some(ns) = self.wall_ns {
+            // The end-to-end latency line sits above the span tree so the
+            // reader sees request time vs. in-run time at a glance.
+            text = format!("request wall {:.2} ms\n{text}", ns as f64 / 1e6);
+        }
         if let Err(e) = self
             .out
             .write_all(text.as_bytes())
@@ -186,6 +205,19 @@ mod tests {
         assert!(
             text.contains("run"),
             "summary mentions the run span: {text}"
+        );
+        assert!(!text.contains("request wall"), "no latency unless reported");
+    }
+
+    #[test]
+    fn summary_sink_leads_with_request_latency_when_reported() {
+        let mut sink = SummarySink::new(Vec::new());
+        sink.request_wall(2_500_000);
+        drain_into(&sample_events(), &mut sink);
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(
+            text.starts_with("request wall 2.50 ms\n"),
+            "latency line leads the summary: {text}"
         );
     }
 }

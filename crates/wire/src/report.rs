@@ -1,0 +1,158 @@
+//! The wire form of a repair report.
+//!
+//! A `RepairReport` proper owns event buffers, provenance trees, and a DAG;
+//! the reply a client needs is much smaller: what got repaired, how the
+//! schedule looked, cache behavior, and timings. This struct is that
+//! projection. Two deliberate omissions keep replies byte-stable across
+//! debug and release builds (the golden-transcript test runs in both):
+//!
+//! * raw `KernelStats` are excluded — debug builds re-typecheck merged
+//!   declarations inside `admit_checked`, inflating kernel counters in a
+//!   build-dependent way (the tracer is paused there, so *event-derived*
+//!   metrics counters agree across builds and are included);
+//! * all wall-clock fields are zeroed when a request asks for
+//!   `"deterministic":true` replies.
+
+use crate::json::Value;
+use crate::WireError;
+
+/// The flattened, serializable projection of a repair report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReportWire {
+    /// `(old, new)` pairs actually repaired by this run.
+    pub repaired: Vec<(String, String)>,
+    /// Worker cap the run used.
+    pub jobs: u64,
+    /// Number of waves in the schedule.
+    pub waves: u64,
+    /// Widest wave.
+    pub max_width: u64,
+    /// In-memory subterm lift cache hits/misses.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Constants lifted (fresh work, including persistent-cache replays).
+    pub constants_lifted: u64,
+    /// Subterm visits performed by the lift.
+    pub visits: u64,
+    /// Persistent (cross-run) cache hits/misses, when enabled.
+    pub persist_hits: u64,
+    pub persist_misses: u64,
+    /// Wall-clock time of the repair work itself, excluding queue wait
+    /// (zeroed in deterministic replies).
+    pub wall_ns: u64,
+    /// Event-derived metrics counters (stable across builds; see module
+    /// docs), sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ReportWire {
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "repaired".into(),
+                Value::Arr(
+                    self.repaired
+                        .iter()
+                        .map(|(f, t)| Value::Arr(vec![Value::str(f), Value::str(t)]))
+                        .collect(),
+                ),
+            ),
+            ("jobs".into(), Value::UInt(self.jobs)),
+            ("waves".into(), Value::UInt(self.waves)),
+            ("max_width".into(), Value::UInt(self.max_width)),
+            ("cache_hits".into(), Value::UInt(self.cache_hits)),
+            ("cache_misses".into(), Value::UInt(self.cache_misses)),
+            (
+                "constants_lifted".into(),
+                Value::UInt(self.constants_lifted),
+            ),
+            ("visits".into(), Value::UInt(self.visits)),
+            ("persist_hits".into(), Value::UInt(self.persist_hits)),
+            ("persist_misses".into(), Value::UInt(self.persist_misses)),
+            ("wall_ns".into(), Value::UInt(self.wall_ns)),
+            (
+                "counters".into(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_value(v: &Value) -> Result<Self, WireError> {
+        let n = |k: &str| -> Result<u64, WireError> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| WireError::Shape(format!("report is missing counter `{k}`")))
+        };
+        let repaired = v
+            .get("repaired")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| WireError::Shape("report is missing `repaired`".into()))?
+            .iter()
+            .map(|pair| {
+                let items = pair
+                    .as_arr()
+                    .filter(|items| items.len() == 2)
+                    .ok_or_else(|| WireError::Shape("repaired entry must be a pair".into()))?;
+                match (items[0].as_str(), items[1].as_str()) {
+                    (Some(f), Some(t)) => Ok((f.to_string(), t.to_string())),
+                    _ => Err(WireError::Shape("repaired entry must hold strings".into())),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let counters = v
+            .get("counters")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| WireError::Shape("report is missing `counters`".into()))?
+            .iter()
+            .map(|(k, c)| {
+                c.as_u64()
+                    .map(|c| (k.clone(), c))
+                    .ok_or_else(|| WireError::Shape(format!("counter `{k}` must be an integer")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReportWire {
+            repaired,
+            jobs: n("jobs")?,
+            waves: n("waves")?,
+            max_width: n("max_width")?,
+            cache_hits: n("cache_hits")?,
+            cache_misses: n("cache_misses")?,
+            constants_lifted: n("constants_lifted")?,
+            visits: n("visits")?,
+            persist_hits: n("persist_hits")?,
+            persist_misses: n("persist_misses")?,
+            wall_ns: n("wall_ns")?,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip() {
+        let r = ReportWire {
+            repaired: vec![("Old.rev".into(), "New.rev".into())],
+            jobs: 2,
+            waves: 3,
+            max_width: 4,
+            cache_hits: 10,
+            cache_misses: 5,
+            constants_lifted: 1,
+            visits: 99,
+            persist_hits: 1,
+            persist_misses: 0,
+            wall_ns: 12345,
+            counters: vec![("lift.constants".into(), 1)],
+        };
+        let v = Value::parse(&r.to_value().to_string()).unwrap();
+        assert_eq!(ReportWire::from_value(&v).unwrap(), r);
+    }
+}

@@ -98,6 +98,20 @@ if [ -n "$off" ] && [ -n "$prov" ]; then
     fi
 fi
 
+# The persistent lift cache's reason to exist, asserted in-run: replaying
+# serialized lifted declarations from a warm cache directory must be at
+# least 5x faster than lifting into a cold one (both rows repair the same
+# module in the same invocation, so machine noise cancels).
+cold=$(median "$new" 'persist_cache/cold')
+warm=$(median "$new" 'persist_cache/warm')
+if [ -n "$cold" ] && [ -n "$warm" ]; then
+    echo "bench_guard: persist_cache warm ${warm} ns vs cold ${cold} ns (need warm*5 <= cold)"
+    if [ $((warm * 5)) -gt "$cold" ]; then
+        echo "bench_guard: REGRESSION: warm persist-cache repair is not 5x faster than cold" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
 if [ "$failures" -gt 0 ]; then
     echo "bench_guard: $failures regression(s)" >&2
     exit 1

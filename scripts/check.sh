@@ -28,18 +28,45 @@ cargo clippy -p pumpkin-kernel -p pumpkin-core --all-targets --locked -- \
 echo "==> trace lint over tests/golden/*.jsonl"
 scripts/trace_lint.sh
 
+# Daemon smoke test: a real pumpkind on a loopback port, driven by the
+# real client subcommand, shut down gracefully. Everything is wrapped in
+# timeouts so a wedged daemon fails the gate instead of hanging it.
+echo "==> pumpkind smoke (serve / client / shutdown over loopback)"
+serve_log=$(mktemp)
+./target/release/pumpkin serve --listen 127.0.0.1:0 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^pumpkind listening on //p' "$serve_log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "pumpkind never reported its address" >&2; cat "$serve_log"; exit 1; }
+timeout 30 ./target/release/pumpkin client --connect "$addr" ping
+timeout 120 ./target/release/pumpkin client --connect "$addr" repair-module \
+    --swap Old.list New.list --names Old.rev,Old.app,Old.rev_involutive
+timeout 30 ./target/release/pumpkin client --connect "$addr" shutdown
+wait "$serve_pid" || { echo "pumpkind exited nonzero" >&2; cat "$serve_log"; exit 1; }
+rm -f "$serve_log"
+
+echo "==> example: serve_roundtrip (in-process daemon round trip)"
+timeout 300 cargo run -q --release --locked --example serve_roundtrip >/dev/null
+
 # Smoke-run the parallel-repair + observability bench rows so scheduler or
-# probe regressions surface here, not only in full EXPERIMENTS.md runs. The
-# run writes a pumpkin-bench/v1 JSON report that the guard gates row by
-# row against the most recent committed baseline (disabled-sink and
-# disabled-provenance overhead must stay in noise).
-echo "==> bench: repair_parallel + trace_overhead → BENCH_pr4.json"
+# probe regressions surface here, not only in full EXPERIMENTS.md runs,
+# plus the PR 5 service rows: the cross-run lift cache cold vs warm (the
+# guard asserts warm is at least 5x faster) and the daemon round-trip
+# latency. The run writes a pumpkin-bench/v1 JSON report that the guard
+# gates row by row against the most recent committed baseline.
+echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve_roundtrip → BENCH_pr5.json"
 # Absolute path: cargo runs the bench binary with cwd = the package dir.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
-    --sample-size 5 --filter repair_parallel/jobs=1,trace_overhead \
-    --json "$(pwd)/BENCH_pr4.json"
+    --sample-size 5 \
+    --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip \
+    --json "$(pwd)/BENCH_pr5.json"
 
 echo "==> bench guard (auto baseline)"
-scripts/bench_guard.sh BENCH_pr4.json
+scripts/bench_guard.sh BENCH_pr5.json
 
 echo "==> all checks passed"

@@ -21,9 +21,300 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use pumpkin_pi::cli::{run_script, Session};
+use pumpkin_serve::{Client, ServerConfig};
+use pumpkin_wire::{LiftSpec, Value};
 
 const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <script.pi | ->\n\
-                     \x20      pumpkin trace-report [--lint] [--top K] <file.jsonl> [file2.jsonl]";
+                     \x20      pumpkin trace-report [--lint] [--top K] <file.jsonl> [file2.jsonl]\n\
+                     \x20      pumpkin serve [--listen ADDR] [--unix PATH] [--jobs N] [--max-sessions N] [--cache-dir DIR]\n\
+                     \x20      pumpkin client --connect ADDR <ping|shutdown|metrics|repair-module|explain|call> [args]";
+
+fn serve(argv: &[String]) -> ExitCode {
+    let mut cfg = ServerConfig {
+        listen: "127.0.0.1:7717".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().map(String::to_owned).ok_or_else(|| {
+                eprintln!("{what} needs a value\n{USAGE}");
+            })
+        };
+        match arg.as_str() {
+            "--listen" => match take("--listen") {
+                Ok(v) => cfg.listen = v,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--unix" => match take("--unix") {
+                Ok(v) => cfg.unix = Some(v.into()),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--cache-dir" => match take("--cache-dir") {
+                Ok(v) => cfg.cache_dir = Some(v.into()),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--jobs" => match take("--jobs").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) => cfg.jobs = n.max(1),
+                _ => {
+                    eprintln!("--jobs needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-sessions" => match take("--max-sessions").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) => cfg.max_sessions = n.max(1),
+                _ => {
+                    eprintln!("--max-sessions needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let server = match pumpkin_serve::Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Scripts (check.sh, tests) parse this exact line to learn
+            // the port when listening on :0.
+            println!("pumpkind listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("pumpkind drained; bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the `lifting`/`names` request params shared by the client's
+/// repair-module and explain verbs.
+fn client_lift_params(
+    args: &mut std::slice::Iter<'_, String>,
+    single: bool,
+) -> Result<Vec<(String, Value)>, String> {
+    let mut swap: Option<(String, String)> = None;
+    let mut rename: Option<(String, String)> = None;
+    let mut names: Vec<Value> = Vec::new();
+    let mut deterministic = false;
+    let mut jobs: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--swap" => {
+                let (Some(a), Some(b)) = (args.next(), args.next()) else {
+                    return Err("--swap needs two type names".into());
+                };
+                swap = Some((a.clone(), b.clone()));
+            }
+            "--rename" => {
+                let (Some(f), Some(t)) = (args.next(), args.next()) else {
+                    return Err("--rename needs two prefixes".into());
+                };
+                rename = Some((f.clone(), t.clone()));
+            }
+            "--name" | "--names" => {
+                let Some(list) = args.next() else {
+                    return Err(format!("{arg} needs a value"));
+                };
+                names.extend(list.split(',').map(Value::str));
+            }
+            "--deterministic" => deterministic = true,
+            "--jobs" => {
+                jobs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--jobs needs a number")?,
+                );
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some((a, b)) = swap else {
+        return Err("--swap A B is required".into());
+    };
+    // Default the rename to the modules the swapped types live in:
+    // swapping Old.list for New.list renames Old.* to New.*.
+    let module_of = |n: &str| {
+        n.rsplit_once('.')
+            .map_or(String::new(), |(m, _)| format!("{m}."))
+    };
+    let (from, to) = rename.unwrap_or_else(|| (module_of(&a), module_of(&b)));
+    if names.is_empty() {
+        return Err("--names n1,n2,... is required".into());
+    }
+    let spec = LiftSpec::swap(&a, &b, &from, &to);
+    let mut params = vec![("lifting".to_string(), spec.to_value())];
+    if single {
+        let Some(Value::Str(name)) = names.first().filter(|_| names.len() == 1) else {
+            return Err("explain takes exactly one --name".into());
+        };
+        params.push(("name".into(), Value::str(name)));
+    } else {
+        params.push(("names".into(), Value::Arr(names)));
+    }
+    if deterministic {
+        params.push(("deterministic".into(), Value::Bool(true)));
+    }
+    if let Some(j) = jobs {
+        params.push(("jobs".into(), Value::UInt(j)));
+    }
+    Ok(params)
+}
+
+fn render_client_result(method: &str, result: &Value) {
+    match method {
+        "repair" | "repair_module" => {
+            if let Some(report) = result.get("report") {
+                if let Some(Value::Arr(pairs)) = report.get("repaired") {
+                    for p in pairs {
+                        if let Value::Arr(pair) = p {
+                            if let (Some(f), Some(t)) = (
+                                pair.first().and_then(Value::as_str),
+                                pair.get(1).and_then(Value::as_str),
+                            ) {
+                                println!("repaired {f} -> {t}");
+                            }
+                        }
+                    }
+                }
+                let stat = |k: &str| report.get(k).and_then(Value::as_u64).unwrap_or(0);
+                println!(
+                    "waves {} width {} | cache {}/{} | persist {}/{} | {:.2} ms",
+                    stat("waves"),
+                    stat("max_width"),
+                    stat("cache_hits"),
+                    stat("cache_hits") + stat("cache_misses"),
+                    stat("persist_hits"),
+                    stat("persist_hits") + stat("persist_misses"),
+                    stat("wall_ns") as f64 / 1e6,
+                );
+                return;
+            }
+            println!("{result}");
+        }
+        "explain" => match result.get("explanation").and_then(Value::as_str) {
+            Some(text) => print!("{text}"),
+            None => println!("{result}"),
+        },
+        "metrics" | "trace_report" => {
+            let text = result
+                .get("text")
+                .or_else(|| result.get("report"))
+                .and_then(Value::as_str);
+            match text {
+                Some(text) => print!("{text}"),
+                None => println!("{result}"),
+            }
+        }
+        _ => println!("{result}"),
+    }
+}
+
+fn client(argv: &[String]) -> ExitCode {
+    let mut args = argv.iter();
+    let mut connect: Option<String> = None;
+    let mut verb: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                let Some(addr) = args.next() else {
+                    eprintln!("--connect needs an address\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                connect = Some(addr.clone());
+            }
+            other => {
+                verb = Some(other.to_string());
+                break;
+            }
+        }
+    }
+    let (Some(addr), Some(verb)) = (connect, verb) else {
+        eprintln!("client needs --connect ADDR and a verb\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let (method, params) = match verb.as_str() {
+        "ping" | "shutdown" => (verb.clone(), Value::Obj(vec![])),
+        "metrics" => {
+            let canonical = args.next().map(String::as_str) == Some("--canonical");
+            (
+                verb.clone(),
+                Value::Obj(vec![("canonical".into(), Value::Bool(canonical))]),
+            )
+        }
+        "repair-module" => match client_lift_params(&mut args, false) {
+            Ok(fields) => ("repair_module".to_string(), Value::Obj(fields)),
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "explain" => match client_lift_params(&mut args, true) {
+            Ok(fields) => ("explain".to_string(), Value::Obj(fields)),
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "call" => {
+            let Some(method) = args.next() else {
+                eprintln!("call needs a method name\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let params = match args.next() {
+                Some(raw) => match Value::parse(raw) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("bad params JSON: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => Value::Obj(vec![]),
+            };
+            (method.clone(), params)
+        }
+        other => {
+            eprintln!("unknown client verb `{other}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.call(&method, params) {
+        Ok(result) => {
+            render_client_result(&method, &result);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn trace_report(argv: &[String]) -> ExitCode {
     use pumpkin_core::trace::report;
@@ -91,6 +382,12 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace-report") {
         return trace_report(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("client") {
+        return client(&argv[1..]);
     }
     let mut session = Session::new();
     let mut path: Option<String> = None;

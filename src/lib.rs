@@ -37,8 +37,10 @@ pub mod cli;
 pub use pumpkin_core;
 pub use pumpkin_kernel;
 pub use pumpkin_lang;
+pub use pumpkin_serve;
 pub use pumpkin_stdlib;
 pub use pumpkin_tactics;
+pub use pumpkin_wire;
 
 use pumpkin_core::{LiftState, Lifting};
 use pumpkin_kernel::env::Env;
