@@ -387,6 +387,89 @@ fn bench_serve_roundtrip(b: &mut Bench) {
     daemon.join().expect("daemon thread").expect("clean drain");
 }
 
+fn bench_repair_batch(b: &mut Bench) {
+    // Batch amortization: the 13-constant swap module repaired as 13
+    // individual `repair` RPCs on one connection (rpc13) vs one
+    // `repair_batch` frame (batch13). Both do identical repair work per
+    // constant — the delta is 12 saved round trips, frame parses, queue
+    // handoffs, and reply flushes. bench_guard.sh asserts in-run that
+    // batch13 <= 0.8 * rpc13, and this function asserts the replies are
+    // byte-identical (batch entries vs standalone null-id replies).
+    use pumpkin_pi::pumpkin_serve::{Client, Server, ServerConfig};
+    use pumpkin_pi::pumpkin_wire::{LiftSpec, Value};
+    let server = Server::bind(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("addr").to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
+    let singles: Vec<String> = stdlib::swap::OLD_MODULE_CONSTANTS
+        .iter()
+        .map(|n| {
+            format!(
+                r#"{{"id":null,"method":"repair","params":{{"lifting":{},"name":"{n}","deterministic":true}}}}"#,
+                spec.to_value()
+            )
+        })
+        .collect();
+    let batch_line = format!(
+        r#"{{"id":null,"method":"repair_batch","params":{{"lifting":{},"batch":[{}]}}}}"#,
+        spec.to_value(),
+        stdlib::swap::OLD_MODULE_CONSTANTS
+            .iter()
+            .map(|n| format!(r#"{{"name":"{n}","deterministic":true}}"#))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    // One warm-up pass configures every worker's cache and yields the
+    // reference replies for the byte-identity check.
+    let mut client = Client::connect(&addr).expect("connect");
+    let reference: Vec<String> = singles
+        .iter()
+        .map(|l| client.call_raw(l).expect("warm single"))
+        .collect();
+    let batch_reply = client.call_raw(&batch_line).expect("warm batch");
+    let parsed = Value::parse(&batch_reply).expect("parse batch reply");
+    let results = parsed
+        .get("result")
+        .and_then(|r| r.get("results"))
+        .and_then(Value::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), reference.len());
+    for (batched, standalone) in results.iter().zip(&reference) {
+        assert_eq!(
+            &batched.to_string(),
+            standalone,
+            "batch entry diverged from the standalone reply"
+        );
+    }
+    b.bench(
+        "repair_batch/rpc13",
+        || (addr.clone(), singles.clone()),
+        |(addr, singles)| {
+            // The pre-batch client pattern: one `pumpkin client`-style
+            // invocation per constant — connect, one repair RPC, close.
+            singles
+                .iter()
+                .map(|l| {
+                    Client::connect(&addr)
+                        .expect("connect")
+                        .call_raw(l)
+                        .expect("single rpc")
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    b.bench(
+        "repair_batch/batch13",
+        || (Client::connect(&addr).expect("connect"), batch_line.clone()),
+        |(mut client, line)| client.call_raw(&line).expect("batch rpc"),
+    );
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .call("shutdown", Value::Obj(vec![]))
+        .expect("shutdown");
+    daemon.join().expect("daemon thread").expect("clean drain");
+}
+
 fn main() {
     let mut b = Bench::from_args();
     bench_lift_cache_ablation(&mut b);
@@ -397,5 +480,6 @@ fn main() {
     bench_term_size_scaling(&mut b);
     bench_persist_cache(&mut b);
     bench_serve_roundtrip(&mut b);
+    bench_repair_batch(&mut b);
     b.finish();
 }

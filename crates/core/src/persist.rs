@@ -30,6 +30,7 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pumpkin_kernel::env::ConstDecl;
 use pumpkin_wire::{
@@ -111,7 +112,14 @@ impl PersistCache {
         if path.exists() {
             return;
         }
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        // The temp name must be unique per *store call*, not just per
+        // process: two worker threads in one daemon storing the same
+        // entry through a pid-only suffix would interleave their
+        // write/rename/remove on a single tmp path — publishing a torn
+        // frame or deleting a freshly renamed entry.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp{}.{seq}", std::process::id()));
         if fs::write(&tmp, encode_decl(new)).is_ok() && fs::rename(&tmp, &path).is_err() {
             let _ = fs::remove_file(&tmp);
         }
@@ -160,6 +168,60 @@ mod tests {
         bytes[8] ^= 0xff;
         fs::write(&path, bytes).unwrap();
         assert!(cache.lookup(&old).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Regression test for the tmp-path collision: many threads storing
+    /// the same entries into one shard concurrently must leave every
+    /// entry complete. With a pid-only temp suffix the threads shared one
+    /// tmp path, so an interleaved write/rename could publish a torn
+    /// frame — which reads as absent forever after, because `store` sees
+    /// the path exists and never rewrites it.
+    #[test]
+    fn concurrent_stores_into_a_shared_dir_publish_complete_entries() {
+        let mut env = pumpkin_stdlib::std_env();
+        let lifting = sample_lifting(&mut env);
+        let root = std::env::temp_dir().join(format!(
+            "pumpkin-persist-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let cache = PersistCache::open(&root, &lifting).unwrap();
+        let entries: Vec<(ConstDecl, ConstDecl)> = (0..64usize)
+            .map(|i| {
+                let old = ConstDecl {
+                    name: format!("Old.c{i}").into(),
+                    ty: Term::prop(),
+                    body: None,
+                    opaque: false,
+                };
+                let new = ConstDecl {
+                    name: format!("New.c{i}").into(),
+                    ty: Term::prop(),
+                    body: Some(Term::rel(i)),
+                    opaque: false,
+                };
+                (old, new)
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for (old, new) in &entries {
+                        cache.store(old, new);
+                    }
+                });
+            }
+        });
+        for (old, new) in &entries {
+            assert_eq!(
+                cache.lookup(old).as_ref(),
+                Some(new),
+                "entry for {} is missing or torn",
+                old.name
+            );
+        }
         let _ = fs::remove_dir_all(&root);
     }
 

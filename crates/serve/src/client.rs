@@ -57,6 +57,9 @@ impl Client {
     /// Propagates connection failures.
     pub fn connect(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // Request/reply over tiny frames: leaving Nagle on costs a
+        // delayed-ACK round (~40 ms) per call.
+        let _ = stream.set_nodelay(true);
         Ok(Client {
             reader: BufReader::new(stream),
             next_id: 1,
@@ -110,9 +113,13 @@ impl Client {
     ///
     /// Propagates I/O errors; EOF before a reply is an error.
     pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
+        // One write per frame: a separate newline write would ride in
+        // its own packet and stall behind the peer's delayed ACK.
+        let mut frame = Vec::with_capacity(line.len() + 1);
+        frame.extend_from_slice(line.as_bytes());
+        frame.push(b'\n');
         let stream = self.reader.get_mut();
-        stream.write_all(line.as_bytes())?;
-        stream.write_all(b"\n")?;
+        stream.write_all(&frame)?;
         stream.flush()?;
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {

@@ -11,10 +11,15 @@
 //!
 //! The protocol is newline-delimited JSON-RPC over TCP (and optionally a
 //! Unix socket): see [`proto`] for framing and error codes, [`Session`]
-//! for the method set (`ping`, `repair`, `repair_module`, `explain`,
-//! `trace_report`, `eval`, `metrics`, `shutdown`), and [`Server`] for
-//! the daemon (bounded session pool, busy backpressure, graceful
-//! drain). Everything is `std`-only.
+//! for the method set (`ping`, `repair`, `repair_module`, `repair_batch`,
+//! `explain`, `trace_report`, `eval`, `metrics`, `shutdown`), and
+//! [`Server`] for the daemon. The server is a bounded worker pool:
+//! connection threads parse frames and feed a bounded work queue, and a
+//! fixed set of workers — each owning a long-lived session whose
+//! configuration cache survives across connections — drains it. Busy
+//! backpressure is per-request (`busy` when the queue is full) and
+//! per-connection (session cap), and shutdown drains the queued backlog
+//! before joining. Everything is `std`-only.
 //!
 //! Replies are deterministic by construction — each request runs against
 //! a throwaway clone of the configured environment — and requests can

@@ -39,7 +39,8 @@ pub mod code {
     pub const BAD_PARAMS: &str = "bad_params";
     /// A term envelope's content digest did not verify.
     pub const BAD_DIGEST: &str = "bad_digest";
-    /// The session cap is reached; retry later.
+    /// Admission refused — the session cap is reached or the worker
+    /// pool's bounded queue is full; retry later.
     pub const BUSY: &str = "busy";
     /// The request's deadline elapsed; completed waves were discarded
     /// with the session's throwaway environment.
@@ -81,18 +82,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     Ok(Request { id, method, params })
 }
 
-/// Builds a success reply line (no trailing newline).
-pub fn ok_reply(id: &Value, result: Value) -> String {
+/// Builds a success reply as a [`Value`] (the `repair_batch` reply embeds
+/// these per item, so batch entries are byte-identical to single replies).
+pub fn ok_reply_value(id: &Value, result: Value) -> Value {
     Value::Obj(vec![
         ("id".into(), id.clone()),
         ("ok".into(), Value::Bool(true)),
         ("result".into(), result),
     ])
-    .to_string()
 }
 
-/// Builds an error reply line (no trailing newline).
-pub fn err_reply(id: &Value, code: &str, message: &str) -> String {
+/// Builds an error reply as a [`Value`] (see [`ok_reply_value`]).
+pub fn err_reply_value(id: &Value, code: &str, message: &str) -> Value {
     Value::Obj(vec![
         ("id".into(), id.clone()),
         ("ok".into(), Value::Bool(false)),
@@ -104,7 +105,16 @@ pub fn err_reply(id: &Value, code: &str, message: &str) -> String {
             ]),
         ),
     ])
-    .to_string()
+}
+
+/// Builds a success reply line (no trailing newline).
+pub fn ok_reply(id: &Value, result: Value) -> String {
+    ok_reply_value(id, result).to_string()
+}
+
+/// Builds an error reply line (no trailing newline).
+pub fn err_reply(id: &Value, code: &str, message: &str) -> String {
+    err_reply_value(id, code, message).to_string()
 }
 
 /// One framing step's outcome.

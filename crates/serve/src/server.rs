@@ -1,40 +1,54 @@
-//! The pumpkind daemon proper: listeners, the session pool, and drain.
+//! The pumpkind daemon proper: listeners, the worker pool, and drain.
 //!
-//! `std::net` only. One thread per connection, each owning a [`Session`]
-//! with its own clone of the warm environment (the kernel's `Env` is
-//! `Send` but not `Sync`, so this is also the only sound sharing
-//! strategy). Admission control is a simple bounded counter: a
-//! connection beyond the cap gets one [`code::BUSY`] reply and is
-//! closed — clients retry; the daemon never queues unbounded work.
+//! `std::net` only. Connection threads are thin: they parse frames,
+//! answer the environment-free control methods (`ping`, `metrics`,
+//! `shutdown`) inline, and hand everything else to a bounded work queue
+//! as a [`Job`], then block until the worker's reply comes back over the
+//! job's channel. A fixed pool of worker threads drains the queue; each
+//! worker owns one long-lived [`Session`] with its own clone of the warm
+//! environment (the kernel's `Env` is `Send` but not `Sync`, so
+//! per-worker ownership is also the only sound sharing strategy). Because
+//! sessions outlive connections, their configuration caches stay warm
+//! across clients — the second connection asking for a recipe skips the
+//! search procedure entirely.
 //!
-//! Shutdown is graceful: the session that receives `shutdown` answers
-//! it, flips the server-wide flag, and wakes the accept loops by
-//! self-connecting; the loops stop accepting. Idle sessions are drained
-//! by half-closing the read side of every open connection — a session
-//! mid-request finishes and still delivers its reply (the write half
-//! stays open), a session blocked waiting for the next frame sees EOF
-//! and exits. `std::thread::scope` then joins every session thread
-//! before [`Server::run`] returns — a drain, not an abort.
+//! Admission control is two-layered and never queues unbounded work: a
+//! connection beyond the session cap gets one [`code::BUSY`] reply and is
+//! closed, and a request arriving while the work queue is full gets a
+//! `busy` reply on its own id (the connection survives; clients retry).
+//! A request's cancel token is created at *enqueue* time, so a
+//! `deadline_ms` budget covers time spent waiting in the queue, not just
+//! time on a worker.
+//!
+//! Shutdown is graceful: the connection that receives `shutdown` answers
+//! it, flips the server-wide flag, closes the queue, and wakes the accept
+//! loops by self-connecting; the loops stop accepting. Workers finish
+//! every job already queued (closing the queue stops admission, not
+//! delivery), idle connections are drained by half-closing their read
+//! sides, and `std::thread::scope` joins every thread before
+//! [`Server::run`] returns — a drain, not an abort.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use pumpkin_core::trace::Metrics;
+use pumpkin_core::CancelToken;
 use pumpkin_kernel::env::Env;
 use pumpkin_wire::Value;
 
-use crate::proto::{self, code, Frame};
-use crate::session::{Control, Session};
+use crate::proto::{self, code, Frame, Request};
+use crate::session::{self, Control, Session};
 
 /// A thunk that half-closes one connection's read side, unblocking a
-/// session waiting for its next frame without cutting off a reply in
-/// flight.
+/// connection thread waiting for its next frame without cutting off a
+/// reply in flight.
 type ReadCloser = Box<dyn Fn() + Send>;
 
 /// A connection the daemon can serve: readable, writable, and drainable
@@ -74,8 +88,15 @@ pub struct ServerConfig {
     pub unix: Option<PathBuf>,
     /// Per-request worker cap handed to each session's repairs.
     pub jobs: usize,
-    /// Concurrent-session cap; connections beyond it get a `busy` reply.
+    /// Concurrent-connection cap; connections beyond it get one `busy`
+    /// reply and are closed.
     pub max_sessions: usize,
+    /// Worker threads (each owns a long-lived session and its warm
+    /// configuration cache).
+    pub workers: usize,
+    /// Bound on queued-but-unstarted requests; a request past it gets a
+    /// `busy` reply on its own id.
+    pub queue_depth: usize,
     /// Root of the persistent cross-run lift cache, if enabled.
     pub cache_dir: Option<PathBuf>,
 }
@@ -87,33 +108,117 @@ impl Default for ServerConfig {
             unix: None,
             jobs: 1,
             max_sessions: 8,
+            workers: 2,
+            queue_depth: 32,
             cache_dir: None,
         }
     }
 }
 
-/// State shared by accept loops and session threads. Deliberately holds
-/// no `Env` (it is not `Sync`); each accept loop keeps its own warm copy
-/// and clones it per connection.
+/// One queued request: parsed frame, its (enqueue-time) cancel token,
+/// and the channel its reply travels back on.
+struct Job {
+    request: Request,
+    cancel: Option<CancelToken>,
+    reply_tx: mpsc::Sender<(String, Control)>,
+}
+
+/// Why [`WorkQueue::push`] refused a job.
+enum Refusal {
+    /// The queue is at its depth bound.
+    Full,
+    /// The queue is closed (server draining).
+    Closed,
+}
+
+/// A bounded MPMC queue of [`Job`]s: non-blocking bounded push, blocking
+/// pop. Closing stops admission but not delivery — workers keep popping
+/// until the backlog is drained, which is what makes shutdown graceful
+/// for requests already accepted.
+struct WorkQueue {
+    depth: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new(depth: usize) -> WorkQueue {
+        WorkQueue {
+            depth: depth.max(1),
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; hands the job back on refusal so the
+    /// caller can answer on its id.
+    fn push(&self, job: Job) -> Result<(), (Box<Job>, Refusal)> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        if st.closed {
+            return Err((Box::new(job), Refusal::Closed));
+        }
+        if st.jobs.len() >= self.depth {
+            return Err((Box::new(job), Refusal::Full));
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` only once the queue is closed
+    /// *and* drained.
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by accept loops, connection threads, and workers.
+/// Deliberately holds no `Env` (it is not `Sync`); workers own their
+/// clones.
 struct Shared {
     jobs: usize,
     max_sessions: usize,
+    workers: usize,
     cache_dir: Option<PathBuf>,
     metrics: Arc<Mutex<Metrics>>,
+    queue: WorkQueue,
     active: AtomicUsize,
     shutdown: AtomicBool,
     /// Wake targets for draining blocked accept loops.
     tcp_addr: SocketAddr,
     unix_path: Option<PathBuf>,
     /// Read-closers for every live connection, keyed by a connection id
-    /// (each session removes its own entry when it exits).
+    /// (each connection thread removes its own entry when it exits).
     conns: Mutex<HashMap<u64, ReadCloser>>,
     next_conn: AtomicU64,
 }
 
 impl Shared {
     /// Unblocks every accept loop (so it can observe the shutdown flag)
-    /// and every idle session (by half-closing its read side).
+    /// and every idle connection (by half-closing its read side).
     fn wake(&self) {
         let _ = TcpStream::connect(self.tcp_addr);
         #[cfg(unix)]
@@ -165,8 +270,10 @@ impl Server {
             shared: Arc::new(Shared {
                 jobs: cfg.jobs.max(1),
                 max_sessions: cfg.max_sessions.max(1),
+                workers: cfg.workers.max(1),
                 cache_dir: cfg.cache_dir,
                 metrics: Arc::new(Mutex::new(Metrics::new())),
+                queue: WorkQueue::new(cfg.queue_depth),
                 active: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 tcp_addr,
@@ -187,7 +294,8 @@ impl Server {
     }
 
     /// Serves until a client sends `shutdown`, then drains: stops
-    /// accepting, waits for every in-flight session, and returns.
+    /// accepting, lets workers finish the queued backlog, waits for every
+    /// in-flight connection, and returns.
     ///
     /// # Errors
     ///
@@ -202,15 +310,30 @@ impl Server {
             shared,
         } = self;
         std::thread::scope(|s| {
+            for _ in 0..shared.workers {
+                let env = base.clone();
+                let wshared = Arc::clone(&shared);
+                s.spawn(move || worker_loop(env, &wshared));
+            }
             #[cfg(unix)]
             if let Some(ul) = unix {
-                let ubase = base.clone();
                 let ushared = Arc::clone(&shared);
                 s.spawn(move || {
-                    accept_loop(s, || ul.accept().map(|(c, _)| c), &ubase, &ushared);
+                    accept_loop(s, || ul.accept().map(|(c, _)| c), &ushared);
                 });
             }
-            accept_loop(s, || listener.accept().map(|(c, _)| c), &base, &shared);
+            accept_loop(
+                s,
+                || {
+                    listener.accept().map(|(c, _)| {
+                        // Tiny request/reply frames: Nagle + delayed ACK
+                        // would add ~40 ms per round trip.
+                        let _ = c.set_nodelay(true);
+                        c
+                    })
+                },
+                &shared,
+            );
         });
         if let Some(p) = &shared.unix_path {
             let _ = std::fs::remove_file(p);
@@ -219,13 +342,29 @@ impl Server {
     }
 }
 
-/// Accepts until the shutdown flag trips, spawning one session thread
+/// One worker: a long-lived session draining the queue until it closes.
+/// The session (and its configuration cache) outlives every connection.
+fn worker_loop(env: Env, shared: &Shared) {
+    let mut session = Session::new(
+        env,
+        shared.jobs,
+        shared.cache_dir.clone(),
+        Arc::clone(&shared.metrics),
+    );
+    while let Some(job) = shared.queue.pop() {
+        let reply = session.handle_request(&job.request, job.cancel.as_ref());
+        // A connection that gave up (client vanished) just drops the
+        // receiver; the work was already done either way.
+        let _ = job.reply_tx.send(reply);
+    }
+}
+
+/// Accepts until the shutdown flag trips, spawning one connection thread
 /// per admitted connection inside the caller's scope (so the scope's
 /// exit is the drain barrier).
 fn accept_loop<'scope, S>(
     scope: &'scope std::thread::Scope<'scope, '_>,
     mut accept: impl FnMut() -> io::Result<S>,
-    base: &Env,
     shared: &Arc<Shared>,
 ) where
     S: Conn + Send + 'scope,
@@ -265,7 +404,7 @@ fn accept_loop<'scope, S>(
                 .expect("conns lock")
                 .insert(conn_id, closer);
             // A shutdown racing this insert may have already swept the
-            // map; close the read side ourselves so the new session
+            // map; close the read side ourselves so the new connection
             // cannot outlive the drain (closing twice is harmless).
             if shared.shutdown.load(Ordering::Acquire) {
                 if let Some(closer) = shared.conns.lock().expect("conns lock").get(&conn_id) {
@@ -273,14 +412,14 @@ fn accept_loop<'scope, S>(
                 }
             }
         }
-        let env = base.clone();
         let shared = Arc::clone(shared);
         scope.spawn(move || {
-            let wants_shutdown = serve_connection(stream, env, &shared);
+            let wants_shutdown = serve_connection(stream, &shared);
             shared.conns.lock().expect("conns lock").remove(&conn_id);
             shared.active.fetch_sub(1, Ordering::AcqRel);
             if wants_shutdown {
                 shared.shutdown.store(true, Ordering::Release);
+                shared.queue.close();
                 shared.wake();
             }
         });
@@ -289,13 +428,7 @@ fn accept_loop<'scope, S>(
 
 /// Runs one connection's request loop; returns whether the client asked
 /// the whole server to shut down.
-fn serve_connection<S: Read + Write>(stream: S, env: Env, shared: &Shared) -> bool {
-    let mut session = Session::new(
-        env,
-        shared.jobs,
-        shared.cache_dir.clone(),
-        Arc::clone(&shared.metrics),
-    );
+fn serve_connection<S: Read + Write>(stream: S, shared: &Shared) -> bool {
     let mut reader = BufReader::new(stream);
     loop {
         let reply = match proto::read_frame(&mut reader) {
@@ -320,7 +453,7 @@ fn serve_connection<S: Read + Write>(stream: S, env: Env, shared: &Shared) -> bo
             }
             Ok(Frame::Line(bytes)) => match String::from_utf8(bytes) {
                 Ok(line) if line.trim().is_empty() => continue,
-                Ok(line) => session.handle_line(&line),
+                Ok(line) => handle_frame(&line, shared),
                 Err(_) => (
                     proto::err_reply(&Value::Null, code::PARSE, "frame is not UTF-8"),
                     Control::Continue,
@@ -328,12 +461,68 @@ fn serve_connection<S: Read + Write>(stream: S, env: Env, shared: &Shared) -> bo
             },
         };
         let (text, ctl) = reply;
-        if writeln!(reader.get_mut(), "{text}").is_err() {
+        // One write per reply — a separate newline write would sit in
+        // its own packet behind the client's delayed ACK.
+        let mut frame = text.into_bytes();
+        frame.push(b'\n');
+        if reader.get_mut().write_all(&frame).is_err() {
             return false;
         }
         let _ = reader.get_mut().flush();
         if ctl == Control::Shutdown {
             return true;
         }
+    }
+}
+
+/// One frame's journey: parse, answer control methods inline (they need
+/// no environment and must stay responsive while the pool is saturated),
+/// or enqueue a job and wait for its reply. The cancel token is created
+/// *here*, so a request's deadline budget includes its time in the
+/// queue.
+fn handle_frame(line: &str, shared: &Shared) -> (String, Control) {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            return (
+                proto::err_reply(&Value::Null, code::PARSE, &msg),
+                Control::Continue,
+            )
+        }
+    };
+    if let Some(res) = session::control_result(&req.method, &req.params, &shared.metrics) {
+        return match res {
+            Ok((result, ctl)) => (proto::ok_reply(&req.id, result), ctl),
+            Err((c, msg)) => (proto::err_reply(&req.id, c, &msg), Control::Continue),
+        };
+    }
+    let cancel = req
+        .params
+        .get("deadline_ms")
+        .and_then(Value::as_u64)
+        .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        request: req,
+        cancel,
+        reply_tx,
+    };
+    if let Err((job, refusal)) = shared.queue.push(job) {
+        let (c, msg) = match refusal {
+            Refusal::Full => (code::BUSY, "work queue is full; retry later"),
+            Refusal::Closed => (code::SHUTTING_DOWN, "server is draining"),
+        };
+        return (proto::err_reply(&job.request.id, c, msg), Control::Continue);
+    }
+    match reply_rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => (
+            proto::err_reply(
+                &Value::Null,
+                code::REPAIR_FAILED,
+                "worker exited before replying",
+            ),
+            Control::Continue,
+        ),
     }
 }

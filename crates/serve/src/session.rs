@@ -1,4 +1,4 @@
-//! Per-connection request handling.
+//! Per-worker request handling.
 //!
 //! A [`Session`] owns a clone of the daemon's warm environment and
 //! serves requests against *throwaway* copies of it: every repair
@@ -6,14 +6,16 @@
 //! functions of the request (plus the persistent cache, which only
 //! changes *how fast* a reply is computed, never its content). This is
 //! what makes the daemon's replies byte-identical to one-shot runs and
-//! lets concurrent sessions proceed without sharing mutable kernel
+//! lets concurrent workers proceed without sharing mutable kernel
 //! state.
 //!
 //! The one piece of cross-request state inside a session is the
 //! *configuration cache*: running a search procedure (`configure`) is
-//! expensive, so the session keeps the most recent `(spec digest,
-//! configured environment, lifting)` and reuses it while clients keep
-//! asking for the same recipe.
+//! expensive, so the session keeps up to [`MAX_CONFIGS`] recent `(spec
+//! digest, configured environment, lifting)` entries and reuses them
+//! while clients keep asking for the same recipes. Under the worker-pool
+//! server each worker owns one long-lived session, so this warm state
+//! survives across connections instead of dying with each one.
 
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -21,7 +23,7 @@ use std::time::Duration;
 
 use pumpkin_core::trace::Metrics;
 use pumpkin_core::wire::{term_from_envelope, term_to_envelope, LiftSpec, TermDigest, WireError};
-use pumpkin_core::{LiftState, Lifting, NameMap, RepairError, RepairReport, Repairer};
+use pumpkin_core::{CancelToken, LiftState, Lifting, NameMap, RepairError, RepairReport, Repairer};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_wire::Value;
@@ -37,7 +39,12 @@ pub enum Control {
     Shutdown,
 }
 
-/// The most recent configuration, keyed by its spec digest.
+/// Upper bound on cached configurations per session. Eight recipes cover
+/// every lifting kind in the tree with room to spare; beyond that the
+/// least recently used entry (and its configured environment) is dropped.
+const MAX_CONFIGS: usize = 8;
+
+/// One cached configuration, keyed by its spec digest.
 struct Configured {
     digest: TermDigest,
     /// The warm environment *after* the search procedure ran (holds the
@@ -46,18 +53,59 @@ struct Configured {
     lifting: Lifting,
 }
 
-/// One connection's worth of request-handling state.
+/// One worker's worth of request-handling state.
 pub struct Session {
     base: Env,
     jobs: usize,
     cache_dir: Option<PathBuf>,
-    configured: Option<Configured>,
+    /// Most-recently-used first, at most [`MAX_CONFIGS`] entries.
+    configured: Vec<Configured>,
     /// Server-wide cumulative metrics registry; every repair-family
     /// request merges its event-derived counters here.
     metrics: Arc<Mutex<Metrics>>,
 }
 
-type MethodResult = Result<(Value, Control), (&'static str, String)>;
+pub(crate) type MethodResult = Result<(Value, Control), (&'static str, String)>;
+
+/// Handles the environment-free control methods — `ping`, `metrics`,
+/// `shutdown` — or returns `None` for anything else. Shared between
+/// [`Session::dispatch`] and the server's connection threads, which
+/// answer these inline so they stay responsive (and byte-identical)
+/// while the worker pool is saturated.
+pub(crate) fn control_result(
+    method: &str,
+    params: &Value,
+    metrics: &Arc<Mutex<Metrics>>,
+) -> Option<MethodResult> {
+    match method {
+        "ping" => Some(Ok((
+            Value::Obj(vec![
+                ("pong".into(), Value::Bool(true)),
+                ("proto".into(), Value::UInt(u64::from(PROTO_VERSION))),
+                ("wire".into(), Value::str(pumpkin_wire::WIRE_TAG)),
+            ]),
+            Control::Continue,
+        ))),
+        "metrics" => {
+            let canonical = flag(params, "canonical");
+            let m = metrics.lock().expect("metrics lock poisoned");
+            let text = if canonical {
+                m.canonicalize().to_text()
+            } else {
+                m.to_text()
+            };
+            Some(Ok((
+                Value::Obj(vec![("text".into(), Value::str(&text))]),
+                Control::Continue,
+            )))
+        }
+        "shutdown" => Some(Ok((
+            Value::Obj(vec![("draining".into(), Value::Bool(true))]),
+            Control::Shutdown,
+        ))),
+        _ => None,
+    }
+}
 
 impl Session {
     /// A session over a (cloned, warm) base environment. `jobs` is the
@@ -74,7 +122,7 @@ impl Session {
             base,
             jobs: jobs.max(1),
             cache_dir,
-            configured: None,
+            configured: Vec::new(),
             metrics,
         }
     }
@@ -83,50 +131,57 @@ impl Session {
     /// (without trailing newline). Never panics on malformed input —
     /// errors become structured replies and the connection stays open.
     pub fn handle_line(&mut self, line: &str) -> (String, Control) {
-        let req = match proto::parse_request(line) {
-            Ok(r) => r,
-            Err(msg) => {
-                return (
-                    proto::err_reply(&Value::Null, code::PARSE, &msg),
-                    Control::Continue,
-                )
-            }
-        };
-        match self.dispatch(&req) {
+        match proto::parse_request(line) {
+            Ok(req) => self.handle_request(&req, None),
+            Err(msg) => (
+                proto::err_reply(&Value::Null, code::PARSE, &msg),
+                Control::Continue,
+            ),
+        }
+    }
+
+    /// Handles an already-parsed request, optionally under an externally
+    /// owned cancel token. The worker pool creates the token at enqueue
+    /// time (so a request's deadline budget covers its time in the
+    /// queue); standalone callers pass `None` and per-request
+    /// `deadline_ms` params behave as before. The reply bytes are
+    /// identical either way — the token only decides *when* a run is
+    /// cancelled, never what a completed run reports.
+    pub fn handle_request(
+        &mut self,
+        req: &Request,
+        cancel: Option<&CancelToken>,
+    ) -> (String, Control) {
+        match self.dispatch(req, cancel) {
             Ok((result, ctl)) => (proto::ok_reply(&req.id, result), ctl),
             Err((c, msg)) => (proto::err_reply(&req.id, c, &msg), Control::Continue),
         }
     }
 
-    fn dispatch(&mut self, req: &Request) -> MethodResult {
+    fn dispatch(&mut self, req: &Request, cancel: Option<&CancelToken>) -> MethodResult {
         match req.method.as_str() {
-            "ping" => Ok((
-                Value::Obj(vec![
-                    ("pong".into(), Value::Bool(true)),
-                    ("proto".into(), Value::UInt(u64::from(PROTO_VERSION))),
-                    ("wire".into(), Value::str(pumpkin_wire::WIRE_TAG)),
-                ]),
-                Control::Continue,
-            )),
-            "repair" => self.repair(&req.params, true),
-            "repair_module" => self.repair(&req.params, false),
-            "explain" => self.explain(&req.params),
-            "trace_report" => self.trace_report(&req.params),
+            "repair" => self.repair(&req.params, true, cancel),
+            "repair_module" => self.repair(&req.params, false, cancel),
+            "repair_batch" => self.repair_batch(&req.params, cancel),
+            "explain" => self.explain(&req.params, cancel),
+            "trace_report" => self.trace_report(&req.params, cancel),
             "eval" => self.eval(&req.params),
-            "metrics" => self.metrics_text(&req.params),
-            "shutdown" => Ok((
-                Value::Obj(vec![("draining".into(), Value::Bool(true))]),
-                Control::Shutdown,
-            )),
-            other => Err((code::UNKNOWN_METHOD, format!("unknown method `{other}`"))),
+            other => control_result(other, &req.params, &self.metrics).unwrap_or_else(|| {
+                Err((code::UNKNOWN_METHOD, format!("unknown method `{other}`")))
+            }),
         }
     }
 
     /// `repair` (single constant) and `repair_module` (explicit list).
-    fn repair(&mut self, params: &Value, single: bool) -> MethodResult {
+    fn repair(
+        &mut self,
+        params: &Value,
+        single: bool,
+        cancel: Option<&CancelToken>,
+    ) -> MethodResult {
         let names = request_names(params, single)?;
         let deterministic = flag(params, "deterministic");
-        let (report, _env) = self.run_repairer(params, &names, false)?;
+        let (report, _env) = self.run_repairer(params, &names, false, cancel)?;
         let mut wire = report.to_wire();
         if deterministic {
             wire.wall_ns = 0;
@@ -143,11 +198,74 @@ impl Session {
         Ok((Value::Obj(fields), Control::Continue))
     }
 
+    /// `repair_batch`: several independent repair items behind one frame
+    /// and one configuration. Params: a shared `lifting` spec, plus a
+    /// `batch` array whose items each carry `name` (single-constant) or
+    /// `names` (module) and any per-item flags a `repair`/`repair_module`
+    /// request would take. The reply's `results` array holds, per item,
+    /// *exactly* the reply object the equivalent standalone request with
+    /// `"id": null` would have produced — batching amortizes framing and
+    /// configuration, never changes bytes.
+    ///
+    /// A batch-level `deadline_ms` (or the pool's external token) budgets
+    /// the whole batch through one shared token: once it expires, every
+    /// remaining item reports a `deadline` error. Per-item `deadline_ms`
+    /// applies only when no batch-level budget is set.
+    fn repair_batch(&mut self, params: &Value, external: Option<&CancelToken>) -> MethodResult {
+        let items = params.get("batch").and_then(Value::as_arr).ok_or_else(|| {
+            (
+                code::BAD_PARAMS,
+                "repair_batch needs a `batch` array".into(),
+            )
+        })?;
+        if items.is_empty() {
+            return Err((code::BAD_PARAMS, "`batch` must not be empty".into()));
+        }
+        let lifting = params.get("lifting").cloned();
+        let deadline_token = match external {
+            Some(_) => None,
+            None => params
+                .get("deadline_ms")
+                .and_then(Value::as_u64)
+                .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms))),
+        };
+        let token: Option<&CancelToken> = external.or(deadline_token.as_ref());
+        let mut results = Vec::with_capacity(items.len());
+        for item in items {
+            let Some(fields) = item.as_obj() else {
+                results.push(proto::err_reply_value(
+                    &Value::Null,
+                    code::BAD_PARAMS,
+                    "batch items must be objects",
+                ));
+                continue;
+            };
+            // The item's own fields, with the shared lifting spec merged
+            // in (an item-level `lifting` wins).
+            let mut merged = fields.to_vec();
+            if item.get("lifting").is_none() {
+                if let Some(l) = &lifting {
+                    merged.push(("lifting".into(), l.clone()));
+                }
+            }
+            let item_params = Value::Obj(merged);
+            let single = item.get("name").is_some();
+            results.push(match self.repair(&item_params, single, token) {
+                Ok((v, _)) => proto::ok_reply_value(&Value::Null, v),
+                Err((c, m)) => proto::err_reply_value(&Value::Null, c, &m),
+            });
+        }
+        Ok((
+            Value::Obj(vec![("results".into(), Value::Arr(results))]),
+            Control::Continue,
+        ))
+    }
+
     /// `explain`: repair with provenance, then render the paper-style
     /// explanation of where and why the named constant changed.
-    fn explain(&mut self, params: &Value) -> MethodResult {
+    fn explain(&mut self, params: &Value, cancel: Option<&CancelToken>) -> MethodResult {
         let names = request_names(params, true)?;
-        let (report, env) = self.run_repairer(params, &names, true)?;
+        let (report, env) = self.run_repairer(params, &names, true, cancel)?;
         let name = names[0].as_str();
         let p = report.provenance_for(name).ok_or_else(|| {
             (
@@ -183,11 +301,11 @@ impl Session {
     /// `trace_report`: run the repair traced and render the offline
     /// analyzer's report. Deterministic requests get the canonicalized
     /// metrics view instead (the full report quotes wall-clock times).
-    fn trace_report(&mut self, params: &Value) -> MethodResult {
+    fn trace_report(&mut self, params: &Value, cancel: Option<&CancelToken>) -> MethodResult {
         let names = request_names(params, false)?;
         let deterministic = flag(params, "deterministic");
         let top_k = params.get("top").and_then(Value::as_u64).unwrap_or(5) as usize;
-        let (report, _env) = self.run_repairer(params, &names, false)?;
+        let (report, _env) = self.run_repairer(params, &names, false, cancel)?;
         let text = if deterministic {
             Metrics::from_events(report.trace_events())
                 .canonicalize()
@@ -227,30 +345,15 @@ impl Session {
         ))
     }
 
-    /// `metrics`: the server-wide cumulative registry; `canonical: true`
-    /// returns the job-count-invariant projection.
-    fn metrics_text(&mut self, params: &Value) -> MethodResult {
-        let canonical = flag(params, "canonical");
-        let m = self.metrics.lock().expect("metrics lock poisoned");
-        let text = if canonical {
-            m.canonicalize().to_text()
-        } else {
-            m.to_text()
-        };
-        Ok((
-            Value::Obj(vec![("text".into(), Value::str(&text))]),
-            Control::Continue,
-        ))
-    }
-
     /// The shared run path for repair/explain/trace_report: resolve the
-    /// lifting spec (configuring if it differs from the cached one),
-    /// clone the configured environment, and run a [`Repairer`] over it.
+    /// lifting spec (configuring unless it is already cached), clone the
+    /// configured environment, and run a [`Repairer`] over it.
     fn run_repairer(
         &mut self,
         params: &Value,
         names: &[String],
         provenance: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<(RepairReport, Env), (&'static str, String)> {
         let spec_value = params
             .get("lifting")
@@ -258,7 +361,7 @@ impl Session {
         let spec =
             LiftSpec::from_value(spec_value).map_err(|e| (code::BAD_PARAMS, e.to_string()))?;
         self.ensure_configured(&spec)?;
-        let cfg = self.configured.as_ref().expect("just configured");
+        let cfg = &self.configured[0];
 
         let jobs = params
             .get("jobs")
@@ -271,7 +374,9 @@ impl Session {
             .state(&mut st)
             .trace(true)
             .provenance(provenance);
-        if let Some(ms) = params.get("deadline_ms").and_then(Value::as_u64) {
+        if let Some(tok) = cancel {
+            repairer = repairer.cancel(tok.clone());
+        } else if let Some(ms) = params.get("deadline_ms").and_then(Value::as_u64) {
             repairer = repairer.deadline(Duration::from_millis(ms));
         }
         if let Some(dir) = &self.cache_dir {
@@ -289,18 +394,26 @@ impl Session {
         Ok((report, env))
     }
 
+    /// Moves the configuration for `spec` to the front of the cache,
+    /// running its search procedure if it is not cached yet (and evicting
+    /// the least recently used entry beyond [`MAX_CONFIGS`]).
     fn ensure_configured(&mut self, spec: &LiftSpec) -> Result<(), (&'static str, String)> {
         let digest = spec.digest();
-        if self.configured.as_ref().is_some_and(|c| c.digest == digest) {
+        if let Some(pos) = self.configured.iter().position(|c| c.digest == digest) {
+            self.configured[..=pos].rotate_right(1);
             return Ok(());
         }
         let mut env = self.base.clone();
         let lifting = build_lifting(&mut env, spec).map_err(|msg| (code::REPAIR_FAILED, msg))?;
-        self.configured = Some(Configured {
-            digest,
-            env,
-            lifting,
-        });
+        self.configured.insert(
+            0,
+            Configured {
+                digest,
+                env,
+                lifting,
+            },
+        );
+        self.configured.truncate(MAX_CONFIGS);
         Ok(())
     }
 }

@@ -124,6 +124,259 @@ fn merged_metrics_canonicalize_identically_across_job_counts() {
     );
 }
 
+/// With one worker and a one-deep queue, concurrent requests must see
+/// `busy` (queue full), and a retry after the backlog clears must
+/// succeed — the queue sheds load, it does not drop connections.
+#[test]
+fn full_work_queue_returns_busy_and_recovers() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        max_sessions: 16,
+        ..ServerConfig::default()
+    });
+    // Occupy the only worker with a long batch (eight module repairs —
+    // debug-build minutes of headroom compared to the millisecond sends
+    // below).
+    let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
+    let all = pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    let long_line = format!(
+        r#"{{"id":1,"method":"repair_batch","params":{{"lifting":{},"batch":[{}],"deterministic":true}}}}"#,
+        spec.to_value(),
+        (0..8)
+            .map(|_| format!(r#"{{"names":[{all}],"deterministic":true}}"#))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let short_line = repair_module_line(2, &["Old.rev"]);
+    let (busy_count, replies) = std::thread::scope(|s| {
+        let addr_long = addr.clone();
+        let long = s.spawn(move || {
+            let mut c = Client::connect(&addr_long).expect("connect long");
+            c.call_raw(&long_line).expect("long call")
+        });
+        // Give the long batch time to reach the worker before saturating
+        // the queue.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let shorts: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                let line = short_line.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect short");
+                    c.call_raw(&line).expect("short call")
+                })
+            })
+            .collect();
+        let replies: Vec<String> = shorts.into_iter().map(|h| h.join().unwrap()).collect();
+        let busy = replies
+            .iter()
+            .filter(|r| r.contains("\"code\":\"busy\""))
+            .count();
+        let long_reply = long.join().unwrap();
+        assert!(long_reply.contains("\"ok\":true"), "{long_reply}");
+        (busy, replies)
+    });
+    // Worker occupied + queue depth 1 ⇒ at most one short request could
+    // be admitted; the rest must have been refused as busy.
+    assert!(
+        busy_count >= 3,
+        "expected >=3 busy refusals, got {busy_count}: {replies:?}"
+    );
+    for r in &replies {
+        assert!(
+            r.contains("\"ok\":true") || r.contains("\"code\":\"busy\""),
+            "unexpected reply under saturation: {r}"
+        );
+    }
+    // Backpressure is temporary: once the backlog drains, the same
+    // request succeeds on a fresh connection.
+    let mut c = Client::connect(&addr).expect("reconnect");
+    let reply = c.call_raw(&short_line).expect("retry");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    drop(c);
+    shutdown(&addr);
+    handle.join().unwrap();
+}
+
+/// Shutdown must drain queued work: requests already admitted to the
+/// queue get real replies, not aborts, even though the request that
+/// asked for the drain was answered before they ran.
+#[test]
+fn graceful_drain_completes_queued_work() {
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        max_sessions: 16,
+        ..ServerConfig::default()
+    });
+    let slow_line = repair_module_line(
+        1,
+        pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS
+            .to_vec()
+            .as_slice(),
+    );
+    let quick_line = repair_module_line(2, &["Old.rev"]);
+    let replies: Vec<String> = std::thread::scope(|s| {
+        let addr_slow = addr.clone();
+        let slow = s.spawn(move || {
+            let mut c = Client::connect(&addr_slow).expect("connect slow");
+            c.call_raw(&slow_line).expect("slow call")
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Two requests that will sit in the queue behind the slow one.
+        let queued: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                let line = quick_line.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect queued");
+                    c.call_raw(&line).expect("queued call")
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // The shutdown request is answered inline (control methods skip
+        // the queue), so it cannot be stuck behind the backlog.
+        shutdown(&addr);
+        let mut replies = vec![slow.join().unwrap()];
+        replies.extend(queued.into_iter().map(|h| h.join().unwrap()));
+        replies
+    });
+    handle.join().unwrap();
+    for r in &replies {
+        assert!(
+            r.contains("\"ok\":true"),
+            "queued work dropped by the drain: {r}"
+        );
+    }
+}
+
+/// A batch-level deadline cancels mid-batch: completed items keep their
+/// replies, every item after the expiry reports `deadline`, and the
+/// error prefix/suffix structure is monotone (no ok after the first
+/// cancellation).
+#[test]
+fn batch_deadline_cancels_remaining_items_over_sockets() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
+    let all = pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS
+        .iter()
+        .map(|n| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    let items = (0..6)
+        .map(|_| format!(r#"{{"names":[{all}],"deterministic":true}}"#))
+        .collect::<Vec<_>>()
+        .join(",");
+    let line = format!(
+        r#"{{"id":1,"method":"repair_batch","params":{{"lifting":{},"batch":[{items}],"deadline_ms":50}}}}"#,
+        spec.to_value()
+    );
+    let mut c = Client::connect(&addr).expect("connect");
+    let reply = c.call_raw(&line).expect("batch call");
+    let v = Value::parse(&reply).expect("parse reply");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{reply}");
+    let results = v
+        .get("result")
+        .and_then(|r| r.get("results"))
+        .and_then(Value::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), 6);
+    let states: Vec<bool> = results
+        .iter()
+        .map(|r| r.get("ok") == Some(&Value::Bool(true)))
+        .collect();
+    // Six debug-build module repairs cannot fit in 50 ms; the tail must
+    // have been cancelled.
+    assert!(states.contains(&false), "no item hit the deadline: {reply}");
+    for r in results
+        .iter()
+        .filter(|r| r.get("ok") == Some(&Value::Bool(false)))
+    {
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some("deadline"),
+            "{reply}"
+        );
+    }
+    // Monotone: one shared token, so once an item is cancelled, every
+    // later item is too.
+    let first_err = states.iter().position(|ok| !ok).unwrap();
+    assert!(
+        states[first_err..].iter().all(|ok| !ok),
+        "ok after a cancelled item: {states:?}"
+    );
+    // The session survives the cancellation.
+    let reply = c
+        .call_raw(&repair_module_line(2, &["Old.rev"]))
+        .expect("after");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    drop(c);
+    shutdown(&addr);
+    handle.join().unwrap();
+}
+
+/// `repair_batch` replies embed, per item, exactly the bytes the
+/// equivalent standalone request with `"id": null` would produce — at
+/// every worker count.
+#[test]
+fn repair_batch_matches_per_request_replies_across_job_counts() {
+    let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
+    let items = [
+        r#"{"name":"Old.rev","deterministic":true}"#,
+        r#"{"names":["Old.app","Old.rev_involutive"],"deterministic":true}"#,
+        r#"{"name":"Old.length","deterministic":true}"#,
+        r#"{"name":"Old.missing","deterministic":true}"#,
+    ];
+    for jobs in [1usize, 2, 4] {
+        let metrics = Arc::new(Mutex::new(pumpkin_core::trace::Metrics::new()));
+        let mut s = Session::new(pumpkin_stdlib::std_env(), jobs, None, metrics);
+        let batch_line = format!(
+            r#"{{"id":1,"method":"repair_batch","params":{{"lifting":{},"batch":[{}]}}}}"#,
+            spec.to_value(),
+            items.join(",")
+        );
+        let (batch_reply, _) = s.handle_line(&batch_line);
+        let v = Value::parse(&batch_reply).expect("parse batch reply");
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{batch_reply}");
+        let results = v
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .and_then(Value::as_arr)
+            .expect("results array")
+            .to_vec();
+        assert_eq!(results.len(), items.len());
+        for (item, batched) in items.iter().zip(&results) {
+            let item_v = Value::parse(item).unwrap();
+            let method = if item_v.get("name").is_some() {
+                "repair"
+            } else {
+                "repair_module"
+            };
+            // The standalone equivalent: same params plus the shared
+            // lifting spec, with a null id.
+            let single_line = format!(
+                r#"{{"id":null,"method":"{method}","params":{{"lifting":{},{}}}}}"#,
+                spec.to_value(),
+                item.trim_start_matches('{').trim_end_matches('}')
+            );
+            let (single_reply, _) = s.handle_line(&single_line);
+            assert_eq!(
+                batched.to_string(),
+                single_reply,
+                "jobs={jobs}: batch entry diverged from the standalone reply"
+            );
+        }
+    }
+}
+
 #[test]
 fn session_cap_returns_busy_and_recovers() {
     let (addr, handle) = spawn_server(ServerConfig {

@@ -143,6 +143,27 @@ pub struct Sample {
 }
 
 impl Sample {
+    /// A sample from externally collected times (sorted here, so callers
+    /// need not maintain the ordering invariant themselves).
+    pub fn from_times(id: impl Into<String>, mut times_ns: Vec<u64>) -> Sample {
+        assert!(!times_ns.is_empty(), "Sample::from_times with no times");
+        times_ns.sort_unstable();
+        Sample {
+            id: id.into(),
+            times_ns,
+        }
+    }
+
+    /// A one-value sample — the natural carrier for derived statistics
+    /// (a percentile, an inverse throughput) in a `pumpkin-bench/v1`
+    /// report, where the guard reads `median_ns`.
+    pub fn single(id: impl Into<String>, ns: u64) -> Sample {
+        Sample {
+            id: id.into(),
+            times_ns: vec![ns],
+        }
+    }
+
     /// Median time per iteration.
     pub fn median(&self) -> Duration {
         Duration::from_nanos(self.times_ns[self.times_ns.len() / 2])
@@ -157,6 +178,113 @@ impl Sample {
     pub fn max(&self) -> Duration {
         Duration::from_nanos(*self.times_ns.last().unwrap())
     }
+}
+
+/// A latency recorder with exact percentiles.
+///
+/// Keeps every recorded value (load runs are tens of thousands of
+/// samples, not billions, so exactness is affordable) and computes
+/// nearest-rank percentiles over the sorted set. Per-thread recorders
+/// [`merge`](LatencyHistogram::merge) into one before summarizing.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty recorder.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation, in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.samples.push(ns);
+    }
+
+    /// Folds another recorder's observations into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let total: u128 = self.samples.iter().map(|&t| t as u128).sum();
+        (total / self.samples.len() as u128) as u64
+    }
+
+    /// The largest recorded value (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile: the smallest recorded value such that at
+    /// least `p`% of observations are ≤ it. `p` is clamped to [0, 100];
+    /// an empty recorder reports 0. `percentile(50.0)` is the median.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.percentiles(&[p])[0]
+    }
+
+    /// Several nearest-rank percentiles over one shared sort.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<u64> {
+        if self.samples.is_empty() {
+            return vec![0; ps.len()];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        ps.iter()
+            .map(|&p| {
+                let p = p.clamp(0.0, 100.0);
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+/// Renders samples in the `pumpkin-bench/v1` JSON-lines format: a schema
+/// header (carrying the nominal per-row sample count), then one object
+/// per sample. [`Bench::to_json_lines`] and `pumpkin loadgen` both emit
+/// through this, so CI's bench guard reads one format everywhere.
+pub fn json_lines(nominal_samples: usize, rows: &[Sample]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"pumpkin-bench/v1\",\"samples\":{nominal_samples}}}\n",
+    ));
+    for s in rows {
+        // Bench ids are plain ASCII identifiers; quote-escape anyway so
+        // the output is always valid JSON.
+        let id: String =
+            s.id.chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c => vec![c],
+                })
+                .collect();
+        let times: Vec<String> = s.times_ns.iter().map(|t| t.to_string()).collect();
+        out.push_str(&format!(
+            "{{\"id\":\"{id}\",\"samples\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"times_ns\":[{}]}}\n",
+            s.times_ns.len(),
+            s.median().as_nanos(),
+            s.min().as_nanos(),
+            s.max().as_nanos(),
+            times.join(",")
+        ));
+    }
+    out
 }
 
 /// The `PUMPKIN_JOBS` override, if set to a positive integer (the same
@@ -325,32 +453,7 @@ impl Bench {
     /// Renders the recorded samples as JSON lines: a schema header, then
     /// one object per sample (the `--json PATH` / `BENCH_*.json` format).
     pub fn to_json_lines(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{{\"schema\":\"pumpkin-bench/v1\",\"samples\":{}}}\n",
-            self.samples
-        ));
-        for s in &self.results {
-            // Bench ids are plain ASCII identifiers; quote-escape anyway so
-            // the output is always valid JSON.
-            let id: String =
-                s.id.chars()
-                    .flat_map(|c| match c {
-                        '"' | '\\' => vec!['\\', c],
-                        c => vec![c],
-                    })
-                    .collect();
-            let times: Vec<String> = s.times_ns.iter().map(|t| t.to_string()).collect();
-            out.push_str(&format!(
-                "{{\"id\":\"{id}\",\"samples\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"times_ns\":[{}]}}\n",
-                s.times_ns.len(),
-                s.median().as_nanos(),
-                s.min().as_nanos(),
-                s.max().as_nanos(),
-                times.join(",")
-            ));
-        }
-        out
+        json_lines(self.samples, &self.results)
     }
 
     /// Prints a closing summary line (and writes the `--json` report if one
@@ -423,6 +526,41 @@ mod tests {
         let mut b2 = Bench::new();
         b2.jobs = Some(3);
         assert_eq!(b2.jobs(), Some(3));
+    }
+
+    #[test]
+    fn histogram_percentiles_are_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        for v in 1..=100u64 {
+            h.record(v * 10);
+        }
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.percentile(50.0), 500);
+        assert_eq!(h.percentile(95.0), 950);
+        assert_eq!(h.percentile(99.0), 990);
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.mean_ns(), 505);
+        assert_eq!(h.max_ns(), 1000);
+        // Merging is observation-union: percentiles see both recorders.
+        let mut other = LatencyHistogram::new();
+        other.record(2000);
+        h.merge(&other);
+        assert_eq!(h.percentile(100.0), 2000);
+        assert_eq!(h.len(), 101);
+    }
+
+    #[test]
+    fn single_value_samples_carry_derived_stats() {
+        let s = Sample::single("serve_load/p99", 1234);
+        assert_eq!(s.median().as_nanos(), 1234);
+        let s = Sample::from_times("x", vec![3, 1, 2]);
+        assert_eq!(s.times_ns, vec![1, 2, 3]);
+        let json = json_lines(1, &[s]);
+        assert!(json.lines().count() == 2);
+        assert!(json.contains("\"median_ns\":2"));
     }
 
     #[test]

@@ -438,8 +438,24 @@ impl<'a> Cursor<'a> {
         Err(WireError::Syntax("varint too long".into()))
     }
 
+    /// A varint narrowed to `usize` with an explicit range check. A plain
+    /// `as` cast would silently wrap on 32-bit targets, letting a
+    /// non-canonical frame (whose digest was computed over the wrapped
+    /// value) decode to a different term than its bytes spell.
+    fn varint_usize(&mut self) -> Result<usize, WireError> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| WireError::Syntax(format!("varint {v} overflows usize")))
+    }
+
+    /// A varint narrowed to `u32`, rejecting out-of-range values for the
+    /// same reason as [`Cursor::varint_usize`].
+    fn varint_u32(&mut self) -> Result<u32, WireError> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| WireError::Syntax(format!("varint {v} overflows u32")))
+    }
+
     fn string(&mut self) -> Result<String, WireError> {
-        let len = self.varint()? as usize;
+        let len = self.varint_usize()?;
         if len > self.bytes.len() - self.pos {
             return Err(WireError::Truncated);
         }
@@ -461,7 +477,7 @@ impl<'a> Cursor<'a> {
     /// the remaining length is malformed (and would otherwise let a tiny
     /// frame request a huge allocation).
     fn count(&mut self) -> Result<usize, WireError> {
-        let n = self.varint()? as usize;
+        let n = self.varint_usize()?;
         if n > self.bytes.len() - self.pos {
             return Err(WireError::Truncated);
         }
@@ -473,15 +489,15 @@ impl<'a> Cursor<'a> {
             return Err(WireError::TooDeep);
         }
         match self.byte()? {
-            0 => Ok(Term::rel(self.varint()? as usize)),
+            0 => Ok(Term::rel(self.varint_usize()?)),
             1 => Ok(Term::prop()),
             2 => Ok(Term::set()),
-            3 => Ok(Term::type_(self.varint()? as u32)),
+            3 => Ok(Term::type_(self.varint_u32()?)),
             4 => Ok(Term::const_(self.string()?)),
             5 => Ok(Term::ind(self.string()?)),
             6 => {
                 let n = self.string()?;
-                Ok(Term::construct(n, self.varint()? as usize))
+                Ok(Term::construct(n, self.varint_usize()?))
             }
             7 => {
                 let head = self.term(depth + 1)?;
@@ -816,6 +832,36 @@ mod tests {
         // A count prefix larger than the remaining payload must not
         // allocate or loop.
         assert!(decode_decl(&bytes).is_err()); // term frame as decl
+    }
+
+    /// Overflowing varints must reject the frame, not wrap. The second
+    /// case is the dangerous one: the digest is precomputed over the
+    /// *wrapped* value, so before the checked narrowing the frame decoded
+    /// "successfully" to a term its bytes do not spell — a non-canonical
+    /// encoding the digest check cannot catch.
+    #[test]
+    fn overflowing_varints_are_rejected() {
+        // Type universe far beyond u32: plain rejection.
+        let mut payload = vec![3u8];
+        put_varint(&mut payload, u64::MAX);
+        let bytes = frame(KIND_TERM, TermDigest(0), payload);
+        assert!(matches!(decode_term(&bytes), Err(WireError::Syntax(m)) if m.contains("overflow")));
+
+        // Type universe 5 + 2^33 wraps to 5 under `as u32`; pair it with
+        // the digest of Type(5) so only the overflow check can refuse it.
+        let mut payload = vec![3u8];
+        put_varint(&mut payload, 5 + (1u64 << 33));
+        let bytes = frame(KIND_TERM, TermDigest::of_term(&Term::type_(5)), payload);
+        assert!(matches!(decode_term(&bytes), Err(WireError::Syntax(m)) if m.contains("overflow")));
+
+        // A huge string-length prefix inside a decl frame's name field is
+        // rejected before any allocation (as overflow on 32-bit targets,
+        // as truncation on 64-bit ones) — never accepted.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, u64::MAX - 7);
+        payload.extend_from_slice(b"\x00\x00");
+        let bytes = frame(KIND_DECL, TermDigest(0), payload);
+        assert!(decode_decl(&bytes).is_err());
     }
 
     #[test]

@@ -112,6 +112,39 @@ if [ -n "$cold" ] && [ -n "$warm" ]; then
     fi
 fi
 
+# Batch amortization, asserted in-run: one repair_batch frame over the
+# 13-constant swap module must cost at most 0.8x of 13 individual repair
+# RPCs (same repairs, same invocation — the delta is framing, connects,
+# and queue handoffs the batch saves).
+rpc13=$(median "$new" 'repair_batch/rpc13')
+batch13=$(median "$new" 'repair_batch/batch13')
+if [ -n "$rpc13" ] && [ -n "$batch13" ]; then
+    echo "bench_guard: repair_batch batch13 ${batch13} ns vs rpc13 ${rpc13} ns (need batch13 <= 0.8 * rpc13)"
+    if [ $((batch13 * 10)) -gt $((rpc13 * 8)) ]; then
+        echo "bench_guard: REGRESSION: repair_batch no longer amortizes 13 RPCs to <=0.8x" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
+# Loadgen sanity, asserted in-run: when a report carries serve_load rows
+# they must be complete (p50/p95/p99/throughput), nonzero, and ordered —
+# a zero percentile or p50 > p99 means the generator measured nothing.
+sl_p50=$(median "$new" 'serve_load/p50')
+if [ -n "$sl_p50" ]; then
+    sl_p95=$(median "$new" 'serve_load/p95')
+    sl_p99=$(median "$new" 'serve_load/p99')
+    sl_tput=$(median "$new" 'serve_load/throughput')
+    echo "bench_guard: serve_load p50 ${sl_p50} ns, p95 ${sl_p95:-MISSING} ns, p99 ${sl_p99:-MISSING} ns, ${sl_tput:-MISSING} ns/req"
+    if [ -z "$sl_p95" ] || [ -z "$sl_p99" ] || [ -z "$sl_tput" ]; then
+        echo "bench_guard: REGRESSION: serve_load rows are incomplete" >&2
+        failures=$((failures + 1))
+    elif [ "$sl_p50" -eq 0 ] || [ "$sl_tput" -eq 0 ] ||
+        [ "$sl_p50" -gt "$sl_p95" ] || [ "$sl_p95" -gt "$sl_p99" ]; then
+        echo "bench_guard: REGRESSION: serve_load percentiles are zero or unordered" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
 if [ "$failures" -gt 0 ]; then
     echo "bench_guard: $failures regression(s)" >&2
     exit 1

@@ -55,18 +55,34 @@ timeout 300 cargo run -q --release --locked --example serve_roundtrip >/dev/null
 
 # Smoke-run the parallel-repair + observability bench rows so scheduler or
 # probe regressions surface here, not only in full EXPERIMENTS.md runs,
-# plus the PR 5 service rows: the cross-run lift cache cold vs warm (the
-# guard asserts warm is at least 5x faster) and the daemon round-trip
-# latency. The run writes a pumpkin-bench/v1 JSON report that the guard
-# gates row by row against the most recent committed baseline.
-echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve_roundtrip → BENCH_pr5.json"
+# plus the service rows: the cross-run lift cache cold vs warm (the guard
+# asserts warm is at least 5x faster), the daemon round-trip latency, and
+# the PR 6 batch-amortization pair (the guard asserts one repair_batch
+# frame over the 13-constant module costs at most 0.8x of 13 individual
+# repair RPCs). The run writes a pumpkin-bench/v1 JSON report that the
+# guard gates row by row against the most recent committed baseline.
+echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve rows → BENCH_pr6.json"
 # Absolute path: cargo runs the bench binary with cwd = the package dir.
+# Sample size 9: the batch-vs-rpc in-run gate needs a stable median on a
+# noisy single-CPU container.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
-    --sample-size 5 \
-    --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip \
-    --json "$(pwd)/BENCH_pr5.json"
+    --sample-size 9 \
+    --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip,repair_batch \
+    --json "$(pwd)/BENCH_pr6.json"
+
+# Loadgen smoke: a seed-replayable closed-loop run against a self-hosted
+# worker-pool daemon; its serve_load/{p50,p95,p99,throughput} rows join
+# the same report (the header line of the loadgen output is dropped —
+# BENCH_pr6.json already has one).
+echo "==> loadgen smoke (closed loop, 16 clients) → serve_load rows"
+loadgen_json=$(mktemp)
+timeout 300 ./target/release/pumpkin loadgen \
+    --mode closed --clients 16 --requests 4 --workers 2 --seed 7 \
+    --json "$loadgen_json"
+tail -n +2 "$loadgen_json" >> BENCH_pr6.json
+rm -f "$loadgen_json"
 
 echo "==> bench guard (auto baseline)"
-scripts/bench_guard.sh BENCH_pr5.json
+scripts/bench_guard.sh BENCH_pr6.json
 
 echo "==> all checks passed"

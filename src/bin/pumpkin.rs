@@ -26,8 +26,12 @@ use pumpkin_wire::{LiftSpec, Value};
 
 const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <script.pi | ->\n\
                      \x20      pumpkin trace-report [--lint] [--top K] <file.jsonl> [file2.jsonl]\n\
-                     \x20      pumpkin serve [--listen ADDR] [--unix PATH] [--jobs N] [--max-sessions N] [--cache-dir DIR]\n\
-                     \x20      pumpkin client --connect ADDR <ping|shutdown|metrics|repair-module|explain|call> [args]";
+                     \x20      pumpkin serve [--listen ADDR] [--unix PATH] [--jobs N] [--max-sessions N]\n\
+                     \x20                    [--workers N] [--queue-depth N] [--cache-dir DIR]\n\
+                     \x20      pumpkin client --connect ADDR <ping|shutdown|metrics|repair-module|explain|call> [args]\n\
+                     \x20      pumpkin loadgen [--connect ADDR] [--mode closed|open] [--clients N] [--requests N]\n\
+                     \x20                      [--rate R] [--duration-ms D] [--seed S] [--workers N]\n\
+                     \x20                      [--queue-depth N] [--jobs N] [--json PATH]";
 
 fn serve(argv: &[String]) -> ExitCode {
     let mut cfg = ServerConfig {
@@ -65,6 +69,20 @@ fn serve(argv: &[String]) -> ExitCode {
                 Ok(Ok(n)) => cfg.max_sessions = n.max(1),
                 _ => {
                     eprintln!("--max-sessions needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match take("--workers").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) => cfg.workers = n.max(1),
+                _ => {
+                    eprintln!("--workers needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--queue-depth" => match take("--queue-depth").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) => cfg.queue_depth = n.max(1),
+                _ => {
+                    eprintln!("--queue-depth needs a number\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -316,6 +334,91 @@ fn client(argv: &[String]) -> ExitCode {
     }
 }
 
+fn loadgen(argv: &[String]) -> ExitCode {
+    use pumpkin_pi::loadgen::{LoadgenConfig, Mode};
+    let mut cfg = LoadgenConfig::default();
+    let mut json_out: Option<String> = None;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let value = |args: &mut std::slice::Iter<'_, String>| {
+            args.next().cloned().ok_or_else(|| {
+                eprintln!("{arg} needs a value\n{USAGE}");
+            })
+        };
+        let number = |args: &mut std::slice::Iter<'_, String>| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    eprintln!("{arg} needs a number\n{USAGE}");
+                })
+        };
+        let result = match arg.as_str() {
+            "--connect" => value(&mut args).map(|v| cfg.connect = Some(v)),
+            "--json" => value(&mut args).map(|v| json_out = Some(v)),
+            "--mode" => match value(&mut args).as_deref() {
+                Ok("closed") => {
+                    cfg.mode = Mode::Closed;
+                    Ok(())
+                }
+                Ok("open") => {
+                    cfg.mode = Mode::Open;
+                    Ok(())
+                }
+                Ok(other) => {
+                    eprintln!("--mode must be closed or open, not `{other}`\n{USAGE}");
+                    Err(())
+                }
+                Err(()) => Err(()),
+            },
+            "--clients" => number(&mut args).map(|n| cfg.clients = (n as usize).max(1)),
+            "--requests" => number(&mut args).map(|n| cfg.requests = (n as usize).max(1)),
+            "--duration-ms" => number(&mut args).map(|n| cfg.duration_ms = n.max(1)),
+            "--seed" => number(&mut args).map(|n| cfg.seed = n),
+            "--workers" => number(&mut args).map(|n| cfg.workers = (n as usize).max(1)),
+            "--queue-depth" => number(&mut args).map(|n| cfg.queue_depth = (n as usize).max(1)),
+            "--jobs" => number(&mut args).map(|n| cfg.jobs = (n as usize).max(1)),
+            "--rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => {
+                    cfg.rate = r;
+                    Ok(())
+                }
+                _ => {
+                    eprintln!("--rate needs a positive number\n{USAGE}");
+                    Err(())
+                }
+            },
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                Err(())
+            }
+        };
+        if result.is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    match pumpkin_pi::loadgen::run(&cfg) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            if let Some(path) = json_out {
+                if let Err(e) = std::fs::write(&path, report.to_json_lines()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("loadgen: wrote {path}");
+            }
+            if report.completed == 0 {
+                eprintln!("loadgen: no request completed");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn trace_report(argv: &[String]) -> ExitCode {
     use pumpkin_core::trace::report;
     let mut lint = false;
@@ -388,6 +491,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("client") {
         return client(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("loadgen") {
+        return loadgen(&argv[1..]);
     }
     let mut session = Session::new();
     let mut path: Option<String> = None;

@@ -33,6 +33,7 @@
 
 pub mod case_studies;
 pub mod cli;
+pub mod loadgen;
 
 pub use pumpkin_core;
 pub use pumpkin_kernel;
@@ -40,6 +41,7 @@ pub use pumpkin_lang;
 pub use pumpkin_serve;
 pub use pumpkin_stdlib;
 pub use pumpkin_tactics;
+pub use pumpkin_testkit;
 pub use pumpkin_wire;
 
 use pumpkin_core::{LiftState, Lifting};

@@ -50,11 +50,17 @@ fn requests() -> Vec<String> {
             term_to_envelope(&sum)
         ),
         r#"{"id":7,"method":"metrics","params":{"canonical":true}}"#.to_string(),
+        // One frame, several repairs: each results entry must be the
+        // byte-identical standalone reply with a null id.
+        format!(
+            r#"{{"id":8,"method":"repair_batch","params":{{"lifting":{spec},"batch":[{{"name":"Old.rev","deterministic":true}},{{"names":["Old.app","Old.rev_involutive"],"deterministic":true}}]}}}}"#
+        ),
         // Error paths are part of the protocol surface too.
-        r#"{"id":8,"method":"repair","params":{"name":"Old.rev"}}"#.to_string(),
-        r#"{"id":9,"method":"no_such_method"}"#.to_string(),
+        r#"{"id":9,"method":"repair_batch","params":{"batch":[]}}"#.to_string(),
+        r#"{"id":10,"method":"repair","params":{"name":"Old.rev"}}"#.to_string(),
+        r#"{"id":11,"method":"no_such_method"}"#.to_string(),
         r#"not json"#.to_string(),
-        r#"{"id":10,"method":"shutdown"}"#.to_string(),
+        r#"{"id":12,"method":"shutdown"}"#.to_string(),
     ]
 }
 
