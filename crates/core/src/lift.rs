@@ -17,6 +17,7 @@ use std::collections::{HashMap, HashSet};
 
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::error::KernelError;
+use pumpkin_kernel::intern::TermId;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_kernel::term::{Binder, ElimData, Term, TermData};
 
@@ -98,8 +99,9 @@ impl std::fmt::Display for LiftStats {
 pub struct LiftState {
     /// Already-repaired constants: old name → new name.
     pub const_map: HashMap<GlobalName, GlobalName>,
-    /// Memoized liftings of closed subterms.
-    term_cache: HashMap<Term, Term>,
+    /// Memoized liftings of closed subterms, keyed by the hash-consed
+    /// [`TermId`] — an integer compare per probe, no tree hashing.
+    term_cache: HashMap<TermId, Term>,
     /// Whether the closed-subterm cache is consulted (ablatable).
     pub cache_enabled: bool,
     /// Constants currently being repaired (cycle/termination guard).
@@ -313,7 +315,7 @@ pub fn lift_term(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Re
 
     let cacheable = st.cache_enabled && t.is_closed();
     if cacheable {
-        if let Some(hit) = st.term_cache.get(t) {
+        if let Some(hit) = st.term_cache.get(&t.id()) {
             let hit = hit.clone();
             st.stats.cache_hits += 1;
             env.tracer().emit(pumpkin_trace::EventKind::CacheHit {
@@ -334,7 +336,7 @@ pub fn lift_term(env: &mut Env, l: &Lifting, st: &mut LiftState, t: &Term) -> Re
 
     if cacheable {
         st.stats.cache_misses += 1;
-        st.term_cache.insert(t.clone(), out.clone());
+        st.term_cache.insert(t.id(), out.clone());
     }
     Ok(out)
 }

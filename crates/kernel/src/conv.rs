@@ -1,4 +1,13 @@
 //! Definitional equality (conversion) and cumulativity.
+//!
+//! The deciding engine is normalization by evaluation ([`crate::nbe`]):
+//! both sides are evaluated once into a value domain and compared there,
+//! instead of being repeatedly rewritten to weak head normal form. This
+//! module owns the public entry points — the syntactic fast path, the
+//! per-[`Env`] `(TermId, TermId)` memo table, statistics, and tracing —
+//! and retains the original whnf-rewriting checker
+//! ([`conv_via_whnf`] / [`conv_leq_via_whnf`]) as a differential-testing
+//! oracle.
 
 use crate::env::Env;
 use crate::reduce::whnf;
@@ -7,16 +16,43 @@ use crate::term::{Term, TermData};
 
 /// Are `t` and `u` definitionally equal (βδιζη-convertible)?
 ///
-/// The `t == u` check is O(1) in practice (pointer identity, then the
-/// precomputed structural hash); everything past it is memoized on the
-/// [`Env`] until the next environment mutation (see
-/// [`Env::kernel_stats`] / [`Env::set_kernel_cache`]).
+/// The `t == u` check is O(1): pointer identity, then hash-consed
+/// [`Term::id`] equality. Everything past it is memoized on the [`Env`]
+/// under the ordered `(TermId, TermId)` pair until the next environment
+/// mutation (see [`Env::kernel_stats`] / [`Env::set_kernel_cache`]).
 pub fn conv(env: &Env, t: &Term, u: &Term) -> bool {
     if t == u {
         return true;
     }
     env.tally(|s| s.conv_calls += 1);
     env.tracer().emit(pumpkin_trace::EventKind::Conv);
+    if let Some(verdict) = env.conv_cached(t, u) {
+        return verdict;
+    }
+    let verdict = crate::nbe::conv_terms(env, t, u, false);
+    env.conv_insert(t, u, verdict);
+    verdict
+}
+
+/// Cumulativity: is `t ≤ u` as types? Identical to conversion except sorts
+/// compare with `≤`, propagated through Pi codomains only (domains stay
+/// invariant). Not memoized: `≤` is asymmetric and the queries the type
+/// checker issues are rarely repeated.
+pub fn conv_leq(env: &Env, t: &Term, u: &Term) -> bool {
+    if t == u {
+        return true;
+    }
+    crate::nbe::conv_terms(env, t, u, true)
+}
+
+/// The pre-NbE conversion checker: repeated whnf rewriting plus structural
+/// comparison. Kept as an executable specification — the property suite
+/// checks [`conv`] agrees with it across the stdlib and case-study corpora.
+pub fn conv_via_whnf(env: &Env, t: &Term, u: &Term) -> bool {
+    if t == u {
+        return true;
+    }
+    env.tally(|s| s.conv_calls += 1);
     if let Some(verdict) = env.conv_cached(t, u) {
         return verdict;
     }
@@ -32,9 +68,8 @@ pub fn conv(env: &Env, t: &Term, u: &Term) -> bool {
     verdict
 }
 
-/// Cumulativity: is `t ≤ u` as types? Identical to conversion except sorts
-/// compare with `≤` and products compare codomains with `≤`.
-pub fn conv_leq(env: &Env, t: &Term, u: &Term) -> bool {
+/// Whnf-rewriting cumulativity, the oracle counterpart of [`conv_leq`].
+pub fn conv_leq_via_whnf(env: &Env, t: &Term, u: &Term) -> bool {
     if t == u {
         return true;
     }
@@ -43,7 +78,7 @@ pub fn conv_leq(env: &Env, t: &Term, u: &Term) -> bool {
     match (t.data(), u.data()) {
         (TermData::Sort(s1), TermData::Sort(s2)) => s1.leq(*s2),
         (TermData::Pi(b1, c1), TermData::Pi(b2, c2)) => {
-            conv(env, &b1.ty, &b2.ty) && conv_leq(env, c1, c2)
+            conv_via_whnf(env, &b1.ty, &b2.ty) && conv_leq_via_whnf(env, c1, c2)
         }
         _ => conv_whnf(env, &t, &u),
     }
@@ -102,21 +137,21 @@ fn record_eta(env: &Env, t: &Term, u: &Term) -> bool {
                 .params
                 .iter()
                 .zip(args.iter())
-                .all(|(x, y)| conv(env, x, y))
+                .all(|(x, y)| conv_via_whnf(env, x, y))
         {
             return false;
         }
         match &scrutinee {
             None => scrutinee = Some(e.scrutinee.clone()),
             Some(s) => {
-                if !conv(env, s, &e.scrutinee) {
+                if !conv_via_whnf(env, s, &e.scrutinee) {
                     return false;
                 }
             }
         }
     }
     match scrutinee {
-        Some(s) => conv(env, &s, u),
+        Some(s) => conv_via_whnf(env, &s, u),
         None => false,
     }
 }
@@ -134,24 +169,27 @@ fn conv_whnf_structural(env: &Env, t: &Term, u: &Term) -> bool {
         (TermData::Ind(n1), TermData::Ind(n2)) => n1 == n2,
         (TermData::Construct(n1, j1), TermData::Construct(n2, j2)) => n1 == n2 && j1 == j2,
         (TermData::Pi(b1, c1), TermData::Pi(b2, c2)) => {
-            conv(env, &b1.ty, &b2.ty) && conv(env, c1, c2)
+            conv_via_whnf(env, &b1.ty, &b2.ty) && conv_via_whnf(env, c1, c2)
         }
         (TermData::Lambda(b1, c1), TermData::Lambda(b2, c2)) => {
-            conv(env, &b1.ty, &b2.ty) && conv(env, c1, c2)
+            conv_via_whnf(env, &b1.ty, &b2.ty) && conv_via_whnf(env, c1, c2)
         }
         // η: fun x => b  ≡  u  when  b ≡ u x.
         (TermData::Lambda(_, body), _) => {
             let expanded = Term::app(lift(u, 1), [Term::rel(0)]);
-            conv(env, body, &expanded)
+            conv_via_whnf(env, body, &expanded)
         }
         (_, TermData::Lambda(_, body)) => {
             let expanded = Term::app(lift(t, 1), [Term::rel(0)]);
-            conv(env, &expanded, body)
+            conv_via_whnf(env, &expanded, body)
         }
         (TermData::App(h1, a1), TermData::App(h2, a2)) => {
             a1.len() == a2.len()
                 && conv_whnf(env, h1, h2)
-                && a1.iter().zip(a2.iter()).all(|(x, y)| conv(env, x, y))
+                && a1
+                    .iter()
+                    .zip(a2.iter())
+                    .all(|(x, y)| conv_via_whnf(env, x, y))
         }
         (TermData::Elim(e1), TermData::Elim(e2)) => {
             e1.ind == e2.ind
@@ -161,14 +199,14 @@ fn conv_whnf_structural(env: &Env, t: &Term, u: &Term) -> bool {
                     .params
                     .iter()
                     .zip(e2.params.iter())
-                    .all(|(x, y)| conv(env, x, y))
-                && conv(env, &e1.motive, &e2.motive)
+                    .all(|(x, y)| conv_via_whnf(env, x, y))
+                && conv_via_whnf(env, &e1.motive, &e2.motive)
                 && e1
                     .cases
                     .iter()
                     .zip(e2.cases.iter())
-                    .all(|(x, y)| conv(env, x, y))
-                && conv(env, &e1.scrutinee, &e2.scrutinee)
+                    .all(|(x, y)| conv_via_whnf(env, x, y))
+                && conv_via_whnf(env, &e1.scrutinee, &e2.scrutinee)
         }
         _ => false,
     }
@@ -272,5 +310,39 @@ mod tests {
         assert_eq!(cached, uncached);
         assert!(!env.kernel_cache_enabled());
         env.set_kernel_cache(true);
+    }
+
+    #[test]
+    fn nbe_and_whnf_checkers_agree_on_basic_queries() {
+        let mut env = Env::new();
+        env.define("T", Term::type_(1), Term::set()).unwrap();
+        env.define("U", Term::type_(1), Term::const_("T")).unwrap();
+        env.assume("f", Term::arrow(Term::set(), Term::set()))
+            .unwrap();
+        let etad = Term::lambda(
+            "x",
+            Term::set(),
+            Term::app(Term::const_("f"), [Term::rel(0)]),
+        );
+        let queries = [
+            (Term::const_("U"), Term::set()),
+            (Term::const_("U"), Term::const_("T")),
+            (Term::const_("T"), Term::prop()),
+            (etad, Term::const_("f")),
+        ];
+        for (a, b) in &queries {
+            let fresh1 = env.clone();
+            let fresh2 = env.clone();
+            assert_eq!(
+                conv(&fresh1, a, b),
+                conv_via_whnf(&fresh2, a, b),
+                "disagreement on {a} ≡ {b}"
+            );
+            assert_eq!(
+                conv_leq(&fresh1, a, b),
+                conv_leq_via_whnf(&fresh2, a, b),
+                "leq disagreement on {a} ≤ {b}"
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@ use pumpkin_trace::{CacheTable, EventKind, Tracer};
 
 use crate::error::{KernelError, Result};
 use crate::inductive::InductiveDecl;
+use crate::intern::TermId;
 use crate::name::GlobalName;
 use crate::stats::KernelStats;
 use crate::term::Term;
@@ -60,17 +61,36 @@ const CACHE_CAP: usize = 1 << 20;
 ///   stuck on that very name (tracked in `stuck`) — any other cached
 ///   result cannot mention a name that did not resolve, so it stays valid.
 ///
-/// The tables key on [`Term`] values, which hash by their precomputed
-/// structural hash and compare with pointer-identity/hash fast paths — a
-/// probe is O(1) in practice regardless of term size.
+/// The tables key on [`TermId`] — the interner's alpha-canonical integer
+/// identity — so a probe hashes and compares plain `u32`s regardless of
+/// term size, and alpha-variant queries share one entry by construction.
+/// The `whnf` table keeps the result `Term` alive; `conv` entries are pure
+/// integers.
 #[derive(Clone, Debug)]
 struct KernelCache {
     /// Generation the tables were computed at.
     stamp: Cell<u64>,
     /// Master switch (ablation / differential testing).
     enabled: Cell<bool>,
-    whnf: RefCell<HashMap<Term, Term>>,
-    conv: RefCell<HashMap<(Term, Term), bool>>,
+    whnf: RefCell<HashMap<TermId, Term>>,
+    /// Keyed on the *ordered* id pair (min first): conversion is symmetric,
+    /// so both orientations of a query land on the same entry.
+    conv: RefCell<HashMap<(TermId, TermId), bool>>,
+    /// NbE values of *closed* terms. A closed term's value cannot mention
+    /// the local evaluation environment, so one entry serves every context
+    /// the term appears in — hash-consing makes the repeated occurrences of
+    /// a large shared subterm (one `TermId`) evaluate exactly once per
+    /// generation. Invalidation is the whnf table's: values embed neutrals
+    /// for δ-blocked names, and declaring an observed-stuck name retires
+    /// the generation.
+    nf: RefCell<HashMap<TermId, crate::nbe::VRc>>,
+    /// Inferred types of *closed* terms. A closed term's type cannot
+    /// mention the local context, so one entry serves every context the
+    /// term appears in. With hash-consing this is where the sharing pays
+    /// off for the type checker: a literal that occurs k times — or whose
+    /// k occurrences share suffixes, like numeral chains — is inferred
+    /// once per distinct `TermId`, not once per occurrence.
+    ty: RefCell<HashMap<TermId, Term>>,
     /// Undeclared names observed stuck by `whnf`/`conv` this generation;
     /// declaring one of these retires the generation.
     stuck: RefCell<HashSet<GlobalName>>,
@@ -84,6 +104,8 @@ impl Default for KernelCache {
             enabled: Cell::new(true),
             whnf: RefCell::new(HashMap::new()),
             conv: RefCell::new(HashMap::new()),
+            nf: RefCell::new(HashMap::new()),
+            ty: RefCell::new(HashMap::new()),
             stuck: RefCell::new(HashSet::new()),
             stats: RefCell::new(KernelStats::default()),
         }
@@ -152,6 +174,8 @@ impl Env {
         if !enabled {
             self.cache.whnf.borrow_mut().clear();
             self.cache.conv.borrow_mut().clear();
+            self.cache.nf.borrow_mut().clear();
+            self.cache.ty.borrow_mut().clear();
             self.cache.stuck.borrow_mut().clear();
         }
     }
@@ -208,6 +232,8 @@ impl Env {
         if self.cache.stamp.get() != self.generation {
             self.cache.whnf.borrow_mut().clear();
             self.cache.conv.borrow_mut().clear();
+            self.cache.nf.borrow_mut().clear();
+            self.cache.ty.borrow_mut().clear();
             self.cache.stuck.borrow_mut().clear();
             self.cache.stamp.set(self.generation);
             self.cache.stats.borrow_mut().invalidations += 1;
@@ -254,7 +280,7 @@ impl Env {
         if !self.cache_fresh() {
             return None;
         }
-        let hit = self.cache.whnf.borrow().get(t).cloned();
+        let hit = self.cache.whnf.borrow().get(&t.id()).cloned();
         let is_hit = hit.is_some();
         self.tally(|s| {
             if is_hit {
@@ -284,21 +310,73 @@ impl Env {
         if table.len() >= CACHE_CAP {
             table.clear();
         }
-        table.insert(t, r);
+        table.insert(t.id(), r);
+    }
+
+    /// Cached NbE value of the *closed* term `t`, if the memo layer has
+    /// one. Untallied and untraced: this table sits below the whnf/conv
+    /// probes the telemetry pins, and a probe here is a `u32` hash on the
+    /// hot evaluation path.
+    pub(crate) fn nbe_cached(&self, t: &Term) -> Option<crate::nbe::VRc> {
+        if !self.cache_fresh() {
+            return None;
+        }
+        self.cache.nf.borrow().get(&t.id()).cloned()
+    }
+
+    /// Memoizes the NbE value of the closed term `t` for the current
+    /// generation.
+    pub(crate) fn nbe_insert(&self, t: &Term, v: crate::nbe::VRc) {
+        if !self.cache_fresh() {
+            return;
+        }
+        let mut table = self.cache.nf.borrow_mut();
+        if table.len() >= CACHE_CAP {
+            table.clear();
+        }
+        table.insert(t.id(), v);
+    }
+
+    /// Cached inferred type of the *closed* term `t`, if the memo layer
+    /// has one. Untallied and untraced, like [`Env::nbe_cached`].
+    pub(crate) fn infer_cached(&self, t: &Term) -> Option<Term> {
+        if !self.cache_fresh() {
+            return None;
+        }
+        self.cache.ty.borrow().get(&t.id()).cloned()
+    }
+
+    /// Memoizes `infer(t) = ty` for the closed term `t` for the current
+    /// generation. Only successful judgements are cached — failures can
+    /// depend on names that are merely not declared *yet*.
+    pub(crate) fn infer_insert(&self, t: &Term, ty: Term) {
+        if !self.cache_fresh() {
+            return;
+        }
+        let mut table = self.cache.ty.borrow_mut();
+        if table.len() >= CACHE_CAP {
+            table.clear();
+        }
+        table.insert(t.id(), ty);
+    }
+
+    /// The symmetric conv-table key: ids in ascending order.
+    fn conv_key(t: &Term, u: &Term) -> (TermId, TermId) {
+        let (a, b) = (t.id(), u.id());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
     }
 
     /// Cached conversion verdict for `(t, u)`, if the memo layer has one.
-    /// Conversion is symmetric, so the swapped pair is probed too.
+    /// The key is order-normalized, so the swapped query is the same probe.
     pub(crate) fn conv_cached(&self, t: &Term, u: &Term) -> Option<bool> {
         if !self.cache_fresh() {
             return None;
         }
-        let table = self.cache.conv.borrow();
-        let hit = table
-            .get(&(t.clone(), u.clone()))
-            .or_else(|| table.get(&(u.clone(), t.clone())))
-            .copied();
-        drop(table);
+        let hit = self.cache.conv.borrow().get(&Self::conv_key(t, u)).copied();
         let is_hit = hit.is_some();
         self.tally(|s| {
             if is_hit {
@@ -328,7 +406,7 @@ impl Env {
         if table.len() >= CACHE_CAP {
             table.clear();
         }
-        table.insert((t.clone(), u.clone()), verdict);
+        table.insert(Self::conv_key(t, u), verdict);
     }
 
     /// Looks up a constant.

@@ -51,7 +51,9 @@ pub mod conv;
 pub mod env;
 pub mod error;
 pub mod inductive;
+pub mod intern;
 pub mod name;
+pub mod nbe;
 pub mod reduce;
 pub mod stats;
 pub mod subst;
@@ -70,7 +72,9 @@ pub mod prelude {
     pub use crate::env::{ConstDecl, Env, GlobalRef};
     pub use crate::error::{KernelError, Result};
     pub use crate::inductive::{CtorDecl, InductiveDecl};
+    pub use crate::intern::{interner_stats, InternerStats, TermId};
     pub use crate::name::{GlobalName, Name};
+    pub use crate::nbe::nbe_normalize;
     pub use crate::reduce::{normalize, whnf};
     pub use crate::stats::KernelStats;
     pub use crate::subst::{

@@ -4,7 +4,9 @@ use crate::term::{Binder, ElimData, Term, TermData};
 
 /// Shifts all de Bruijn indices `≥ cutoff` by `amount`.
 pub fn lift_from(t: &Term, cutoff: usize, amount: usize) -> Term {
-    if amount == 0 {
+    if amount == 0 || t.free_rel_bound() <= cutoff {
+        // No free variable reaches the cutoff: the interned node already
+        // caches that bound, so closed subterms are skipped in O(1).
         return t.clone();
     }
     match t.data() {
@@ -72,6 +74,11 @@ pub fn lift(t: &Term, amount: usize) -> Term {
 /// `value` is interpreted in the context *outside* binder `k`; it is lifted
 /// as the traversal crosses binders.
 pub fn subst_at(t: &Term, k: usize, value: &Term) -> Term {
+    if t.free_rel_bound() <= k {
+        // No free variable reaches index k: nothing to substitute and
+        // nothing above k to decrement (O(1), from the interned ceiling).
+        return t.clone();
+    }
     match t.data() {
         TermData::Rel(i) => {
             if *i == k {
@@ -150,6 +157,10 @@ pub fn subst_group(t: &Term, base: usize, values: &[Term]) -> Term {
         return t.clone();
     }
     fn go(t: &Term, depth: usize, base: usize, values: &[Term]) -> Term {
+        if t.free_rel_bound() <= depth + base {
+            // Every free variable is below the group: untouched (O(1)).
+            return t.clone();
+        }
         let p = values.len();
         match t.data() {
             TermData::Rel(m) => {

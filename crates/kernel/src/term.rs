@@ -8,9 +8,13 @@
 //!
 //! Representation choices:
 //!
-//! * Terms are immutable and shared via [`TermRc`] (an [`std::sync::Arc`]);
-//!   `clone` is O(1) and terms are `Send + Sync`, so the parallel module
-//!   repair scheduler can move cloned environments onto worker threads.
+//! * Terms are immutable, shared via [`TermRc`] (an [`std::sync::Arc`]),
+//!   and **hash-consed** in the global arena of [`crate::intern`]: one
+//!   canonical allocation per payload, so structural equality collapses to
+//!   an integer ([`TermId`]) compare and per-node facts (structural hash,
+//!   free-variable ceiling, size) are cached at intern time. `clone` is
+//!   O(1) and terms are `Send + Sync`, so the parallel module repair
+//!   scheduler can move cloned environments onto worker threads.
 //! * Applications are kept in *spine form* (`App(head, args)` where the head
 //!   is never itself an application and `args` is non-empty). The unification
 //!   heuristics of the repair engine (paper §4.2.1) pattern-match on spines.
@@ -20,6 +24,7 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+use crate::intern::{self, TermCell, TermId};
 use crate::name::{GlobalName, Name};
 use crate::universe::Sort;
 
@@ -119,25 +124,19 @@ pub enum TermData {
     Elim(ElimData),
 }
 
-/// The allocation unit behind [`Term`]: the payload plus its structural
-/// hash, computed once at allocation. Because subterms are themselves
-/// `Term`s (whose hashes are cached), hashing a new node is O(arity), not
-/// O(size); and a 64-bit hash mismatch disproves structural equality
-/// without walking either term.
-struct TermCell {
-    hash: u64,
-    data: TermData,
-}
-
-/// A term of CIC_ω. Cheap to clone (reference counted).
+/// A term of CIC_ω. Cheap to clone (reference counted), and **globally
+/// hash-consed**: every term is allocated through the arena in
+/// [`crate::intern`], so structurally identical payloads (including binder
+/// names) share one allocation process-wide.
 ///
-/// Equality is alpha-equivalence with two fast paths: pointer identity
-/// (shared subterms compare in O(1)) and the precomputed structural hash
-/// (unequal terms almost always compare in O(1)). `Hash` writes the cached
-/// hash, so `Term` keys cost O(1) in hash maps — this is what makes the
-/// kernel's conversion/whnf caches (see [`crate::env::Env`]) affordable.
+/// Equality is alpha-equivalence, and it is an *integer compare*: each node
+/// caches the [`TermId`] of its alpha-canonical skeleton, and two terms are
+/// equal iff their ids are (pointer identity is the short-circuit for the
+/// name-identical case). `Hash` writes the cached alpha-invariant structural
+/// hash, so `Term` keys cost O(1) in hash maps — and the kernel's memo
+/// tables (see [`crate::env::Env`]) key on the even cheaper `TermId`.
 #[derive(Clone)]
-pub struct Term(TermRc<TermCell>);
+pub struct Term(pub(crate) TermRc<TermCell>);
 
 // The parallel repair scheduler relies on terms crossing thread boundaries;
 // keep that invariant machine-checked here rather than discovered at a
@@ -150,8 +149,7 @@ const _: () = {
 
 impl PartialEq for Term {
     fn eq(&self, other: &Self) -> bool {
-        TermRc::ptr_eq(&self.0, &other.0)
-            || (self.0.hash == other.0.hash && self.0.data == other.0.data)
+        TermRc::ptr_eq(&self.0, &other.0) || self.id() == other.id()
     }
 }
 impl Eq for Term {}
@@ -162,17 +160,16 @@ impl Hash for Term {
 }
 
 impl Term {
-    /// Wraps raw term data. Prefer the smart constructors, which maintain the
-    /// spine invariant for applications.
+    /// Interns raw term data into the global arena. Prefer the smart
+    /// constructors, which maintain the spine invariant for applications.
     pub fn new(data: TermData) -> Self {
-        // A fixed-key hasher: `DefaultHasher::new()` is deterministic, so
-        // structural hashes are stable within (and across) processes.
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        data.hash(&mut h);
-        Term(TermRc::new(TermCell {
-            hash: h.finish(),
-            data,
-        }))
+        intern::intern(data)
+    }
+
+    /// The interned cell (crate-internal: the interner and the views below
+    /// read the cached per-node facts through this).
+    pub(crate) fn cell(&self) -> &TermCell {
+        &self.0
     }
 
     /// The underlying data.
@@ -180,14 +177,49 @@ impl Term {
         &self.0.data
     }
 
+    /// The alpha-canonical identity: equal iff the terms are structurally
+    /// equal (alpha-equivalent). An O(1) integer — this is what the kernel's
+    /// memo tables key on.
+    pub fn id(&self) -> TermId {
+        match &self.0.alpha {
+            None => TermId(self.0.slot),
+            Some(a) => TermId(a.0.slot),
+        }
+    }
+
+    /// The alpha-canonical skeleton: the same structure with every binder
+    /// name erased. Self for terms with no named binders.
+    pub fn alpha_canonical(&self) -> &Term {
+        self.0.alpha.as_ref().unwrap_or(self)
+    }
+
     /// The precomputed structural hash (alpha-invariant, like equality).
     pub fn structural_hash(&self) -> u64 {
         self.0.hash
     }
 
-    /// Do `self` and `other` share the same allocation? Implies equality.
+    /// The least `n` such that every free de Bruijn variable is `< n`
+    /// (`0` means closed). Cached at intern time; `lift`/`subst` use it to
+    /// skip closed subterms in O(1).
+    pub fn free_rel_bound(&self) -> usize {
+        self.0.ceil as usize
+    }
+
+    /// Do `self` and `other` share the same allocation? With the global
+    /// arena this holds for *all* name-identical structurally equal terms,
+    /// however they were built; alpha-variants with different binder names
+    /// are distinct nodes (compare [`Term::id`] instead).
     pub fn same_allocation(&self, other: &Term) -> bool {
         TermRc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// The allocation's own slot: a process-local integer identifying this
+    /// exact node *including binder names* (unlike the alpha-invariant
+    /// [`Term::id`]). Hash-consing makes it a perfect dedup key for
+    /// shared-subterm encodings: name-identical structurally equal terms
+    /// always share a slot.
+    pub fn alloc_id(&self) -> u32 {
+        self.0.slot
     }
 
     // ------------------------------------------------------------------
@@ -390,6 +422,10 @@ impl Term {
     /// term's own root)?
     pub fn has_rel(&self, k: usize) -> bool {
         fn go(t: &Term, k: usize) -> bool {
+            // Cached free-variable ceiling: no Rel ≥ k occurs at all.
+            if k >= t.free_rel_bound() {
+                return false;
+            }
             match t.data() {
                 TermData::Rel(i) => *i == k,
                 TermData::Sort(_)
@@ -412,31 +448,10 @@ impl Term {
         go(self, k)
     }
 
-    /// Is the term closed (no free de Bruijn variables)?
+    /// Is the term closed (no free de Bruijn variables)? O(1): answered
+    /// from the free-variable ceiling cached at intern time.
     pub fn is_closed(&self) -> bool {
-        fn go(t: &Term, depth: usize) -> bool {
-            match t.data() {
-                TermData::Rel(i) => *i < depth,
-                TermData::Sort(_)
-                | TermData::Const(_)
-                | TermData::Ind(_)
-                | TermData::Construct(_, _) => true,
-                TermData::App(h, args) => go(h, depth) && args.iter().all(|a| go(a, depth)),
-                TermData::Lambda(b, body) | TermData::Pi(b, body) => {
-                    go(&b.ty, depth) && go(body, depth + 1)
-                }
-                TermData::Let(b, v, body) => {
-                    go(&b.ty, depth) && go(v, depth) && go(body, depth + 1)
-                }
-                TermData::Elim(e) => {
-                    e.params.iter().all(|p| go(p, depth))
-                        && go(&e.motive, depth)
-                        && e.cases.iter().all(|c| go(c, depth))
-                        && go(&e.scrutinee, depth)
-                }
-            }
-        }
-        go(self, 0)
+        self.0.ceil == 0
     }
 
     /// Collects the global constants referenced by this term.
@@ -503,12 +518,11 @@ impl Term {
         }
     }
 
-    /// Counts the number of nodes in the term (a size measure used by the
-    /// benchmarks).
+    /// The number of nodes in the term, counted as a tree (shared subterms
+    /// count with multiplicity; saturates at `u32::MAX`). O(1): cached at
+    /// intern time.
     pub fn size(&self) -> usize {
-        let mut n = 0;
-        self.visit(&mut |_| n += 1);
-        n
+        self.0.size as usize
     }
 }
 

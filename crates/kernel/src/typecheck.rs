@@ -62,7 +62,25 @@ impl Ctx {
 }
 
 /// Infers the type of `t` in context `ctx`.
+///
+/// Closed terms go through the environment's per-generation type memo: a
+/// closed term's type cannot mention `ctx`, so the judgement is reusable in
+/// every context, and hash-consed sharing (repeated literals, shared
+/// numeral suffixes) collapses to one inference per distinct `TermId`.
 pub fn infer(env: &Env, ctx: &mut Ctx, t: &Term) -> Result<Term> {
+    if t.is_closed() {
+        if let Some(ty) = env.infer_cached(t) {
+            env.tally(|s| s.infer_calls += 1);
+            return Ok(ty);
+        }
+        let ty = infer_node(env, ctx, t)?;
+        env.infer_insert(t, ty.clone());
+        return Ok(ty);
+    }
+    infer_node(env, ctx, t)
+}
+
+fn infer_node(env: &Env, ctx: &mut Ctx, t: &Term) -> Result<Term> {
     env.tally(|s| s.infer_calls += 1);
     match t.data() {
         TermData::Rel(i) => ctx.lookup(*i),

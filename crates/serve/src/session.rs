@@ -497,7 +497,7 @@ mod tests {
         assert_eq!(ctl, Control::Continue);
         assert_eq!(
             reply,
-            r#"{"id":1,"ok":true,"result":{"pong":true,"proto":1,"wire":"pumpkin-wire/1"}}"#
+            r#"{"id":1,"ok":true,"result":{"pong":true,"proto":1,"wire":"pumpkin-wire/2"}}"#
         );
     }
 
@@ -552,7 +552,7 @@ mod tests {
                 code::BAD_PARAMS,
             ),
             (
-                r#"{"id":1,"method":"eval","params":{"term":{"wire":"pumpkin-wire/1","digest":"0000000000000000","term":{"k":"sort","s":"prop"}}}}"#,
+                r#"{"id":1,"method":"eval","params":{"term":{"wire":"pumpkin-wire/2","digest":"0000000000000000","term":{"k":"sort","s":"prop"}}}}"#,
                 code::BAD_DIGEST,
             ),
         ] {

@@ -4,11 +4,12 @@
 //! declarations, lifting configurations, and repair reports, in two
 //! interchangeable forms —
 //!
-//! * a **versioned JSON form** (envelope `{"wire":"pumpkin-wire/1",…}`)
+//! * a **versioned JSON form** (envelope `{"wire":"pumpkin-wire/2",…}`)
 //!   built on the nested [`json::Value`] in this crate, used by the
 //!   `pumpkin serve` NDJSON-RPC protocol; and
-//! * a **compact length-prefixed binary form** (magic `PWIR`), used by the
-//!   persistent lift cache on disk.
+//! * a **compact length-prefixed binary form** (magic `PWIR`) whose term
+//!   payload is a shared-subterm node table (each hash-consed node once,
+//!   referenced by index), used by the persistent lift cache on disk.
 //!
 //! Both forms embed a [`TermDigest`] — a content hash derived from the
 //! kernel's cached structural hash, which is computed with a fixed-key
@@ -40,10 +41,10 @@ pub use term::{
 
 /// Wire format version. Bumping it invalidates all persisted cache entries
 /// (the version is folded into every digest) and changes [`WIRE_TAG`].
-pub const WIRE_VERSION: u32 = 1;
+pub const WIRE_VERSION: u32 = 2;
 
 /// The version tag carried by every JSON envelope.
-pub const WIRE_TAG: &str = "pumpkin-wire/1";
+pub const WIRE_TAG: &str = "pumpkin-wire/2";
 
 /// What can go wrong decoding a frame. All decoding is total: hostile
 /// input produces one of these, never a panic.

@@ -7,13 +7,21 @@
 //! JSON form: each node is an object tagged by `"k"`; binder name hints are
 //! serialized (as `null` when anonymous) even though term equality ignores
 //! them, so pretty-printing survives a round-trip. Standalone terms travel
-//! in an envelope `{"wire":"pumpkin-wire/1","digest":"…","term":…}` whose
+//! in an envelope `{"wire":"pumpkin-wire/2","digest":"…","term":…}` whose
 //! digest is verified on decode.
 //!
 //! Binary form: magic `PWIR`, version byte, kind byte (`T` term, `D`
 //! declaration), the content digest (u64 LE), a u32 LE payload length, then
-//! a tag-byte/varint tree. Decoding recomputes the digest from the decoded
-//! value; any mismatch is [`WireError::BadDigest`].
+//! a **shared-subterm node table**: a varint node count followed by the
+//! term's distinct nodes in children-first order, each a tag byte whose
+//! child slots are varint *backward references* into the table (the root is
+//! the last node). Hash-consing in the kernel means each distinct subterm
+//! is a single allocation, so the encoder emits it exactly once however
+//! often it occurs — terms with heavy internal sharing (literals, repaired
+//! proof spines) stay small on the wire, and decoding is **iterative**, so
+//! no input depth can exhaust the stack. Forward or self references are
+//! rejected, which makes cycles unrepresentable. Decoding recomputes the
+//! digest from the decoded value; any mismatch is [`WireError::BadDigest`].
 
 use pumpkin_kernel::env::ConstDecl;
 use pumpkin_kernel::name::Name;
@@ -26,10 +34,6 @@ use crate::{DigestBuilder, TermDigest, WireError, WIRE_TAG, WIRE_VERSION};
 /// Upper bound on binary payload size (16 MiB) — far above any term the
 /// pipeline produces, low enough to bound a hostile allocation.
 pub const MAX_PAYLOAD: usize = 16 << 20;
-
-/// Recursion bound for the binary decoder (the JSON path is bounded by the
-/// parser's own depth cap).
-const MAX_TERM_DEPTH: usize = 256;
 
 // ---------------------------------------------------------------------
 // JSON form
@@ -335,7 +339,70 @@ fn put_name(out: &mut Vec<u8>, n: &Name) {
     }
 }
 
+fn for_each_child(t: &Term, mut f: impl FnMut(&Term)) {
+    match t.data() {
+        TermData::Rel(_)
+        | TermData::Sort(_)
+        | TermData::Const(_)
+        | TermData::Ind(_)
+        | TermData::Construct(_, _) => {}
+        TermData::App(h, args) => {
+            f(h);
+            args.iter().for_each(f);
+        }
+        TermData::Lambda(b, body) | TermData::Pi(b, body) => {
+            f(&b.ty);
+            f(body);
+        }
+        TermData::Let(b, val, body) => {
+            f(&b.ty);
+            f(val);
+            f(body);
+        }
+        TermData::Elim(e) => {
+            e.params.iter().for_each(&mut f);
+            f(&e.motive);
+            e.cases.iter().for_each(&mut f);
+            f(&e.scrutinee);
+        }
+    }
+}
+
+/// Writes `t` as a node table: a varint node count, then each distinct node
+/// once, children before parents, the root last. The dedup key is
+/// [`Term::alloc_id`] — the interner guarantees name-identical structurally
+/// equal subterms share an allocation, so every shared subterm is emitted
+/// exactly once. Iterative (explicit stack): encoding depth is unbounded.
 fn put_term(out: &mut Vec<u8>, t: &Term) {
+    let mut index: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut order: Vec<Term> = Vec::new();
+    // (node, children already pushed?) — post-order DFS.
+    let mut stack: Vec<(Term, bool)> = vec![(t.clone(), false)];
+    while let Some((node, expanded)) = stack.pop() {
+        if index.contains_key(&node.alloc_id()) {
+            continue;
+        }
+        if expanded {
+            index.insert(node.alloc_id(), order.len() as u64);
+            order.push(node);
+        } else {
+            stack.push((node.clone(), true));
+            let mut kids = Vec::new();
+            for_each_child(&node, |c| kids.push(c.clone()));
+            // Reversed so the leftmost child is visited (and numbered)
+            // first — cosmetic, but keeps the table order intuitive.
+            stack.extend(kids.into_iter().rev().map(|c| (c, false)));
+        }
+    }
+    put_varint(out, order.len() as u64);
+    for node in &order {
+        put_node(out, node, &index);
+    }
+}
+
+/// Writes one table node; child positions carry varint backward references.
+fn put_node(out: &mut Vec<u8>, t: &Term, index: &std::collections::HashMap<u32, u64>) {
+    let put_ref = |out: &mut Vec<u8>, c: &Term| put_varint(out, index[&c.alloc_id()]);
     match t.data() {
         TermData::Rel(i) => {
             out.push(0);
@@ -362,44 +429,44 @@ fn put_term(out: &mut Vec<u8>, t: &Term) {
         }
         TermData::App(h, args) => {
             out.push(7);
-            put_term(out, h);
+            put_ref(out, h);
             put_varint(out, args.len() as u64);
             for a in args {
-                put_term(out, a);
+                put_ref(out, a);
             }
         }
         TermData::Lambda(b, body) => {
             out.push(8);
             put_name(out, &b.name);
-            put_term(out, &b.ty);
-            put_term(out, body);
+            put_ref(out, &b.ty);
+            put_ref(out, body);
         }
         TermData::Pi(b, body) => {
             out.push(9);
             put_name(out, &b.name);
-            put_term(out, &b.ty);
-            put_term(out, body);
+            put_ref(out, &b.ty);
+            put_ref(out, body);
         }
         TermData::Let(b, val, body) => {
             out.push(10);
             put_name(out, &b.name);
-            put_term(out, &b.ty);
-            put_term(out, val);
-            put_term(out, body);
+            put_ref(out, &b.ty);
+            put_ref(out, val);
+            put_ref(out, body);
         }
         TermData::Elim(e) => {
             out.push(11);
             put_str(out, e.ind.as_str());
             put_varint(out, e.params.len() as u64);
             for p in &e.params {
-                put_term(out, p);
+                put_ref(out, p);
             }
-            put_term(out, &e.motive);
+            put_ref(out, &e.motive);
             put_varint(out, e.cases.len() as u64);
             for c in &e.cases {
-                put_term(out, c);
+                put_ref(out, c);
             }
-            put_term(out, &e.scrutinee);
+            put_ref(out, &e.scrutinee);
         }
     }
 }
@@ -484,10 +551,37 @@ impl<'a> Cursor<'a> {
         Ok(n)
     }
 
-    fn term(&mut self, depth: usize) -> Result<Term, WireError> {
-        if depth > MAX_TERM_DEPTH {
-            return Err(WireError::TooDeep);
+    /// Reads a node table (inverse of [`put_term`]): a varint count, then
+    /// that many nodes, each resolving its children against the prefix of
+    /// the table decoded so far. Iterative — input depth cannot exhaust the
+    /// stack — and references are backward by construction (an index at or
+    /// past the current position is rejected), so cycles are
+    /// unrepresentable.
+    fn term(&mut self) -> Result<Term, WireError> {
+        let n = self.count()?;
+        if n == 0 {
+            return Err(WireError::Syntax("empty term node table".into()));
         }
+        let mut nodes: Vec<Term> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = self.node(&nodes)?;
+            nodes.push(t);
+        }
+        Ok(nodes.pop().expect("n > 0"))
+    }
+
+    /// Resolves one backward reference against the already-decoded prefix.
+    fn node_ref(&mut self, nodes: &[Term]) -> Result<Term, WireError> {
+        let j = self.varint_usize()?;
+        nodes.get(j).cloned().ok_or_else(|| {
+            WireError::Syntax(format!(
+                "node reference {j} is not backward (only {} nodes decoded)",
+                nodes.len()
+            ))
+        })
+    }
+
+    fn node(&mut self, nodes: &[Term]) -> Result<Term, WireError> {
         match self.byte()? {
             0 => Ok(Term::rel(self.varint_usize()?)),
             1 => Ok(Term::prop()),
@@ -500,22 +594,22 @@ impl<'a> Cursor<'a> {
                 Ok(Term::construct(n, self.varint_usize()?))
             }
             7 => {
-                let head = self.term(depth + 1)?;
+                let head = self.node_ref(nodes)?;
                 let argc = self.count()?;
                 if argc == 0 {
                     return Err(WireError::Syntax("empty application spine".into()));
                 }
                 let mut args = Vec::with_capacity(argc);
                 for _ in 0..argc {
-                    args.push(self.term(depth + 1)?);
+                    args.push(self.node_ref(nodes)?);
                 }
                 Ok(Term::app(head, args))
             }
             8 | 9 => {
                 let tag = self.bytes[self.pos - 1];
                 let name = self.name()?;
-                let ty = self.term(depth + 1)?;
-                let body = self.term(depth + 1)?;
+                let ty = self.node_ref(nodes)?;
+                let body = self.node_ref(nodes)?;
                 Ok(if tag == 8 {
                     Term::lambda(name, ty, body)
                 } else {
@@ -524,9 +618,9 @@ impl<'a> Cursor<'a> {
             }
             10 => {
                 let name = self.name()?;
-                let ty = self.term(depth + 1)?;
-                let val = self.term(depth + 1)?;
-                let body = self.term(depth + 1)?;
+                let ty = self.node_ref(nodes)?;
+                let val = self.node_ref(nodes)?;
+                let body = self.node_ref(nodes)?;
                 Ok(Term::let_(name, ty, val, body))
             }
             11 => {
@@ -534,15 +628,15 @@ impl<'a> Cursor<'a> {
                 let np = self.count()?;
                 let mut params = Vec::with_capacity(np);
                 for _ in 0..np {
-                    params.push(self.term(depth + 1)?);
+                    params.push(self.node_ref(nodes)?);
                 }
-                let motive = self.term(depth + 1)?;
+                let motive = self.node_ref(nodes)?;
                 let nc = self.count()?;
                 let mut cases = Vec::with_capacity(nc);
                 for _ in 0..nc {
-                    cases.push(self.term(depth + 1)?);
+                    cases.push(self.node_ref(nodes)?);
                 }
-                let scrutinee = self.term(depth + 1)?;
+                let scrutinee = self.node_ref(nodes)?;
                 Ok(Term::elim(ElimData {
                     ind: ind.into(),
                     params,
@@ -607,7 +701,7 @@ pub fn encode_term(t: &Term) -> Vec<u8> {
 /// Decodes [`encode_term`], recomputing and verifying the digest.
 pub fn decode_term(bytes: &[u8]) -> Result<Term, WireError> {
     let (digest, mut cur) = open_frame(bytes, KIND_TERM)?;
-    let t = cur.term(0)?;
+    let t = cur.term()?;
     if cur.pos != bytes.len() {
         return Err(WireError::Syntax("trailing bytes in frame".into()));
     }
@@ -654,8 +748,8 @@ pub fn decode_decl(bytes: &[u8]) -> Result<ConstDecl, WireError> {
         1 => true,
         b => return Err(WireError::Syntax(format!("bad body flag {b}"))),
     };
-    let ty = cur.term(0)?;
-    let body = if has_body { Some(cur.term(0)?) } else { None };
+    let ty = cur.term()?;
+    let body = if has_body { Some(cur.term()?) } else { None };
     if cur.pos != bytes.len() {
         return Err(WireError::Syntax("trailing bytes in frame".into()));
     }
@@ -841,15 +935,16 @@ mod tests {
     /// encoding the digest check cannot catch.
     #[test]
     fn overflowing_varints_are_rejected() {
-        // Type universe far beyond u32: plain rejection.
-        let mut payload = vec![3u8];
+        // Type universe far beyond u32: plain rejection. (Payloads open
+        // with a node count; these tables hold a single node.)
+        let mut payload = vec![1u8, 3u8];
         put_varint(&mut payload, u64::MAX);
         let bytes = frame(KIND_TERM, TermDigest(0), payload);
         assert!(matches!(decode_term(&bytes), Err(WireError::Syntax(m)) if m.contains("overflow")));
 
         // Type universe 5 + 2^33 wraps to 5 under `as u32`; pair it with
         // the digest of Type(5) so only the overflow check can refuse it.
-        let mut payload = vec![3u8];
+        let mut payload = vec![1u8, 3u8];
         put_varint(&mut payload, 5 + (1u64 << 33));
         let bytes = frame(KIND_TERM, TermDigest::of_term(&Term::type_(5)), payload);
         assert!(matches!(decode_term(&bytes), Err(WireError::Syntax(m)) if m.contains("overflow")));
@@ -878,16 +973,64 @@ mod tests {
     }
 
     #[test]
-    fn deep_binary_input_is_bounded() {
-        // 3000 nested lambda tags with a truncated tail: must hit the
-        // depth cap or truncation, not the stack.
-        let mut payload = Vec::new();
-        for _ in 0..3000 {
-            payload.push(8u8); // lambda
-            payload.push(0u8); // anonymous binder
-            payload.push(1u8); // ty = Prop
+    fn deep_terms_roundtrip_iteratively() {
+        // 100k nested lambdas: both encode and decode are iterative, so
+        // depth is limited by memory, never the call stack.
+        let mut t = Term::prop();
+        for _ in 0..100_000 {
+            t = Term::lambda(Name::Anonymous, Term::set(), t);
         }
+        let bytes = encode_term(&t);
+        assert_eq!(decode_term(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn shared_subterms_are_encoded_once() {
+        // A bushy term whose two halves are the same allocation: the node
+        // table stores the half once, so doubling the occurrences barely
+        // grows the frame.
+        let mut big = Term::rel(0);
+        for i in 0..64 {
+            big = Term::app(Term::const_(format!("f{i}")), [big]);
+        }
+        let once = encode_term(&big).len();
+        let twice = encode_term(&Term::app(Term::const_("pair"), [big.clone(), big.clone()])).len();
+        assert!(
+            twice < once + 32,
+            "sharing lost: one copy {once}B, two copies {twice}B"
+        );
+        // And the shared form still decodes to the right term.
+        let t = Term::app(Term::const_("pair"), [big.clone(), big]);
+        assert_eq!(decode_term(&encode_term(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn forward_and_self_references_are_rejected() {
+        // A single-node table whose lambda cites itself (index 0 = the
+        // node being decoded — not yet in the table, so not backward).
+        let payload = vec![
+            1u8, // node count
+            8,   // lambda
+            0,   // anonymous binder
+            0,   // ty  = ref 0 (self)
+            0,   // body = ref 0 (self)
+        ];
         let bytes = frame(KIND_TERM, TermDigest(0), payload);
-        assert!(decode_term(&bytes).is_err());
+        assert!(
+            matches!(decode_term(&bytes), Err(WireError::Syntax(m)) if m.contains("backward")),
+            "self reference accepted"
+        );
+
+        // A two-node table where the first node cites the second.
+        let payload = vec![
+            2u8, // node count
+            8, 0, 1, 1, // lambda with ty/body = ref 1 (forward)
+            1, // Prop
+        ];
+        let bytes = frame(KIND_TERM, TermDigest(0), payload);
+        assert!(
+            matches!(decode_term(&bytes), Err(WireError::Syntax(m)) if m.contains("backward")),
+            "forward reference accepted"
+        );
     }
 }

@@ -126,6 +126,23 @@ if [ -n "$rpc13" ] && [ -n "$batch13" ]; then
     fi
 fi
 
+# The hash-consing + NbE payoff, asserted in-run against a fixed ceiling:
+# scaling_term_size/list_len_64 measured 14,941,814 ns median under the
+# pre-interning kernel (Arc-per-node terms, whnf-rewriting conversion;
+# sample-size 9, this container). The refactor must at least halve that.
+# A hard constant rather than a committed-baseline row because the old
+# kernel no longer exists to re-measure against.
+len64=$(median "$new" 'scaling_term_size/list_len_64')
+if [ -n "$len64" ]; then
+    pre_refactor=14941814
+    ceiling=$((pre_refactor / 2))
+    echo "bench_guard: scaling_term_size/list_len_64 ${len64} ns (need <= ${ceiling} ns = 0.5 * pre-refactor ${pre_refactor} ns)"
+    if [ "$len64" -gt "$ceiling" ]; then
+        echo "bench_guard: REGRESSION: list_len_64 repair no longer >=2x faster than the pre-interning kernel" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
 # Loadgen sanity, asserted in-run: when a report carries serve_load rows
 # they must be complete (p50/p95/p99/throughput), nonzero, and ordered —
 # a zero percentile or p50 > p99 means the generator measured nothing.

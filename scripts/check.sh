@@ -18,10 +18,12 @@ echo "==> cargo clippy --all-targets --locked -- -D warnings"
 cargo clippy --all-targets --locked -- -D warnings
 
 # The Send+Sync invariant behind the parallel scheduler: no std::rc in the
-# kernel or core crates (clippy.toml's disallowed-types).
-echo "==> cargo clippy -p pumpkin-kernel -p pumpkin-core (no std::rc)"
+# kernel or core crates (clippy.toml's disallowed-types) — and the
+# hash-consing invariant: no raw TermCell construction outside the interner
+# module (clippy.toml's disallowed-methods).
+echo "==> cargo clippy -p pumpkin-kernel -p pumpkin-core (no std::rc, no raw cells)"
 cargo clippy -p pumpkin-kernel -p pumpkin-core --all-targets --locked -- \
-    -D warnings -D clippy::disallowed-types
+    -D warnings -D clippy::disallowed-types -D clippy::disallowed-methods
 
 # Committed golden traces must satisfy the JSON-lines schema, including
 # the versioned `prov` event family (DESIGN.md §11–12).
@@ -61,28 +63,31 @@ timeout 300 cargo run -q --release --locked --example serve_roundtrip >/dev/null
 # frame over the 13-constant module costs at most 0.8x of 13 individual
 # repair RPCs). The run writes a pumpkin-bench/v1 JSON report that the
 # guard gates row by row against the most recent committed baseline.
-echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve rows → BENCH_pr6.json"
+# The scaling_term_size rows join the report for PR 7: the hash-consing +
+# NbE-conversion work is gated against a hard in-run ceiling (see
+# bench_guard.sh) as well as the committed-baseline comparison.
+echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve + scaling rows → BENCH_pr7.json"
 # Absolute path: cargo runs the bench binary with cwd = the package dir.
 # Sample size 9: the batch-vs-rpc in-run gate needs a stable median on a
 # noisy single-CPU container.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
     --sample-size 9 \
-    --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip,repair_batch \
-    --json "$(pwd)/BENCH_pr6.json"
+    --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip,repair_batch,scaling_term_size \
+    --json "$(pwd)/BENCH_pr7.json"
 
 # Loadgen smoke: a seed-replayable closed-loop run against a self-hosted
 # worker-pool daemon; its serve_load/{p50,p95,p99,throughput} rows join
 # the same report (the header line of the loadgen output is dropped —
-# BENCH_pr6.json already has one).
+# BENCH_pr7.json already has one).
 echo "==> loadgen smoke (closed loop, 16 clients) → serve_load rows"
 loadgen_json=$(mktemp)
 timeout 300 ./target/release/pumpkin loadgen \
     --mode closed --clients 16 --requests 4 --workers 2 --seed 7 \
     --json "$loadgen_json"
-tail -n +2 "$loadgen_json" >> BENCH_pr6.json
+tail -n +2 "$loadgen_json" >> BENCH_pr7.json
 rm -f "$loadgen_json"
 
 echo "==> bench guard (auto baseline)"
-scripts/bench_guard.sh BENCH_pr6.json
+scripts/bench_guard.sh BENCH_pr7.json
 
 echo "==> all checks passed"

@@ -31,7 +31,7 @@ const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <
                      \x20      pumpkin client --connect ADDR <ping|shutdown|metrics|repair-module|explain|call> [args]\n\
                      \x20      pumpkin loadgen [--connect ADDR] [--mode closed|open] [--clients N] [--requests N]\n\
                      \x20                      [--rate R] [--duration-ms D] [--seed S] [--workers N]\n\
-                     \x20                      [--queue-depth N] [--jobs N] [--json PATH]";
+                     \x20                      [--queue-depth N] [--jobs N] [--trials N] [--json PATH]";
 
 fn serve(argv: &[String]) -> ExitCode {
     let mut cfg = ServerConfig {
@@ -377,6 +377,7 @@ fn loadgen(argv: &[String]) -> ExitCode {
             "--workers" => number(&mut args).map(|n| cfg.workers = (n as usize).max(1)),
             "--queue-depth" => number(&mut args).map(|n| cfg.queue_depth = (n as usize).max(1)),
             "--jobs" => number(&mut args).map(|n| cfg.jobs = (n as usize).max(1)),
+            "--trials" => number(&mut args).map(|n| cfg.trials = (n as usize).max(1)),
             "--rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(r) if r > 0.0 => {
                     cfg.rate = r;

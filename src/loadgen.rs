@@ -67,6 +67,12 @@ pub struct LoadgenConfig {
     pub queue_depth: usize,
     /// Per-request repair job cap.
     pub jobs: usize,
+    /// Measurement passes. Every row gets one time per trial, so guard
+    /// medians are taken over real repetition instead of a single
+    /// observation; the spawned server (and its warm caches) is reused
+    /// across trials, and each trial replays the identical seeded request
+    /// stream.
+    pub trials: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -82,45 +88,69 @@ impl Default for LoadgenConfig {
             workers: 2,
             queue_depth: 32,
             jobs: 1,
+            trials: 3,
         }
     }
 }
 
-/// What a run measured.
+/// What a run measured. Totals aggregate over every trial; the per-trial
+/// measurements behind the multi-sample rows are kept separately.
 #[derive(Debug)]
 pub struct LoadgenReport {
     pub mode: Mode,
     pub clients: usize,
-    /// Successful replies (the latency population).
+    /// Successful replies across all trials (the latency population).
     pub completed: usize,
     /// `busy` refusals observed (retried in closed loop, dropped in open
     /// loop).
     pub busy: usize,
     /// Requests abandoned on non-`busy` errors.
     pub errors: usize,
+    /// Wall time summed over trials.
     pub elapsed: Duration,
+    /// All latencies merged across trials (drives [`LoadgenReport::summary`]).
     pub hist: LatencyHistogram,
+    trials: Vec<Trial>,
+}
+
+/// One measurement pass.
+#[derive(Debug)]
+struct Trial {
+    hist: LatencyHistogram,
+    elapsed: Duration,
 }
 
 impl LoadgenReport {
-    /// The guard-facing rows. Throughput is encoded as *nanoseconds per
-    /// completed request* so `bench_guard.sh`'s higher-is-worse median
-    /// rule applies to it unchanged.
+    /// The guard-facing rows: one time per trial per row, so the guard's
+    /// median is over genuine repetition rather than a single observation.
+    /// Throughput is encoded as *nanoseconds per completed request* so
+    /// `bench_guard.sh`'s higher-is-worse median rule applies to it
+    /// unchanged.
     pub fn rows(&self) -> Vec<Sample> {
-        let [p50, p95, p99] = match self.hist.percentiles(&[50.0, 95.0, 99.0])[..] {
-            [a, b, c] => [a, b, c],
-            _ => unreachable!("three percentiles in, three out"),
-        };
-        let ns_per_req = if self.completed == 0 {
-            0
-        } else {
-            u64::try_from(self.elapsed.as_nanos() / self.completed as u128).unwrap_or(u64::MAX)
-        };
+        let mut p50s = Vec::with_capacity(self.trials.len());
+        let mut p95s = Vec::with_capacity(self.trials.len());
+        let mut p99s = Vec::with_capacity(self.trials.len());
+        let mut thrs = Vec::with_capacity(self.trials.len());
+        for trial in &self.trials {
+            let [p50, p95, p99] = match trial.hist.percentiles(&[50.0, 95.0, 99.0])[..] {
+                [a, b, c] => [a, b, c],
+                _ => unreachable!("three percentiles in, three out"),
+            };
+            p50s.push(p50);
+            p95s.push(p95);
+            p99s.push(p99);
+            thrs.push(if trial.hist.is_empty() {
+                0
+            } else {
+                u64::try_from(trial.elapsed.as_nanos() / trial.hist.len() as u128)
+                    .unwrap_or(u64::MAX)
+            });
+        }
         vec![
-            Sample::single("serve_load/p50", p50),
-            Sample::single("serve_load/p95", p95),
-            Sample::single("serve_load/p99", p99),
-            Sample::single("serve_load/throughput", ns_per_req),
+            Sample::from_times("serve_load/p50", p50s),
+            Sample::from_times("serve_load/p95", p95s),
+            Sample::from_times("serve_load/p99", p99s),
+            Sample::from_times("serve_load/throughput", thrs),
         ]
     }
 
@@ -367,13 +397,31 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         .map_err(|e| format!("daemon at {addr} does not answer ping: {e}"))?;
     drop(probe);
 
-    let merged = Mutex::new(Tally::default());
-    let t0 = Instant::now();
-    match cfg.mode {
-        Mode::Closed => run_closed(&addr, cfg, &merged),
-        Mode::Open => run_open(&addr, cfg, &merged),
+    // Measurement passes: the server (spawned or external) and its warm
+    // caches persist across trials; each trial replays the same seeded
+    // request stream and lands one time in every row.
+    let mut trials = Vec::with_capacity(cfg.trials.max(1));
+    let mut merged_hist = LatencyHistogram::default();
+    let (mut busy, mut errors) = (0usize, 0usize);
+    let mut elapsed = Duration::ZERO;
+    for _ in 0..cfg.trials.max(1) {
+        let merged = Mutex::new(Tally::default());
+        let t0 = Instant::now();
+        match cfg.mode {
+            Mode::Closed => run_closed(&addr, cfg, &merged),
+            Mode::Open => run_open(&addr, cfg, &merged),
+        }
+        let trial_elapsed = t0.elapsed();
+        let tally = merged.into_inner().expect("tally lock poisoned");
+        merged_hist.merge(&tally.hist);
+        busy += tally.busy;
+        errors += tally.errors;
+        elapsed += trial_elapsed;
+        trials.push(Trial {
+            hist: tally.hist,
+            elapsed: trial_elapsed,
+        });
     }
-    let elapsed = t0.elapsed();
 
     if let Some(handle) = spawned {
         if let Ok(mut c) = Client::connect(&addr) {
@@ -382,15 +430,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         let _ = handle.join();
     }
 
-    let tally = merged.into_inner().expect("tally lock poisoned");
     Ok(LoadgenReport {
         mode: cfg.mode,
         clients: cfg.clients,
-        completed: tally.hist.len(),
-        busy: tally.busy,
-        errors: tally.errors,
+        completed: merged_hist.len(),
+        busy,
+        errors,
         elapsed,
-        hist: tally.hist,
+        hist: merged_hist,
+        trials,
     })
 }
 
@@ -422,9 +470,12 @@ mod tests {
             ..LoadgenConfig::default()
         })
         .expect("loadgen run");
-        assert_eq!(report.completed, 8, "{}", report.summary());
+        // 4 clients x 2 requests x 3 trials (the default).
+        assert_eq!(report.completed, 24, "{}", report.summary());
         assert_eq!(report.errors, 0, "{}", report.summary());
         let rows = report.rows();
+        // Every row carries one time per trial, never a single sample.
+        assert!(rows.iter().all(|s| s.times_ns.len() == 3), "{rows:?}");
         let ids: Vec<&str> = rows.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(
             ids,
@@ -451,6 +502,7 @@ mod tests {
             rate: 40.0,
             duration_ms: 500,
             workers: 2,
+            trials: 1,
             ..LoadgenConfig::default()
         })
         .expect("loadgen run");

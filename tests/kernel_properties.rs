@@ -423,3 +423,102 @@ fn record_eta_conversion_holds_for_pairs_and_sigma() {
     let b = pumpkin_lang::term(&env, "pair nat bool O false").unwrap();
     assert!(!conv(&env, &a, &b));
 }
+
+// ---------------------------------------------------------------------
+// Hash-consing and NbE-conversion properties
+// ---------------------------------------------------------------------
+
+#[test]
+fn structural_equality_coincides_with_term_id_equality() {
+    // The hash-consing invariant the kernel's memo tables rely on:
+    // `t == u` exactly when `t.id() == u.id()`, across random terms built
+    // independently.
+    check(256, |rng| {
+        let seed = rng.u64();
+        let t1 = arb_scoped(&mut Rng::new(seed), 3);
+        let t2 = arb_scoped(&mut Rng::new(seed), 3);
+        let t3 = arb_scoped(rng, 3);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.id(), t2.id());
+        assert_eq!(
+            t1 == t3,
+            t1.id() == t3.id(),
+            "eq/id disagree on {t1} vs {t3}"
+        );
+    });
+    // Alpha-variants share an id (equality ignores binder names) without
+    // sharing an allocation (printing does not).
+    let a = Term::lambda("x", Term::set(), Term::rel(0));
+    let b = Term::lambda("y", Term::set(), Term::rel(0));
+    assert_eq!(a.id(), b.id());
+    assert_eq!(a, b);
+    assert!(!a.same_allocation(&b));
+}
+
+#[test]
+fn wire_round_trip_preserves_interned_identity() {
+    // intern → encode → decode → intern is the identity on `TermId`s —
+    // and, because binder names travel on the wire and the arena interns
+    // name-sensitively, on allocations too.
+    use pumpkin_pi::pumpkin_wire::{
+        decode_term, encode_term, term_from_envelope, term_to_envelope, Value,
+    };
+    check(128, |rng| {
+        let t = arb_scoped(rng, 4);
+        let bin = decode_term(&encode_term(&t)).unwrap();
+        assert_eq!(bin.id(), t.id());
+        assert!(
+            bin.same_allocation(&t),
+            "binary round trip re-allocated {t}"
+        );
+        let reparsed = Value::parse(&term_to_envelope(&t).to_string()).unwrap();
+        let json = term_from_envelope(&reparsed).unwrap();
+        assert_eq!(json.id(), t.id());
+        assert!(json.same_allocation(&t), "JSON round trip re-allocated {t}");
+    });
+}
+
+#[test]
+fn nbe_conversion_agrees_with_whnf_conversion_on_the_corpus() {
+    // The NbE checker and the retained whnf-rewriting oracle must agree on
+    // every verdict over the real corpus: all stdlib constants plus the
+    // case-study module after a swap repair. Each checker runs against its
+    // own Env clone so neither can serve the other's memoized verdicts.
+    use pumpkin_pi::pumpkin_kernel::conv::{conv_leq, conv_leq_via_whnf, conv_via_whnf};
+
+    let mut env = stdlib::std_env();
+    pumpkin_pi::case_studies::swap_list_module(&mut env).expect("case-study repair");
+    let corpus: Vec<Term> = env
+        .constants()
+        .flat_map(|d| std::iter::once(d.ty.clone()).chain(d.body.clone()))
+        .collect();
+    assert!(
+        corpus.len() > 50,
+        "corpus unexpectedly small: {}",
+        corpus.len()
+    );
+
+    let agree = |t: &Term, u: &Term| {
+        let (nbe_env, whnf_env) = (env.clone(), env.clone());
+        assert_eq!(
+            conv(&nbe_env, t, u),
+            conv_via_whnf(&whnf_env, t, u),
+            "conv checkers disagree on {t} ≡ {u}"
+        );
+        let (nbe_env, whnf_env) = (env.clone(), env.clone());
+        assert_eq!(
+            conv_leq(&nbe_env, t, u),
+            conv_leq_via_whnf(&whnf_env, t, u),
+            "leq checkers disagree on {t} ≤ {u}"
+        );
+    };
+    for (i, t) in corpus.iter().enumerate() {
+        // A guaranteed-positive query: every term converts with its own
+        // normal form…
+        agree(t, &normalize(&env, t));
+        // …and mixed queries against nearby corpus terms (mostly negative).
+        for u in corpus.iter().skip(i + 1).take(2) {
+            agree(t, u);
+        }
+    }
+}

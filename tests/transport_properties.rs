@@ -317,8 +317,16 @@ fn cache_never_changes_results() {
             env2.const_decl(&n).unwrap().body
         );
     }
-    // The cached run observed real kernel-cache traffic.
-    assert!(report1.kernel.conv_cache_hits + report1.kernel.whnf_cache_hits > 0);
+    // The cached run did real kernel work, so the two runs compared above
+    // were non-trivial. (Hash-consing made alpha-equal conversion queries
+    // short-circuit on `t == u` before reaching the memo table, so this
+    // module no longer generates memo traffic to count — the kernel's own
+    // unit tests pin memo hit/miss accounting.)
+    let k = &report1.kernel;
+    assert!(
+        k.beta_steps + k.delta_steps + k.iota_steps > 0,
+        "repair did no kernel reduction work: {k}"
+    );
 }
 
 #[test]
