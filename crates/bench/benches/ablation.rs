@@ -17,7 +17,7 @@
 //!   (repairing `app_assoc`-style lemmas over ever larger literal lists).
 
 use pumpkin_pi::case_studies;
-use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap};
+use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap, Repairer};
 use pumpkin_pi::pumpkin_kernel::env::Env;
 use pumpkin_pi::pumpkin_kernel::term::{ElimData, Term};
 use pumpkin_pi::pumpkin_stdlib as stdlib;
@@ -43,13 +43,10 @@ fn bench_lift_cache_ablation(b: &mut Bench) {
                 } else {
                     LiftState::without_cache()
                 };
-                let report = pumpkin_core::repair_module(
-                    &mut env,
-                    &lifting,
-                    &mut st,
-                    case_studies::REPLICA_CONSTANTS,
-                )
-                .unwrap();
+                let report = Repairer::new(&lifting)
+                    .state(&mut st)
+                    .run(&mut env, case_studies::REPLICA_CONSTANTS)
+                    .unwrap();
                 (report, st)
             },
         );
@@ -67,7 +64,9 @@ fn bench_lift_cache_ablation(b: &mut Bench) {
         } else {
             LiftState::without_cache()
         };
-        pumpkin_core::repair_module(&mut env, &lifting, &mut st, case_studies::REPLICA_CONSTANTS)
+        Repairer::new(&lifting)
+            .state(&mut st)
+            .run(&mut env, case_studies::REPLICA_CONSTANTS)
             .unwrap();
         println!("  lift_cache/{label}: {}", st.stats);
     }
@@ -236,7 +235,10 @@ fn bench_enum_scaling(b: &mut Bench) {
                 )
                 .unwrap();
                 let mut st = LiftState::new();
-                pumpkin_core::repair(&mut env, &lifting, &mut st, &"EnumA.f".into()).unwrap()
+                Repairer::new(&lifting)
+                    .state(&mut st)
+                    .run_one(&mut env, &"EnumA.f".into())
+                    .unwrap()
             },
         );
     }
@@ -280,7 +282,10 @@ fn bench_term_size_scaling(b: &mut Bench) {
                 )
                 .unwrap();
                 let mut st = LiftState::new();
-                pumpkin_core::repair(&mut env, &lifting, &mut st, &"Old.assoc_inst".into()).unwrap()
+                Repairer::new(&lifting)
+                    .state(&mut st)
+                    .run_one(&mut env, &"Old.assoc_inst".into())
+                    .unwrap()
             },
         );
     }
@@ -345,6 +350,69 @@ fn bench_persist_cache(b: &mut Bench) {
     let (_, hits, misses) = run(&mut env, &lifting);
     println!("  persist_cache/warm: {hits} hits, {misses} misses");
     assert_eq!(misses, 0, "warm run must replay entirely from the cache");
+
+    // `incremental` — the session-resident edit loop the serve daemon and
+    // `pumpkin watch` run (DESIGN.md §16): the environment already holds
+    // the previous repair's outputs, the request diffs a digest snapshot
+    // of the last run, the one touched constant (a leaf theorem, so its
+    // downstream closure is itself) re-lifts fresh, and the other 12 are
+    // green — reused from the resident world with no lift and no disk
+    // probe. bench_guard.sh gates this row at <= 0.3x of the full warm
+    // repair above.
+    let touched = "Old.fold_app";
+    let (session_env, session_lifting) = {
+        let mut env = base.clone();
+        let lifting = configure(&mut env);
+        let mut st = LiftState::new();
+        pumpkin_core::Repairer::new(&lifting)
+            .state(&mut st)
+            .run(&mut env, stdlib::swap::OLD_MODULE_CONSTANTS)
+            .unwrap();
+        (env, lifting)
+    };
+    let snapshot = || {
+        // Capture the full module (digests + dependency edges), then
+        // force the touched constant to diff as changed — the same
+        // effect as an edited body, without needing to redefine a
+        // referenced constant in place. Keeping its recorded edges lets
+        // the run close the invalidation over the snapshot instead of
+        // rebuilding the module DAG.
+        let mut snap =
+            pumpkin_core::DigestMap::capture(&session_env, stdlib::swap::OLD_MODULE_CONSTANTS);
+        snap.mark_changed(&touched.into());
+        snap
+    };
+    let run_incr = |env: &mut Env, snap: &pumpkin_core::DigestMap| {
+        let mut st = LiftState::new();
+        pumpkin_core::Repairer::new(&session_lifting)
+            .persist_cache(&dir)
+            .state(&mut st)
+            .incremental(snap)
+            .run(env, stdlib::swap::OLD_MODULE_CONSTANTS)
+            .unwrap()
+    };
+    b.bench(
+        "persist_cache/incremental",
+        || (session_env.clone(), snapshot()),
+        |(mut env, snap)| {
+            let report = run_incr(&mut env, &snap);
+            // The session's environment and snapshot survive across edits
+            // in the watch/serve loop; their teardown is not part of an
+            // incremental request, so hand them back out of the timing.
+            (report, env, snap)
+        },
+    );
+    {
+        let report = run_incr(&mut session_env.clone(), &snapshot());
+        let incr = report.incr.expect("incremental run reports stats");
+        println!("  persist_cache/incremental: {incr}");
+        assert_eq!(incr.changed, 1, "exactly one constant was touched");
+        assert!(
+            incr.replayed <= 2,
+            "touching 1 of 13 must re-lift at most 2 constants, got {}",
+            incr.replayed
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

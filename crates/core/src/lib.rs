@@ -6,6 +6,7 @@
 
 pub mod config;
 pub mod error;
+pub mod incr;
 pub mod lift;
 pub mod manual;
 pub mod persist;
@@ -18,6 +19,7 @@ pub mod smartelim;
 
 pub use config::{Lifting, NameMap};
 pub use error::{RepairError, Result};
+pub use incr::{DigestMap, IncrStats};
 pub use lift::{lift_term, repair_constant, LiftState, LiftStats};
 pub use persist::PersistCache;
 pub use prov::{ConstProv, ProvRecorder, Rule, TermSite};
@@ -29,6 +31,6 @@ pub use pumpkin_trace as trace;
 /// Re-export of the wire serialization layer (term/decl codecs, digests),
 /// so persistent-cache and service callers need no separate dependency.
 pub use pumpkin_wire as wire;
-pub use repair::{repair, repair_all, repair_module, repair_module_parallel, RepairReport};
+pub use repair::RepairReport;
 pub use repairer::Repairer;
 pub use schedule::{default_jobs, CancelToken, ModuleDag, ScheduleStats};

@@ -94,6 +94,17 @@ impl std::fmt::Display for LiftStats {
     }
 }
 
+/// How one constant acquired its repaired form in this run (drives the
+/// incremental accounting in [`crate::incr::IncrStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiftOutcome {
+    /// Re-lifted fresh: the full transformation ran and the result was
+    /// type-checked through `Env::define`/`Env::assume`.
+    Fresh,
+    /// Replayed from the persistent cross-run cache.
+    Replayed,
+}
+
 /// Mutable state threaded through a repair session.
 #[derive(Default)]
 pub struct LiftState {
@@ -117,6 +128,22 @@ pub struct LiftState {
     /// (see [`crate::persist::PersistCache`]); `None` (the default) keeps
     /// [`repair_constant`] purely in-memory.
     persist: Option<std::sync::Arc<crate::persist::PersistCache>>,
+    /// Constants that must bypass the persist cache this run — the
+    /// incremental invalidation closure ([`crate::incr::invalidated`]).
+    /// Lookups skip them (a digest-unchanged entry could replay a
+    /// dependent whose upstream changed without re-checking it) and
+    /// stores overwrite their entries.
+    invalidated: HashSet<GlobalName>,
+    /// Salsa-style "green" constants for this run: work-list members whose
+    /// digest matched the incremental snapshot and that sit outside the
+    /// invalidation closure. When such a constant's repair target already
+    /// lives in the environment (a session-resident world), the target is
+    /// the previous validated run's output for this exact input, so the
+    /// mapping is reused with no lift and no cache probe.
+    green: HashSet<GlobalName>,
+    /// Per-constant outcome of this run's repairs (fresh lift vs. persist
+    /// replay); see [`LiftOutcome`].
+    outcomes: HashMap<GlobalName, LiftOutcome>,
 }
 
 impl LiftState {
@@ -161,6 +188,9 @@ impl LiftState {
             // finished trees are folded back in absorb_worker.
             prov: self.prov.as_ref().map(|_| Box::default()),
             persist: self.persist.clone(),
+            invalidated: self.invalidated.clone(),
+            green: self.green.clone(),
+            outcomes: HashMap::new(),
         }
     }
 
@@ -175,6 +205,42 @@ impl LiftState {
     /// Is a persistent cache attached?
     pub fn persist_enabled(&self) -> bool {
         self.persist.is_some()
+    }
+
+    /// Installs the incremental invalidation set: these constants bypass
+    /// the persist cache (fresh lookup skipped, store overwrites). Set by
+    /// [`crate::Repairer::incremental`] before the run.
+    pub fn set_invalidated(&mut self, names: HashSet<GlobalName>) {
+        self.invalidated = names;
+    }
+
+    /// Installs the incremental "green" set (snapshot-unchanged work-list
+    /// constants outside the invalidation closure); see the field doc.
+    /// Set by [`crate::Repairer::incremental`] before the run.
+    pub fn set_green(&mut self, names: HashSet<GlobalName>) {
+        self.green = names;
+    }
+
+    /// Drops the repaired mappings for `names`, so a state threaded from
+    /// an earlier run re-lifts them instead of short-circuiting on a
+    /// stale entry. The incremental driver calls this on the invalidation
+    /// closure before the run.
+    pub fn forget(&mut self, names: &HashSet<GlobalName>) {
+        for n in names {
+            self.const_map.remove(n);
+        }
+    }
+
+    /// How `name` acquired its repaired form this run (`None` if it was
+    /// not repaired this run — e.g. already mapped in threaded state).
+    pub fn outcome(&self, name: &GlobalName) -> Option<LiftOutcome> {
+        self.outcomes.get(name).copied()
+    }
+
+    /// Clears the per-run outcome ledger (called by the driver at the
+    /// start of each run so threaded state does not leak counts).
+    pub fn clear_outcomes(&mut self) {
+        self.outcomes.clear();
     }
 
     /// Turns provenance recording on: subsequent lifts attribute every
@@ -270,6 +336,7 @@ impl LiftState {
         self.stats.visits += worker.stats.visits;
         self.stats.persist_hits += worker.stats.persist_hits;
         self.stats.persist_misses += worker.stats.persist_misses;
+        self.outcomes.extend(worker.outcomes);
     }
 }
 
@@ -491,6 +558,33 @@ fn lift_all(env: &mut Env, l: &Lifting, st: &mut LiftState, ts: &[Term]) -> Resu
     ts.iter().map(|t| lift_term(env, l, st, t)).collect()
 }
 
+/// Salsa-style green reuse (DESIGN.md §16): the constant's digest matched
+/// the incremental snapshot and nothing upstream of it changed, so if its
+/// repair target already lives in this environment (a session-resident
+/// world), that target is the previous validated run's output for this
+/// exact input — reuse the mapping with no lift and no disk probe.
+/// Provenance runs never take this path: they must re-lift to
+/// re-attribute every rewrite site. The [`crate::Repairer`] calls this
+/// before scheduling so green constants never occupy a wave slot;
+/// [`repair_constant`] calls it again for constants reached as
+/// dependencies.
+pub(crate) fn green_reuse(
+    env: &Env,
+    l: &Lifting,
+    st: &mut LiftState,
+    name: &GlobalName,
+) -> Option<GlobalName> {
+    if st.green.contains(name) && !st.provenance_enabled() {
+        let new_name = l.names.rename(name);
+        if env.contains(new_name.as_str()) {
+            st.outcomes.insert(name.clone(), LiftOutcome::Replayed);
+            st.const_map.insert(name.clone(), new_name.clone());
+            return Some(new_name);
+        }
+    }
+    None
+}
+
 /// Repairs a single constant across the equivalence, registering the result
 /// in the environment under the configuration's renaming policy and caching
 /// the mapping. Dependencies are repaired on demand.
@@ -508,6 +602,9 @@ pub fn repair_constant(
     if let Some(mapped) = st.const_map.get(name) {
         return Ok(mapped.clone());
     }
+    if let Some(new_name) = green_reuse(env, l, st, name) {
+        return Ok(new_name);
+    }
     if st.in_progress.contains(name) {
         return Err(RepairError::NonTerminating {
             constant: name.clone(),
@@ -523,15 +620,26 @@ pub fn repair_constant(
         let decl = env.const_decl(name)?.clone();
         // Persistent cross-run cache: replay a previously persisted repair
         // of this exact declaration under this exact configuration. A
-        // validated hit skips the whole lift below.
+        // validated hit skips the whole lift below. Constants in the
+        // incremental invalidation set never probe: their digests may be
+        // unchanged while an upstream body changed, so a replay would
+        // install a dependent without re-checking it against the new
+        // upstream.
         if let Some(cache) = st.persist.clone() {
-            if let Some(hit) = cache.lookup(&decl) {
-                if let Some(new_name) = replay_persisted(env, l, st, name, &decl, hit)? {
-                    st.stats.persist_hits += 1;
-                    return Ok(new_name);
+            if st.invalidated.contains(name) || st.provenance_enabled() {
+                // Fall through to a fresh, fully checked lift. Provenance
+                // runs re-lift because a replayed declaration records no
+                // diff sites — `explain` after an incremental repair must
+                // cite the same rules as after a cold one.
+            } else {
+                if let Some(hit) = cache.lookup(&decl) {
+                    if let Some(new_name) = replay_persisted(env, l, st, name, &decl, hit)? {
+                        st.stats.persist_hits += 1;
+                        return Ok((new_name, LiftOutcome::Replayed));
+                    }
                 }
+                st.stats.persist_misses += 1;
             }
-            st.stats.persist_misses += 1;
         }
         let new_ty = lift_child(env, l, st, &decl.ty, 0)?;
         let new_body = match &decl.body {
@@ -543,7 +651,7 @@ pub fn repair_constant(
             // Idempotence: accept an existing identical definition.
             let existing = env.const_decl(&new_name)?;
             if existing.ty == new_ty && existing.body == new_body {
-                return Ok(new_name);
+                return Ok((new_name, LiftOutcome::Fresh));
             }
             return Err(RepairError::Kernel(KernelError::Redeclaration(new_name)));
         }
@@ -553,9 +661,15 @@ pub fn repair_constant(
         }
         st.stats.constants_lifted += 1;
         if let Some(cache) = &st.persist {
-            cache.store(&decl, env.const_decl(&new_name)?);
+            // An invalidated constant's entry may hold a repair computed
+            // against the old upstream; overwrite it with this one.
+            cache.store_with(
+                &decl,
+                env.const_decl(&new_name)?,
+                st.invalidated.contains(name),
+            );
         }
-        Ok(new_name)
+        Ok((new_name, LiftOutcome::Fresh))
     })();
     st.in_progress.remove(name);
     env.tracer().end(
@@ -564,8 +678,9 @@ pub fn repair_constant(
             name: name.as_str().into(),
         },
     );
-    st.prov_end_const(result.as_ref().ok());
-    let new_name = result?;
+    st.prov_end_const(result.as_ref().ok().map(|(n, _)| n));
+    let (new_name, outcome) = result?;
+    st.outcomes.insert(name.clone(), outcome);
     st.const_map.insert(name.clone(), new_name.clone());
     Ok(new_name)
 }

@@ -210,7 +210,8 @@ pub fn load_expanded_add_n_sm(env: &mut Env) -> Result<()> {
 mod tests {
     use super::*;
     use crate::lift::LiftState;
-    use crate::repair::{check_source_free, repair};
+    use crate::repair::check_source_free;
+    use crate::repairer::Repairer;
     use pumpkin_kernel::reduce::normalize;
     use pumpkin_stdlib as stdlib;
     use pumpkin_stdlib::bin::{n_lit, n_value};
@@ -237,7 +238,10 @@ mod tests {
     fn repair_add_gives_slow_binary_addition() {
         let (mut env, l) = setup();
         let mut st = LiftState::new();
-        let new = repair(&mut env, &l, &mut st, &"add".into()).unwrap();
+        let new = Repairer::new(&l)
+            .state(&mut st)
+            .run_one(&mut env, &"add".into())
+            .unwrap();
         assert_eq!(new.as_str(), "slow_add");
         check_source_free(&env, &l, &new).unwrap();
         // slow_add computes the same sums as fast N.add.
@@ -261,7 +265,10 @@ mod tests {
         let (mut env, l) = setup();
         load_expanded_add_n_sm(&mut env).unwrap();
         let mut st = LiftState::new();
-        let new = repair(&mut env, &l, &mut st, &"add_n_Sm_expanded".into()).unwrap();
+        let new = Repairer::new(&l)
+            .state(&mut st)
+            .run_one(&mut env, &"add_n_Sm_expanded".into())
+            .unwrap();
         assert_eq!(new.as_str(), "slow_add_n_Sm");
         check_source_free(&env, &l, &new).unwrap();
         // The ported statement: ∀ n m, N.succ (slow_add n m) = slow_add n (N.succ m).

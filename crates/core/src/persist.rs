@@ -25,12 +25,27 @@
 //! *repaired* declaration. Replay installs it via `Env::admit_checked`
 //! (debug builds re-typecheck; release builds trust the digests, which is
 //! where the warm-path speedup comes from — see `repair_constant`).
-//! Writes are atomic (temp file + rename), so concurrent daemons sharing
-//! a cache directory never observe partial entries.
+//!
+//! Shared-directory hardening (DESIGN.md §16):
+//!
+//! * Writes are atomic (temp file + rename), so concurrent daemons
+//!   sharing a cache directory never observe partial entries.
+//! * Reads are corruption-tolerant: an entry that fails to decode is
+//!   *evicted* (deleted) and reads as a miss, so the fresh lift that
+//!   follows re-publishes a good frame — a damaged cache can slow a run
+//!   down but never fail or poison it.
+//! * The store can be size-bounded ([`PersistCache::open_bounded`],
+//!   `--cache-max-bytes`): when the root directory's entries exceed the
+//!   budget, the least-recently-used entries (by modification time;
+//!   lookups touch their entry) are removed. Eviction across daemons is
+//!   serialized by a `create_new` lock file with a stale-steal guard, so
+//!   two daemons never scan-and-delete concurrently.
 
 use std::fs;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 use pumpkin_kernel::env::ConstDecl;
 use pumpkin_wire::{
@@ -75,19 +90,74 @@ pub fn config_digest(l: &Lifting) -> TermDigest {
 /// shared across wavefront workers behind an `Arc`.
 #[derive(Debug)]
 pub struct PersistCache {
+    root: PathBuf,
     dir: PathBuf,
+    /// Size budget for the whole cache root (all shards), in bytes;
+    /// `None` = unbounded.
+    max_bytes: Option<u64>,
+}
+
+/// How long an eviction lock may sit before another daemon steals it
+/// (covers a daemon killed mid-eviction).
+const EVICT_LOCK_STALE: Duration = Duration::from_secs(60);
+
+/// Process-global memo of decoded cache frames, keyed by the frame's raw
+/// bytes. `decode_decl` is a pure function of the bytes, so an entry can
+/// never go stale — a rewritten file simply has different bytes and
+/// misses. This is what keeps a warm session cheap: every run (and every
+/// daemon session in this process) re-reads the same frames, but only the
+/// first decode pays the term-interning cost.
+static DECODED: std::sync::OnceLock<
+    std::sync::Mutex<std::collections::HashMap<Vec<u8>, ConstDecl>>,
+> = std::sync::OnceLock::new();
+
+/// Entry cap for [`DECODED`]. Hitting it means the working set dwarfs
+/// anything a session replays; dropping the whole memo and re-filling is
+/// simpler than tracking recency and keeps the footprint bounded.
+const DECODED_CAP: usize = 1024;
+
+fn decode_decl_cached(bytes: &[u8]) -> Option<ConstDecl> {
+    let memo = DECODED.get_or_init(Default::default);
+    if let Ok(memo) = memo.lock() {
+        if let Some(decl) = memo.get(bytes) {
+            return Some(decl.clone());
+        }
+    }
+    let decl = decode_decl(bytes).ok()?;
+    if let Ok(mut memo) = memo.lock() {
+        if memo.len() >= DECODED_CAP {
+            memo.clear();
+        }
+        memo.insert(bytes.to_vec(), decl.clone());
+    }
+    Some(decl)
 }
 
 impl PersistCache {
     /// Opens (creating as needed) the shard of `root` belonging to this
-    /// lifting configuration.
+    /// lifting configuration, unbounded.
     pub fn open(root: impl AsRef<Path>, lifting: &Lifting) -> std::io::Result<PersistCache> {
+        PersistCache::open_bounded(root, lifting, None)
+    }
+
+    /// Opens the shard with a size budget over the whole cache root:
+    /// after a store pushes the root's entries past `max_bytes`, the
+    /// least-recently-used entries are evicted back under budget.
+    pub fn open_bounded(
+        root: impl AsRef<Path>,
+        lifting: &Lifting,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<PersistCache> {
+        let root = root.as_ref().to_path_buf();
         let dir = root
-            .as_ref()
             .join(format!("v{WIRE_VERSION}"))
             .join(config_digest(lifting).to_string());
         fs::create_dir_all(&dir)?;
-        Ok(PersistCache { dir })
+        Ok(PersistCache {
+            root,
+            dir,
+            max_bytes,
+        })
     }
 
     /// The shard directory (for diagnostics and tests).
@@ -96,11 +166,28 @@ impl PersistCache {
     }
 
     /// Looks up the repaired declaration persisted for `old`. Corrupt,
-    /// truncated, or digest-mismatching entries read as absent — the
-    /// caller falls back to a fresh lift and rewrites them.
+    /// truncated, or digest-mismatching entries are *evicted* and read as
+    /// absent — the caller falls back to a fresh lift, whose store then
+    /// re-publishes a good frame. Never an error.
     pub fn lookup(&self, old: &ConstDecl) -> Option<ConstDecl> {
-        let bytes = fs::read(self.entry_path(old)).ok()?;
-        decode_decl(&bytes).ok()
+        let path = self.entry_path(old);
+        let bytes = fs::read(&path).ok()?;
+        match decode_decl_cached(&bytes) {
+            Some(decl) => {
+                if self.max_bytes.is_some() {
+                    // LRU touch: a hit refreshes the entry's mtime so
+                    // eviction removes cold entries first. Best-effort.
+                    if let Ok(f) = fs::OpenOptions::new().write(true).open(&path) {
+                        let _ = f.set_times(fs::FileTimes::new().set_modified(SystemTime::now()));
+                    }
+                }
+                Some(decl)
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
     }
 
     /// Persists `new` as the repair of `old`. Best-effort: I/O failures
@@ -108,8 +195,16 @@ impl PersistCache {
     /// dependency). The write is atomic — temp file, then rename — so a
     /// concurrent reader sees either nothing or a complete frame.
     pub fn store(&self, old: &ConstDecl, new: &ConstDecl) {
+        self.store_with(old, new, false);
+    }
+
+    /// [`PersistCache::store`], with explicit overwrite control. The
+    /// incremental layer passes `overwrite = true` for invalidated
+    /// constants: their digest-unchanged entries may hold repairs
+    /// computed against an upstream that has since changed.
+    pub fn store_with(&self, old: &ConstDecl, new: &ConstDecl, overwrite: bool) {
         let path = self.entry_path(old);
-        if path.exists() {
+        if !overwrite && path.exists() {
             return;
         }
         // The temp name must be unique per *store call*, not just per
@@ -123,10 +218,103 @@ impl PersistCache {
         if fs::write(&tmp, encode_decl(new)).is_ok() && fs::rename(&tmp, &path).is_err() {
             let _ = fs::remove_file(&tmp);
         }
+        self.evict_to_budget();
     }
 
     fn entry_path(&self, old: &ConstDecl) -> PathBuf {
         self.dir.join(format!("{}.bin", decl_digest(old)))
+    }
+
+    /// Every `.bin` entry under the cache root, across all versions and
+    /// configuration shards, with size and modification time.
+    fn entries(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let mut out = Vec::new();
+        let Ok(versions) = fs::read_dir(&self.root) else {
+            return out;
+        };
+        for v in versions.flatten() {
+            let Ok(shards) = fs::read_dir(v.path()) else {
+                continue;
+            };
+            for shard in shards.flatten() {
+                let Ok(files) = fs::read_dir(shard.path()) else {
+                    continue;
+                };
+                for f in files.flatten() {
+                    let path = f.path();
+                    if path.extension().is_none_or(|e| e != "bin") {
+                        continue;
+                    }
+                    if let Ok(m) = f.metadata() {
+                        let mtime = m.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                        out.push((path, m.len(), mtime));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Takes the cross-daemon eviction lock, stealing it if its holder
+    /// looks dead ([`EVICT_LOCK_STALE`]). Returns `None` when another
+    /// live daemon holds it — the caller just skips this round; that
+    /// daemon's eviction covers the same entries.
+    fn try_lock_evict(&self) -> Option<PathBuf> {
+        let lock = self.root.join(".evict.lock");
+        let acquire = |lock: &Path| {
+            fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(lock)
+                .ok()
+                .map(|mut f| {
+                    let _ = write!(f, "{}", std::process::id());
+                })
+        };
+        if acquire(&lock).is_some() {
+            return Some(lock);
+        }
+        let stale = fs::metadata(&lock)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > EVICT_LOCK_STALE);
+        if !stale {
+            return None;
+        }
+        let _ = fs::remove_file(&lock);
+        acquire(&lock).map(|()| lock)
+    }
+
+    /// Brings the root back under the size budget by deleting the
+    /// least-recently-used entries (oldest mtime first). No-op when
+    /// unbounded, under budget, or when another daemon holds the
+    /// eviction lock. Best-effort throughout: the cache is an
+    /// accelerator, never a correctness dependency.
+    fn evict_to_budget(&self) {
+        let Some(max) = self.max_bytes else { return };
+        let mut entries = self.entries();
+        let total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= max {
+            return;
+        }
+        let Some(lock) = self.try_lock_evict() else {
+            return;
+        };
+        // Re-scan under the lock: another daemon may have evicted while
+        // we raced for it.
+        entries = self.entries();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        for (path, len, _) in entries {
+            if total <= max {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+            }
+        }
+        let _ = fs::remove_file(&lock);
     }
 }
 
@@ -222,6 +410,126 @@ mod tests {
                 old.name
             );
         }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_and_repairable_by_restore() {
+        let mut env = pumpkin_stdlib::std_env();
+        let lifting = sample_lifting(&mut env);
+        let root = std::env::temp_dir().join(format!(
+            "pumpkin-persist-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let cache = PersistCache::open(&root, &lifting).unwrap();
+        let old = env.const_decl(&"Old.rev".into()).unwrap().clone();
+        let new = ConstDecl {
+            name: "New.rev".into(),
+            ty: Term::prop(),
+            body: None,
+            opaque: false,
+        };
+        cache.store(&old, &new);
+        let path = cache.entry_path(&old);
+        fs::write(&path, b"garbage").unwrap();
+        // The corrupt read is a miss that also deletes the entry...
+        assert!(cache.lookup(&old).is_none());
+        assert!(!path.exists(), "corrupt entry is evicted, not left to rot");
+        // ...so the store path (which skips existing entries) re-publishes.
+        cache.store(&old, &new);
+        assert_eq!(cache.lookup(&old), Some(new));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_with_overwrite_replaces_an_existing_entry() {
+        let mut env = pumpkin_stdlib::std_env();
+        let lifting = sample_lifting(&mut env);
+        let root = std::env::temp_dir().join(format!(
+            "pumpkin-persist-overwrite-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let cache = PersistCache::open(&root, &lifting).unwrap();
+        let old = env.const_decl(&"Old.rev".into()).unwrap().clone();
+        let v1 = ConstDecl {
+            name: "New.rev".into(),
+            ty: Term::prop(),
+            body: None,
+            opaque: false,
+        };
+        let v2 = ConstDecl {
+            name: "New.rev".into(),
+            ty: Term::prop(),
+            body: Some(Term::rel(0)),
+            opaque: false,
+        };
+        cache.store(&old, &v1);
+        cache.store(&old, &v2);
+        assert_eq!(
+            cache.lookup(&old),
+            Some(v1.clone()),
+            "plain store never clobbers"
+        );
+        cache.store_with(&old, &v2, true);
+        assert_eq!(cache.lookup(&old), Some(v2), "overwrite store replaces");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn size_budget_evicts_least_recently_used_entries() {
+        let mut env = pumpkin_stdlib::std_env();
+        let lifting = sample_lifting(&mut env);
+        let root = std::env::temp_dir().join(format!(
+            "pumpkin-persist-lru-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let decl = |i: usize, prefix: &str| ConstDecl {
+            name: format!("{prefix}.c{i}").into(),
+            ty: Term::prop(),
+            body: Some(Term::rel(i)),
+            opaque: false,
+        };
+        // Measure one entry's on-disk size, then budget for exactly two.
+        let probe = PersistCache::open(&root, &lifting).unwrap();
+        probe.store(&decl(0, "Old"), &decl(0, "New"));
+        let entry_len = fs::metadata(probe.entry_path(&decl(0, "Old")))
+            .unwrap()
+            .len();
+        let _ = fs::remove_dir_all(&root);
+        let cache =
+            PersistCache::open_bounded(&root, &lifting, Some(2 * entry_len + entry_len / 2))
+                .unwrap();
+        for i in 0..4 {
+            cache.store(&decl(i, "Old"), &decl(i, "New"));
+            // Distinct mtimes so LRU order is unambiguous.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            cache.lookup(&decl(0, "Old")).is_none(),
+            "oldest entry is evicted"
+        );
+        assert_eq!(
+            cache.lookup(&decl(3, "Old")),
+            Some(decl(3, "New")),
+            "newest entry survives"
+        );
+        let survivors = cache
+            .entries()
+            .iter()
+            .filter(|(p, _, _)| p.extension().is_some_and(|e| e == "bin"))
+            .count();
+        assert!(
+            survivors <= 2,
+            "budget holds two entries, found {survivors}"
+        );
+        // The eviction lock never outlives the call.
+        assert!(!root.join(".evict.lock").exists());
         let _ = fs::remove_dir_all(&root);
     }
 

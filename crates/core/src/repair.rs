@@ -1,9 +1,10 @@
-//! The command-level repair driver: the analogue of the paper's
+//! The command-level repair report: what the paper's
 //! `Repair Old.list New.list in rev_app_distr` and `Repair module` commands
-//! (paper §2).
+//! (paper §2) hand back.
 //!
-//! The single front door is [`crate::Repairer`]; the free functions here
-//! are thin compatibility wrappers over it.
+//! The single front door for *running* repairs is [`crate::Repairer`]; the
+//! PR-3-era free-function wrappers (`repair`, `repair_module`, …) are gone —
+//! build a `Repairer` instead.
 
 use std::collections::HashMap;
 use std::io;
@@ -16,8 +17,8 @@ use pumpkin_trace::{Event, Metrics};
 
 use crate::config::Lifting;
 use crate::error::{RepairError, Result};
+use crate::incr::IncrStats;
 use crate::lift::{LiftState, LiftStats};
-use crate::repairer::Repairer;
 use crate::schedule::ScheduleStats;
 
 /// The result of a module repair: the constants repaired (old → new), in
@@ -48,23 +49,28 @@ pub struct RepairReport {
     /// branch on job count.
     pub schedule: ScheduleStats,
     /// The structured trace events, when the run was executed through a
-    /// [`Repairer`] with trace capture on (empty otherwise).
+    /// [`crate::Repairer`] with trace capture on (empty otherwise).
     pub trace: Vec<Event>,
     /// Counters/histograms derived from the trace (empty when tracing was
     /// off).
     pub metrics: Metrics,
     /// Per-constant provenance trees — every rewrite site attributed to
     /// the configuration rule that fired — when the run recorded
-    /// provenance (tracing on, or [`Repairer::provenance`]); empty
+    /// provenance (tracing on, or [`crate::Repairer::provenance`]); empty
     /// otherwise. Pretty-printed wire form; the order follows completion
     /// order.
     pub provenance: Vec<pumpkin_trace::prov::ConstProvenance>,
     /// End-to-end wall-clock latency of the run in nanoseconds, measured
-    /// by [`Repairer`] around the whole request (scheduling, lifting,
-    /// provenance rendering, sink delivery) — what a service client
-    /// actually waited, as opposed to the per-span timings inside the
-    /// trace. Zero for reports not produced through a `Repairer`.
+    /// by [`crate::Repairer`] around the whole request (scheduling,
+    /// lifting, provenance rendering, sink delivery) — what a service
+    /// client actually waited, as opposed to the per-span timings inside
+    /// the trace. Zero for reports not produced through a `Repairer`.
     pub wall_ns: u64,
+    /// Incremental accounting (`{changed, replayed, skipped}`), present
+    /// only for runs driven through [`crate::Repairer::incremental`] —
+    /// `None` for cold runs, so identical cold requests stay byte-for-byte
+    /// reproducible on the wire.
+    pub incr: Option<IncrStats>,
 }
 
 impl RepairReport {
@@ -78,6 +84,19 @@ impl RepairReport {
     /// Looks up where a source constant went.
     pub fn renamed(&self, from: &str) -> Option<&GlobalName> {
         self.index.get(from).map(|&i| &self.repaired[i].1)
+    }
+
+    /// Replaces the repaired list wholesale, rebuilding the lookup index.
+    /// The [`crate::Repairer`] uses this to splice constants it resolved
+    /// outside the scheduler (incremental green reuse) back into work-list
+    /// order.
+    pub(crate) fn set_repaired(&mut self, pairs: Vec<(GlobalName, GlobalName)>) {
+        self.index = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (from, _))| (from.clone(), i))
+            .collect();
+        self.repaired = pairs;
     }
 
     /// The module dependency DAG in Graphviz DOT (see
@@ -155,106 +174,16 @@ impl RepairReport {
             persist_misses: self.lift.persist_misses,
             wall_ns: self.wall_ns,
             counters,
+            incr: self.incr.map(|i| pumpkin_wire::IncrWire {
+                changed: i.changed,
+                replayed: i.replayed,
+                skipped: i.skipped,
+            }),
         }
     }
 }
 
-/// `Repair A B in name`: repairs a single constant (dependencies are
-/// repaired on demand) and returns the new constant's name.
-///
-/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
-/// .run_one(env, name)`, which also offers jobs, tracing, and sinks.
-///
-/// # Errors
-///
-/// Propagates configuration, unification, and kernel errors; on error the
-/// failed repair's partial output is rolled back, so the environment
-/// contains only completed, type-correct repairs.
-pub fn repair(
-    env: &mut Env,
-    lifting: &Lifting,
-    state: &mut LiftState,
-    name: &GlobalName,
-) -> Result<GlobalName> {
-    Repairer::new(lifting).state(state).run_one(env, name)
-}
-
-/// `Repair module`: repairs every listed constant (the paper repairs the
-/// entire list module at once; the work list is the module's constants in
-/// any order — dependencies resolve on demand and are shared through the
-/// cache).
-///
-/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
-/// .run(env, names)`, which also offers jobs, tracing, and sinks.
-///
-/// # Errors
-///
-/// Propagates the first repair failure; the failing wave is rolled back,
-/// so the environment contains exactly the completed waves.
-pub fn repair_module(
-    env: &mut Env,
-    lifting: &Lifting,
-    state: &mut LiftState,
-    names: &[&str],
-) -> Result<RepairReport> {
-    Repairer::new(lifting).state(state).run(env, names)
-}
-
-/// `Repair module`, in parallel: the same work list as
-/// [`repair_module`], scheduled over the module's dependency DAG in
-/// concurrent waves (`jobs` workers; `None` reads `PUMPKIN_JOBS`, falling
-/// back to the machine's parallelism). Repaired names and bodies are
-/// identical to the sequential driver's; see [`crate::schedule`] for the
-/// soundness argument and [`RepairReport::schedule`] for the wave/worker
-/// counters.
-///
-/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
-/// .jobs(n).run(env, names)` (or `.jobs_auto()`).
-///
-/// # Errors
-///
-/// Propagates the first repair failure; the environment then contains
-/// exactly the completed waves (all type-correct).
-pub fn repair_module_parallel(
-    env: &mut Env,
-    lifting: &Lifting,
-    state: &mut LiftState,
-    names: &[&str],
-    jobs: Option<usize>,
-) -> Result<RepairReport> {
-    let mut r = Repairer::new(lifting).state(state);
-    r = match jobs {
-        Some(n) => r.jobs(n),
-        None => r.jobs_auto(),
-    };
-    r.run(env, names)
-}
-
-/// Repairs *every* constant in the environment that mentions the source
-/// type, in declaration order — the fully automatic reading of
-/// `Repair module` (the paper repairs "the entire list module ... all at
-/// once"). The configuration's own artifacts (the equivalence functions and
-/// anything already mapped in `state`) are skipped.
-///
-/// Compatibility wrapper; prefer `Repairer::new(lifting).state(state)
-/// .run_all(env, exclusions)`.
-///
-/// # Errors
-///
-/// Propagates the first repair failure; the failing wave is rolled back,
-/// so the environment contains exactly the completed waves.
-pub fn repair_all(
-    env: &mut Env,
-    lifting: &Lifting,
-    state: &mut LiftState,
-    extra_exclusions: &[&str],
-) -> Result<RepairReport> {
-    Repairer::new(lifting)
-        .state(state)
-        .run_all(env, extra_exclusions)
-}
-
-/// The environment-wide work list [`repair_all`] sweeps: constants that
+/// The environment-wide work list [`crate::Repairer::run_all`] sweeps: constants that
 /// directly mention the source type, in declaration order, minus the
 /// configuration's own artifacts, explicit exclusions, and anything
 /// already mapped.
@@ -407,6 +336,7 @@ pub fn check_source_free(env: &Env, lifting: &Lifting, name: &GlobalName) -> Res
 mod tests {
     use super::*;
     use crate::config::NameMap;
+    use crate::repairer::Repairer;
     use crate::search::swap;
     use pumpkin_kernel::reduce::normalize;
     use pumpkin_kernel::term::Term;
@@ -424,13 +354,10 @@ mod tests {
         )
         .unwrap();
         let mut st = LiftState::new();
-        let report = repair_module(
-            &mut env,
-            &lifting,
-            &mut st,
-            stdlib::swap::OLD_MODULE_CONSTANTS,
-        )
-        .unwrap();
+        let report = Repairer::new(&lifting)
+            .state(&mut st)
+            .run(&mut env, stdlib::swap::OLD_MODULE_CONSTANTS)
+            .unwrap();
         (env, report)
     }
 
@@ -545,7 +472,10 @@ mod tests {
         )
         .unwrap();
         let mut st = LiftState::new();
-        repair(&mut env, &lifting, &mut st, &"Old.app".into()).unwrap();
+        Repairer::new(&lifting)
+            .state(&mut st)
+            .run_one(&mut env, &"Old.app".into())
+            .unwrap();
         let f = lifting.equivalence.as_ref().unwrap().f.clone();
         let nat = Term::ind("nat");
         let l1 = list_lit("Old.list", nat.clone(), &[nat_lit(1), nat_lit(2)]);
@@ -582,7 +512,10 @@ mod tests {
         )
         .unwrap();
         let mut st1 = LiftState::new();
-        repair_module(&mut env1, &l1, &mut st1, stdlib::swap::OLD_MODULE_CONSTANTS).unwrap();
+        Repairer::new(&l1)
+            .state(&mut st1)
+            .run(&mut env1, stdlib::swap::OLD_MODULE_CONSTANTS)
+            .unwrap();
 
         let mut env2 = stdlib::std_env();
         let l2 = swap::configure(
@@ -593,7 +526,10 @@ mod tests {
         )
         .unwrap();
         let mut st2 = LiftState::without_cache();
-        repair_module(&mut env2, &l2, &mut st2, stdlib::swap::OLD_MODULE_CONSTANTS).unwrap();
+        Repairer::new(&l2)
+            .state(&mut st2)
+            .run(&mut env2, stdlib::swap::OLD_MODULE_CONSTANTS)
+            .unwrap();
 
         assert!(st1.stats.cache_hits > 0);
         assert_eq!(st2.stats.cache_hits, 0);
@@ -618,19 +554,19 @@ mod tests {
         )
         .unwrap();
         let mut st = LiftState::new();
-        let report = repair_module(
-            &mut env,
-            &lifting,
-            &mut st,
-            &[
-                "Old.size",
-                "Old.eval",
-                "Old.swap_eq_args",
-                "Old.swap_eq_args_involutive",
-                "Old.eval_eq_true_or_false",
-            ],
-        )
-        .unwrap();
+        let report = Repairer::new(&lifting)
+            .state(&mut st)
+            .run(
+                &mut env,
+                &[
+                    "Old.size",
+                    "Old.eval",
+                    "Old.swap_eq_args",
+                    "Old.swap_eq_args_involutive",
+                    "Old.eval_eq_true_or_false",
+                ],
+            )
+            .unwrap();
         assert_eq!(report.repaired.len(), 5);
         // The repaired eval computes the same values through the equivalence.
         let f = lifting.equivalence.as_ref().unwrap().f.clone();

@@ -47,10 +47,11 @@ use pumpkin_trace::{Event, EventKind, Metrics, Tracer};
 
 use crate::config::Lifting;
 use crate::error::{RepairError, Result};
-use crate::lift::LiftState;
+use crate::incr::{invalidated, DigestMap, IncrStats};
+use crate::lift::{LiftOutcome, LiftState};
 use crate::persist::PersistCache;
 use crate::repair::{sweep_work_list, RepairReport};
-use crate::schedule::{default_jobs, repair_module_wavefront, CancelToken};
+use crate::schedule::{default_jobs, repair_module_wavefront, CancelToken, ModuleDag};
 
 /// Builder-style front door to the repair pipeline: lifting + jobs +
 /// observability in, [`RepairReport`] out. See the module docs for an
@@ -63,6 +64,8 @@ pub struct Repairer<'a> {
     prov: Option<bool>,
     sink: Option<Box<dyn EventSink + 'a>>,
     persist_dir: Option<PathBuf>,
+    cache_max_bytes: Option<u64>,
+    incr_prev: Option<&'a DigestMap>,
     cancel: Option<CancelToken>,
 }
 
@@ -79,6 +82,8 @@ impl<'a> Repairer<'a> {
             prov: None,
             sink: None,
             persist_dir: None,
+            cache_max_bytes: None,
+            incr_prev: None,
             cancel: None,
         }
     }
@@ -141,6 +146,30 @@ impl<'a> Repairer<'a> {
     /// `persist_misses` on the report count the traffic.
     pub fn persist_cache(mut self, dir: impl Into<PathBuf>) -> Self {
         self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Bounds the persistent cache's total size (`--cache-max-bytes`):
+    /// once a store pushes the cache root past the budget, the
+    /// least-recently-used entries are evicted (see [`crate::persist`]).
+    /// No effect without [`Repairer::persist_cache`].
+    pub fn cache_max_bytes(mut self, max: Option<u64>) -> Self {
+        self.cache_max_bytes = max;
+        self
+    }
+
+    /// Turns the run differential against a digest snapshot of the last
+    /// repaired module ([`DigestMap::capture`]): work-list constants
+    /// whose source digest is unchanged — and which do not depend on a
+    /// changed one — replay from the persist cache, while the changed
+    /// set's DAG-downstream closure is re-lifted fresh with the persist
+    /// cache bypassed (see [`crate::incr`]). The report's
+    /// [`RepairReport::incr`] carries the `{changed, replayed, skipped}`
+    /// accounting. Most effective together with
+    /// [`Repairer::persist_cache`]; without it everything re-lifts and
+    /// only the accounting differs.
+    pub fn incremental(mut self, prev: &'a DigestMap) -> Self {
+        self.incr_prev = Some(prev);
         self
     }
 
@@ -228,7 +257,9 @@ impl<'a> Repairer<'a> {
                 item = item.provenance(p);
             }
             if let Some(dir) = &self.persist_dir {
-                item = item.persist_cache(dir);
+                item = item
+                    .persist_cache(dir)
+                    .cache_max_bytes(self.cache_max_bytes);
             }
             if let Some(tok) = &self.cancel {
                 item = item.cancel(tok.clone());
@@ -265,15 +296,74 @@ impl<'a> Repairer<'a> {
             state.record_provenance();
         }
         if let Some(dir) = &self.persist_dir {
-            let cache = PersistCache::open(dir, self.lifting).map_err(|e| {
-                RepairError::PersistCache(format!("cannot open `{}`: {e}", dir.display()))
-            })?;
+            let cache = PersistCache::open_bounded(dir, self.lifting, self.cache_max_bytes)
+                .map_err(|e| {
+                    RepairError::PersistCache(format!("cannot open `{}`: {e}", dir.display()))
+                })?;
             state.set_persist(Some(Arc::new(cache)));
         }
 
+        // Incremental mode: diff the work list against the snapshot and
+        // invalidate the changed set's downstream closure before any lift
+        // runs. The ledger of per-constant outcomes restarts per run so a
+        // threaded state cannot leak counts between requests.
+        state.clear_outcomes();
+        let changed = self.incr_prev.map(|prev| {
+            let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
+            let changed = prev.diff(env, &names);
+            // The downstream closure of an empty changed set is empty,
+            // and a non-empty one closes over the snapshot's recorded
+            // edges — an incremental run only builds a fresh module DAG
+            // when a changed constant is new to the snapshot (its
+            // incoming edges were never observed).
+            let inv = if changed.is_empty() {
+                Default::default()
+            } else {
+                prev.close_invalidated(&nodes, &changed)
+                    .unwrap_or_else(|| invalidated(&ModuleDag::build(env, &nodes), &changed))
+            };
+            // A threaded state may carry mappings from an earlier run; an
+            // invalidated constant must re-lift, not short-circuit on one.
+            state.forget(&inv);
+            state.set_green(
+                nodes
+                    .iter()
+                    .filter(|n| !inv.contains(*n))
+                    .cloned()
+                    .collect(),
+            );
+            state.set_invalidated(inv);
+            changed
+        });
+
+        // Incremental runs schedule O(dirty), not O(module): a green
+        // constant whose target is already resident resolves here — no
+        // wave slot, no DAG walk — and only the invalidated remainder
+        // (plus greens without a resident target, e.g. a fresh
+        // environment, which fall back to the persist-cache replay path)
+        // enters the scheduler.
+        let mut pre: Vec<(usize, GlobalName, GlobalName)> = Vec::new();
+        let run_nodes: Vec<GlobalName> = if changed.is_some() {
+            nodes
+                .iter()
+                .enumerate()
+                .filter_map(
+                    |(i, n)| match crate::lift::green_reuse(env, self.lifting, state, n) {
+                        Some(to) => {
+                            pre.push((i, n.clone(), to));
+                            None
+                        }
+                        None => Some(n.clone()),
+                    },
+                )
+                .collect()
+        } else {
+            nodes.clone()
+        };
+
         let run_span = env.tracer().begin();
-        let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
-        let result = repair_module_wavefront(
+        let names: Vec<&str> = run_nodes.iter().map(|n| n.as_str()).collect();
+        let mut result = repair_module_wavefront(
             env,
             self.lifting,
             state,
@@ -281,6 +371,24 @@ impl<'a> Repairer<'a> {
             Some(self.jobs),
             self.cancel.as_ref(),
         );
+        if !pre.is_empty() {
+            // Splice the pre-resolved greens back into work-list order, so
+            // an incremental report's mapping is indistinguishable from a
+            // cold run's.
+            if let Ok(rep) = result.as_mut() {
+                let mut greens = pre.into_iter().peekable();
+                let mut pairs = Vec::with_capacity(nodes.len());
+                for (i, n) in nodes.iter().enumerate() {
+                    if greens.peek().is_some_and(|(j, _, _)| *j == i) {
+                        let (_, from, to) = greens.next().expect("peeked");
+                        pairs.push((from, to));
+                    } else if let Some(to) = rep.renamed(n.as_str()) {
+                        pairs.push((n.clone(), to.clone()));
+                    }
+                }
+                rep.set_repaired(pairs);
+            }
+        }
         if self.persist_dir.is_some() {
             // The handle must not outlive the run: a shared `LiftState`
             // threaded into a later `Repairer` without `persist_cache`
@@ -293,6 +401,31 @@ impl<'a> Repairer<'a> {
                 jobs: self.jobs as u32,
             },
         );
+        let incr = changed.map(|changed| {
+            let replayed = nodes
+                .iter()
+                .filter(|n| state.outcome(n) == Some(LiftOutcome::Fresh))
+                .count() as u64;
+            IncrStats {
+                changed: changed.len() as u64,
+                replayed,
+                skipped: nodes.len() as u64 - replayed,
+            }
+        });
+        if self.incr_prev.is_some() {
+            // The invalidation and green sets are per-run state, like the
+            // persist handle: a later run through the same threaded
+            // LiftState must not inherit them.
+            state.set_invalidated(Default::default());
+            state.set_green(Default::default());
+            if let Some(i) = incr {
+                env.tracer().emit(EventKind::Incr {
+                    changed: i.changed,
+                    replayed: i.replayed,
+                    skipped: i.skipped,
+                });
+            }
+        }
 
         // Stringify the finished provenance trees (outside the run span so
         // pretty-printing cost never skews run.ns) and append them to the
@@ -332,6 +465,7 @@ impl<'a> Repairer<'a> {
         }
 
         let mut report = result?;
+        report.incr = incr;
         report.lift = state.stats.since(&lift_before);
         report.metrics = Metrics::from_events(&events);
         report.provenance = provenance;
@@ -582,6 +716,59 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn green_reuse_skips_unchanged_resident_constants_without_a_cache() {
+        // Session-resident incremental run: the environment already holds
+        // the previous repair's outputs and every work-list digest matches
+        // the snapshot, so the whole module is green — reused with no
+        // persist cache attached at all (zero disk).
+        let module = pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS;
+        let (mut env, lifting) = configured();
+        let first = Repairer::new(&lifting).run(&mut env, module).unwrap();
+        let snap = DigestMap::capture(&env, module);
+        let second = Repairer::new(&lifting)
+            .incremental(&snap)
+            .run(&mut env, module)
+            .unwrap();
+        assert_eq!(first.repaired, second.repaired);
+        let incr = second.incr.expect("incremental run reports stats");
+        assert_eq!(
+            (incr.changed, incr.replayed, incr.skipped),
+            (0, 0, module.len() as u64)
+        );
+        assert_eq!(second.lift.persist_hits + second.lift.persist_misses, 0);
+    }
+
+    #[test]
+    fn threaded_state_re_lifts_the_invalidation_closure() {
+        // A LiftState threaded from an earlier run carries mappings for
+        // every constant; an invalidated constant (here: absent from the
+        // snapshot, as an edit would leave it) must not short-circuit on
+        // its stale entry — the driver forgets it so it re-lifts fresh.
+        let module = pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS;
+        let (mut env, lifting) = configured();
+        let mut st = LiftState::new();
+        Repairer::new(&lifting)
+            .state(&mut st)
+            .run(&mut env, module)
+            .unwrap();
+        let snapped: Vec<&str> = module
+            .iter()
+            .copied()
+            .filter(|n| *n != "Old.fold_app")
+            .collect();
+        let snap = DigestMap::capture(&env, &snapped);
+        let report = Repairer::new(&lifting)
+            .state(&mut st)
+            .incremental(&snap)
+            .run(&mut env, module)
+            .unwrap();
+        let incr = report.incr.expect("incremental run reports stats");
+        assert_eq!(incr.changed, 1);
+        assert_eq!(incr.replayed, 1, "the touched leaf must re-lift fresh");
+        assert_eq!(incr.skipped, module.len() as u64 - 1);
     }
 
     #[test]

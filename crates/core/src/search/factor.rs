@@ -317,7 +317,7 @@ pub fn configure_with(
 mod tests {
     use super::*;
     use crate::lift::LiftState;
-    use crate::repair::repair_module;
+    use crate::repairer::Repairer;
     use pumpkin_kernel::reduce::normalize;
     use pumpkin_stdlib as stdlib;
 
@@ -347,13 +347,13 @@ mod tests {
     fn repairs_demorgan_development() {
         let (mut env, l) = configured();
         let mut st = LiftState::new();
-        let report = repair_module(
-            &mut env,
-            &l,
-            &mut st,
-            &["I.neg", "I.and", "I.or", "I.demorgan_1", "I.demorgan_2"],
-        )
-        .unwrap();
+        let report = Repairer::new(&l)
+            .state(&mut st)
+            .run(
+                &mut env,
+                &["I.neg", "I.and", "I.or", "I.demorgan_1", "I.demorgan_2"],
+            )
+            .unwrap();
         assert_eq!(report.repaired.len(), 5);
         // J.and behaves like I.and through the equivalence.
         let f = l.equivalence.as_ref().unwrap().f.clone();

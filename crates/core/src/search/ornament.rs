@@ -236,7 +236,8 @@ pub fn configure(env: &mut Env, names: NameMap) -> Result<Lifting> {
 mod tests {
     use super::*;
     use crate::lift::LiftState;
-    use crate::repair::{check_source_free, repair_module};
+    use crate::repair::check_source_free;
+    use crate::repairer::Repairer;
     use pumpkin_kernel::reduce::normalize;
     use pumpkin_stdlib as stdlib;
     use pumpkin_stdlib::nat::nat_lit;
@@ -290,13 +291,10 @@ mod tests {
     fn repairs_zip_development_to_packed_vectors() {
         let (mut env, l) = configured();
         let mut st = LiftState::new();
-        let report = repair_module(
-            &mut env,
-            &l,
-            &mut st,
-            &["zip", "zip_with", "zip_with_is_zip"],
-        )
-        .unwrap();
+        let report = Repairer::new(&l)
+            .state(&mut st)
+            .run(&mut env, &["zip", "zip_with", "zip_with_is_zip"])
+            .unwrap();
         assert_eq!(report.renamed("zip").unwrap().as_str(), "Sig.zip");
         // The repaired lemma mentions sig_vector, not list.
         for (_, to) in &report.repaired {
@@ -340,7 +338,10 @@ mod tests {
         // Also repair app/rev (paper: Devoid-style reuse over ornaments).
         let (mut env, l) = configured();
         let mut st = LiftState::new();
-        repair_module(&mut env, &l, &mut st, &["app", "rev", "length"]).unwrap();
+        Repairer::new(&l)
+            .state(&mut st)
+            .run(&mut env, &["app", "rev", "length"])
+            .unwrap();
         let nat = Term::ind("nat");
         let pack = |elems: &[u64]| {
             let lst = stdlib::list::list_lit(

@@ -731,7 +731,7 @@ pub fn connection_projs() -> Vec<GlobalName> {
 mod tests {
     use super::*;
     use crate::lift::LiftState;
-    use crate::repair::repair;
+    use crate::repairer::Repairer;
     use pumpkin_kernel::reduce::normalize;
     use pumpkin_stdlib as stdlib;
 
@@ -771,7 +771,10 @@ mod tests {
     fn cork_ports_to_records_and_computes() {
         let (mut env, l) = env_with_equiv();
         let mut st = LiftState::new();
-        let new = repair(&mut env, &l, &mut st, &"cork".into()).unwrap();
+        let new = Repairer::new(&l)
+            .state(&mut st)
+            .run_one(&mut env, &"cork".into())
+            .unwrap();
         assert_eq!(new.as_str(), "Record.cork");
         // Record.cork increments the corked field.
         let rec = pumpkin_lang::term(
@@ -792,7 +795,10 @@ mod tests {
     fn cork_lemma_ports_to_records() {
         let (mut env, l) = env_with_equiv();
         let mut st = LiftState::new();
-        let new = repair(&mut env, &l, &mut st, &"corkLemma".into()).unwrap();
+        let new = Repairer::new(&l)
+            .state(&mut st)
+            .run_one(&mut env, &"corkLemma".into())
+            .unwrap();
         crate::repair::check_source_free(&env, &l, &new).unwrap();
         // The ported statement talks about the `corked` projection.
         let decl = env.const_decl(&new).unwrap();
@@ -816,7 +822,10 @@ mod tests {
         )
         .unwrap();
         let mut st = LiftState::new();
-        let ported = repair(&mut env, &fwd, &mut st, &"corkLemma".into()).unwrap();
+        let ported = Repairer::new(&fwd)
+            .state(&mut st)
+            .run_one(&mut env, &"corkLemma".into())
+            .unwrap();
 
         let back = configure_to_tuple(
             &mut env,
@@ -830,7 +839,10 @@ mod tests {
         // Stop the round trip at the function boundary: Record.cork is the
         // image of cork.
         st2.map_constant("Record.cork", "cork");
-        let round = repair(&mut env, &back, &mut st2, &ported).unwrap();
+        let round = Repairer::new(&back)
+            .state(&mut st2)
+            .run_one(&mut env, &ported)
+            .unwrap();
         // The round-tripped lemma is about tuples again and typechecks
         // (define() already verified); its type matches the original's.
         let orig = env.const_decl(&"corkLemma".into()).unwrap().ty.clone();

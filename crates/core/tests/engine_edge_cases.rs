@@ -2,7 +2,7 @@
 //! redeclaration, idempotence, axioms, and boundary mappings.
 
 use pumpkin_core::search::{factor, ornament, swap, tuple_record};
-use pumpkin_core::{repair, repair_module, LiftState, NameMap, RepairError};
+use pumpkin_core::{LiftState, NameMap, RepairError, Repairer};
 use pumpkin_kernel::term::Term;
 use pumpkin_stdlib as stdlib;
 
@@ -92,7 +92,10 @@ fn axioms_repair_to_axioms() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    let to = repair(&mut env, &lifting, &mut st, &"Old.mystery".into()).unwrap();
+    let to = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(&mut env, &"Old.mystery".into())
+        .unwrap();
     assert_eq!(to.as_str(), "New.mystery");
     let decl = env.const_decl(&to).unwrap();
     assert!(decl.body.is_none(), "axioms stay axioms");
@@ -110,13 +113,22 @@ fn repair_is_idempotent_per_state() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    let a = repair(&mut env, &lifting, &mut st, &"Old.rev".into()).unwrap();
-    let b = repair(&mut env, &lifting, &mut st, &"Old.rev".into()).unwrap();
+    let a = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(&mut env, &"Old.rev".into())
+        .unwrap();
+    let b = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(&mut env, &"Old.rev".into())
+        .unwrap();
     assert_eq!(a, b);
     // A *fresh* state still succeeds by accepting the identical existing
     // definition.
     let mut st2 = LiftState::new();
-    let c = repair(&mut env, &lifting, &mut st2, &"Old.rev".into()).unwrap();
+    let c = Repairer::new(&lifting)
+        .state(&mut st2)
+        .run_one(&mut env, &"Old.rev".into())
+        .unwrap();
     assert_eq!(a, c);
 }
 
@@ -134,7 +146,9 @@ fn name_collision_with_different_definition_is_reported() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    let r = repair(&mut env, &lifting, &mut st, &"Old.rev".into());
+    let r = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(&mut env, &"Old.rev".into());
     assert!(matches!(
         r,
         Err(RepairError::Kernel(
@@ -154,7 +168,9 @@ fn repair_module_reports_unknown_constants() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    let r = repair_module(&mut env, &lifting, &mut st, &["Old.rev", "Old.nonexistent"]);
+    let r = Repairer::new(&lifting)
+        .state(&mut st)
+        .run(&mut env, &["Old.rev", "Old.nonexistent"]);
     assert!(r.is_err());
 }
 
@@ -181,7 +197,10 @@ fn map_constant_stops_repair_at_a_boundary() {
     .unwrap();
     let mut st = LiftState::new();
     st.map_constant("Old.app", "my_app");
-    let to = repair(&mut env, &lifting, &mut st, &"Old.app_nil_r".into()).unwrap();
+    let to = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(&mut env, &"Old.app_nil_r".into())
+        .unwrap();
     let body = env.const_decl(&to).unwrap().body.clone().unwrap();
     assert!(body.mentions_global(&"my_app".into()));
     assert!(
@@ -201,7 +220,10 @@ fn lift_stats_are_populated() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    repair(&mut env, &lifting, &mut st, &"Old.rev_app_distr".into()).unwrap();
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(&mut env, &"Old.rev_app_distr".into())
+        .unwrap();
     assert!(st.stats.visits > 0);
     assert!(st.stats.constants_lifted >= 5);
     assert!(st.stats.cache_misses > 0);

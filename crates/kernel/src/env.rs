@@ -125,7 +125,7 @@ impl Default for KernelCache {
 /// parallel repair scheduler honours this by *cloning* the master `Env`
 /// once per worker (terms are `Arc`-shared, so a clone is shallow) and
 /// moving each clone onto its thread; caches are never shared mutable.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Env {
     consts: HashMap<GlobalName, ConstDecl>,
     inductives: HashMap<GlobalName, InductiveDecl>,
@@ -148,6 +148,37 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Env>();
 };
+
+impl Clone for Env {
+    fn clone(&self) -> Env {
+        // Memo tables whose stamp lags the generation would be flushed at
+        // the clone's next probe anyway ([`Env::cache_fresh`]), so copying
+        // them is pure waste — a daemon session's per-request clone was
+        // paying for thousands of dead entries. Start the clone with empty
+        // tables at the same stale stamp: the first probe performs the
+        // (now free) flush, so observable behavior — including the
+        // `invalidations` counter — is unchanged.
+        let cache = if self.cache.stamp.get() == self.generation {
+            self.cache.clone()
+        } else {
+            KernelCache {
+                stamp: Cell::new(self.cache.stamp.get()),
+                enabled: Cell::new(self.cache.enabled.get()),
+                stats: RefCell::new(*self.cache.stats.borrow()),
+                ..KernelCache::default()
+            }
+        };
+        Env {
+            consts: self.consts.clone(),
+            inductives: self.inductives.clone(),
+            ctor_names: self.ctor_names.clone(),
+            order: self.order.clone(),
+            generation: self.generation,
+            cache,
+            tracer: self.tracer.clone(),
+        }
+    }
+}
 
 impl Env {
     /// Creates an empty environment.

@@ -99,6 +99,9 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Root of the persistent cross-run lift cache, if enabled.
     pub cache_dir: Option<PathBuf>,
+    /// Size budget for the persist cache in bytes; past it the least
+    /// recently used entries are evicted. `None` means unbounded.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +114,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_depth: 32,
             cache_dir: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -203,6 +207,7 @@ struct Shared {
     max_sessions: usize,
     workers: usize,
     cache_dir: Option<PathBuf>,
+    cache_max_bytes: Option<u64>,
     metrics: Arc<Mutex<Metrics>>,
     queue: WorkQueue,
     active: AtomicUsize,
@@ -272,6 +277,7 @@ impl Server {
                 max_sessions: cfg.max_sessions.max(1),
                 workers: cfg.workers.max(1),
                 cache_dir: cfg.cache_dir,
+                cache_max_bytes: cfg.cache_max_bytes,
                 metrics: Arc::new(Mutex::new(Metrics::new())),
                 queue: WorkQueue::new(cfg.queue_depth),
                 active: AtomicUsize::new(0),
@@ -350,7 +356,8 @@ fn worker_loop(env: Env, shared: &Shared) {
         shared.jobs,
         shared.cache_dir.clone(),
         Arc::clone(&shared.metrics),
-    );
+    )
+    .cache_max_bytes(shared.cache_max_bytes);
     while let Some(job) = shared.queue.pop() {
         let reply = session.handle_request(&job.request, job.cancel.as_ref());
         // A connection that gave up (client vanished) just drops the

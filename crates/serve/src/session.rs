@@ -23,7 +23,9 @@ use std::time::Duration;
 
 use pumpkin_core::trace::Metrics;
 use pumpkin_core::wire::{term_from_envelope, term_to_envelope, LiftSpec, TermDigest, WireError};
-use pumpkin_core::{CancelToken, LiftState, Lifting, NameMap, RepairError, RepairReport, Repairer};
+use pumpkin_core::{
+    CancelToken, DigestMap, LiftState, Lifting, NameMap, RepairError, RepairReport, Repairer,
+};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 use pumpkin_wire::Value;
@@ -44,6 +46,21 @@ pub enum Control {
 /// least recently used entry (and its configured environment) is dropped.
 const MAX_CONFIGS: usize = 8;
 
+/// Every method the daemon serves, announced by `hello` so clients can
+/// negotiate before committing to a workload.
+pub const METHODS: &[&str] = &[
+    "hello",
+    "ping",
+    "metrics",
+    "shutdown",
+    "repair",
+    "repair_module",
+    "repair_batch",
+    "explain",
+    "trace_report",
+    "eval",
+];
+
 /// One cached configuration, keyed by its spec digest.
 struct Configured {
     digest: TermDigest,
@@ -51,6 +68,10 @@ struct Configured {
     /// equivalence constants); cloned per request.
     env: Env,
     lifting: Lifting,
+    /// Source-digest snapshot from the last repair under this
+    /// configuration; `"incremental": true` requests diff against it and
+    /// replay unchanged constants from the persist cache.
+    snapshot: Option<DigestMap>,
 }
 
 /// One worker's worth of request-handling state.
@@ -58,6 +79,8 @@ pub struct Session {
     base: Env,
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    /// Size budget for the persist cache (None = unbounded).
+    cache_max_bytes: Option<u64>,
     /// Most-recently-used first, at most [`MAX_CONFIGS`] entries.
     configured: Vec<Configured>,
     /// Server-wide cumulative metrics registry; every repair-family
@@ -83,6 +106,33 @@ pub(crate) fn control_result(
                 ("pong".into(), Value::Bool(true)),
                 ("proto".into(), Value::UInt(u64::from(PROTO_VERSION))),
                 ("wire".into(), Value::str(pumpkin_wire::WIRE_TAG)),
+            ]),
+            Control::Continue,
+        ))),
+        "hello" => Some(Ok((
+            Value::Obj(vec![
+                (
+                    "proto_version".into(),
+                    Value::UInt(u64::from(PROTO_VERSION)),
+                ),
+                ("wire_version".into(), Value::str(pumpkin_wire::WIRE_TAG)),
+                (
+                    "methods".into(),
+                    Value::Arr(METHODS.iter().map(|m| Value::str(*m)).collect()),
+                ),
+                (
+                    "limits".into(),
+                    Value::Obj(vec![
+                        (
+                            "max_frame_bytes".into(),
+                            Value::UInt(proto::MAX_FRAME as u64),
+                        ),
+                        (
+                            "max_payload_bytes".into(),
+                            Value::UInt(pumpkin_wire::term::MAX_PAYLOAD as u64),
+                        ),
+                    ]),
+                ),
             ]),
             Control::Continue,
         ))),
@@ -122,9 +172,18 @@ impl Session {
             base,
             jobs: jobs.max(1),
             cache_dir,
+            cache_max_bytes: None,
             configured: Vec::new(),
             metrics,
         }
+    }
+
+    /// Caps the persist cache's on-disk size (oldest entries are evicted
+    /// past the budget). `None` — the default — means unbounded.
+    #[must_use]
+    pub fn cache_max_bytes(mut self, max: Option<u64>) -> Session {
+        self.cache_max_bytes = max;
+        self
     }
 
     /// Handles one frame: parses, dispatches, and renders the reply line
@@ -361,6 +420,16 @@ impl Session {
         let spec =
             LiftSpec::from_value(spec_value).map_err(|e| (code::BAD_PARAMS, e.to_string()))?;
         self.ensure_configured(&spec)?;
+        // An `"incremental": true` request diffs the sources against the
+        // configuration's snapshot from the last repair (an empty snapshot
+        // on the first request — everything diffs as changed, a cold run)
+        // and replays unchanged constants from the persist cache.
+        let incremental = flag(params, "incremental");
+        let prev: Option<DigestMap> = if incremental {
+            Some(self.configured[0].snapshot.clone().unwrap_or_default())
+        } else {
+            None
+        };
         let cfg = &self.configured[0];
 
         let jobs = params
@@ -380,13 +449,21 @@ impl Session {
             repairer = repairer.deadline(Duration::from_millis(ms));
         }
         if let Some(dir) = &self.cache_dir {
-            repairer = repairer.persist_cache(dir);
+            repairer = repairer
+                .persist_cache(dir)
+                .cache_max_bytes(self.cache_max_bytes);
+        }
+        if let Some(snap) = &prev {
+            repairer = repairer.incremental(snap);
         }
         let borrowed: Vec<&str> = names.iter().map(String::as_str).collect();
         let report = repairer.run(&mut env, &borrowed).map_err(|e| match e {
             RepairError::Cancelled { .. } => (code::DEADLINE, e.to_string()),
             other => (code::REPAIR_FAILED, other.to_string()),
         })?;
+        if incremental {
+            self.configured[0].snapshot = Some(DigestMap::capture(&env, &borrowed));
+        }
         self.metrics
             .lock()
             .expect("metrics lock poisoned")
@@ -411,6 +488,7 @@ impl Session {
                 digest,
                 env,
                 lifting,
+                snapshot: None,
             },
         );
         self.configured.truncate(MAX_CONFIGS);
@@ -519,6 +597,123 @@ mod tests {
         // request returns byte-identical output.
         let (again, _) = s.handle_line(&line);
         assert_eq!(reply, again);
+    }
+
+    #[test]
+    fn hello_announces_versions_methods_and_limits() {
+        let mut s = session();
+        let (reply, ctl) = s.handle_line(r#"{"id":1,"method":"hello"}"#);
+        assert_eq!(ctl, Control::Continue);
+        let v = Value::parse(&reply).unwrap();
+        let result = v.get("result").unwrap();
+        assert_eq!(
+            result.get("proto_version").and_then(Value::as_u64),
+            Some(u64::from(PROTO_VERSION))
+        );
+        assert_eq!(
+            result.get("wire_version").and_then(Value::as_str),
+            Some(pumpkin_wire::WIRE_TAG)
+        );
+        let methods = result.get("methods").and_then(Value::as_arr).unwrap();
+        for m in METHODS {
+            assert!(
+                methods.iter().any(|v| v.as_str() == Some(m)),
+                "hello must announce `{m}`"
+            );
+        }
+        assert_eq!(
+            result
+                .get("limits")
+                .and_then(|l| l.get("max_frame_bytes"))
+                .and_then(Value::as_u64),
+            Some(proto::MAX_FRAME as u64)
+        );
+    }
+
+    #[test]
+    fn incremental_repair_replays_from_the_persist_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("pumpkin-serve-incr-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Session::new(
+            pumpkin_stdlib::std_env(),
+            1,
+            Some(dir.clone()),
+            Arc::new(Mutex::new(Metrics::new())),
+        );
+        let line = format!(
+            r#"{{"id":1,"method":"repair_module","params":{{"lifting":{},"names":["Old.rev","Old.app"],"deterministic":true,"incremental":true}}}}"#,
+            swap_spec()
+        );
+        // First incremental request: empty snapshot, everything changed.
+        let (reply, _) = s.handle_line(&line);
+        let v = Value::parse(&reply).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{reply}");
+        let incr = |v: &Value| {
+            v.get("result")
+                .and_then(|r| r.get("report"))
+                .and_then(|r| r.get("incr"))
+                .cloned()
+                .unwrap()
+        };
+        let first = incr(&v);
+        assert_eq!(first.get("changed").and_then(Value::as_u64), Some(2));
+        // Second identical request: nothing changed, everything replays.
+        let (reply, _) = s.handle_line(&line);
+        let v = Value::parse(&reply).unwrap();
+        let second = incr(&v);
+        assert_eq!(second.get("changed").and_then(Value::as_u64), Some(0));
+        assert_eq!(second.get("replayed").and_then(Value::as_u64), Some(0));
+        assert_eq!(second.get("skipped").and_then(Value::as_u64), Some(2));
+        // A cold request carries no `incr` field at all.
+        let cold = format!(
+            r#"{{"id":2,"method":"repair_module","params":{{"lifting":{},"names":["Old.rev","Old.app"],"deterministic":true}}}}"#,
+            swap_spec()
+        );
+        let (reply, _) = s.handle_line(&cold);
+        assert!(!reply.contains("\"incr\""), "{reply}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_after_incremental_repair_cites_the_same_rules() {
+        let dir =
+            std::env::temp_dir().join(format!("pumpkin-serve-explain-incr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let explain_line = format!(
+            r#"{{"id":1,"method":"explain","params":{{"lifting":{},"name":"Old.rev"}}}}"#,
+            swap_spec()
+        );
+        // Cold explanation, no cache anywhere.
+        let (cold, _) = session().handle_line(&explain_line);
+        // Warm the persist cache with an incremental repair, then explain
+        // on the same session: the replayed world must cite identically.
+        let mut s = Session::new(
+            pumpkin_stdlib::std_env(),
+            1,
+            Some(dir.clone()),
+            Arc::new(Mutex::new(Metrics::new())),
+        );
+        let repair_line = format!(
+            r#"{{"id":2,"method":"repair_module","params":{{"lifting":{},"names":["Old.rev"],"deterministic":true,"incremental":true}}}}"#,
+            swap_spec()
+        );
+        let (r, _) = s.handle_line(&repair_line);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let (r, _) = s.handle_line(&repair_line);
+        assert!(r.contains("\"skipped\":1"), "{r}");
+        let (warm, _) = s.handle_line(&explain_line);
+        let text = |reply: &str| {
+            Value::parse(reply)
+                .unwrap()
+                .get("result")
+                .and_then(|r| r.get("explanation"))
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .unwrap()
+        };
+        assert_eq!(text(&cold), text(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

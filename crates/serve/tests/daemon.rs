@@ -87,14 +87,7 @@ fn four_concurrent_clients_match_sequential_one_shots() {
 
 #[test]
 fn merged_metrics_canonicalize_identically_across_job_counts() {
-    let line = repair_module_line(
-        1,
-        pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS
-            .iter()
-            .copied()
-            .collect::<Vec<_>>()
-            .as_slice(),
-    );
+    let line = repair_module_line(1, pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS);
     let canonical = |jobs: usize| -> String {
         let metrics = Arc::new(Mutex::new(pumpkin_core::trace::Metrics::new()));
         let mut s = Session::new(pumpkin_stdlib::std_env(), jobs, None, Arc::clone(&metrics));
@@ -515,5 +508,90 @@ fn persistent_cache_warms_across_server_restarts() {
             .expect("reply carries repaired pairs")
     };
     assert_eq!(repaired(&cold_reply), repaired(&warm_reply));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_daemons_share_one_cache_dir_under_concurrent_eviction() {
+    // Two independent server processes (modeled as two in-process servers,
+    // which is the same `PersistCache` code path) point at one cache
+    // directory with a budget small enough that every store triggers the
+    // evictor. Concurrent store / load / evict must never corrupt the
+    // cache or fail a request — at worst a lookup misses and the lift is
+    // redone fresh.
+    let dir = std::env::temp_dir().join(format!("pumpkind-shared-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spawn_shared = || {
+        spawn_server(ServerConfig {
+            cache_dir: Some(dir.clone()),
+            cache_max_bytes: Some(4096),
+            ..ServerConfig::default()
+        })
+    };
+    let (addr_a, handle_a) = spawn_shared();
+    let (addr_b, handle_b) = spawn_shared();
+
+    let names: &[&[&str]] = &[
+        &["Old.rev", "Old.app"],
+        &["Old.rev_involutive"],
+        &["Old.app_nil_r", "Old.rev_app_distr"],
+    ];
+    let replies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = [&addr_a, &addr_b]
+            .into_iter()
+            .flat_map(|addr| {
+                names.iter().map(move |subset| {
+                    let addr = addr.clone();
+                    s.spawn(move || {
+                        let mut c = Client::connect(&addr).expect("connect");
+                        (0..4)
+                            .map(|i| c.call_raw(&repair_module_line(i, subset)).expect("repair"))
+                            .collect::<Vec<_>>()
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    for reply in &replies {
+        assert!(
+            reply.contains("\"ok\":true"),
+            "request failed under shared cache: {reply}"
+        );
+    }
+
+    // The storm over, both daemons and the on-disk cache must still work:
+    // a fresh connection repairs successfully, and a direct open of the
+    // directory replays without tripping the corruption tolerance.
+    for addr in [&addr_a, &addr_b] {
+        let mut c = Client::connect(addr).expect("reconnect");
+        let reply = c
+            .call_raw(&repair_module_line(99, &["Old.rev"]))
+            .expect("post-storm repair");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+    }
+    shutdown(&addr_a);
+    shutdown(&addr_b);
+    handle_a.join().unwrap();
+    handle_b.join().unwrap();
+
+    // Eviction kept the directory near its budget rather than growing
+    // without bound (generous slack: one in-flight entry may overshoot).
+    let on_disk: u64 = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter_map(|e| e.metadata().ok())
+                .filter(|m| m.is_file())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    assert!(
+        on_disk < 256 * 1024,
+        "cache dir grew unbounded: {on_disk} bytes"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -141,6 +141,18 @@ pub enum EventKind {
         /// Declarations dropped.
         dropped: u32,
     },
+    /// Instant: incremental accounting for a differential run — how many
+    /// work-list inputs changed since the digest snapshot, how many
+    /// constants were re-lifted fresh, and how many were skipped
+    /// (persist-cache replays or already-mapped constants).
+    Incr {
+        /// Inputs whose source digest changed.
+        changed: u64,
+        /// Constants re-lifted fresh (the invalidated closure).
+        replayed: u64,
+        /// Constants not re-lifted.
+        skipped: u64,
+    },
     /// Instant (`prov` family, versioned): header for one repaired
     /// constant's provenance tree; followed by `sites` [`EventKind::ProvSite`]
     /// events.
@@ -192,6 +204,7 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::Rollback { .. } => "rollback",
+            EventKind::Incr { .. } => "incr",
             EventKind::ProvConst { .. } => "prov_const",
             EventKind::ProvSite { .. } => "prov_site",
             // The preserved wire kind lives in the variant's `kind` field;
@@ -263,6 +276,18 @@ impl Event {
             EventKind::Rollback { dropped } => {
                 s.push_str(",\"dropped\":");
                 s.push_str(&dropped.to_string());
+            }
+            EventKind::Incr {
+                changed,
+                replayed,
+                skipped,
+            } => {
+                s.push_str(",\"changed\":");
+                s.push_str(&changed.to_string());
+                s.push_str(",\"replayed\":");
+                s.push_str(&replayed.to_string());
+                s.push_str(",\"skipped\":");
+                s.push_str(&skipped.to_string());
             }
             EventKind::ProvConst { name, to, sites } => {
                 s.push_str(",\"v\":");
@@ -345,6 +370,11 @@ impl Event {
             },
             "rollback" => EventKind::Rollback {
                 dropped: num("dropped")? as u32,
+            },
+            "incr" => EventKind::Incr {
+                changed: num("changed")?,
+                replayed: num("replayed")?,
+                skipped: num("skipped")?,
             },
             k @ ("prov_const" | "prov_site")
                 if num("v") != Some(u64::from(prov::PROV_SCHEMA_VERSION)) =>
@@ -673,6 +703,11 @@ mod tests {
                 table: CacheTable::Lift,
             },
             EventKind::Rollback { dropped: 7 },
+            EventKind::Incr {
+                changed: 1,
+                replayed: 2,
+                skipped: 11,
+            },
             EventKind::ProvConst {
                 name: "Old.rev".into(),
                 to: "New.rev".into(),

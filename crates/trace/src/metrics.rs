@@ -253,6 +253,15 @@ impl Metrics {
                     m.incr("rollback.count", 1);
                     m.incr("rollback.dropped", u64::from(*dropped));
                 }
+                EventKind::Incr {
+                    changed,
+                    replayed,
+                    skipped,
+                } => {
+                    m.incr("incr.changed", *changed);
+                    m.incr("incr.replayed", *replayed);
+                    m.incr("incr.skipped", *skipped);
+                }
                 EventKind::ProvConst { .. } => m.incr("prov.constants", 1),
                 EventKind::ProvSite { rule, .. } => {
                     m.incr("prov.sites", 1);

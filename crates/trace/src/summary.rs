@@ -144,6 +144,19 @@ pub fn render(events: &[Event]) -> String {
     if rollbacks > 0 {
         out.push_str(&format!("  rollbacks: {rollbacks} declarations dropped\n"));
     }
+    if let Some(EventKind::Incr {
+        changed,
+        replayed,
+        skipped,
+    }) = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Incr { .. }))
+        .map(|e| &e.kind)
+    {
+        out.push_str(&format!(
+            "  incremental: changed={changed} replayed={replayed} skipped={skipped}\n"
+        ));
+    }
     out
 }
 

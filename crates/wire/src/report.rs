@@ -43,11 +43,26 @@ pub struct ReportWire {
     /// Event-derived metrics counters (stable across builds; see module
     /// docs), sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Incremental accounting `{changed, replayed, skipped}` for
+    /// differential runs; `None` (and absent on the wire) for cold runs,
+    /// so cold replies stay byte-identical to pre-incremental ones.
+    pub incr: Option<IncrWire>,
+}
+
+/// The wire form of the incremental counters (see `core::incr`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrWire {
+    /// Work-list inputs whose source digest changed since the snapshot.
+    pub changed: u64,
+    /// Constants re-lifted fresh (the invalidated downstream closure).
+    pub replayed: u64,
+    /// Constants not re-lifted (persist replays or already mapped).
+    pub skipped: u64,
 }
 
 impl ReportWire {
     pub fn to_value(&self) -> Value {
-        Value::Obj(vec![
+        let mut fields = vec![
             (
                 "repaired".into(),
                 Value::Arr(
@@ -79,7 +94,18 @@ impl ReportWire {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(i) = &self.incr {
+            fields.push((
+                "incr".into(),
+                Value::Obj(vec![
+                    ("changed".into(), Value::UInt(i.changed)),
+                    ("replayed".into(), Value::UInt(i.replayed)),
+                    ("skipped".into(), Value::UInt(i.skipped)),
+                ]),
+            ));
+        }
+        Value::Obj(fields)
     }
 
     pub fn from_value(v: &Value) -> Result<Self, WireError> {
@@ -115,6 +141,21 @@ impl ReportWire {
                     .ok_or_else(|| WireError::Shape(format!("counter `{k}` must be an integer")))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let incr = match v.get("incr") {
+            None | Some(Value::Null) => None,
+            Some(obj) => {
+                let ni = |k: &str| -> Result<u64, WireError> {
+                    obj.get(k)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| WireError::Shape(format!("report `incr` is missing `{k}`")))
+                };
+                Some(IncrWire {
+                    changed: ni("changed")?,
+                    replayed: ni("replayed")?,
+                    skipped: ni("skipped")?,
+                })
+            }
+        };
         Ok(ReportWire {
             repaired,
             jobs: n("jobs")?,
@@ -128,6 +169,7 @@ impl ReportWire {
             persist_misses: n("persist_misses")?,
             wall_ns: n("wall_ns")?,
             counters,
+            incr,
         })
     }
 }
@@ -151,6 +193,24 @@ mod tests {
             persist_misses: 0,
             wall_ns: 12345,
             counters: vec![("lift.constants".into(), 1)],
+            incr: None,
+        };
+        let v = Value::parse(&r.to_value().to_string()).unwrap();
+        assert_eq!(ReportWire::from_value(&v).unwrap(), r);
+        // A cold report's wire text never mentions incremental fields.
+        assert!(!r.to_value().to_string().contains("incr"));
+    }
+
+    #[test]
+    fn incremental_report_roundtrip() {
+        let r = ReportWire {
+            repaired: vec![("Old.rev".into(), "New.rev".into())],
+            incr: Some(IncrWire {
+                changed: 1,
+                replayed: 2,
+                skipped: 11,
+            }),
+            ..ReportWire::default()
         };
         let v = Value::parse(&r.to_value().to_string()).unwrap();
         assert_eq!(ReportWire::from_value(&v).unwrap(), r);

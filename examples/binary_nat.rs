@@ -76,7 +76,9 @@ fn main() -> pumpkin_core::Result<()> {
 
     println!("\n== Repair nat N in add as slow_add ==");
     let mut state = pumpkin_core::LiftState::new();
-    let slow_add = pumpkin_core::repair(&mut env, &lifting, &mut state, &"add".into())?;
+    let slow_add = Repairer::new(&lifting)
+        .state(&mut state)
+        .run_one(&mut env, &"add".into())?;
     let decl = env.const_decl(&slow_add).unwrap();
     println!(
         "{slow_add} : {}\n  := {}",
@@ -102,7 +104,9 @@ fn main() -> pumpkin_core::Result<()> {
     println!("add_n_Sm_expanded type checks over nat (explicit nat.iota_succ)");
 
     println!("\n== Repair nat N in add_n_Sm as slow_add_n_Sm ==");
-    let lemma = pumpkin_core::repair(&mut env, &lifting, &mut state, &"add_n_Sm_expanded".into())?;
+    let lemma = Repairer::new(&lifting)
+        .state(&mut state)
+        .run_one(&mut env, &"add_n_Sm_expanded".into())?;
     let decl = env.const_decl(&lemma).unwrap();
     println!("{lemma} :\n  {}", pumpkin_lang::pretty(&env, &decl.ty));
     pumpkin_core::repair::check_source_free(&env, &lifting, &lemma)?;

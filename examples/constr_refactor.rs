@@ -26,7 +26,9 @@ fn main() -> pumpkin_core::Result<()> {
     println!("\n== Repair I J in neg, and, or, demorgan_1, demorgan_2 ==");
     let mut state = pumpkin_core::LiftState::new();
     for name in ["I.neg", "I.and", "I.or"] {
-        let new = pumpkin_core::repair(&mut env, &lifting, &mut state, &name.into())?;
+        let new = Repairer::new(&lifting)
+            .state(&mut state)
+            .run_one(&mut env, &name.into())?;
         let decl = env.const_decl(&new).unwrap();
         println!(
             "\n{new} : {}\n  := {}",

@@ -25,7 +25,9 @@ fn main() -> pumpkin_core::Result<()> {
         pumpkin_core::NameMap::prefix("", "Record."),
     )?;
     let mut st = pumpkin_core::LiftState::new();
-    let cork = pumpkin_core::repair(&mut env, &fwd, &mut st, &"cork".into())?;
+    let cork = Repairer::new(&fwd)
+        .state(&mut st)
+        .run_one(&mut env, &"cork".into())?;
     let decl = env.const_decl(&cork).unwrap();
     println!(
         "{cork} : {}\n  := {}",
@@ -34,7 +36,9 @@ fn main() -> pumpkin_core::Result<()> {
     );
 
     println!("\n== Step 2: the record-level lemma ==");
-    let lemma = pumpkin_core::repair(&mut env, &fwd, &mut st, &"corkLemma".into())?;
+    let lemma = Repairer::new(&fwd)
+        .state(&mut st)
+        .run_one(&mut env, &"corkLemma".into())?;
     let decl = env.const_decl(&lemma).unwrap();
     println!("{lemma} :\n  {}", pumpkin_lang::pretty(&env, &decl.ty));
     pumpkin_core::repair::check_source_free(&env, &fwd, &lemma)?;
@@ -51,7 +55,9 @@ fn main() -> pumpkin_core::Result<()> {
     let mut st2 = pumpkin_core::LiftState::new();
     // Stop the round trip at the function boundary.
     st2.map_constant("Record.cork", "cork");
-    let round = pumpkin_core::repair(&mut env, &back, &mut st2, &lemma)?;
+    let round = Repairer::new(&back)
+        .state(&mut st2)
+        .run_one(&mut env, &lemma)?;
     let round_ty = env.const_decl(&round).unwrap().ty.clone();
     println!("{round} :\n  {}", pumpkin_lang::pretty(&env, &round_ty));
     let orig_ty = env.const_decl(&"corkLemma".into()).unwrap().ty.clone();

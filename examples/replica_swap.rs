@@ -33,10 +33,8 @@ fn main() -> pumpkin_core::Result<()> {
         pumpkin_core::NameMap::prefix("Old.", "New."),
     )?;
     let mut state = pumpkin_core::LiftState::new();
-    let report = pumpkin_core::repair_module(
+    let report = Repairer::new(&lifting).state(&mut state).run(
         &mut env,
-        &lifting,
-        &mut state,
         &[
             "Old.size",
             "Old.eval",
@@ -82,7 +80,9 @@ fn main() -> pumpkin_core::Result<()> {
         pumpkin_core::NameMap::prefix("Old.", "Rn."),
     )?;
     let mut st2 = pumpkin_core::LiftState::new();
-    pumpkin_core::repair_module(&mut env, &l2, &mut st2, &["Old.size", "Old.eval"])?;
+    Repairer::new(&l2)
+        .state(&mut st2)
+        .run(&mut env, &["Old.size", "Old.eval"])?;
     println!("renamed-constructors variant repaired: Rn.size, Rn.eval");
 
     // Permute >2 constructors + rename at once.
@@ -98,10 +98,8 @@ fn main() -> pumpkin_core::Result<()> {
         pumpkin_core::NameMap::prefix("Old.", "PR."),
     )?;
     let mut st3 = pumpkin_core::LiftState::new();
-    pumpkin_core::repair_module(
+    Repairer::new(&l3).state(&mut st3).run(
         &mut env,
-        &l3,
-        &mut st3,
         &["Old.size", "Old.eval", "Old.eval_eq_true_or_false"],
     )?;
     println!("4-cycle permutation variant repaired: PR.size, PR.eval, PR.eval_eq_true_or_false");

@@ -33,10 +33,8 @@ fn main() -> pumpkin_core::Result<()> {
         pumpkin_core::NameMap::prefix("", "Sig."),
     )?;
     let mut state = pumpkin_core::LiftState::new();
-    let report = pumpkin_core::repair_module(
+    let report = Repairer::new(&lifting).state(&mut state).run(
         &mut env,
-        &lifting,
-        &mut state,
         &[
             "zip",
             "zip_with",

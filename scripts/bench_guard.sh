@@ -112,6 +112,20 @@ if [ -n "$cold" ] && [ -n "$warm" ]; then
     fi
 fi
 
+# The incremental layer's reason to exist, asserted in-run: a
+# session-resident incremental repair after touching 1 of the module's 13
+# constants (diff digests, re-lift the touch, green-reuse the rest) must
+# cost at most 0.3x of the full warm repair measured in the same
+# invocation.
+incr=$(median "$new" 'persist_cache/incremental')
+if [ -n "$warm" ] && [ -n "$incr" ]; then
+    echo "bench_guard: persist_cache incremental ${incr} ns vs warm ${warm} ns (need incr*10 <= warm*3)"
+    if [ $((incr * 10)) -gt $((warm * 3)) ]; then
+        echo "bench_guard: REGRESSION: incremental repair is not <=0.3x of a full warm repair" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
 # Batch amortization, asserted in-run: one repair_batch frame over the
 # 13-constant swap module must cost at most 0.8x of 13 individual repair
 # RPCs (same repairs, same invocation — the delta is framing, connects,

@@ -46,14 +46,53 @@ for _ in $(seq 1 100); do
 done
 [ -n "$addr" ] || { echo "pumpkind never reported its address" >&2; cat "$serve_log"; exit 1; }
 timeout 30 ./target/release/pumpkin client --connect "$addr" ping
+timeout 30 ./target/release/pumpkin client --connect "$addr" hello
 timeout 120 ./target/release/pumpkin client --connect "$addr" repair-module \
     --swap Old.list New.list --names Old.rev,Old.app,Old.rev_involutive
+# Error-code mapping: an unknown method must exit with the dedicated
+# unknown_method status (14), not a generic failure.
+set +e
+timeout 30 ./target/release/pumpkin client --connect "$addr" call frobnicate
+rc=$?
+set -e
+[ "$rc" -eq 14 ] || { echo "client exit code for unknown_method: got $rc, want 14" >&2; exit 1; }
 timeout 30 ./target/release/pumpkin client --connect "$addr" shutdown
 wait "$serve_pid" || { echo "pumpkind exited nonzero" >&2; cat "$serve_log"; exit 1; }
 rm -f "$serve_log"
 
 echo "==> example: serve_roundtrip (in-process daemon round trip)"
 timeout 300 cargo run -q --release --locked --example serve_roundtrip >/dev/null
+
+# Watch-mode smoke: run `pumpkin watch` on a one-constant file, touch the
+# constant between its two runs, and assert the second run's incremental
+# accounting re-lifted only the touch — everything else (the 13-constant
+# swap module) skipped. `skipped >= 11` leaves headroom for work-list
+# composition changes without letting "incremental re-runs everything"
+# slip through.
+echo "==> watch smoke (touch one constant, assert skipped >= 11)"
+watch_dir=$(mktemp -d)
+watch_pi="$watch_dir/mine.pi"
+watch_log="$watch_dir/watch.log"
+echo 'Definition Old.mine : nat := O.' >"$watch_pi"
+timeout 120 ./target/release/pumpkin watch --max-runs 2 --poll-ms 100 \
+    --cache-dir "$watch_dir/cache" "$watch_pi" >"$watch_log" 2>&1 &
+watch_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'watch: run 1:' "$watch_log" && break
+    sleep 0.1
+done
+grep -q 'watch: run 1:' "$watch_log" || { echo "watch never completed run 1" >&2; cat "$watch_log"; exit 1; }
+sleep 0.3 # a fresh mtime, even on coarse filesystem clocks
+echo 'Definition Old.mine : nat := S O.' >"$watch_pi"
+wait "$watch_pid" || { echo "watch exited nonzero" >&2; cat "$watch_log"; exit 1; }
+grep 'watch: incremental:' "$watch_log"
+skipped=$(sed -n 's/.*skipped=\([0-9]*\)$/\1/p' "$watch_log" | tail -1)
+[ -n "$skipped" ] && [ "$skipped" -ge 11 ] || {
+    echo "watch smoke: second run skipped=${skipped:-none}, want >= 11" >&2
+    cat "$watch_log"
+    exit 1
+}
+rm -rf "$watch_dir"
 
 # Smoke-run the parallel-repair + observability bench rows so scheduler or
 # probe regressions surface here, not only in full EXPERIMENTS.md runs,
@@ -65,29 +104,31 @@ timeout 300 cargo run -q --release --locked --example serve_roundtrip >/dev/null
 # guard gates row by row against the most recent committed baseline.
 # The scaling_term_size rows join the report for PR 7: the hash-consing +
 # NbE-conversion work is gated against a hard in-run ceiling (see
-# bench_guard.sh) as well as the committed-baseline comparison.
-echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve + scaling rows → BENCH_pr7.json"
+# bench_guard.sh) as well as the committed-baseline comparison. PR 8 adds
+# the persist_cache/incremental row: a session-resident incremental
+# repair after one touch must cost at most 0.3x of the full warm repair.
+echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve + scaling rows → BENCH_pr8.json"
 # Absolute path: cargo runs the bench binary with cwd = the package dir.
 # Sample size 9: the batch-vs-rpc in-run gate needs a stable median on a
 # noisy single-CPU container.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
     --sample-size 9 \
     --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip,repair_batch,scaling_term_size \
-    --json "$(pwd)/BENCH_pr7.json"
+    --json "$(pwd)/BENCH_pr8.json"
 
 # Loadgen smoke: a seed-replayable closed-loop run against a self-hosted
 # worker-pool daemon; its serve_load/{p50,p95,p99,throughput} rows join
 # the same report (the header line of the loadgen output is dropped —
-# BENCH_pr7.json already has one).
+# BENCH_pr8.json already has one).
 echo "==> loadgen smoke (closed loop, 16 clients) → serve_load rows"
 loadgen_json=$(mktemp)
 timeout 300 ./target/release/pumpkin loadgen \
     --mode closed --clients 16 --requests 4 --workers 2 --seed 7 \
     --json "$loadgen_json"
-tail -n +2 "$loadgen_json" >> BENCH_pr7.json
+tail -n +2 "$loadgen_json" >> BENCH_pr8.json
 rm -f "$loadgen_json"
 
 echo "==> bench guard (auto baseline)"
-scripts/bench_guard.sh BENCH_pr7.json
+scripts/bench_guard.sh BENCH_pr8.json
 
 echo "==> all checks passed"

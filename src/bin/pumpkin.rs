@@ -28,10 +28,15 @@ const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <
                      \x20      pumpkin trace-report [--lint] [--top K] <file.jsonl> [file2.jsonl]\n\
                      \x20      pumpkin serve [--listen ADDR] [--unix PATH] [--jobs N] [--max-sessions N]\n\
                      \x20                    [--workers N] [--queue-depth N] [--cache-dir DIR]\n\
-                     \x20      pumpkin client --connect ADDR <ping|shutdown|metrics|repair-module|explain|call> [args]\n\
+                     \x20                    [--cache-max-bytes N]\n\
+                     \x20      pumpkin client --connect ADDR <hello|ping|shutdown|metrics|repair-module|explain|call> [args]\n\
+                     \x20      pumpkin watch [--poll-ms MS] [--max-runs N] [--jobs N] [--cache-dir DIR]\n\
+                     \x20                    [--cache-max-bytes N] [--swap A B] [--rename From.=To.]\n\
+                     \x20                    [--names n1,n2,...] <module.pi>\n\
                      \x20      pumpkin loadgen [--connect ADDR] [--mode closed|open] [--clients N] [--requests N]\n\
                      \x20                      [--rate R] [--duration-ms D] [--seed S] [--workers N]\n\
-                     \x20                      [--queue-depth N] [--jobs N] [--trials N] [--json PATH]";
+                     \x20                      [--queue-depth N] [--jobs N] [--trials N] [--touch-rate R]\n\
+                     \x20                      [--json PATH]";
 
 fn serve(argv: &[String]) -> ExitCode {
     let mut cfg = ServerConfig {
@@ -57,6 +62,13 @@ fn serve(argv: &[String]) -> ExitCode {
             "--cache-dir" => match take("--cache-dir") {
                 Ok(v) => cfg.cache_dir = Some(v.into()),
                 Err(()) => return ExitCode::FAILURE,
+            },
+            "--cache-max-bytes" => match take("--cache-max-bytes").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => cfg.cache_max_bytes = Some(n),
+                _ => {
+                    eprintln!("--cache-max-bytes needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
             },
             "--jobs" => match take("--jobs").map(|v| v.parse::<usize>()) {
                 Ok(Ok(n)) => cfg.jobs = n.max(1),
@@ -247,6 +259,102 @@ fn render_client_result(method: &str, result: &Value) {
     }
 }
 
+/// Maps a client-side failure to a distinct exit status, so scripts can
+/// branch on *why* a call failed (`busy` → back off and retry, `deadline`
+/// → raise the budget, version skew → upgrade) instead of parsing stderr.
+fn client_exit_code(err: &pumpkin_serve::ClientError) -> ExitCode {
+    use pumpkin_serve::proto::code;
+    use pumpkin_serve::ClientError;
+    let code = match err {
+        ClientError::Server { code, .. } => code.as_str(),
+        ClientError::Protocol(_) => return ExitCode::from(20),
+        ClientError::Io(_) => return ExitCode::from(21),
+    };
+    ExitCode::from(match code {
+        code::BUSY => 10,
+        code::DEADLINE => 11,
+        code::BAD_DIGEST => 12,
+        code::BAD_PARAMS => 13,
+        code::UNKNOWN_METHOD => 14,
+        code::REPAIR_FAILED => 15,
+        code::SHUTTING_DOWN => 16,
+        code::OVERSIZED | code::TRUNCATED => 17,
+        code::PARSE => 18,
+        _ => 19,
+    })
+}
+
+/// One-line human rendering for a failed call, with a hint where the
+/// right reaction is obvious.
+fn client_error_line(err: &pumpkin_serve::ClientError) -> String {
+    use pumpkin_serve::proto::code;
+    use pumpkin_serve::ClientError;
+    let hint = match err {
+        ClientError::Server { code, .. } => match code.as_str() {
+            code::BUSY => " (server saturated; retry with backoff)",
+            code::DEADLINE => " (deadline elapsed; raise --deadline-ms or the server budget)",
+            code::SHUTTING_DOWN => " (server is draining; reconnect later)",
+            code::BAD_DIGEST => " (payload corrupt in transit; resend)",
+            _ => "",
+        },
+        _ => "",
+    };
+    format!("pumpkin client: {err}{hint}")
+}
+
+/// Exit status for a `hello` version mismatch (distinct from every
+/// server-error status so scripts can tell skew from failure).
+const EXIT_VERSION_SKEW: u8 = 22;
+
+/// Negotiates with the server: calls `hello`, fails fast when the proto
+/// or wire version disagrees with ours, and refuses servers that predate
+/// the handshake. Returns the announced method list.
+fn client_negotiate(client: &mut Client) -> Result<Vec<String>, (String, ExitCode)> {
+    use pumpkin_serve::ClientError;
+    let hello = match client.call("hello", Value::Obj(vec![])) {
+        Ok(v) => v,
+        Err(ClientError::Server { ref code, .. }) if code == "unknown_method" => {
+            return Err((
+                "server does not implement `hello`; it predates this client — upgrade pumpkind"
+                    .into(),
+                ExitCode::from(EXIT_VERSION_SKEW),
+            ))
+        }
+        Err(e) => return Err((client_error_line(&e), client_exit_code(&e))),
+    };
+    let proto = hello.get("proto_version").and_then(Value::as_u64);
+    if proto != Some(u64::from(pumpkin_serve::proto::PROTO_VERSION)) {
+        return Err((
+            format!(
+                "protocol version mismatch: server speaks {:?}, this client speaks {}",
+                proto,
+                pumpkin_serve::proto::PROTO_VERSION
+            ),
+            ExitCode::from(EXIT_VERSION_SKEW),
+        ));
+    }
+    let wire = hello.get("wire_version").and_then(Value::as_str);
+    if wire != Some(pumpkin_wire::WIRE_TAG) {
+        return Err((
+            format!(
+                "wire version mismatch: server speaks {:?}, this client speaks {}",
+                wire,
+                pumpkin_wire::WIRE_TAG
+            ),
+            ExitCode::from(EXIT_VERSION_SKEW),
+        ));
+    }
+    Ok(hello
+        .get("methods")
+        .and_then(Value::as_arr)
+        .map(|ms| {
+            ms.iter()
+                .filter_map(|m| m.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default())
+}
+
 fn client(argv: &[String]) -> ExitCode {
     let mut args = argv.iter();
     let mut connect: Option<String> = None;
@@ -271,7 +379,7 @@ fn client(argv: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let (method, params) = match verb.as_str() {
-        "ping" | "shutdown" => (verb.clone(), Value::Obj(vec![])),
+        "ping" | "shutdown" | "hello" => (verb.clone(), Value::Obj(vec![])),
         "metrics" => {
             let canonical = args.next().map(String::as_str) == Some("--canonical");
             (
@@ -322,15 +430,223 @@ fn client(argv: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Repair-family verbs negotiate first: a version-skewed server fails
+    // fast (and distinctly) instead of mid-workload. The cheap control
+    // verbs skip the extra round trip — `hello` *is* the negotiation, and
+    // `ping`/`shutdown`/`metrics`/`call` must keep working against any
+    // server for diagnostics.
+    if matches!(verb.as_str(), "repair-module" | "explain") {
+        match client_negotiate(&mut client) {
+            Ok(methods) => {
+                if !methods.is_empty() && !methods.iter().any(|m| m == &method) {
+                    eprintln!("pumpkin client: server does not serve `{method}`");
+                    return ExitCode::from(EXIT_VERSION_SKEW);
+                }
+            }
+            Err((msg, code)) => {
+                eprintln!("pumpkin client: {msg}");
+                return code;
+            }
+        }
+    }
     match client.call(&method, params) {
         Ok(result) => {
             render_client_result(&method, &result);
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("{}", client_error_line(&e));
+            client_exit_code(&e)
         }
+    }
+}
+
+/// `pumpkin watch`: the edit→repair loop as a verb. Polls a vernacular
+/// `.pi` file; on every change it rebuilds a fresh environment, loads the
+/// file, and repairs the module *incrementally* — source digests are
+/// diffed against the previous run's [`pumpkin_core::DigestMap`], only
+/// the changed constants' downstream closure is re-lifted, and everything
+/// else replays from the persist cache. Prints one
+/// `incremental: changed=X replayed=Y skipped=Z` line per run.
+fn watch(argv: &[String]) -> ExitCode {
+    use pumpkin_core::{DigestMap, LiftState, NameMap, Repairer};
+    use std::collections::HashSet;
+    use std::io::Write as _;
+    use std::time::SystemTime;
+
+    let mut poll_ms = 250u64;
+    let mut max_runs = 0u64;
+    let mut jobs = 1usize;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_max_bytes: Option<u64> = None;
+    let mut swap = ("Old.list".to_string(), "New.list".to_string());
+    let mut rename: Option<(String, String)> = None;
+    let mut names_arg: Option<Vec<String>> = None;
+    let mut path: Option<String> = None;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let number = |args: &mut std::slice::Iter<'_, String>| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| eprintln!("{arg} needs a number\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--poll-ms" => match number(&mut args) {
+                Ok(n) => poll_ms = n.max(1),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--max-runs" => match number(&mut args) {
+                Ok(n) => max_runs = n,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--jobs" => match number(&mut args) {
+                Ok(n) => jobs = (n as usize).max(1),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--cache-max-bytes" => match number(&mut args) {
+                Ok(n) => cache_max_bytes = Some(n),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--cache-dir" => match args.next() {
+                Some(v) => cache_dir = Some(v.into()),
+                None => {
+                    eprintln!("--cache-dir needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--swap" => match (args.next(), args.next()) {
+                (Some(a), Some(b)) => swap = (a.clone(), b.clone()),
+                _ => {
+                    eprintln!("--swap needs two type names\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rename" => match args.next().and_then(|v| v.split_once('=')) {
+                Some((f, t)) => rename = Some((f.to_string(), t.to_string())),
+                None => {
+                    eprintln!("--rename needs From.=To.\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--names" => match args.next() {
+                Some(list) => names_arg = Some(list.split(',').map(str::to_string).collect()),
+                None => {
+                    eprintln!("--names needs a comma-separated list\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("watch needs a .pi file to watch\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    // Replays need a persist cache that survives across runs; without an
+    // explicit dir, use a per-process scratch one.
+    let cache_dir = cache_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("pumpkin-watch-{}", std::process::id()))
+    });
+    let module_of = |n: &str| {
+        n.rsplit_once('.')
+            .map_or(String::new(), |(m, _)| format!("{m}."))
+    };
+    let (from, to) = rename.unwrap_or_else(|| (module_of(&swap.0), module_of(&swap.1)));
+
+    println!(
+        "watching {path} (poll every {poll_ms} ms; cache {})",
+        cache_dir.display()
+    );
+    let _ = std::io::stdout().flush();
+    let mut prev = DigestMap::new();
+    let mut last_mtime: Option<SystemTime> = None;
+    let mut runs = 0u64;
+    loop {
+        let mtime = std::fs::metadata(&path).and_then(|m| m.modified()).ok();
+        if mtime.is_some() && mtime != last_mtime {
+            last_mtime = mtime;
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("watch: cannot read {path}: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                    continue;
+                }
+            };
+            // Fresh world per run: the standard library plus the watched
+            // file's definitions. Incrementality lives entirely in the
+            // digest snapshot and the persist cache, not in kept state.
+            let mut env = pumpkin_stdlib::std_env();
+            let baked: HashSet<String> = env
+                .constants()
+                .map(|d| d.name.as_str().to_string())
+                .collect();
+            if let Err(e) = pumpkin_lang::load_source(&mut env, &src) {
+                eprintln!("watch: {path}: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                continue;
+            }
+            // Work list: the swap module (or --names), plus whatever the
+            // file defines under the source prefix.
+            let mut names: Vec<String> = names_arg.clone().unwrap_or_else(|| {
+                pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            });
+            for d in env.constants() {
+                let n = d.name.as_str();
+                if n.starts_with(&from) && !baked.contains(n) && !names.iter().any(|x| x == n) {
+                    names.push(n.to_string());
+                }
+            }
+            let lifting = match pumpkin_core::search::swap::configure(
+                &mut env,
+                &swap.0.as_str().into(),
+                &swap.1.as_str().into(),
+                NameMap::prefix(&from, &to),
+            ) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("watch: configure failed: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                    continue;
+                }
+            };
+            let borrowed: Vec<&str> = names.iter().map(String::as_str).collect();
+            let mut st = LiftState::new();
+            let result = Repairer::new(&lifting)
+                .state(&mut st)
+                .jobs(jobs)
+                .persist_cache(&cache_dir)
+                .cache_max_bytes(cache_max_bytes)
+                .incremental(&prev)
+                .run(&mut env, &borrowed);
+            match result {
+                Ok(report) => {
+                    runs += 1;
+                    println!(
+                        "watch: run {runs}: repaired {} constants in {:.1} ms",
+                        report.repaired.len(),
+                        report.wall_ns as f64 / 1e6
+                    );
+                    if let Some(i) = report.incr {
+                        println!("watch: incremental: {i}");
+                    }
+                    let _ = std::io::stdout().flush();
+                    prev = DigestMap::capture(&env, &borrowed);
+                    if max_runs > 0 && runs >= max_runs {
+                        return ExitCode::SUCCESS;
+                    }
+                }
+                Err(e) => eprintln!("watch: repair failed: {e}"),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
     }
 }
 
@@ -378,6 +694,16 @@ fn loadgen(argv: &[String]) -> ExitCode {
             "--queue-depth" => number(&mut args).map(|n| cfg.queue_depth = (n as usize).max(1)),
             "--jobs" => number(&mut args).map(|n| cfg.jobs = (n as usize).max(1)),
             "--trials" => number(&mut args).map(|n| cfg.trials = (n as usize).max(1)),
+            "--touch-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => {
+                    cfg.touch_rate = r;
+                    Ok(())
+                }
+                _ => {
+                    eprintln!("--touch-rate needs a number in [0, 1]\n{USAGE}");
+                    Err(())
+                }
+            },
             "--rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(r) if r > 0.0 => {
                     cfg.rate = r;
@@ -492,6 +818,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("client") {
         return client(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("watch") {
+        return watch(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("loadgen") {
         return loadgen(&argv[1..]);

@@ -6,10 +6,7 @@
 //! Configure + Transform (and where relevant Decompile), and returns the
 //! names it produced. All outputs are kernel-checked as they are defined.
 
-use pumpkin_core::{
-    repair, repair_module, repair_module_parallel, LiftState, NameMap, RepairReport, Repairer,
-    Result,
-};
+use pumpkin_core::{LiftState, NameMap, RepairReport, Repairer, Result};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
 
@@ -22,12 +19,9 @@ pub fn swap_list_module(env: &mut Env) -> Result<RepairReport> {
         NameMap::prefix("Old.", "New."),
     )?;
     let mut st = LiftState::new();
-    repair_module(
-        env,
-        &lifting,
-        &mut st,
-        pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS,
-    )
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .run(env, pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS)
 }
 
 /// [`swap_list_module`] through the parallel wavefront scheduler with an
@@ -42,13 +36,10 @@ pub fn swap_list_module_parallel(env: &mut Env, jobs: usize) -> Result<RepairRep
         NameMap::prefix("Old.", "New."),
     )?;
     let mut st = LiftState::new();
-    repair_module_parallel(
-        env,
-        &lifting,
-        &mut st,
-        pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS,
-        Some(jobs),
-    )
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .jobs(jobs)
+        .run(env, pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS)
 }
 
 /// [`swap_list_module`] through the [`Repairer`] front door with trace
@@ -104,7 +95,9 @@ pub fn replica_variant(env: &mut Env, to: &str, prefix_to: &str) -> Result<Repai
         NameMap::prefix("Old.", prefix_to),
     )?;
     let mut st = LiftState::new();
-    repair_module(env, &lifting, &mut st, REPLICA_CONSTANTS)
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .run(env, REPLICA_CONSTANTS)
 }
 
 /// Declares the paper's harder REPLICA variants (§6.1.2) and returns their
@@ -155,10 +148,8 @@ pub fn factor_demorgan(env: &mut Env) -> Result<RepairReport> {
         NameMap::prefix("I.", "J."),
     )?;
     let mut st = LiftState::new();
-    repair_module(
+    Repairer::new(&lifting).state(&mut st).run(
         env,
-        &lifting,
-        &mut st,
         &["I.neg", "I.and", "I.or", "I.demorgan_1", "I.demorgan_2"],
     )
 }
@@ -191,7 +182,9 @@ pub const ZIP_CONSTANTS: &[&str] = &[
 pub fn ornament_zip(env: &mut Env) -> Result<RepairReport> {
     let lifting = pumpkin_core::search::ornament::configure(env, NameMap::prefix("", "Sig."))?;
     let mut st = LiftState::new();
-    repair_module(env, &lifting, &mut st, ZIP_CONSTANTS)
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .run(env, ZIP_CONSTANTS)
 }
 
 /// §6.2 stage 2 glue: packing combinators, index invariants, the at-index
@@ -219,11 +212,17 @@ pub fn binary_nat(env: &mut Env) -> Result<(GlobalName, GlobalName)> {
     let lifting = pumpkin_core::manual::configure_nat_to_bin(env, names)?;
     pumpkin_core::manual::load_expanded_add_n_sm(env)?;
     let mut st = LiftState::new();
-    let slow_add = repair(env, &lifting, &mut st, &"add".into())?;
+    let slow_add = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(env, &"add".into())?;
     // mul's body references add: dependency repair kicks in even under a
     // manual configuration, reusing the cached slow_add mapping.
-    repair(env, &lifting, &mut st, &"mul".into())?;
-    let lemma = repair(env, &lifting, &mut st, &"add_n_Sm_expanded".into())?;
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(env, &"mul".into())?;
+    let lemma = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(env, &"add_n_Sm_expanded".into())?;
     Ok((slow_add, lemma))
 }
 
@@ -240,8 +239,12 @@ pub fn galois_round_trip(env: &mut Env) -> Result<(GlobalName, GlobalName)> {
         NameMap::prefix("", "Record."),
     )?;
     let mut st = LiftState::new();
-    repair(env, &fwd, &mut st, &"cork".into())?;
-    let lemma = repair(env, &fwd, &mut st, &"corkLemma".into())?;
+    Repairer::new(&fwd)
+        .state(&mut st)
+        .run_one(env, &"cork".into())?;
+    let lemma = Repairer::new(&fwd)
+        .state(&mut st)
+        .run_one(env, &"corkLemma".into())?;
 
     let back = pumpkin_core::search::tuple_record::configure_to_tuple(
         env,
@@ -252,6 +255,6 @@ pub fn galois_round_trip(env: &mut Env) -> Result<(GlobalName, GlobalName)> {
     )?;
     let mut st2 = LiftState::new();
     st2.map_constant("Record.cork", "cork");
-    let round = repair(env, &back, &mut st2, &lemma)?;
+    let round = Repairer::new(&back).state(&mut st2).run_one(env, &lemma)?;
     Ok((lemma, round))
 }

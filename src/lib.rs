@@ -44,6 +44,8 @@ pub use pumpkin_tactics;
 pub use pumpkin_testkit;
 pub use pumpkin_wire;
 
+pub use pumpkin_core::Repairer;
+
 use pumpkin_core::{LiftState, Lifting};
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
@@ -79,7 +81,9 @@ pub fn repair_and_decompile(
     state: &mut LiftState,
     name: &str,
 ) -> pumpkin_core::Result<Repaired> {
-    let new_name = pumpkin_core::repair(env, lifting, state, &GlobalName::new(name))?;
+    let new_name = Repairer::new(lifting)
+        .state(state)
+        .run_one(env, &GlobalName::new(name))?;
     let decl = env
         .const_decl(&new_name)
         .map_err(pumpkin_core::RepairError::Kernel)?

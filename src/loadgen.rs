@@ -73,6 +73,12 @@ pub struct LoadgenConfig {
     /// across trials, and each trial replays the identical seeded request
     /// stream.
     pub trials: usize,
+    /// Incremental-repair mix: with `touch_rate` in (0, 1], every request
+    /// asks for `"incremental": true` *except* a `touch_rate` fraction,
+    /// which go out cold — simulating an editor touching the module and
+    /// forcing a fresh diff. Zero (the default) keeps the classic
+    /// all-cold stream byte-identical to previous releases.
+    pub touch_rate: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -89,6 +95,7 @@ impl Default for LoadgenConfig {
             queue_depth: 32,
             jobs: 1,
             trials: 3,
+            touch_rate: 0.0,
         }
     }
 }
@@ -189,13 +196,22 @@ impl LoadgenReport {
 /// The request mix: mostly single-constant `repair`, some small
 /// `repair_module` lists, all over the swap-module constants so every
 /// request shares one lifting spec (the daemon's warm path).
-fn request_for(rng: &mut Rng) -> (&'static str, Value) {
+fn request_for(rng: &mut Rng, touch_rate: f64) -> (&'static str, Value) {
     let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
     let pool = pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS;
     let mut params = vec![
         ("lifting".to_string(), spec.to_value()),
         ("deterministic".to_string(), Value::Bool(true)),
     ];
+    // Incremental mix: untouched requests ride the session's digest
+    // snapshot and replay from the persist cache; "touched" ones stay
+    // cold, modeling an edit that invalidates the module.
+    if touch_rate > 0.0 {
+        let touched = rng.chance((touch_rate * 1000.0).round() as u64, 1000);
+        if !touched {
+            params.push(("incremental".to_string(), Value::Bool(true)));
+        }
+    }
     if rng.chance(7, 10) {
         params.push(("name".into(), Value::str(*rng.pick(pool))));
         ("repair", Value::Obj(params))
@@ -280,7 +296,7 @@ fn run_closed(addr: &str, cfg: &LoadgenConfig, merged: &Mutex<Tally>) {
                 let mut conn: Option<Client> = None;
                 for r in 0..cfg.requests {
                     let mut rng = Rng::new(seed_for(cfg.seed, c, r));
-                    let (method, params) = request_for(&mut rng);
+                    let (method, params) = request_for(&mut rng, cfg.touch_rate);
                     let t0 = Instant::now();
                     if call_until_ok(addr, &mut conn, method, &params, &mut tally) {
                         tally
@@ -318,7 +334,7 @@ fn run_open(addr: &str, cfg: &LoadgenConfig, merged: &Mutex<Tally>) {
                         std::thread::sleep(scheduled - now);
                     }
                     let mut rng = Rng::new(seed_for(cfg.seed, 0, i));
-                    let (method, params) = request_for(&mut rng);
+                    let (method, params) = request_for(&mut rng, cfg.touch_rate);
                     if conn.is_none() {
                         conn = Client::connect(addr).ok();
                     }
@@ -370,12 +386,18 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let addr = match &cfg.connect {
         Some(a) => a.clone(),
         None => {
+            // An incremental mix needs a persist cache for replays to
+            // land; give the spawned server a per-process scratch one.
+            let cache_dir = (cfg.touch_rate > 0.0).then(|| {
+                std::env::temp_dir().join(format!("pumpkin-loadgen-{}", std::process::id()))
+            });
             let server = Server::bind(ServerConfig {
                 listen: "127.0.0.1:0".into(),
                 jobs: cfg.jobs,
                 workers: cfg.workers,
                 queue_depth: cfg.queue_depth,
                 max_sessions: cfg.clients + 8,
+                cache_dir,
                 ..ServerConfig::default()
             })
             .map_err(|e| format!("cannot bind loopback server: {e}"))?;
@@ -449,14 +471,18 @@ mod tests {
     #[test]
     fn request_stream_is_a_pure_function_of_the_seed() {
         for (c, r) in [(0usize, 0usize), (3, 1), (200, 7)] {
-            let a = request_for(&mut Rng::new(seed_for(42, c, r)));
-            let b = request_for(&mut Rng::new(seed_for(42, c, r)));
+            let a = request_for(&mut Rng::new(seed_for(42, c, r)), 0.0);
+            let b = request_for(&mut Rng::new(seed_for(42, c, r)), 0.0);
             assert_eq!(a.0, b.0);
             assert_eq!(a.1.to_string(), b.1.to_string());
         }
         // Different coordinates decorrelate (not all identical).
         let reqs: Vec<String> = (0..16)
-            .map(|r| request_for(&mut Rng::new(seed_for(42, 0, r))).1.to_string())
+            .map(|r| {
+                request_for(&mut Rng::new(seed_for(42, 0, r)), 0.0)
+                    .1
+                    .to_string()
+            })
             .collect();
         assert!(reqs.iter().any(|x| *x != reqs[0]));
     }

@@ -4,7 +4,7 @@
 //! round-trip.
 
 use pumpkin_pi::case_studies;
-use pumpkin_pi::pumpkin_core::{self, repair::check_source_free, LiftState, NameMap};
+use pumpkin_pi::pumpkin_core::{self, repair::check_source_free, LiftState, NameMap, Repairer};
 use pumpkin_pi::pumpkin_kernel::reduce::normalize;
 use pumpkin_pi::pumpkin_kernel::term::Term;
 use pumpkin_pi::pumpkin_lang;
@@ -224,7 +224,10 @@ fn repair_all_sweeps_the_whole_environment() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    let report = pumpkin_core::repair::repair_all(&mut env, &lifting, &mut st, &[]).unwrap();
+    let report = Repairer::new(&lifting)
+        .state(&mut st)
+        .run_all(&mut env, &[])
+        .unwrap();
     // Everything in the module list was found by the sweep.
     for c in stdlib::swap::OLD_MODULE_CONSTANTS {
         assert!(
@@ -276,7 +279,10 @@ fn old_type_can_be_removed_after_full_repair() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    pumpkin_core::repair_all(&mut env, &lifting, &mut st, &[]).unwrap();
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .run_all(&mut env, &[])
+        .unwrap();
 
     // While the Old.* module and equivalence are still around, removal is
     // refused (the old constants reference the type).

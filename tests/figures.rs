@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md for the index).
 
 use pumpkin_pi::case_studies;
-use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap};
+use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap, Repairer};
 use pumpkin_pi::pumpkin_kernel::conv::conv;
 use pumpkin_pi::pumpkin_lang;
 use pumpkin_pi::pumpkin_stdlib as stdlib;
@@ -57,7 +57,10 @@ fn fig11_lifting_append_final_stage() {
     )
     .unwrap();
     let mut st = LiftState::new();
-    pumpkin_core::repair(&mut env, &lifting, &mut st, &"Old.app".into()).unwrap();
+    Repairer::new(&lifting)
+        .state(&mut st)
+        .run_one(&mut env, &"Old.app".into())
+        .unwrap();
     let got = env
         .const_decl(&"New.app".into())
         .unwrap()

@@ -295,7 +295,7 @@ fn parallel_module_repair_is_deterministic_across_jobs() {
     // of the swap module (in work-list order), jobs ∈ {1, 2, 4} all produce
     // the same repaired-name map and the same pretty-printed definitions as
     // `repair_module`. Replay a failure with PUMPKIN_TEST_SEED.
-    use pumpkin_pi::pumpkin_core::{self as core, LiftState};
+    use pumpkin_pi::pumpkin_core::{LiftState, Repairer};
     let all = stdlib::swap::OLD_MODULE_CONSTANTS;
     let base = stdlib::std_env();
     check(4, |rng| {
@@ -307,15 +307,20 @@ fn parallel_module_repair_is_deterministic_across_jobs() {
         let mut seq_env = base.clone();
         let lifting = swap_lifting(&mut seq_env);
         let mut st = LiftState::new();
-        let seq = core::repair_module(&mut seq_env, &lifting, &mut st, &subset).unwrap();
+        let seq = Repairer::new(&lifting)
+            .state(&mut st)
+            .run(&mut seq_env, &subset)
+            .unwrap();
 
         for jobs in [1usize, 2, 4] {
             let mut par_env = base.clone();
             let lifting = swap_lifting(&mut par_env);
             let mut st = LiftState::new();
-            let par =
-                core::repair_module_parallel(&mut par_env, &lifting, &mut st, &subset, Some(jobs))
-                    .unwrap();
+            let par = Repairer::new(&lifting)
+                .state(&mut st)
+                .jobs(jobs)
+                .run(&mut par_env, &subset)
+                .unwrap();
             assert_eq!(
                 seq.repaired, par.repaired,
                 "name map differs at jobs={jobs}"
@@ -347,7 +352,7 @@ fn parallel_repair_error_keeps_only_completed_waves() {
     // Error barrier regression: when a mid-module repair fails, the failing
     // wave is dropped wholesale, so the master environment contains exactly
     // the completed earlier waves — every merged constant type-correct.
-    use pumpkin_pi::pumpkin_core::{self as core, LiftState, ModuleDag};
+    use pumpkin_pi::pumpkin_core::{LiftState, ModuleDag, Repairer};
     use pumpkin_pi::pumpkin_kernel::name::GlobalName;
     use pumpkin_pi::pumpkin_kernel::typecheck::{check_closed, check_is_type};
 
@@ -369,7 +374,10 @@ fn parallel_repair_error_keeps_only_completed_waves() {
         assert!(failing_wave > 0, "the poisoned lemma must not be a root");
 
         let mut st = LiftState::new();
-        let res = core::repair_module_parallel(&mut env, &lifting, &mut st, all, Some(jobs));
+        let res = Repairer::new(&lifting)
+            .state(&mut st)
+            .jobs(jobs)
+            .run(&mut env, all);
         assert!(res.is_err(), "jobs={jobs}: poisoned repair must fail");
 
         for (w, members) in waves.iter().enumerate() {

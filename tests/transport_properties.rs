@@ -5,7 +5,7 @@
 //! (Fig. 12), which the paper does not generate proofs for either.
 
 use pumpkin_pi::case_studies;
-use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap};
+use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap, Repairer};
 use pumpkin_pi::pumpkin_kernel::env::Env;
 use pumpkin_pi::pumpkin_kernel::reduce::normalize;
 use pumpkin_pi::pumpkin_kernel::term::Term;
@@ -294,9 +294,10 @@ fn cache_never_changes_results() {
     )
     .unwrap();
     let mut st1 = LiftState::new();
-    let report1 =
-        pumpkin_core::repair_module(&mut env1, &l1, &mut st1, case_studies::REPLICA_CONSTANTS)
-            .unwrap();
+    let report1 = Repairer::new(&l1)
+        .state(&mut st1)
+        .run(&mut env1, case_studies::REPLICA_CONSTANTS)
+        .unwrap();
 
     let mut env2 = stdlib::std_env();
     env2.set_kernel_cache(false);
@@ -308,7 +309,10 @@ fn cache_never_changes_results() {
     )
     .unwrap();
     let mut st2 = LiftState::without_cache();
-    pumpkin_core::repair_module(&mut env2, &l2, &mut st2, case_studies::REPLICA_CONSTANTS).unwrap();
+    Repairer::new(&l2)
+        .state(&mut st2)
+        .run(&mut env2, case_studies::REPLICA_CONSTANTS)
+        .unwrap();
 
     for c in case_studies::REPLICA_CONSTANTS {
         let n: pumpkin_pi::pumpkin_kernel::name::GlobalName = c.replace("Old.", "New.").into();
