@@ -503,8 +503,19 @@ fn bench_repair_batch(b: &mut Bench) {
         .expect("results array");
     assert_eq!(results.len(), reference.len());
     for (batched, standalone) in results.iter().zip(&reference) {
+        // Standalone replies carry a lifecycle `req_id`; batch entries
+        // deliberately don't (DESIGN.md §17). Strip it before comparing.
+        let standalone = match standalone.find("\"req_id\":") {
+            Some(at) => {
+                let end = standalone[at..]
+                    .find(',')
+                    .map_or(standalone.len(), |c| at + c + 1);
+                format!("{}{}", &standalone[..at], &standalone[end..])
+            }
+            None => standalone.clone(),
+        };
         assert_eq!(
-            &batched.to_string(),
+            batched.to_string(),
             standalone,
             "batch entry diverged from the standalone reply"
         );

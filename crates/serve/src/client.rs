@@ -22,6 +22,10 @@ pub enum ClientError {
         /// Machine-readable code (see [`crate::proto::code`]).
         code: String,
         message: String,
+        /// Machine-readable detail distinguishing causes behind one code
+        /// (e.g. `busy` is `"queue_full"` or `"session_cap"`), when the
+        /// server sent one.
+        data: Option<String>,
     },
 }
 
@@ -30,7 +34,16 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
-            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Server {
+                code,
+                message,
+                data: Some(data),
+            } => write!(f, "server error [{code}/{data}]: {message}"),
+            ClientError::Server {
+                code,
+                message,
+                data: None,
+            } => write!(f, "server error [{code}]: {message}"),
         }
     }
 }
@@ -100,6 +113,10 @@ impl Client {
                 Err(ClientError::Server {
                     code: get("code"),
                     message: get("message"),
+                    data: err
+                        .and_then(|e| e.get("data"))
+                        .and_then(Value::as_str)
+                        .map(str::to_string),
                 })
             }
             None => Err(ClientError::Protocol(format!("reply has no `ok`: {line}"))),

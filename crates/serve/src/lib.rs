@@ -12,14 +12,22 @@
 //! The protocol is newline-delimited JSON-RPC over TCP (and optionally a
 //! Unix socket): see [`proto`] for framing and error codes, [`Session`]
 //! for the method set (`ping`, `repair`, `repair_module`, `repair_batch`,
-//! `explain`, `trace_report`, `eval`, `metrics`, `shutdown`), and
-//! [`Server`] for the daemon. The server is a bounded worker pool:
+//! `explain`, `trace_report`, `eval`, `metrics`, `stats`, `shutdown`),
+//! and [`Server`] for the daemon. The server is a bounded worker pool:
 //! connection threads parse frames and feed a bounded work queue, and a
 //! fixed set of workers — each owning a long-lived session whose
 //! configuration cache survives across connections — drains it. Busy
 //! backpressure is per-request (`busy` when the queue is full) and
-//! per-connection (session cap), and shutdown drains the queued backlog
-//! before joining. Everything is `std`-only.
+//! per-connection (session cap), each refusal naming its layer in the
+//! error's `data` detail, and shutdown drains the queued backlog before
+//! joining. Everything is `std`-only.
+//!
+//! Every accepted frame gets a lifecycle request id (echoed as `req_id`
+//! in the reply) and per-stage monotonic timestamps; the server layer
+//! records per-method latency/queue-wait histograms into a sharded
+//! [`pumpkin_core::trace::serve_stats`] registry that the `stats` RPC
+//! snapshots (DESIGN.md §17). `ServerConfig::slow_ms` turns on a
+//! structured JSONL slow-request log with the per-stage breakdown.
 //!
 //! Replies are deterministic by construction — each request runs against
 //! a throwaway clone of the configured environment — and requests can

@@ -107,6 +107,40 @@ pub fn err_reply_value(id: &Value, code: &str, message: &str) -> Value {
     ])
 }
 
+/// Builds an error reply with a machine-readable `data` detail string —
+/// used where one code covers distinct causes (both admission layers
+/// reply [`code::BUSY`]; `data` says `"queue_full"` vs `"session_cap"`).
+pub fn err_reply_value_detail(id: &Value, code: &str, message: &str, data: &str) -> Value {
+    Value::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Value::Bool(false)),
+        (
+            "error".into(),
+            Value::Obj(vec![
+                ("code".into(), Value::str(code)),
+                ("message".into(), Value::str(message)),
+                ("data".into(), Value::str(data)),
+            ]),
+        ),
+    ])
+}
+
+/// Stamps a lifecycle request id into a reply envelope, as `"req_id"`
+/// immediately after `"id"` (or at the front when `"id"` is absent —
+/// which [`ok_reply_value`]/[`err_reply_value`] never produce). Batch
+/// *entries* are deliberately not stamped: only top-level frames carry a
+/// lifecycle id, so batch entries stay byte-identical to the per-RPC
+/// results they embed.
+pub fn stamp_req_id(reply: &mut Value, req_id: u64) {
+    if let Value::Obj(fields) = reply {
+        let at = fields
+            .iter()
+            .position(|(k, _)| k == "id")
+            .map_or(0, |i| i + 1);
+        fields.insert(at, ("req_id".into(), Value::UInt(req_id)));
+    }
+}
+
 /// Builds a success reply line (no trailing newline).
 pub fn ok_reply(id: &Value, result: Value) -> String {
     ok_reply_value(id, result).to_string()
@@ -211,6 +245,26 @@ mod tests {
         assert_eq!(
             err_reply(&Value::Null, code::PARSE, "bad"),
             r#"{"id":null,"ok":false,"error":{"code":"parse","message":"bad"}}"#
+        );
+    }
+
+    #[test]
+    fn detail_replies_carry_data_and_req_id_lands_after_id() {
+        let mut reply = err_reply_value_detail(&Value::UInt(3), code::BUSY, "full", "queue_full");
+        assert_eq!(
+            reply.to_string(),
+            r#"{"id":3,"ok":false,"error":{"code":"busy","message":"full","data":"queue_full"}}"#
+        );
+        stamp_req_id(&mut reply, 41);
+        assert_eq!(
+            reply.to_string(),
+            r#"{"id":3,"req_id":41,"ok":false,"error":{"code":"busy","message":"full","data":"queue_full"}}"#
+        );
+        let mut ok = ok_reply_value(&Value::Null, Value::Obj(vec![]));
+        stamp_req_id(&mut ok, 1);
+        assert_eq!(
+            ok.to_string(),
+            r#"{"id":null,"req_id":1,"ok":true,"result":{}}"#
         );
     }
 

@@ -35,10 +35,11 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-use pumpkin_core::trace::Metrics;
+use pumpkin_core::trace::serve_stats::{self, ServeStats};
+use pumpkin_core::trace::{Event, EventKind, Metrics};
 use pumpkin_core::CancelToken;
 use pumpkin_kernel::env::Env;
 use pumpkin_wire::Value;
@@ -102,6 +103,12 @@ pub struct ServerConfig {
     /// Size budget for the persist cache in bytes; past it the least
     /// recently used entries are evicted. `None` means unbounded.
     pub cache_max_bytes: Option<u64>,
+    /// Slow-request threshold: a request whose parse-to-reply-write wall
+    /// time reaches this many milliseconds gets one structured
+    /// `serve_slow` JSONL line in the log sink. `None` disables the log.
+    pub slow_ms: Option<u64>,
+    /// Slow-log sink path (append). `None` writes to stderr.
+    pub log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -115,16 +122,33 @@ impl Default for ServerConfig {
             queue_depth: 32,
             cache_dir: None,
             cache_max_bytes: None,
+            slow_ms: None,
+            log: None,
         }
     }
 }
 
+/// What a worker sends back for one job: the reply line plus the
+/// lifecycle timings only the worker can measure.
+struct WorkerReply {
+    text: String,
+    ctl: Control,
+    /// Enqueue → worker pickup.
+    queue_wait_ns: u64,
+    /// Worker pickup → reply rendered.
+    service_ns: u64,
+}
+
 /// One queued request: parsed frame, its (enqueue-time) cancel token,
-/// and the channel its reply travels back on.
+/// its lifecycle id, and the channel its reply travels back on.
 struct Job {
     request: Request,
     cancel: Option<CancelToken>,
-    reply_tx: mpsc::Sender<(String, Control)>,
+    /// Server-wide lifecycle request id, assigned at frame parse.
+    req_id: u64,
+    /// When the job entered the queue (queue wait = pickup − this).
+    enqueued: Instant,
+    reply_tx: mpsc::Sender<WorkerReply>,
 }
 
 /// Why [`WorkQueue::push`] refused a job.
@@ -163,9 +187,10 @@ impl WorkQueue {
     }
 
     /// Enqueues without blocking; hands the job back on refusal so the
-    /// caller can answer on its id.
-    fn push(&self, job: Job) -> Result<(), (Box<Job>, Refusal)> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+    /// caller can answer on its id. On success, returns the queue depth
+    /// *after* the push (for the high-water-mark gauge).
+    fn push(&self, job: Job) -> Result<usize, (Box<Job>, Refusal)> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.closed {
             return Err((Box::new(job), Refusal::Closed));
         }
@@ -173,15 +198,16 @@ impl WorkQueue {
             return Err((Box::new(job), Refusal::Full));
         }
         st.jobs.push_back(job);
+        let depth = st.jobs.len();
         drop(st);
         self.ready.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Blocks for the next job; `None` only once the queue is closed
     /// *and* drained.
     fn pop(&self) -> Option<Job> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(job) = st.jobs.pop_front() {
                 return Some(job);
@@ -189,12 +215,15 @@ impl WorkQueue {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).expect("queue lock poisoned");
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.ready.notify_all();
     }
 }
@@ -209,6 +238,9 @@ struct Shared {
     cache_dir: Option<PathBuf>,
     cache_max_bytes: Option<u64>,
     metrics: Arc<Mutex<Metrics>>,
+    /// Service stats: per-method latency/queue-wait histograms + gauges,
+    /// shared with every worker session and read by the `stats` RPC.
+    stats: Arc<ServeStats>,
     queue: WorkQueue,
     active: AtomicUsize,
     shutdown: AtomicBool,
@@ -219,6 +251,18 @@ struct Shared {
     /// (each connection thread removes its own entry when it exits).
     conns: Mutex<HashMap<u64, ReadCloser>>,
     next_conn: AtomicU64,
+    /// Server-wide lifecycle request ids, assigned at frame parse (the
+    /// first accepted frame is req_id 1).
+    next_req: AtomicU64,
+    /// The daemon's monotonic epoch; slow-log event timestamps are
+    /// offsets from it.
+    epoch: Instant,
+    /// Slow-request threshold in nanoseconds (`None`: slow log off).
+    slow_ns: Option<u64>,
+    /// The slow log's sink (`--log`, default stderr). One short JSONL
+    /// line per offending request; the mutex is uncontended unless many
+    /// requests are slow at once — and then log ordering is the point.
+    slow_sink: Mutex<Box<dyn Write + Send>>,
 }
 
 impl Shared {
@@ -230,10 +274,57 @@ impl Shared {
         if let Some(p) = &self.unix_path {
             let _ = UnixStream::connect(p);
         }
-        for closer in self.conns.lock().expect("conns lock").values() {
+        for closer in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
             closer();
         }
     }
+
+    /// Writes one `serve_slow` JSONL line for a request whose wall time
+    /// crossed the `--slow-ms` threshold.
+    fn log_slow(&self, t_ns: u64, total_ns: u64, timing: &ReqTiming) {
+        let event = Event {
+            t_ns,
+            dur_ns: total_ns,
+            worker: 0,
+            kind: EventKind::ServeSlow {
+                req_id: timing.req_id,
+                method: timing.method.as_str().into(),
+                queue_wait_ns: timing.queue_wait_ns.unwrap_or(0),
+                service_ns: timing.service_ns,
+                write_ns: timing.write_ns,
+            },
+        };
+        serve_stats::inc(&self.stats.gauges.slow_logged);
+        let mut sink = self
+            .slow_sink
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(sink, "{}", event.to_json());
+        let _ = sink.flush();
+    }
+}
+
+/// Lifecycle timings for one answered frame, accumulated across the
+/// connection thread (parse, write) and the worker (queue wait, service).
+struct ReqTiming {
+    /// The frame's lifecycle id (echoed as `req_id`).
+    req_id: u64,
+    /// The RPC method, for the per-method histograms.
+    method: String,
+    /// Frame parse time (the lifecycle's start).
+    start: Instant,
+    /// Enqueue → worker pickup; `None` for control methods answered
+    /// inline, which never queue.
+    queue_wait_ns: Option<u64>,
+    /// Time spent computing the reply (inline or on a worker).
+    service_ns: u64,
+    /// Reply-write time, filled in by the connection loop.
+    write_ns: u64,
 }
 
 /// A bound, not-yet-running daemon.
@@ -267,6 +358,15 @@ impl Server {
         };
         #[cfg(not(unix))]
         let _ = &cfg.unix;
+        let slow_sink: Box<dyn Write + Send> = match &cfg.log {
+            Some(path) => Box::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
+            None => Box::new(io::stderr()),
+        };
         Ok(Server {
             listener,
             #[cfg(unix)]
@@ -279,6 +379,7 @@ impl Server {
                 cache_dir: cfg.cache_dir,
                 cache_max_bytes: cfg.cache_max_bytes,
                 metrics: Arc::new(Mutex::new(Metrics::new())),
+                stats: Arc::new(ServeStats::new()),
                 queue: WorkQueue::new(cfg.queue_depth),
                 active: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
@@ -286,6 +387,10 @@ impl Server {
                 unix_path: if cfg!(unix) { cfg.unix } else { None },
                 conns: Mutex::new(HashMap::new()),
                 next_conn: AtomicU64::new(0),
+                next_req: AtomicU64::new(1),
+                epoch: Instant::now(),
+                slow_ns: cfg.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
+                slow_sink: Mutex::new(slow_sink),
             }),
         })
     }
@@ -357,12 +462,24 @@ fn worker_loop(env: Env, shared: &Shared) {
         shared.cache_dir.clone(),
         Arc::clone(&shared.metrics),
     )
-    .cache_max_bytes(shared.cache_max_bytes);
+    .cache_max_bytes(shared.cache_max_bytes)
+    .serve_stats(Arc::clone(&shared.stats));
     while let Some(job) = shared.queue.pop() {
-        let reply = session.handle_request(&job.request, job.cancel.as_ref());
+        let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+        serve_stats::inc(&shared.stats.gauges.workers_busy);
+        let picked_up = Instant::now();
+        let (text, ctl) =
+            session.handle_request_traced(&job.request, job.cancel.as_ref(), job.req_id);
+        let service_ns = picked_up.elapsed().as_nanos() as u64;
+        serve_stats::dec(&shared.stats.gauges.workers_busy);
         // A connection that gave up (client vanished) just drops the
         // receiver; the work was already done either way.
-        let _ = job.reply_tx.send(reply);
+        let _ = job.reply_tx.send(WorkerReply {
+            text,
+            ctl,
+            queue_wait_ns,
+            service_ns,
+        });
     }
 }
 
@@ -396,34 +513,51 @@ fn accept_loop<'scope, S>(
         }
         if shared.active.fetch_add(1, Ordering::AcqRel) >= shared.max_sessions {
             shared.active.fetch_sub(1, Ordering::AcqRel);
+            serve_stats::inc(&shared.stats.gauges.busy_session_cap);
             let _ = writeln!(
                 stream,
                 "{}",
-                proto::err_reply(&Value::Null, code::BUSY, "session cap reached; retry later")
+                proto::err_reply_value_detail(
+                    &Value::Null,
+                    code::BUSY,
+                    "session cap reached; retry later",
+                    "session_cap",
+                )
             );
             continue;
         }
+        serve_stats::inc(&shared.stats.gauges.live_sessions);
         let conn_id = shared.next_conn.fetch_add(1, Ordering::AcqRel);
         if let Some(closer) = stream.read_closer() {
             shared
                 .conns
                 .lock()
-                .expect("conns lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .insert(conn_id, closer);
             // A shutdown racing this insert may have already swept the
             // map; close the read side ourselves so the new connection
             // cannot outlive the drain (closing twice is harmless).
             if shared.shutdown.load(Ordering::Acquire) {
-                if let Some(closer) = shared.conns.lock().expect("conns lock").get(&conn_id) {
+                if let Some(closer) = shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(&conn_id)
+                {
                     closer();
                 }
             }
         }
         let shared = Arc::clone(shared);
         scope.spawn(move || {
-            let wants_shutdown = serve_connection(stream, &shared);
-            shared.conns.lock().expect("conns lock").remove(&conn_id);
+            let wants_shutdown = serve_connection(stream, conn_id, &shared);
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&conn_id);
             shared.active.fetch_sub(1, Ordering::AcqRel);
+            serve_stats::dec(&shared.stats.gauges.live_sessions);
             if wants_shutdown {
                 shared.shutdown.store(true, Ordering::Release);
                 shared.queue.close();
@@ -434,48 +568,68 @@ fn accept_loop<'scope, S>(
 }
 
 /// Runs one connection's request loop; returns whether the client asked
-/// the whole server to shut down.
-fn serve_connection<S: Read + Write>(stream: S, shared: &Shared) -> bool {
+/// the whole server to shut down. `conn_id` doubles as the stats shard
+/// lane, so one connection's recording always lands in one shard.
+fn serve_connection<S: Read + Write>(stream: S, conn_id: u64, shared: &Shared) -> bool {
     let mut reader = BufReader::new(stream);
+    // Every accepted frame — malformed ones included — consumes one
+    // server-wide lifecycle id, echoed to the client as `req_id`.
+    let fresh_req_id = || shared.next_req.fetch_add(1, Ordering::AcqRel);
     loop {
-        let reply = match proto::read_frame(&mut reader) {
+        let (text, ctl, timing) = match proto::read_frame(&mut reader) {
             Err(_) | Ok(Frame::Eof) => return false,
-            Ok(Frame::Oversized) => (
-                proto::err_reply(
+            Ok(Frame::Oversized) => {
+                let mut reply = proto::err_reply_value(
                     &Value::Null,
                     code::OVERSIZED,
                     &format!("frame exceeds {} bytes", proto::MAX_FRAME),
-                ),
-                Control::Continue,
-            ),
+                );
+                proto::stamp_req_id(&mut reply, fresh_req_id());
+                (reply.to_string(), Control::Continue, None)
+            }
             Ok(Frame::Truncated) => {
                 // Best-effort: the read side is gone, but the client may
                 // still be listening on its read half.
-                let _ = writeln!(
-                    reader.get_mut(),
-                    "{}",
-                    proto::err_reply(&Value::Null, code::TRUNCATED, "connection closed mid-frame")
+                let mut reply = proto::err_reply_value(
+                    &Value::Null,
+                    code::TRUNCATED,
+                    "connection closed mid-frame",
                 );
+                proto::stamp_req_id(&mut reply, fresh_req_id());
+                let _ = writeln!(reader.get_mut(), "{reply}");
                 return false;
             }
             Ok(Frame::Line(bytes)) => match String::from_utf8(bytes) {
                 Ok(line) if line.trim().is_empty() => continue,
                 Ok(line) => handle_frame(&line, shared),
-                Err(_) => (
-                    proto::err_reply(&Value::Null, code::PARSE, "frame is not UTF-8"),
-                    Control::Continue,
-                ),
+                Err(_) => {
+                    let mut reply =
+                        proto::err_reply_value(&Value::Null, code::PARSE, "frame is not UTF-8");
+                    proto::stamp_req_id(&mut reply, fresh_req_id());
+                    (reply.to_string(), Control::Continue, None)
+                }
             },
         };
-        let (text, ctl) = reply;
         // One write per reply — a separate newline write would sit in
         // its own packet behind the client's delayed ACK.
         let mut frame = text.into_bytes();
         frame.push(b'\n');
+        let write_started = Instant::now();
         if reader.get_mut().write_all(&frame).is_err() {
             return false;
         }
         let _ = reader.get_mut().flush();
+        if let Some(mut timing) = timing {
+            timing.write_ns = write_started.elapsed().as_nanos() as u64;
+            let total_ns = timing.start.elapsed().as_nanos() as u64;
+            shared
+                .stats
+                .record(conn_id, &timing.method, total_ns, timing.queue_wait_ns);
+            if shared.slow_ns.is_some_and(|thresh| total_ns >= thresh) {
+                let t_ns = timing.start.duration_since(shared.epoch).as_nanos() as u64;
+                shared.log_slow(t_ns, total_ns, &timing);
+            }
+        }
         if ctl == Control::Shutdown {
             return true;
         }
@@ -486,50 +640,99 @@ fn serve_connection<S: Read + Write>(stream: S, shared: &Shared) -> bool {
 /// no environment and must stay responsive while the pool is saturated),
 /// or enqueue a job and wait for its reply. The cancel token is created
 /// *here*, so a request's deadline budget includes its time in the
-/// queue.
-fn handle_frame(line: &str, shared: &Shared) -> (String, Control) {
+/// queue. Returns the reply line, the connection control verdict, and —
+/// for frames that named a method — the lifecycle timing for the
+/// per-method histograms (the connection loop adds the write time).
+fn handle_frame(line: &str, shared: &Shared) -> (String, Control, Option<ReqTiming>) {
+    let start = Instant::now();
+    let req_id = shared.next_req.fetch_add(1, Ordering::AcqRel);
     let req = match proto::parse_request(line) {
         Ok(r) => r,
         Err(msg) => {
-            return (
-                proto::err_reply(&Value::Null, code::PARSE, &msg),
-                Control::Continue,
-            )
+            let mut reply = proto::err_reply_value(&Value::Null, code::PARSE, &msg);
+            proto::stamp_req_id(&mut reply, req_id);
+            return (reply.to_string(), Control::Continue, None);
         }
     };
-    if let Some(res) = session::control_result(&req.method, &req.params, &shared.metrics) {
-        return match res {
-            Ok((result, ctl)) => (proto::ok_reply(&req.id, result), ctl),
-            Err((c, msg)) => (proto::err_reply(&req.id, c, &msg), Control::Continue),
+    if let Some(res) =
+        session::control_result(&req.method, &req.params, &shared.metrics, &shared.stats)
+    {
+        let (mut reply, ctl) = match res {
+            Ok((result, ctl)) => (proto::ok_reply_value(&req.id, result), ctl),
+            Err((c, msg)) => (proto::err_reply_value(&req.id, c, &msg), Control::Continue),
         };
+        proto::stamp_req_id(&mut reply, req_id);
+        return (
+            reply.to_string(),
+            ctl,
+            Some(ReqTiming {
+                req_id,
+                method: req.method,
+                start,
+                queue_wait_ns: None,
+                service_ns: start.elapsed().as_nanos() as u64,
+                write_ns: 0,
+            }),
+        );
     }
     let cancel = req
         .params
         .get("deadline_ms")
         .and_then(Value::as_u64)
         .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
+    let method = req.method.clone();
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         request: req,
         cancel,
+        req_id,
+        enqueued: Instant::now(),
         reply_tx,
     };
-    if let Err((job, refusal)) = shared.queue.push(job) {
-        let (c, msg) = match refusal {
-            Refusal::Full => (code::BUSY, "work queue is full; retry later"),
-            Refusal::Closed => (code::SHUTTING_DOWN, "server is draining"),
-        };
-        return (proto::err_reply(&job.request.id, c, msg), Control::Continue);
+    match shared.queue.push(job) {
+        Ok(depth) => shared.stats.raise_queue_depth(depth as u64),
+        Err((job, refusal)) => {
+            let mut reply = match refusal {
+                Refusal::Full => {
+                    serve_stats::inc(&shared.stats.gauges.busy_queue_full);
+                    proto::err_reply_value_detail(
+                        &job.request.id,
+                        code::BUSY,
+                        "work queue is full; retry later",
+                        "queue_full",
+                    )
+                }
+                Refusal::Closed => proto::err_reply_value(
+                    &job.request.id,
+                    code::SHUTTING_DOWN,
+                    "server is draining",
+                ),
+            };
+            proto::stamp_req_id(&mut reply, req_id);
+            return (reply.to_string(), Control::Continue, None);
+        }
     }
     match reply_rx.recv() {
-        Ok(reply) => reply,
-        Err(_) => (
-            proto::err_reply(
+        Ok(wr) => (
+            wr.text,
+            wr.ctl,
+            Some(ReqTiming {
+                req_id,
+                method,
+                start,
+                queue_wait_ns: Some(wr.queue_wait_ns),
+                service_ns: wr.service_ns,
+                write_ns: 0,
+            }),
+        ),
+        Err(_) => {
+            let mut reply = proto::err_reply_value(
                 &Value::Null,
                 code::REPAIR_FAILED,
                 "worker exited before replying",
-            ),
-            Control::Continue,
-        ),
+            );
+            proto::stamp_req_id(&mut reply, req_id);
+            (reply.to_string(), Control::Continue, None)
+        }
     }
 }

@@ -18,10 +18,11 @@
 //! survives across connections instead of dying with each one.
 
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-use pumpkin_core::trace::Metrics;
+use pumpkin_core::trace::serve_stats::{self, ServeStats, STATS_SCHEMA};
+use pumpkin_core::trace::{Histogram, Metrics};
 use pumpkin_core::wire::{term_from_envelope, term_to_envelope, LiftSpec, TermDigest, WireError};
 use pumpkin_core::{
     CancelToken, DigestMap, LiftState, Lifting, NameMap, RepairError, RepairReport, Repairer,
@@ -52,6 +53,7 @@ pub const METHODS: &[&str] = &[
     "hello",
     "ping",
     "metrics",
+    "stats",
     "shutdown",
     "repair",
     "repair_module",
@@ -86,6 +88,15 @@ pub struct Session {
     /// Server-wide cumulative metrics registry; every repair-family
     /// request merges its event-derived counters here.
     metrics: Arc<Mutex<Metrics>>,
+    /// Server-wide service stats (per-method histograms + gauges). The
+    /// session records only deterministic gauge traffic (config-cache,
+    /// persist-cache, incremental totals); latency recording lives in the
+    /// server's connection threads. Standalone sessions get a private
+    /// registry.
+    stats: Arc<ServeStats>,
+    /// Lifecycle id for the next request this session fronts itself
+    /// (standalone use; the daemon stamps ids server-side).
+    next_req_id: u64,
 }
 
 pub(crate) type MethodResult = Result<(Value, Control), (&'static str, String)>;
@@ -99,6 +110,7 @@ pub(crate) fn control_result(
     method: &str,
     params: &Value,
     metrics: &Arc<Mutex<Metrics>>,
+    stats: &ServeStats,
 ) -> Option<MethodResult> {
     match method {
         "ping" => Some(Ok((
@@ -136,9 +148,12 @@ pub(crate) fn control_result(
             ]),
             Control::Continue,
         ))),
+        "stats" => Some(Ok((stats_result(stats), Control::Continue))),
         "metrics" => {
             let canonical = flag(params, "canonical");
-            let m = metrics.lock().expect("metrics lock poisoned");
+            // Poison recovery: a panicking worker must not take every
+            // connection thread's `metrics`/`stats` RPC down with it.
+            let m = metrics.lock().unwrap_or_else(PoisonError::into_inner);
             let text = if canonical {
                 m.canonicalize().to_text()
             } else {
@@ -155,6 +170,66 @@ pub(crate) fn control_result(
         ))),
         _ => None,
     }
+}
+
+/// Renders one histogram as the `stats` reply's summary object. Empty
+/// histograms report zeros (not nulls), so scrapers read one shape.
+fn histogram_value(h: &Histogram) -> Value {
+    Value::Obj(vec![
+        ("count".into(), Value::UInt(h.count())),
+        (
+            "mean_ns".into(),
+            Value::UInt(h.mean().unwrap_or(0.0) as u64),
+        ),
+        ("p50_ns".into(), Value::UInt(h.quantile(0.5).unwrap_or(0))),
+        ("p95_ns".into(), Value::UInt(h.quantile(0.95).unwrap_or(0))),
+        ("p99_ns".into(), Value::UInt(h.quantile(0.99).unwrap_or(0))),
+        ("max_ns".into(), Value::UInt(h.max().unwrap_or(0))),
+    ])
+}
+
+/// The `stats` RPC result: a versioned snapshot of the service registry —
+/// per-method latency and queue-wait summaries plus the gauge block.
+fn stats_result(stats: &ServeStats) -> Value {
+    let snap = stats.snapshot();
+    let methods: Vec<(String, Value)> = snap
+        .methods
+        .iter()
+        .map(|(name, m)| {
+            (
+                name.clone(),
+                Value::Obj(vec![
+                    ("count".into(), Value::UInt(m.latency.count())),
+                    ("latency".into(), histogram_value(&m.latency)),
+                    ("queue_wait".into(), histogram_value(&m.queue_wait)),
+                ]),
+            )
+        })
+        .collect();
+    // Whole-population summaries (every method merged) — what loadgen's
+    // `--server-stats` rows and capacity planning read; a per-method
+    // quantile is not comparable to a client-side all-requests quantile.
+    let mut total = serve_stats::MethodStats::default();
+    for m in snap.methods.values() {
+        total.merge(m);
+    }
+    let gauges: Vec<(String, Value)> = snap
+        .gauges
+        .iter()
+        .map(|&(name, v)| (name.to_string(), Value::UInt(v)))
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::str(STATS_SCHEMA)),
+        ("methods".into(), Value::Obj(methods)),
+        (
+            "total".into(),
+            Value::Obj(vec![
+                ("latency".into(), histogram_value(&total.latency)),
+                ("queue_wait".into(), histogram_value(&total.queue_wait)),
+            ]),
+        ),
+        ("gauges".into(), Value::Obj(gauges)),
+    ])
 }
 
 impl Session {
@@ -175,6 +250,8 @@ impl Session {
             cache_max_bytes: None,
             configured: Vec::new(),
             metrics,
+            stats: Arc::new(ServeStats::new()),
+            next_req_id: 0,
         }
     }
 
@@ -186,16 +263,37 @@ impl Session {
         self
     }
 
+    /// Shares the server-wide service-stats registry (the daemon passes
+    /// its own so every worker's gauge traffic lands in one place; the
+    /// default is a private registry for standalone sessions).
+    #[must_use]
+    pub fn serve_stats(mut self, stats: Arc<ServeStats>) -> Session {
+        self.stats = stats;
+        self
+    }
+
+    /// The next lifecycle request id for a request this session fronts
+    /// itself (1-based, deterministic per session — the golden transcript
+    /// relies on this).
+    fn next_req_id(&mut self) -> u64 {
+        self.next_req_id += 1;
+        self.next_req_id
+    }
+
     /// Handles one frame: parses, dispatches, and renders the reply line
     /// (without trailing newline). Never panics on malformed input —
     /// errors become structured replies and the connection stays open.
+    /// Every frame — parse failures included — consumes one lifecycle
+    /// request id, echoed as `"req_id"` in the reply.
     pub fn handle_line(&mut self, line: &str) -> (String, Control) {
+        let req_id = self.next_req_id();
         match proto::parse_request(line) {
-            Ok(req) => self.handle_request(&req, None),
-            Err(msg) => (
-                proto::err_reply(&Value::Null, code::PARSE, &msg),
-                Control::Continue,
-            ),
+            Ok(req) => self.handle_request_traced(&req, None, req_id),
+            Err(msg) => {
+                let mut reply = proto::err_reply_value(&Value::Null, code::PARSE, &msg);
+                proto::stamp_req_id(&mut reply, req_id);
+                (reply.to_string(), Control::Continue)
+            }
         }
     }
 
@@ -205,16 +303,33 @@ impl Session {
     /// queue); standalone callers pass `None` and per-request
     /// `deadline_ms` params behave as before. The reply bytes are
     /// identical either way — the token only decides *when* a run is
-    /// cancelled, never what a completed run reports.
+    /// cancelled, never what a completed run reports. The `req_id` stamp
+    /// comes from this session's own counter; the daemon uses
+    /// [`Session::handle_request_traced`] to stamp its server-wide id.
     pub fn handle_request(
         &mut self,
         req: &Request,
         cancel: Option<&CancelToken>,
     ) -> (String, Control) {
-        match self.dispatch(req, cancel) {
-            Ok((result, ctl)) => (proto::ok_reply(&req.id, result), ctl),
-            Err((c, msg)) => (proto::err_reply(&req.id, c, &msg), Control::Continue),
-        }
+        let req_id = self.next_req_id();
+        self.handle_request_traced(req, cancel, req_id)
+    }
+
+    /// [`Session::handle_request`] with an externally assigned lifecycle
+    /// request id (the daemon assigns ids at frame parse, server-wide,
+    /// so `req_id` orders requests across connections).
+    pub fn handle_request_traced(
+        &mut self,
+        req: &Request,
+        cancel: Option<&CancelToken>,
+        req_id: u64,
+    ) -> (String, Control) {
+        let (mut reply, ctl) = match self.dispatch(req, cancel) {
+            Ok((result, ctl)) => (proto::ok_reply_value(&req.id, result), ctl),
+            Err((c, msg)) => (proto::err_reply_value(&req.id, c, &msg), Control::Continue),
+        };
+        proto::stamp_req_id(&mut reply, req_id);
+        (reply.to_string(), ctl)
     }
 
     fn dispatch(&mut self, req: &Request, cancel: Option<&CancelToken>) -> MethodResult {
@@ -225,9 +340,9 @@ impl Session {
             "explain" => self.explain(&req.params, cancel),
             "trace_report" => self.trace_report(&req.params, cancel),
             "eval" => self.eval(&req.params),
-            other => control_result(other, &req.params, &self.metrics).unwrap_or_else(|| {
-                Err((code::UNKNOWN_METHOD, format!("unknown method `{other}`")))
-            }),
+            other => control_result(other, &req.params, &self.metrics, &self.stats).unwrap_or_else(
+                || Err((code::UNKNOWN_METHOD, format!("unknown method `{other}`"))),
+            ),
         }
     }
 
@@ -466,8 +581,16 @@ impl Session {
         }
         self.metrics
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .merge(&report.metrics);
+        let g = &self.stats.gauges;
+        serve_stats::add(&g.persist_hits, report.lift.persist_hits);
+        serve_stats::add(&g.persist_misses, report.lift.persist_misses);
+        if let Some(incr) = &report.incr {
+            serve_stats::add(&g.incr_changed, incr.changed);
+            serve_stats::add(&g.incr_replayed, incr.replayed);
+            serve_stats::add(&g.incr_skipped, incr.skipped);
+        }
         Ok((report, env))
     }
 
@@ -478,8 +601,10 @@ impl Session {
         let digest = spec.digest();
         if let Some(pos) = self.configured.iter().position(|c| c.digest == digest) {
             self.configured[..=pos].rotate_right(1);
+            serve_stats::inc(&self.stats.gauges.config_cache_hits);
             return Ok(());
         }
+        serve_stats::inc(&self.stats.gauges.config_cache_misses);
         let mut env = self.base.clone();
         let lifting = build_lifting(&mut env, spec).map_err(|msg| (code::REPAIR_FAILED, msg))?;
         self.configured.insert(
@@ -575,7 +700,61 @@ mod tests {
         assert_eq!(ctl, Control::Continue);
         assert_eq!(
             reply,
-            r#"{"id":1,"ok":true,"result":{"pong":true,"proto":1,"wire":"pumpkin-wire/2"}}"#
+            r#"{"id":1,"req_id":1,"ok":true,"result":{"pong":true,"proto":1,"wire":"pumpkin-wire/2"}}"#
+        );
+    }
+
+    #[test]
+    fn req_ids_count_every_frame_including_parse_errors() {
+        let mut s = session();
+        let (r1, _) = s.handle_line(r#"{"id":1,"method":"ping"}"#);
+        assert!(r1.contains(r#""req_id":1"#), "{r1}");
+        let (r2, _) = s.handle_line("{]");
+        assert!(
+            r2.contains(r#""req_id":2"#),
+            "parse errors consume an id: {r2}"
+        );
+        let (r3, _) = s.handle_line(r#"{"id":2,"method":"ping"}"#);
+        assert!(r3.contains(r#""req_id":3"#), "{r3}");
+    }
+
+    #[test]
+    fn stats_reports_schema_gauges_and_config_cache_traffic() {
+        let mut s = session();
+        let repair = format!(
+            r#"{{"id":1,"method":"repair_module","params":{{"lifting":{},"names":["Old.rev"],"deterministic":true}}}}"#,
+            swap_spec()
+        );
+        let (r, _) = s.handle_line(&repair);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let (r, _) = s.handle_line(&repair);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let (reply, ctl) = s.handle_line(r#"{"id":9,"method":"stats"}"#);
+        assert_eq!(ctl, Control::Continue);
+        let v = Value::parse(&reply).unwrap();
+        let result = v.get("result").unwrap();
+        assert_eq!(
+            result.get("schema").and_then(Value::as_str),
+            Some(STATS_SCHEMA)
+        );
+        let gauges = result.get("gauges").unwrap();
+        // First repair configured fresh, second reused the cached recipe.
+        assert_eq!(
+            gauges.get("config_cache_misses").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            gauges.get("config_cache_hits").and_then(Value::as_u64),
+            Some(1)
+        );
+        // A bare session records no latency — that is the server's job —
+        // so the method map is empty and the reply is deterministic.
+        assert_eq!(
+            result
+                .get("methods")
+                .and_then(Value::as_obj)
+                .map(<[_]>::len),
+            Some(0)
         );
     }
 
@@ -594,9 +773,13 @@ mod tests {
         let repaired = report.get("repaired").and_then(Value::as_arr).unwrap();
         assert_eq!(repaired.len(), 2);
         // Sessions serve throwaway environments: a second identical
-        // request returns byte-identical output.
+        // request returns byte-identical output (modulo the lifecycle
+        // id, which counts frames).
         let (again, _) = s.handle_line(&line);
-        assert_eq!(reply, again);
+        assert_eq!(
+            reply.replace("\"req_id\":1,", ""),
+            again.replace("\"req_id\":2,", "")
+        );
     }
 
     #[test]

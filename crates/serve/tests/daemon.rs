@@ -50,11 +50,21 @@ fn one_shot(line: &str) -> String {
     s.handle_line(line).0
 }
 
+/// Drops the `"req_id":N,` lifecycle stamp from a reply. Every frame
+/// gets a fresh id, so byte-identity claims compare everything else.
+fn strip_req_id(reply: &str) -> String {
+    let Some(at) = reply.find("\"req_id\":") else {
+        return reply.to_string();
+    };
+    let end = reply[at..].find(',').map_or(reply.len(), |c| at + c + 1);
+    format!("{}{}", &reply[..at], &reply[end..])
+}
+
 #[test]
 fn four_concurrent_clients_match_sequential_one_shots() {
     let (addr, handle) = spawn_server(ServerConfig::default());
     let line = repair_module_line(1, &["Old.rev", "Old.app", "Old.rev_involutive"]);
-    let expected = one_shot(&line);
+    let expected = strip_req_id(&one_shot(&line));
     assert!(
         expected.contains("\"ok\":true"),
         "baseline failed: {expected}"
@@ -69,8 +79,8 @@ fn four_concurrent_clients_match_sequential_one_shots() {
                     let mut c = Client::connect(&addr).expect("connect");
                     // Two requests per connection: determinism must hold
                     // within a session too.
-                    let first = c.call_raw(&line).expect("first call");
-                    let second = c.call_raw(&line).expect("second call");
+                    let first = strip_req_id(&c.call_raw(&line).expect("first call"));
+                    let second = strip_req_id(&c.call_raw(&line).expect("second call"));
                     assert_eq!(first, second, "session-internal divergence");
                     first
                 })
@@ -170,6 +180,14 @@ fn full_work_queue_returns_busy_and_recovers() {
             .iter()
             .filter(|r| r.contains("\"code\":\"busy\""))
             .count();
+        // These refusals came from the bounded queue, not the session
+        // cap — the `data` detail must say so.
+        for r in replies.iter().filter(|r| r.contains("\"code\":\"busy\"")) {
+            assert!(
+                r.contains("\"data\":\"queue_full\""),
+                "busy without queue_full detail: {r}"
+            );
+        }
         let long_reply = long.join().unwrap();
         assert!(long_reply.contains("\"ok\":true"), "{long_reply}");
         (busy, replies)
@@ -361,9 +379,11 @@ fn repair_batch_matches_per_request_replies_across_job_counts() {
                 item.trim_start_matches('{').trim_end_matches('}')
             );
             let (single_reply, _) = s.handle_line(&single_line);
+            // Batch entries carry no lifecycle id (only top-level frames
+            // do), so strip the standalone's before comparing.
             assert_eq!(
                 batched.to_string(),
-                single_reply,
+                strip_req_id(&single_reply),
                 "jobs={jobs}: batch entry diverged from the standalone reply"
             );
         }
@@ -380,10 +400,14 @@ fn session_cap_returns_busy_and_recovers() {
     // open, not just mid-request).
     let mut first = Client::connect(&addr).expect("connect first");
     first.call("ping", Value::Obj(vec![])).expect("first ping");
-    // Second connection is turned away with a structured busy reply.
+    // Second connection is turned away with a structured busy reply
+    // whose `data` detail names the admission layer that fired.
     let mut second = Client::connect(&addr).expect("connect second");
     match second.call("ping", Value::Obj(vec![])) {
-        Err(ClientError::Server { code, .. }) => assert_eq!(code, "busy"),
+        Err(ClientError::Server { code, data, .. }) => {
+            assert_eq!(code, "busy");
+            assert_eq!(data.as_deref(), Some("session_cap"));
+        }
         other => panic!("expected busy, got {other:?}"),
     }
     // Once the first session closes, the slot frees up.
@@ -400,6 +424,98 @@ fn session_cap_returns_busy_and_recovers() {
     }
     shutdown(&addr);
     handle.join().unwrap();
+}
+
+/// The `stats` RPC reports per-method latency and queue-wait histograms
+/// recorded at the server layer, plus gauges, under a versioned schema.
+#[test]
+fn stats_rpc_reports_per_method_latency_over_the_daemon() {
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let mut c = Client::connect(&addr).expect("connect");
+    for id in 1..=3 {
+        let reply = c
+            .call_raw(&repair_module_line(id, &["Old.rev"]))
+            .expect("repair");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(reply.contains("\"req_id\":"), "no lifecycle id: {reply}");
+    }
+    let stats = c.call("stats", Value::Obj(vec![])).expect("stats");
+    assert_eq!(
+        stats.get("schema").and_then(Value::as_str),
+        Some("pumpkin-serve-stats/1")
+    );
+    let method = stats
+        .get("methods")
+        .and_then(|m| m.get("repair_module"))
+        .expect("repair_module histogram row");
+    assert_eq!(method.get("count").and_then(Value::as_u64), Some(3));
+    let latency = method.get("latency").expect("latency block");
+    for q in ["p50_ns", "p95_ns", "p99_ns"] {
+        assert!(
+            latency.get(q).and_then(Value::as_u64).unwrap_or(0) > 0,
+            "{q} missing or zero: {latency:?}"
+        );
+    }
+    // Queue wait was measured for each queued request, and is never
+    // longer than the full round trip.
+    let queue = method.get("queue_wait").expect("queue_wait block");
+    assert_eq!(queue.get("count").and_then(Value::as_u64), Some(3));
+    assert!(
+        queue.get("p99_ns").and_then(Value::as_u64)
+            <= latency.get("p99_ns").and_then(Value::as_u64)
+    );
+    let gauges = stats.get("gauges").expect("gauges block");
+    assert_eq!(gauges.get("live_sessions").and_then(Value::as_u64), Some(1));
+    drop(c);
+    shutdown(&addr);
+    handle.join().unwrap();
+}
+
+/// With `--slow-ms 0` every request is "slow": the daemon writes one
+/// structured JSONL line per request to the log sink, carrying the
+/// lifecycle breakdown whose parts never exceed the wall total.
+#[test]
+fn slow_log_captures_the_lifecycle_breakdown() {
+    let path = std::env::temp_dir().join(format!("pumpkind-slow-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let (addr, handle) = spawn_server(ServerConfig {
+        workers: 1,
+        slow_ms: Some(0),
+        log: Some(path.clone()),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(&addr).expect("connect");
+    let reply = c
+        .call_raw(&repair_module_line(1, &["Old.rev"]))
+        .expect("repair");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    drop(c);
+    shutdown(&addr);
+    handle.join().unwrap();
+    let log = std::fs::read_to_string(&path).expect("slow log written");
+    let line = log
+        .lines()
+        .find(|l| l.contains("\"kind\":\"serve_slow\"") && l.contains("repair_module"))
+        .unwrap_or_else(|| panic!("no serve_slow line for repair_module in: {log}"));
+    let v = Value::parse(line).expect("slow line is JSON");
+    assert!(v.get("req_id").and_then(Value::as_u64).unwrap_or(0) >= 1);
+    let total = v.get("dur_ns").and_then(Value::as_u64).expect("dur_ns");
+    let queue_wait = v
+        .get("queue_wait_ns")
+        .and_then(Value::as_u64)
+        .expect("queue_wait_ns");
+    let service = v
+        .get("service_ns")
+        .and_then(Value::as_u64)
+        .expect("service_ns");
+    let write = v.get("write_ns").and_then(Value::as_u64).expect("write_ns");
+    assert!(service > 0, "queued request with zero service time: {line}");
+    // The parts are disjoint sub-intervals of the request's lifetime.
+    assert!(
+        queue_wait + service + write <= total,
+        "breakdown exceeds wall time: {line}"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -37,6 +37,7 @@ pub mod json;
 pub mod metrics;
 pub mod prov;
 pub mod report;
+pub mod serve_stats;
 pub mod sink;
 pub mod summary;
 
@@ -153,6 +154,22 @@ pub enum EventKind {
         /// Constants not re-lifted.
         skipped: u64,
     },
+    /// Instant (`serve_*` family): one daemon request that exceeded the
+    /// `--slow-ms` threshold, with its lifecycle breakdown. `t_ns` is the
+    /// offset of the frame's arrival since the daemon's epoch and `dur_ns`
+    /// is the full accept-to-reply-write wall time; the payload splits it.
+    ServeSlow {
+        /// The request id echoed to the client as `req_id`.
+        req_id: u64,
+        /// The RPC method name.
+        method: Box<str>,
+        /// Nanoseconds spent queued between enqueue and worker pickup.
+        queue_wait_ns: u64,
+        /// Nanoseconds inside the session handling the request.
+        service_ns: u64,
+        /// Nanoseconds writing the reply frame back to the socket.
+        write_ns: u64,
+    },
     /// Instant (`prov` family, versioned): header for one repaired
     /// constant's provenance tree; followed by `sites` [`EventKind::ProvSite`]
     /// events.
@@ -205,6 +222,7 @@ impl EventKind {
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::Rollback { .. } => "rollback",
             EventKind::Incr { .. } => "incr",
+            EventKind::ServeSlow { .. } => "serve_slow",
             EventKind::ProvConst { .. } => "prov_const",
             EventKind::ProvSite { .. } => "prov_site",
             // The preserved wire kind lives in the variant's `kind` field;
@@ -288,6 +306,24 @@ impl Event {
                 s.push_str(&replayed.to_string());
                 s.push_str(",\"skipped\":");
                 s.push_str(&skipped.to_string());
+            }
+            EventKind::ServeSlow {
+                req_id,
+                method,
+                queue_wait_ns,
+                service_ns,
+                write_ns,
+            } => {
+                s.push_str(",\"req_id\":");
+                s.push_str(&req_id.to_string());
+                s.push_str(",\"method\":");
+                json::escape_into(method, &mut s);
+                s.push_str(",\"queue_wait_ns\":");
+                s.push_str(&queue_wait_ns.to_string());
+                s.push_str(",\"service_ns\":");
+                s.push_str(&service_ns.to_string());
+                s.push_str(",\"write_ns\":");
+                s.push_str(&write_ns.to_string());
             }
             EventKind::ProvConst { name, to, sites } => {
                 s.push_str(",\"v\":");
@@ -375,6 +411,13 @@ impl Event {
                 changed: num("changed")?,
                 replayed: num("replayed")?,
                 skipped: num("skipped")?,
+            },
+            "serve_slow" => EventKind::ServeSlow {
+                req_id: num("req_id")?,
+                method: st("method")?.into(),
+                queue_wait_ns: num("queue_wait_ns")?,
+                service_ns: num("service_ns")?,
+                write_ns: num("write_ns")?,
             },
             k @ ("prov_const" | "prov_site")
                 if num("v") != Some(u64::from(prov::PROV_SCHEMA_VERSION)) =>
@@ -707,6 +750,13 @@ mod tests {
                 changed: 1,
                 replayed: 2,
                 skipped: 11,
+            },
+            EventKind::ServeSlow {
+                req_id: 42,
+                method: "repair_module".into(),
+                queue_wait_ns: 1_000,
+                service_ns: 2_000_000,
+                write_ns: 50,
             },
             EventKind::ProvConst {
                 name: "Old.rev".into(),

@@ -262,6 +262,17 @@ impl Metrics {
                     m.incr("incr.replayed", *replayed);
                     m.incr("incr.skipped", *skipped);
                 }
+                EventKind::ServeSlow {
+                    method,
+                    queue_wait_ns,
+                    service_ns,
+                    ..
+                } => {
+                    m.incr("serve.slow", 1);
+                    m.incr(&format!("serve.slow.{method}"), 1);
+                    m.observe("serve.slow.queue_wait.ns", *queue_wait_ns);
+                    m.observe("serve.slow.service.ns", *service_ns);
+                }
                 EventKind::ProvConst { .. } => m.incr("prov.constants", 1),
                 EventKind::ProvSite { rule, .. } => {
                     m.incr("prov.sites", 1);

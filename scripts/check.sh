@@ -33,9 +33,12 @@ scripts/trace_lint.sh
 # Daemon smoke test: a real pumpkind on a loopback port, driven by the
 # real client subcommand, shut down gracefully. Everything is wrapped in
 # timeouts so a wedged daemon fails the gate instead of hanging it.
-echo "==> pumpkind smoke (serve / client / shutdown over loopback)"
+echo "==> pumpkind smoke (serve / client / stats / shutdown over loopback)"
 serve_log=$(mktemp)
-./target/release/pumpkin serve --listen 127.0.0.1:0 >"$serve_log" 2>&1 &
+slow_log=$(mktemp)
+# --slow-ms 0 makes every request "slow", so the structured slow log gets
+# one serve_slow line per request — asserted (and schema-linted) below.
+./target/release/pumpkin serve --listen 127.0.0.1:0 --slow-ms 0 --log "$slow_log" >"$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -56,9 +59,51 @@ timeout 30 ./target/release/pumpkin client --connect "$addr" call frobnicate
 rc=$?
 set -e
 [ "$rc" -eq 14 ] || { echo "client exit code for unknown_method: got $rc, want 14" >&2; exit 1; }
+
+# Observability smoke: a loadgen burst through this daemon, then the
+# stats RPC must report non-zero per-method counts with percentiles, the
+# Prometheus rendering must carry the counter family, and `pumpkin top`
+# must render one frame of the live table.
+timeout 300 ./target/release/pumpkin loadgen --connect "$addr" \
+    --mode closed --clients 4 --requests 2 --trials 1 --seed 3 >/dev/null
+stats_json=$(timeout 30 ./target/release/pumpkin client --connect "$addr" stats --json)
+case "$stats_json" in
+    *'"schema":"pumpkin-serve-stats/1"'*) ;;
+    *) echo "stats: missing schema: $stats_json" >&2; exit 1 ;;
+esac
+echo "$stats_json" | grep -Eq '"repair(_module)?":\{"count":[1-9]' || {
+    echo "stats: no per-method counts after the loadgen burst: $stats_json" >&2; exit 1; }
+echo "$stats_json" | grep -q '"p99_ns":' || {
+    echo "stats: no percentile fields: $stats_json" >&2; exit 1; }
+timeout 30 ./target/release/pumpkin client --connect "$addr" stats --prometheus \
+    | grep -q '^pumpkin_requests_total{method=' || {
+    echo "stats --prometheus: no counter samples" >&2; exit 1; }
+top_out=$(timeout 30 ./target/release/pumpkin top --connect "$addr" --count 1 --interval-ms 100)
+case "$top_out" in
+    *METHOD*repair*) ;;
+    *) echo "pumpkin top rendered no method table: $top_out" >&2; exit 1 ;;
+esac
+# Lifecycle ids: every reply frame (down to a bare ping) echoes req_id.
+ping_host=${addr%:*}; ping_port=${addr##*:}
+exec 3<>"/dev/tcp/$ping_host/$ping_port"
+printf '{"id":1,"method":"ping"}\n' >&3
+IFS= read -r ping_reply <&3
+exec 3<&- 3>&-
+case "$ping_reply" in
+    *'"req_id":'*) ;;
+    *) echo "ping reply carries no req_id: $ping_reply" >&2; exit 1 ;;
+esac
+
 timeout 30 ./target/release/pumpkin client --connect "$addr" shutdown
 wait "$serve_pid" || { echo "pumpkind exited nonzero" >&2; cat "$serve_log"; exit 1; }
-rm -f "$serve_log"
+# The slow log must have one structured line per request, and those lines
+# must satisfy the trace schema (serve_slow is a first-class event kind).
+grep -q '"kind":"serve_slow"' "$slow_log" || {
+    echo "slow log has no serve_slow lines" >&2; cat "$slow_log"; exit 1; }
+grep -q '"queue_wait_ns":' "$slow_log" || {
+    echo "slow log lines carry no lifecycle breakdown" >&2; cat "$slow_log"; exit 1; }
+scripts/trace_lint.sh "$slow_log"
+rm -f "$serve_log" "$slow_log"
 
 echo "==> example: serve_roundtrip (in-process daemon round trip)"
 timeout 300 cargo run -q --release --locked --example serve_roundtrip >/dev/null
@@ -107,28 +152,33 @@ rm -rf "$watch_dir"
 # bench_guard.sh) as well as the committed-baseline comparison. PR 8 adds
 # the persist_cache/incremental row: a session-resident incremental
 # repair after one touch must cost at most 0.3x of the full warm repair.
-echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve + scaling rows → BENCH_pr8.json"
+# PR 9 threads lifecycle timestamps and per-method histograms through the
+# daemon always-on; the shared-row comparison against the PR 8 baseline
+# is what bounds that overhead.
+echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve + scaling rows → BENCH_pr9.json"
 # Absolute path: cargo runs the bench binary with cwd = the package dir.
 # Sample size 9: the batch-vs-rpc in-run gate needs a stable median on a
 # noisy single-CPU container.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
     --sample-size 9 \
     --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip,repair_batch,scaling_term_size \
-    --json "$(pwd)/BENCH_pr8.json"
+    --json "$(pwd)/BENCH_pr9.json"
 
 # Loadgen smoke: a seed-replayable closed-loop run against a self-hosted
 # worker-pool daemon; its serve_load/{p50,p95,p99,throughput} rows join
 # the same report (the header line of the loadgen output is dropped —
-# BENCH_pr8.json already has one).
+# BENCH_pr9.json already has one). --server-stats adds the daemon's own
+# view of the same load (serve_load/server_*), which the guard compares
+# against the client-side tail.
 echo "==> loadgen smoke (closed loop, 16 clients) → serve_load rows"
 loadgen_json=$(mktemp)
 timeout 300 ./target/release/pumpkin loadgen \
     --mode closed --clients 16 --requests 4 --workers 2 --seed 7 \
-    --json "$loadgen_json"
-tail -n +2 "$loadgen_json" >> BENCH_pr8.json
+    --server-stats --json "$loadgen_json"
+tail -n +2 "$loadgen_json" >> BENCH_pr9.json
 rm -f "$loadgen_json"
 
 echo "==> bench guard (auto baseline)"
-scripts/bench_guard.sh BENCH_pr8.json
+scripts/bench_guard.sh BENCH_pr9.json
 
 echo "==> all checks passed"

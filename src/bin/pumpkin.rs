@@ -28,15 +28,17 @@ const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <
                      \x20      pumpkin trace-report [--lint] [--top K] <file.jsonl> [file2.jsonl]\n\
                      \x20      pumpkin serve [--listen ADDR] [--unix PATH] [--jobs N] [--max-sessions N]\n\
                      \x20                    [--workers N] [--queue-depth N] [--cache-dir DIR]\n\
-                     \x20                    [--cache-max-bytes N]\n\
-                     \x20      pumpkin client --connect ADDR <hello|ping|shutdown|metrics|repair-module|explain|call> [args]\n\
+                     \x20                    [--cache-max-bytes N] [--slow-ms N] [--log PATH]\n\
+                     \x20      pumpkin client --connect ADDR <hello|ping|shutdown|metrics|stats|repair-module|explain|call> [args]\n\
+                     \x20                     (stats takes [--json|--prometheus])\n\
+                     \x20      pumpkin top --connect ADDR [--interval-ms N] [--count N]\n\
                      \x20      pumpkin watch [--poll-ms MS] [--max-runs N] [--jobs N] [--cache-dir DIR]\n\
                      \x20                    [--cache-max-bytes N] [--swap A B] [--rename From.=To.]\n\
                      \x20                    [--names n1,n2,...] <module.pi>\n\
                      \x20      pumpkin loadgen [--connect ADDR] [--mode closed|open] [--clients N] [--requests N]\n\
                      \x20                      [--rate R] [--duration-ms D] [--seed S] [--workers N]\n\
                      \x20                      [--queue-depth N] [--jobs N] [--trials N] [--touch-rate R]\n\
-                     \x20                      [--json PATH]";
+                     \x20                      [--json PATH] [--server-stats]";
 
 fn serve(argv: &[String]) -> ExitCode {
     let mut cfg = ServerConfig {
@@ -97,6 +99,17 @@ fn serve(argv: &[String]) -> ExitCode {
                     eprintln!("--queue-depth needs a number\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
+            },
+            "--slow-ms" => match take("--slow-ms").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => cfg.slow_ms = Some(n),
+                _ => {
+                    eprintln!("--slow-ms needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--log" => match take("--log") {
+                Ok(v) => cfg.log = Some(v.into()),
+                Err(()) => return ExitCode::FAILURE,
             },
             other => {
                 eprintln!("unexpected argument `{other}`\n{USAGE}");
@@ -259,6 +272,86 @@ fn render_client_result(method: &str, result: &Value) {
     }
 }
 
+/// Pulls one `u64` field out of a method's histogram block in a `stats`
+/// result (`latency`/`queue_wait` → `count`/`p50_ns`/…); 0 when absent.
+fn stat_field(method: &Value, block: &str, field: &str) -> u64 {
+    method
+        .get(block)
+        .and_then(|b| b.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// Renders a `stats` result as a human-readable table: one row per
+/// method, then the gauge block.
+fn render_stats_table(result: &Value) {
+    if let Some(schema) = result.get("schema").and_then(Value::as_str) {
+        println!("schema {schema}");
+    }
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "METHOD", "COUNT", "P50_MS", "P95_MS", "P99_MS", "QWAIT_P99_MS"
+    );
+    let ms = |ns: u64| ns as f64 / 1e6;
+    for (name, m) in result.get("methods").and_then(Value::as_obj).unwrap_or(&[]) {
+        println!(
+            "{:<16} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
+            name,
+            stat_field(m, "latency", "count"),
+            ms(stat_field(m, "latency", "p50_ns")),
+            ms(stat_field(m, "latency", "p95_ns")),
+            ms(stat_field(m, "latency", "p99_ns")),
+            ms(stat_field(m, "queue_wait", "p99_ns")),
+        );
+    }
+    for (name, v) in result.get("gauges").and_then(Value::as_obj).unwrap_or(&[]) {
+        println!("gauge {name} {v}");
+    }
+}
+
+/// Renders a `stats` result as Prometheus text exposition. Hand-rolled —
+/// the daemon speaks JSON; translation to scrape format is the client's
+/// job, and the format is just `# TYPE` lines plus `name{labels} value`
+/// samples (latencies in seconds, per convention).
+fn render_stats_prometheus(result: &Value) -> String {
+    let mut out = String::new();
+    let methods = result.get("methods").and_then(Value::as_obj).unwrap_or(&[]);
+    out.push_str("# TYPE pumpkin_requests_total counter\n");
+    for (name, m) in methods {
+        out.push_str(&format!(
+            "pumpkin_requests_total{{method=\"{name}\"}} {}\n",
+            stat_field(m, "latency", "count")
+        ));
+    }
+    let secs = |ns: u64| ns as f64 / 1e9;
+    for (family, block) in [
+        ("pumpkin_request_latency_seconds", "latency"),
+        ("pumpkin_request_queue_wait_seconds", "queue_wait"),
+    ] {
+        out.push_str(&format!("# TYPE {family} summary\n"));
+        for (name, m) in methods {
+            for (q, field) in [("0.5", "p50_ns"), ("0.95", "p95_ns"), ("0.99", "p99_ns")] {
+                out.push_str(&format!(
+                    "{family}{{method=\"{name}\",quantile=\"{q}\"}} {:.9}\n",
+                    secs(stat_field(m, block, field))
+                ));
+            }
+            let count = stat_field(m, block, "count");
+            out.push_str(&format!(
+                "{family}_sum{{method=\"{name}\"}} {:.9}\n",
+                secs(stat_field(m, block, "mean_ns")) * count as f64
+            ));
+            out.push_str(&format!("{family}_count{{method=\"{name}\"}} {count}\n"));
+        }
+    }
+    for (name, v) in result.get("gauges").and_then(Value::as_obj).unwrap_or(&[]) {
+        out.push_str(&format!(
+            "# TYPE pumpkin_serve_{name} gauge\npumpkin_serve_{name} {v}\n"
+        ));
+    }
+    out
+}
+
 /// Maps a client-side failure to a distinct exit status, so scripts can
 /// branch on *why* a call failed (`busy` → back off and retry, `deadline`
 /// → raise the budget, version skew → upgrade) instead of parsing stderr.
@@ -378,8 +471,21 @@ fn client(argv: &[String]) -> ExitCode {
         eprintln!("client needs --connect ADDR and a verb\n{USAGE}");
         return ExitCode::FAILURE;
     };
+    let mut stats_format = "table";
     let (method, params) = match verb.as_str() {
         "ping" | "shutdown" | "hello" => (verb.clone(), Value::Obj(vec![])),
+        "stats" => {
+            match args.next().map(String::as_str) {
+                Some("--json") => stats_format = "json",
+                Some("--prometheus") => stats_format = "prometheus",
+                None => {}
+                Some(other) => {
+                    eprintln!("unexpected stats argument `{other}`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            (verb.clone(), Value::Obj(vec![]))
+        }
         "metrics" => {
             let canonical = args.next().map(String::as_str) == Some("--canonical");
             (
@@ -451,13 +557,142 @@ fn client(argv: &[String]) -> ExitCode {
     }
     match client.call(&method, params) {
         Ok(result) => {
-            render_client_result(&method, &result);
+            if method == "stats" {
+                match stats_format {
+                    "json" => println!("{result}"),
+                    "prometheus" => print!("{}", render_stats_prometheus(&result)),
+                    _ => render_stats_table(&result),
+                }
+            } else {
+                render_client_result(&method, &result);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("{}", client_error_line(&e));
             client_exit_code(&e)
         }
+    }
+}
+
+/// `pumpkin top`: a live operator view. Polls the daemon's `stats` RPC
+/// and redraws a table of per-method request rate (from count deltas
+/// between polls), latency percentiles, and the service gauges.
+fn top(argv: &[String]) -> ExitCode {
+    use std::collections::BTreeMap;
+    use std::io::Write as _;
+    use std::time::Instant;
+
+    let mut connect: Option<String> = None;
+    let mut interval_ms = 1000u64;
+    let mut count = 0u64;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => match args.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => {
+                    eprintln!("--connect needs an address\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--interval-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => interval_ms = n.max(1),
+                None => {
+                    eprintln!("--interval-ms needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--count" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => count = n,
+                None => {
+                    eprintln!("--count needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("top needs --connect ADDR\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut prev: BTreeMap<String, u64> = BTreeMap::new();
+    let mut prev_at = Instant::now();
+    let mut frames = 0u64;
+    loop {
+        let stats = match client.call("stats", Value::Obj(vec![])) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}", client_error_line(&e));
+                return client_exit_code(&e);
+            }
+        };
+        let now = Instant::now();
+        let dt = now.duration_since(prev_at).as_secs_f64().max(1e-9);
+        if frames > 0 {
+            // Redraw in place: clear the screen, cursor home.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("pumpkind {addr} — stats every {interval_ms} ms (Ctrl-C to quit)");
+        println!(
+            "{:<16} {:>8} {:>8} {:>10} {:>10} {:>12}",
+            "METHOD", "COUNT", "RATE/S", "P50_MS", "P99_MS", "QWAIT_P99_MS"
+        );
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut current: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, m) in stats.get("methods").and_then(Value::as_obj).unwrap_or(&[]) {
+            let total = stat_field(m, "latency", "count");
+            let rate = if frames == 0 {
+                0.0
+            } else {
+                (total.saturating_sub(prev.get(name).copied().unwrap_or(0))) as f64 / dt
+            };
+            println!(
+                "{:<16} {:>8} {:>8.1} {:>10.3} {:>10.3} {:>12.3}",
+                name,
+                total,
+                rate,
+                ms(stat_field(m, "latency", "p50_ns")),
+                ms(stat_field(m, "latency", "p99_ns")),
+                ms(stat_field(m, "queue_wait", "p99_ns")),
+            );
+            current.insert(name.clone(), total);
+        }
+        let gauge = |name: &str| {
+            stats
+                .get("gauges")
+                .and_then(|g| g.get(name))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        };
+        println!(
+            "sessions {} | workers busy {} | queue hwm {} | busy {}+{} | slow {}",
+            gauge("live_sessions"),
+            gauge("workers_busy"),
+            gauge("queue_depth_hwm"),
+            gauge("busy_queue_full"),
+            gauge("busy_session_cap"),
+            gauge("slow_logged"),
+        );
+        let _ = std::io::stdout().flush();
+        frames += 1;
+        if count > 0 && frames >= count {
+            return ExitCode::SUCCESS;
+        }
+        prev = current;
+        prev_at = now;
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 
@@ -694,6 +929,10 @@ fn loadgen(argv: &[String]) -> ExitCode {
             "--queue-depth" => number(&mut args).map(|n| cfg.queue_depth = (n as usize).max(1)),
             "--jobs" => number(&mut args).map(|n| cfg.jobs = (n as usize).max(1)),
             "--trials" => number(&mut args).map(|n| cfg.trials = (n as usize).max(1)),
+            "--server-stats" => {
+                cfg.server_stats = true;
+                Ok(())
+            }
             "--touch-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(r) if (0.0..=1.0).contains(&r) => {
                     cfg.touch_rate = r;
@@ -818,6 +1057,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("client") {
         return client(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("top") {
+        return top(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("watch") {
         return watch(&argv[1..]);

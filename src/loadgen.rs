@@ -79,6 +79,11 @@ pub struct LoadgenConfig {
     /// forcing a fresh diff. Zero (the default) keeps the classic
     /// all-cold stream byte-identical to previous releases.
     pub touch_rate: f64,
+    /// Snapshot the daemon's `stats` RPC after the trials and emit the
+    /// server-side latency/queue-wait percentiles as extra
+    /// `serve_load/server_*` rows — the server's own view of the same
+    /// load, so client-vs-server tail comparisons ride the bench schema.
+    pub server_stats: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -96,6 +101,7 @@ impl Default for LoadgenConfig {
             jobs: 1,
             trials: 3,
             touch_rate: 0.0,
+            server_stats: false,
         }
     }
 }
@@ -118,6 +124,9 @@ pub struct LoadgenReport {
     /// All latencies merged across trials (drives [`LoadgenReport::summary`]).
     pub hist: LatencyHistogram,
     trials: Vec<Trial>,
+    /// Server-side `serve_load/server_*` rows (empty unless
+    /// [`LoadgenConfig::server_stats`] asked for them).
+    server_rows: Vec<Sample>,
 }
 
 /// One measurement pass.
@@ -153,12 +162,14 @@ impl LoadgenReport {
                     .unwrap_or(u64::MAX)
             });
         }
-        vec![
+        let mut rows = vec![
             Sample::from_times("serve_load/p50", p50s),
             Sample::from_times("serve_load/p95", p95s),
             Sample::from_times("serve_load/p99", p99s),
             Sample::from_times("serve_load/throughput", thrs),
-        ]
+        ];
+        rows.extend(self.server_rows.iter().cloned());
+        rows
     }
 
     /// The full `pumpkin-bench/v1` report (header plus rows).
@@ -445,6 +456,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         });
     }
 
+    // Server-side view of the load just generated, snapshotted before
+    // the shutdown tears the registry down with the daemon.
+    let mut server_rows = Vec::new();
+    if cfg.server_stats {
+        server_rows = fetch_server_rows(&addr)?;
+    }
+
     if let Some(handle) = spawned {
         if let Ok(mut c) = Client::connect(&addr) {
             let _ = c.call("shutdown", Value::Obj(vec![]));
@@ -461,7 +479,34 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         elapsed,
         hist: merged_hist,
         trials,
+        server_rows,
     })
+}
+
+/// Reads the daemon's `stats` snapshot and lifts its whole-population
+/// (`total`) latency and queue-wait percentiles into bench rows. The
+/// daemon's histograms are log₂-bucketed, so these are bucket-midpoint
+/// estimates (within √2 of exact) — `bench_guard.sh`'s server-vs-client
+/// gate allows for that.
+fn fetch_server_rows(addr: &str) -> Result<Vec<Sample>, String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("stats connect failed: {e}"))?;
+    let stats = c
+        .call("stats", Value::Obj(vec![]))
+        .map_err(|e| format!("stats call failed: {e}"))?;
+    let field = |block: &str, q: &str| {
+        stats
+            .get("total")
+            .and_then(|t| t.get(block))
+            .and_then(|b| b.get(q))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    Ok(vec![
+        Sample::single("serve_load/server_p50", field("latency", "p50_ns")),
+        Sample::single("serve_load/server_p99", field("latency", "p99_ns")),
+        Sample::single("serve_load/server_queue_p50", field("queue_wait", "p50_ns")),
+        Sample::single("serve_load/server_queue_p99", field("queue_wait", "p99_ns")),
+    ])
 }
 
 #[cfg(test)]
@@ -493,6 +538,7 @@ mod tests {
             clients: 4,
             requests: 2,
             workers: 2,
+            server_stats: true,
             ..LoadgenConfig::default()
         })
         .expect("loadgen run");
@@ -500,8 +546,8 @@ mod tests {
         assert_eq!(report.completed, 24, "{}", report.summary());
         assert_eq!(report.errors, 0, "{}", report.summary());
         let rows = report.rows();
-        // Every row carries one time per trial, never a single sample.
-        assert!(rows.iter().all(|s| s.times_ns.len() == 3), "{rows:?}");
+        // Client-side rows carry one time per trial, never a single
+        // sample; server-side rows are one cumulative snapshot.
         let ids: Vec<&str> = rows.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(
             ids,
@@ -509,9 +555,14 @@ mod tests {
                 "serve_load/p50",
                 "serve_load/p95",
                 "serve_load/p99",
-                "serve_load/throughput"
+                "serve_load/throughput",
+                "serve_load/server_p50",
+                "serve_load/server_p99",
+                "serve_load/server_queue_p50",
+                "serve_load/server_queue_p99",
             ]
         );
+        assert!(rows[..4].iter().all(|s| s.times_ns.len() == 3), "{rows:?}");
         assert!(rows.iter().all(|s| s.median().as_nanos() > 0));
         let json = report.to_json_lines();
         assert!(

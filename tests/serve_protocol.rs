@@ -60,7 +60,11 @@ fn requests() -> Vec<String> {
         r#"{"id":10,"method":"repair","params":{"name":"Old.rev"}}"#.to_string(),
         r#"{"id":11,"method":"no_such_method"}"#.to_string(),
         r#"not json"#.to_string(),
-        r#"{"id":12,"method":"shutdown"}"#.to_string(),
+        // A bare session records no latency (that is the server layer's
+        // job), so this reply is deterministic: empty method map, zeroed
+        // totals, and only deterministic gauge traffic.
+        r#"{"id":12,"method":"stats"}"#.to_string(),
+        r#"{"id":13,"method":"shutdown"}"#.to_string(),
     ]
 }
 
