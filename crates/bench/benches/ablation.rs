@@ -14,7 +14,10 @@
 //! * `scaling/enum_N` — repair latency as the number of constructors grows
 //!   (the §6.1.3 Enum stress-test, parameterized);
 //! * `scaling/term_size_N` — lifting latency as the proof term grows
-//!   (repairing `app_assoc`-style lemmas over ever larger literal lists).
+//!   (repairing `app_assoc`-style lemmas over ever larger literal lists);
+//! * `auto_search/{cold,warm,minimize}` — the automatic candidate search
+//!   with a cold vs failure-cache-warmed enumeration, plus the greedy
+//!   reproducer minimization (DESIGN.md §18).
 
 use pumpkin_pi::case_studies;
 use pumpkin_pi::pumpkin_core::{self, LiftState, NameMap, Repairer};
@@ -416,6 +419,99 @@ fn bench_persist_cache(b: &mut Bench) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_auto_search(b: &mut Bench) {
+    // The automatic repair search (DESIGN.md §18). `cold` runs the whole
+    // candidate enumeration through the kernel oracle against a fresh
+    // collision module — the constant name (and so the module digest) is
+    // unique per iteration, so the process-wide failure cache never
+    // helps. `warm` replays one fixed module whose failures were recorded
+    // up front: every candidate is skipped by the cache without touching
+    // the kernel. bench_guard.sh gates warm at <= 0.5x cold in-run.
+    // `minimize` adds the greedy reduction of a poisoned four-constant
+    // module down to its one-constant reproducer.
+    use pumpkin_pi::pumpkin_core::AutoPolicy;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let base = stdlib::std_env();
+    let collision = |tag: &str| {
+        format!(
+            "Definition New.{tag} : nat := O.\n\
+             Definition Old.{tag} : forall (T : Type 1), Old.list T -> Old.list T := \
+             fun (T : Type 1) (l : Old.list T) => l.\n"
+        )
+    };
+    let policy = AutoPolicy {
+        minimize: false,
+        deterministic: true,
+        ..AutoPolicy::default()
+    };
+    let fresh = AtomicUsize::new(0);
+    b.bench(
+        "auto_search/cold",
+        || {
+            let i = fresh.fetch_add(1, Ordering::Relaxed);
+            (base.clone(), collision(&format!("auto_bench_cold_{i}")))
+        },
+        |(mut env, src)| {
+            let (auto, result) = Repairer::auto(policy.clone())
+                .source(src)
+                .run(&mut env, &[]);
+            assert!(
+                result.is_err() && auto.skipped_cache == 0,
+                "cold iterations must never hit the failure cache"
+            );
+            auto
+        },
+    );
+    // Record the fixed module's failures once; every warm iteration then
+    // skips the entire enumeration.
+    let warm_src = collision("auto_bench_warm");
+    {
+        let mut env = base.clone();
+        let (auto, _) = Repairer::auto(policy.clone())
+            .source(warm_src.as_str())
+            .run(&mut env, &[]);
+        println!("  auto_search/cold: {}", auto.summary());
+    }
+    b.bench(
+        "auto_search/warm",
+        || (base.clone(), warm_src.clone()),
+        |(mut env, src)| {
+            let (auto, result) = Repairer::auto(policy.clone())
+                .source(src)
+                .run(&mut env, &[]);
+            assert!(
+                result.is_err() && auto.tried == 0,
+                "warm iterations must skip every candidate"
+            );
+            auto
+        },
+    );
+    let min_policy = AutoPolicy {
+        use_failure_cache: false,
+        deterministic: true,
+        ..AutoPolicy::default()
+    };
+    b.bench(
+        "auto_search/minimize",
+        || (base.clone(), collision("auto_bench_min")),
+        |(mut env, src)| {
+            let (auto, result) = Repairer::auto(min_policy.clone())
+                .source(src)
+                .run(&mut env, &["Old.rev", "Old.app", "Old.length"]);
+            assert!(
+                result.is_err() && auto.reproducer.is_some(),
+                "minimize iterations must produce a reproducer"
+            );
+            auto
+        },
+    );
+    let mut env = base.clone();
+    let (auto, _) = Repairer::auto(min_policy)
+        .source(collision("auto_bench_min_probe"))
+        .run(&mut env, &["Old.rev", "Old.app", "Old.length"]);
+    println!("  auto_search/minimize: {}", auto.summary());
+}
+
 fn bench_serve_roundtrip(b: &mut Bench) {
     // End-to-end daemon latency: connect, repair a three-constant module
     // over newline-delimited JSON-RPC, read the reply. Covers framing,
@@ -558,6 +654,7 @@ fn main() {
     bench_enum_scaling(&mut b);
     bench_term_size_scaling(&mut b);
     bench_persist_cache(&mut b);
+    bench_auto_search(&mut b);
     bench_serve_roundtrip(&mut b);
     bench_repair_batch(&mut b);
     b.finish();

@@ -52,6 +52,111 @@ pub enum RepairError {
         /// The residual source-type subterm, pretty-printed via `lang`.
         residual: String,
     },
+    /// The automatic repair search ([`crate::auto`]) ran out of candidate
+    /// configurations without the kernel accepting any repair. Carries the
+    /// error class of the default (rank-0) candidate and, when the
+    /// minimizer ran, the shrunk reproducer.
+    AutoExhausted {
+        /// Candidate configurations actually run through the oracle
+        /// (skipped-by-cache candidates are not counted here).
+        tried: usize,
+        /// Error class of the default candidate's failure.
+        class: ErrorClass,
+        /// The minimized failing sub-module, when [`crate::minimize`] ran.
+        reproducer: Option<Box<crate::minimize::Reproducer>>,
+    },
+}
+
+/// A coarse, stable classification of [`RepairError`]s. The auto driver's
+/// process-wide failure cache stores classes (not messages) and the
+/// minimizer shrinks modules *preserving* the class — so the taxonomy must
+/// be small and total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// The kernel rejected a generated term (includes redeclarations).
+    Kernel,
+    /// The surface language rejected a source snippet.
+    Lang,
+    /// No configuration could be discovered or the mapping was invalid.
+    Search,
+    /// The configuration's heuristics could not handle a form.
+    Unsupported,
+    /// The termination guard tripped.
+    NonTerminating,
+    /// Unification with the configuration failed.
+    Unification,
+    /// A required global is missing.
+    MissingDependency,
+    /// A deadline or cancel token fired.
+    Cancelled,
+    /// The persistent cache layer failed.
+    Cache,
+    /// The repaired output still mentions the source type.
+    SourceNotFree,
+    /// The auto search itself was exhausted (nested exhaustion).
+    Auto,
+}
+
+impl ErrorClass {
+    /// Stable wire/trace name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorClass::Kernel => "kernel",
+            ErrorClass::Lang => "lang",
+            ErrorClass::Search => "search",
+            ErrorClass::Unsupported => "unsupported",
+            ErrorClass::NonTerminating => "non_terminating",
+            ErrorClass::Unification => "unification",
+            ErrorClass::MissingDependency => "missing_dependency",
+            ErrorClass::Cancelled => "cancelled",
+            ErrorClass::Cache => "cache",
+            ErrorClass::SourceNotFree => "source_not_free",
+            ErrorClass::Auto => "auto",
+        }
+    }
+
+    /// Parses a stable name back ([`ErrorClass::as_str`]'s inverse).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "kernel" => ErrorClass::Kernel,
+            "lang" => ErrorClass::Lang,
+            "search" => ErrorClass::Search,
+            "unsupported" => ErrorClass::Unsupported,
+            "non_terminating" => ErrorClass::NonTerminating,
+            "unification" => ErrorClass::Unification,
+            "missing_dependency" => ErrorClass::MissingDependency,
+            "cancelled" => ErrorClass::Cancelled,
+            "cache" => ErrorClass::Cache,
+            "source_not_free" => ErrorClass::SourceNotFree,
+            "auto" => ErrorClass::Auto,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl RepairError {
+    /// This error's [`ErrorClass`].
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            RepairError::Kernel(_) => ErrorClass::Kernel,
+            RepairError::Lang(_) => ErrorClass::Lang,
+            RepairError::SearchFailed { .. } | RepairError::BadMapping(_) => ErrorClass::Search,
+            RepairError::UnsupportedDirection(_) => ErrorClass::Unsupported,
+            RepairError::NonTerminating { .. } => ErrorClass::NonTerminating,
+            RepairError::UnificationFailed { .. } => ErrorClass::Unification,
+            RepairError::MissingDependency(_) => ErrorClass::MissingDependency,
+            RepairError::Cancelled { .. } => ErrorClass::Cancelled,
+            RepairError::PersistCache(_) => ErrorClass::Cache,
+            RepairError::SourceNotFree { .. } => ErrorClass::SourceNotFree,
+            RepairError::AutoExhausted { .. } => ErrorClass::Auto,
+        }
+    }
 }
 
 impl fmt::Display for RepairError {
@@ -107,6 +212,27 @@ impl fmt::Display for RepairError {
                          `{residual}`"
                     )
                 }
+            }
+            RepairError::AutoExhausted {
+                tried,
+                class,
+                reproducer,
+            } => {
+                write!(
+                    f,
+                    "automatic repair search exhausted {tried} candidate(s); \
+                     default configuration failed with class `{class}`"
+                )?;
+                if let Some(r) = reproducer {
+                    write!(
+                        f,
+                        "; minimized reproducer: {} of {} constant(s) [{}]",
+                        r.names.len(),
+                        r.original,
+                        r.names.join(", ")
+                    )?;
+                }
+                Ok(())
             }
         }
     }

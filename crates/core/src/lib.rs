@@ -4,11 +4,13 @@
 //! transformation (paper §4), the search procedures for automatic
 //! configuration (§3.3), and the repair driver.
 
+pub mod auto;
 pub mod config;
 pub mod error;
 pub mod incr;
 pub mod lift;
 pub mod manual;
+pub mod minimize;
 pub mod persist;
 pub mod prov;
 pub mod repair;
@@ -17,10 +19,12 @@ pub mod schedule;
 pub mod search;
 pub mod smartelim;
 
+pub use auto::{AutoDriver, AutoPolicy, AutoReport};
 pub use config::{Lifting, NameMap};
-pub use error::{RepairError, Result};
+pub use error::{ErrorClass, RepairError, Result};
 pub use incr::{DigestMap, IncrStats};
 pub use lift::{lift_term, repair_constant, LiftState, LiftStats};
+pub use minimize::Reproducer;
 pub use persist::PersistCache;
 pub use prov::{ConstProv, ProvRecorder, Rule, TermSite};
 pub use pumpkin_kernel::stats::KernelStats;

@@ -1,0 +1,268 @@
+//! Failure minimization: shrink a failing module repair to a minimal
+//! failing sub-module, in the spirit of Gross & Zimmermann's proof-assistant
+//! test-case reduction (ITP 2022).
+//!
+//! When [`crate::auto`]'s candidate search exhausts every configuration,
+//! the work list is greedily reduced: drop one constant at a time (in a
+//! seed-replayable order via [`pumpkin_testkit::Rng`]) and keep the drop
+//! only if the shrunk list still fails *with the original error class*.
+//! Dependency structure is replayed through the **recorded**
+//! [`crate::schedule::ModuleDag`] — edges are computed once by the failing
+//! run and never re-derived here: entries already inside another entry's
+//! recorded dependency closure are pruned without consulting the oracle at
+//! all (repairing the dependent repairs them on demand).
+
+use std::collections::HashSet;
+
+use pumpkin_kernel::env::Env;
+use pumpkin_kernel::name::GlobalName;
+use pumpkin_testkit::Rng;
+
+use crate::error::ErrorClass;
+use crate::schedule::ModuleDag;
+
+/// A minimal failing sub-module: the evidence attached to
+/// [`crate::error::RepairError::AutoExhausted`] and dumped by
+/// `pumpkin auto --emit-repro`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reproducer {
+    /// The minimized work list, in the original work-list order.
+    pub names: Vec<String>,
+    /// The preserved error class (the default candidate's class on the
+    /// original module — the shrunk module fails the same way).
+    pub class: ErrorClass,
+    /// The reduction seed; rerunning the minimizer with the same seed on
+    /// the same module replays the identical reduction path.
+    pub seed: u64,
+    /// Constant count of the original work list.
+    pub original: usize,
+    /// Oracle invocations the reduction spent.
+    pub steps: u64,
+}
+
+impl Reproducer {
+    /// Renders the reproducer as a standalone vernacular `.pi` module:
+    /// every minimized constant's declaration (pretty-printed from `env`,
+    /// which must hold the loaded module), prefixed by a comment naming
+    /// the preserved error class and the replay seed.
+    pub fn to_pi(&self, env: &Env) -> String {
+        let mut out = format!(
+            "(* minimized reproducer: {} of {} constant(s), error class `{}`, seed {} *)\n",
+            self.names.len(),
+            self.original,
+            self.class,
+            self.seed
+        );
+        for n in &self.names {
+            let Ok(decl) = env.const_decl(&GlobalName::new(n.as_str())) else {
+                out.push_str(&format!("(* {n}: not present in the environment *)\n"));
+                continue;
+            };
+            let ty = pumpkin_lang::pretty(env, &decl.ty);
+            match &decl.body {
+                Some(b) => {
+                    let body = pumpkin_lang::pretty(env, b);
+                    out.push_str(&format!("Definition {n} : {ty} :=\n  {body}.\n"));
+                }
+                None => out.push_str(&format!("Axiom {n} : {ty}.\n")),
+            }
+        }
+        out
+    }
+}
+
+/// The recorded-DAG dependency closure of `seeds` (indices into
+/// `dag.nodes`), following only the edges the failing run recorded.
+fn closure(dag: &ModuleDag, seeds: &[usize]) -> HashSet<usize> {
+    let mut seen: HashSet<usize> = seeds.iter().copied().collect();
+    let mut stack: Vec<usize> = seeds.to_vec();
+    while let Some(i) = stack.pop() {
+        for &d in &dag.deps[i] {
+            if seen.insert(d) {
+                stack.push(d);
+            }
+        }
+    }
+    seen
+}
+
+/// Greedily shrinks `names` to a minimal sub-list that still fails with
+/// `target` according to `oracle` (which returns the failure class of a
+/// candidate work list, or `None` when it repairs cleanly).
+///
+/// `dag` is the dependency DAG **recorded by the failing run** over the
+/// full work list; it is only read, never rebuilt. The reduction is
+/// deterministic in `seed`.
+pub fn minimize(
+    names: &[&str],
+    dag: &ModuleDag,
+    seed: u64,
+    target: ErrorClass,
+    mut oracle: impl FnMut(&[&str]) -> Option<ErrorClass>,
+) -> Reproducer {
+    let mut steps = 0u64;
+    let mut check = |subset: &[&str]| -> bool {
+        steps += 1;
+        oracle(subset) == Some(target)
+    };
+
+    let index_of = |n: &str| dag.nodes.iter().position(|g| g.as_str() == n);
+    let mut current: Vec<&str> = names.to_vec();
+
+    // Phase 1 — closure pruning, no oracle calls: an entry that sits
+    // inside another entry's recorded dependency closure is repaired on
+    // demand anyway, so it is redundant as a work-list entry. Replayed
+    // purely over the recorded edges.
+    let mut pruned: Vec<&str> = Vec::new();
+    for (k, n) in current.iter().enumerate() {
+        let others: Vec<usize> = current
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != k)
+            .filter_map(|(_, m)| index_of(m))
+            .collect();
+        let covered = match index_of(n) {
+            Some(i) => {
+                let cl = closure(dag, &others);
+                cl.contains(&i) && !others.is_empty()
+            }
+            None => false,
+        };
+        if !covered {
+            pruned.push(n);
+        }
+    }
+    if pruned.len() < current.len() && check(&pruned) {
+        current = pruned;
+    }
+
+    // Phase 2 — greedy one-at-a-time drops in a seeded order, repeated
+    // until a full pass removes nothing (the greedy fixpoint).
+    let mut rng = Rng::new(seed);
+    loop {
+        if current.len() <= 1 {
+            break;
+        }
+        let mut order: Vec<usize> = (0..current.len()).collect();
+        // Fisher–Yates with the replayable stream.
+        for i in (1..order.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let mut dropped_any = false;
+        for &k in &order {
+            if current.len() <= 1 {
+                break;
+            }
+            let Some(victim) = current.get(k).copied() else {
+                continue;
+            };
+            let trial: Vec<&str> = current.iter().copied().filter(|n| *n != victim).collect();
+            if check(&trial) {
+                current = trial;
+                dropped_any = true;
+                // Indices in `order` refer to the pre-drop list; restart
+                // the pass over the shrunk list.
+                break;
+            }
+        }
+        if !dropped_any {
+            break;
+        }
+    }
+
+    // Keep the original work-list order in the result.
+    let keep: HashSet<&str> = current.iter().copied().collect();
+    Reproducer {
+        names: names
+            .iter()
+            .filter(|n| keep.contains(**n))
+            .map(|n| (*n).to_string())
+            .collect(),
+        class: target,
+        seed,
+        original: names.len(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dag() -> ModuleDag {
+        // d -> c -> b -> a (deps point at prerequisites).
+        ModuleDag {
+            nodes: ["a", "b", "c", "d"].map(GlobalName::new).to_vec(),
+            deps: vec![vec![], vec![0], vec![1], vec![2]],
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let dag = toy_dag();
+        // Failure iff "b" is in the (closure of the) work list.
+        let oracle = |subset: &[&str]| {
+            subset
+                .contains(&"b")
+                .then_some(ErrorClass::Kernel)
+                .or(subset.contains(&"c").then_some(ErrorClass::Kernel))
+                .or(subset.contains(&"d").then_some(ErrorClass::Kernel))
+        };
+        let r = minimize(&["a", "b", "c", "d"], &dag, 42, ErrorClass::Kernel, oracle);
+        assert_eq!(r.names.len(), 1);
+        assert_eq!(r.original, 4);
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn reduction_is_seed_replayable() {
+        let dag = toy_dag();
+        let oracle = |subset: &[&str]| subset.contains(&"c").then_some(ErrorClass::SourceNotFree);
+        let a = minimize(
+            &["a", "b", "c", "d"],
+            &dag,
+            7,
+            ErrorClass::SourceNotFree,
+            oracle,
+        );
+        let b = minimize(
+            &["a", "b", "c", "d"],
+            &dag,
+            7,
+            ErrorClass::SourceNotFree,
+            oracle,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimizing_a_minimal_module_is_the_identity() {
+        let dag = ModuleDag {
+            nodes: vec![GlobalName::new("only")],
+            deps: vec![vec![]],
+        };
+        let oracle = |subset: &[&str]| subset.contains(&"only").then_some(ErrorClass::Kernel);
+        let r = minimize(&["only"], &dag, 3, ErrorClass::Kernel, oracle);
+        assert_eq!(r.names, vec!["only".to_string()]);
+        assert_eq!(r.steps, 0, "a singleton has nothing to drop");
+    }
+
+    #[test]
+    fn drops_that_change_the_error_class_are_rejected() {
+        let dag = toy_dag();
+        // Without "a" the failure class flips — the minimizer must keep it.
+        let oracle = |subset: &[&str]| {
+            if subset.contains(&"a") && subset.contains(&"b") {
+                Some(ErrorClass::Kernel)
+            } else if subset.contains(&"b") {
+                Some(ErrorClass::Lang)
+            } else {
+                None
+            }
+        };
+        let r = minimize(&["a", "b", "c", "d"], &dag, 11, ErrorClass::Kernel, oracle);
+        assert!(r.names.contains(&"a".to_string()));
+        assert!(r.names.contains(&"b".to_string()));
+    }
+}

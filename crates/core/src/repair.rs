@@ -71,6 +71,10 @@ pub struct RepairReport {
     /// `None` for cold runs, so identical cold requests stay byte-for-byte
     /// reproducible on the wire.
     pub incr: Option<IncrStats>,
+    /// The automatic-search accounting, present only when the run was
+    /// produced by [`crate::AutoDriver`] — `None` for direct repairs, so
+    /// their wire form is unchanged.
+    pub auto: Option<crate::auto::AutoReport>,
 }
 
 impl RepairReport {
@@ -179,6 +183,7 @@ impl RepairReport {
                 replayed: i.replayed,
                 skipped: i.skipped,
             }),
+            auto: self.auto.as_ref().map(crate::auto::AutoReport::to_wire),
         }
     }
 }

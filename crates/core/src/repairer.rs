@@ -88,6 +88,15 @@ impl<'a> Repairer<'a> {
         }
     }
 
+    /// The automatic repair search: enumerate candidate configurations
+    /// ranked by the search procedure, run each through the kernel as
+    /// oracle, and return the first that fully checks (see
+    /// [`crate::auto`]). Unlike [`Repairer::new`] this needs no
+    /// pre-configured [`Lifting`] — finding one is the search's job.
+    pub fn auto(policy: crate::auto::AutoPolicy) -> crate::auto::AutoDriver {
+        crate::auto::AutoDriver::new(policy)
+    }
+
     /// Sets the worker cap for wavefront scheduling (values below 1 are
     /// clamped to 1).
     pub fn jobs(mut self, jobs: usize) -> Self {

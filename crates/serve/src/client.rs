@@ -113,10 +113,13 @@ impl Client {
                 Err(ClientError::Server {
                     code: get("code"),
                     message: get("message"),
-                    data: err
-                        .and_then(|e| e.get("data"))
-                        .and_then(Value::as_str)
-                        .map(str::to_string),
+                    // String details pass through; structured details (a
+                    // `repair_auto` exhaustion embeds its full accounting
+                    // object) are carried as their JSON text.
+                    data: err.and_then(|e| e.get("data")).map(|d| match d.as_str() {
+                        Some(s) => s.to_string(),
+                        None => d.to_string(),
+                    }),
                 })
             }
             None => Err(ClientError::Protocol(format!("reply has no `ok`: {line}"))),

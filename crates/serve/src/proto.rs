@@ -47,8 +47,32 @@ pub mod code {
     pub const DEADLINE: &str = "deadline";
     /// The repair itself failed (configuration, unification, kernel).
     pub const REPAIR_FAILED: &str = "repair_failed";
+    /// Every candidate configuration of a `repair_auto` search failed;
+    /// `data` carries the structured [`AutoWire`] accounting (including
+    /// the minimized reproducer, when one was computed).
+    ///
+    /// [`AutoWire`]: pumpkin_wire::AutoWire
+    pub const AUTO_EXHAUSTED: &str = "auto_exhausted";
     /// The server is draining after a `shutdown`.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+
+    /// Every code the server can put in `error.code`, in declaration
+    /// order. Clients map these to exit statuses; the audit test in the
+    /// CLI diffs its map against this list so a new server code cannot
+    /// ship without a distinct client exit status.
+    pub const ALL: &[&str] = &[
+        PARSE,
+        OVERSIZED,
+        TRUNCATED,
+        UNKNOWN_METHOD,
+        BAD_PARAMS,
+        BAD_DIGEST,
+        BUSY,
+        DEADLINE,
+        REPAIR_FAILED,
+        AUTO_EXHAUSTED,
+        SHUTTING_DOWN,
+    ];
 }
 
 /// A parsed request frame.
@@ -120,6 +144,25 @@ pub fn err_reply_value_detail(id: &Value, code: &str, message: &str, data: &str)
                 ("code".into(), Value::str(code)),
                 ("message".into(), Value::str(message)),
                 ("data".into(), Value::str(data)),
+            ]),
+        ),
+    ])
+}
+
+/// Builds an error reply whose `data` is a structured JSON value — used
+/// where the error carries machine-readable accounting (a `repair_auto`
+/// exhaustion reply embeds the full `AutoWire` object, reproducer
+/// included).
+pub fn err_reply_value_data(id: &Value, code: &str, message: &str, data: Value) -> Value {
+    Value::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Value::Bool(false)),
+        (
+            "error".into(),
+            Value::Obj(vec![
+                ("code".into(), Value::str(code)),
+                ("message".into(), Value::str(message)),
+                ("data".into(), data),
             ]),
         ),
     ])

@@ -659,7 +659,7 @@ fn handle_frame(line: &str, shared: &Shared) -> (String, Control, Option<ReqTimi
     {
         let (mut reply, ctl) = match res {
             Ok((result, ctl)) => (proto::ok_reply_value(&req.id, result), ctl),
-            Err((c, msg)) => (proto::err_reply_value(&req.id, c, &msg), Control::Continue),
+            Err(e) => (e.reply(&req.id), Control::Continue),
         };
         proto::stamp_req_id(&mut reply, req_id);
         return (

@@ -25,7 +25,8 @@ use pumpkin_core::trace::serve_stats::{self, ServeStats, STATS_SCHEMA};
 use pumpkin_core::trace::{Histogram, Metrics};
 use pumpkin_core::wire::{term_from_envelope, term_to_envelope, LiftSpec, TermDigest, WireError};
 use pumpkin_core::{
-    CancelToken, DigestMap, LiftState, Lifting, NameMap, RepairError, RepairReport, Repairer,
+    AutoPolicy, CancelToken, DigestMap, LiftState, Lifting, NameMap, RepairError, RepairReport,
+    Repairer,
 };
 use pumpkin_kernel::env::Env;
 use pumpkin_kernel::name::GlobalName;
@@ -58,6 +59,7 @@ pub const METHODS: &[&str] = &[
     "repair",
     "repair_module",
     "repair_batch",
+    "repair_auto",
     "explain",
     "trace_report",
     "eval",
@@ -99,7 +101,37 @@ pub struct Session {
     next_req_id: u64,
 }
 
-pub(crate) type MethodResult = Result<(Value, Control), (&'static str, String)>;
+/// A structured method error: the machine-readable code, the human
+/// message, and an optional machine-readable `data` payload (a
+/// `repair_auto` exhaustion carries its full accounting object there).
+/// Most sites build the data-free form through the tuple conversion.
+pub(crate) struct MethodError {
+    code: &'static str,
+    message: String,
+    data: Option<Value>,
+}
+
+impl MethodError {
+    /// Renders the error reply envelope for `id`.
+    pub(crate) fn reply(&self, id: &Value) -> Value {
+        match &self.data {
+            Some(d) => proto::err_reply_value_data(id, self.code, &self.message, d.clone()),
+            None => proto::err_reply_value(id, self.code, &self.message),
+        }
+    }
+}
+
+impl From<(&'static str, String)> for MethodError {
+    fn from((code, message): (&'static str, String)) -> MethodError {
+        MethodError {
+            code,
+            message,
+            data: None,
+        }
+    }
+}
+
+pub(crate) type MethodResult = Result<(Value, Control), MethodError>;
 
 /// Handles the environment-free control methods — `ping`, `metrics`,
 /// `shutdown` — or returns `None` for anything else. Shared between
@@ -326,7 +358,7 @@ impl Session {
     ) -> (String, Control) {
         let (mut reply, ctl) = match self.dispatch(req, cancel) {
             Ok((result, ctl)) => (proto::ok_reply_value(&req.id, result), ctl),
-            Err((c, msg)) => (proto::err_reply_value(&req.id, c, &msg), Control::Continue),
+            Err(e) => (e.reply(&req.id), Control::Continue),
         };
         proto::stamp_req_id(&mut reply, req_id);
         (reply.to_string(), ctl)
@@ -337,11 +369,12 @@ impl Session {
             "repair" => self.repair(&req.params, true, cancel),
             "repair_module" => self.repair(&req.params, false, cancel),
             "repair_batch" => self.repair_batch(&req.params, cancel),
+            "repair_auto" => self.repair_auto(&req.params, cancel),
             "explain" => self.explain(&req.params, cancel),
             "trace_report" => self.trace_report(&req.params, cancel),
             "eval" => self.eval(&req.params),
             other => control_result(other, &req.params, &self.metrics, &self.stats).unwrap_or_else(
-                || Err((code::UNKNOWN_METHOD, format!("unknown method `{other}`"))),
+                || Err((code::UNKNOWN_METHOD, format!("unknown method `{other}`")).into()),
             ),
         }
     }
@@ -393,7 +426,7 @@ impl Session {
             )
         })?;
         if items.is_empty() {
-            return Err((code::BAD_PARAMS, "`batch` must not be empty".into()));
+            return Err((code::BAD_PARAMS, "`batch` must not be empty".to_string()).into());
         }
         let lifting = params.get("lifting").cloned();
         let deadline_token = match external {
@@ -426,13 +459,147 @@ impl Session {
             let single = item.get("name").is_some();
             results.push(match self.repair(&item_params, single, token) {
                 Ok((v, _)) => proto::ok_reply_value(&Value::Null, v),
-                Err((c, m)) => proto::err_reply_value(&Value::Null, c, &m),
+                Err(e) => e.reply(&Value::Null),
             });
         }
         Ok((
             Value::Obj(vec![("results".into(), Value::Arr(results))]),
             Control::Continue,
         ))
+    }
+
+    /// `repair_auto`: the automatic candidate search (DESIGN.md §18).
+    /// Params: a swap-kind `lifting` spec naming the endpoints and the
+    /// renaming policy, plus `names` (work list) and/or `source`
+    /// (vernacular loaded into each candidate's trial environment), and
+    /// the policy knobs `budget`, `failure_cache`, `minimize`, `seed`,
+    /// `deterministic`. Success replies carry the ordinary report with the
+    /// `auto` accounting block; exhaustion replies are
+    /// [`code::AUTO_EXHAUSTED`] errors whose `data` embeds the full
+    /// accounting (reproducer included); a deadline that fires mid-search
+    /// is a [`code::DEADLINE`] error whose `data` holds the partial
+    /// accounting gathered so far.
+    fn repair_auto(&mut self, params: &Value, external: Option<&CancelToken>) -> MethodResult {
+        let spec_value = params.get("lifting").ok_or_else(|| {
+            (
+                code::BAD_PARAMS,
+                "request needs a `lifting` spec".to_string(),
+            )
+        })?;
+        let spec =
+            LiftSpec::from_value(spec_value).map_err(|e| (code::BAD_PARAMS, e.to_string()))?;
+        if spec.kind != "swap" {
+            return Err((
+                code::BAD_PARAMS,
+                format!(
+                    "repair_auto searches swap configurations, not `{}`",
+                    spec.kind
+                ),
+            )
+                .into());
+        }
+        let names: Vec<String> = match params.get("names") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .and_then(|arr| {
+                    arr.iter()
+                        .map(|v| v.as_str().map(str::to_string))
+                        .collect::<Option<_>>()
+                })
+                .ok_or_else(|| {
+                    (
+                        code::BAD_PARAMS,
+                        "`names` must be a string array".to_string(),
+                    )
+                })?,
+        };
+        let source = params.get("source").and_then(Value::as_str);
+        if names.is_empty() && source.is_none() {
+            return Err((
+                code::BAD_PARAMS,
+                "repair_auto needs `names` and/or `source`".to_string(),
+            )
+                .into());
+        }
+        let deterministic = flag(params, "deterministic");
+        let policy = AutoPolicy {
+            budget: params
+                .get("budget")
+                .and_then(Value::as_u64)
+                .map(|b| b as usize),
+            use_failure_cache: params
+                .get("failure_cache")
+                .and_then(Value::as_bool)
+                .unwrap_or(true),
+            minimize: params
+                .get("minimize")
+                .and_then(Value::as_bool)
+                .unwrap_or(true),
+            seed: params.get("seed").and_then(Value::as_u64).unwrap_or(0),
+            deterministic,
+        };
+        let mut rename = NameMap::default();
+        for (f, t) in &spec.rename {
+            rename = rename.with_rule(f.as_str(), t.as_str());
+        }
+        let jobs = params
+            .get("jobs")
+            .and_then(Value::as_u64)
+            .map_or(self.jobs, |j| (j as usize).max(1));
+        let mut driver = Repairer::auto(policy)
+            .types(spec.a.as_str(), spec.b.as_str(), rename)
+            .jobs(jobs)
+            .trace(true);
+        if let Some(src) = source {
+            driver = driver.source(src);
+        }
+        if let Some(tok) = external {
+            driver = driver.cancel(tok.clone());
+        } else if let Some(ms) = params.get("deadline_ms").and_then(Value::as_u64) {
+            driver = driver.deadline(Duration::from_millis(ms));
+        }
+        if let Some(dir) = &self.cache_dir {
+            driver = driver
+                .persist_cache(dir)
+                .cache_max_bytes(self.cache_max_bytes);
+        }
+        let mut env = self.base.clone();
+        let borrowed: Vec<&str> = names.iter().map(String::as_str).collect();
+        let (auto, result) = driver.run(&mut env, &borrowed);
+        let g = &self.stats.gauges;
+        serve_stats::add(&g.auto_candidates_tried, auto.tried as u64);
+        serve_stats::add(&g.auto_failure_cache_hits, auto.skipped_cache as u64);
+        match result {
+            Ok(report) => {
+                self.metrics
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .merge(&report.metrics);
+                let mut wire = report.to_wire();
+                if deterministic {
+                    wire.wall_ns = 0;
+                }
+                Ok((
+                    Value::Obj(vec![("report".into(), wire.to_value())]),
+                    Control::Continue,
+                ))
+            }
+            Err(e) => {
+                let code = if !auto.complete {
+                    code::DEADLINE
+                } else if matches!(e, RepairError::AutoExhausted { .. }) {
+                    code::AUTO_EXHAUSTED
+                } else {
+                    return Err((code::REPAIR_FAILED, e.to_string()).into());
+                };
+                Err(MethodError {
+                    code,
+                    message: e.to_string(),
+                    data: Some(auto.to_wire().to_value()),
+                })
+            }
+        }
     }
 
     /// `explain`: repair with provenance, then render the paper-style

@@ -48,6 +48,11 @@ use std::time::Instant;
 pub use metrics::{Histogram, Metrics};
 pub use sink::{EventSink, JsonLinesSink, SummarySink};
 
+/// Version stamp carried by the `auto_candidate`/`auto_verdict` event
+/// family (like [`prov::PROV_SCHEMA_VERSION`] for the `prov` family);
+/// readers treat other versions as [`EventKind::Unknown`].
+pub const AUTO_SCHEMA_VERSION: u32 = 1;
+
 /// Which memo table a cache probe hit ([`EventKind::CacheHit`] /
 /// [`EventKind::CacheMiss`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -196,8 +201,26 @@ pub enum EventKind {
         /// Pretty-printed (truncated) produced subterm.
         dst: Box<str>,
     },
-    /// A schema-valid line whose `kind` (or `prov` schema version) this
-    /// reader does not know. The raw line is preserved verbatim so
+    /// Instant (`auto` family, versioned): the automatic repair search is
+    /// about to run one candidate configuration through the kernel oracle.
+    AutoCandidate {
+        /// Candidate index in enumeration (ranked) order, starting at 0.
+        index: u32,
+        /// Human-readable candidate description (mapping + toggles).
+        config: Box<str>,
+    },
+    /// Instant (`auto` family, versioned): the oracle's verdict on one
+    /// candidate — `accepted`, `rejected`, or `skipped_cache`.
+    AutoVerdict {
+        /// Candidate index, matching the preceding [`EventKind::AutoCandidate`].
+        index: u32,
+        /// `accepted`, `rejected`, or `skipped_cache`.
+        verdict: Box<str>,
+        /// The failure's error class; empty for accepted candidates.
+        class: Box<str>,
+    },
+    /// A schema-valid line whose `kind` (or `prov`/`auto` schema version)
+    /// this reader does not know. The raw line is preserved verbatim so
     /// re-serialising a trace written by a newer producer is lossless.
     Unknown {
         /// The wire `kind` string we did not recognise.
@@ -225,6 +248,8 @@ impl EventKind {
             EventKind::ServeSlow { .. } => "serve_slow",
             EventKind::ProvConst { .. } => "prov_const",
             EventKind::ProvSite { .. } => "prov_site",
+            EventKind::AutoCandidate { .. } => "auto_candidate",
+            EventKind::AutoVerdict { .. } => "auto_verdict",
             // The preserved wire kind lives in the variant's `kind` field;
             // this is the reader-side taxonomy name.
             EventKind::Unknown { .. } => "unknown",
@@ -356,6 +381,28 @@ impl Event {
                 s.push_str(",\"dst\":");
                 json::escape_into(dst, &mut s);
             }
+            EventKind::AutoCandidate { index, config } => {
+                s.push_str(",\"v\":");
+                s.push_str(&AUTO_SCHEMA_VERSION.to_string());
+                s.push_str(",\"index\":");
+                s.push_str(&index.to_string());
+                s.push_str(",\"config\":");
+                json::escape_into(config, &mut s);
+            }
+            EventKind::AutoVerdict {
+                index,
+                verdict,
+                class,
+            } => {
+                s.push_str(",\"v\":");
+                s.push_str(&AUTO_SCHEMA_VERSION.to_string());
+                s.push_str(",\"index\":");
+                s.push_str(&index.to_string());
+                s.push_str(",\"verdict\":");
+                json::escape_into(verdict, &mut s);
+                s.push_str(",\"class\":");
+                json::escape_into(class, &mut s);
+            }
             EventKind::Whnf | EventKind::Conv => {}
             EventKind::Unknown { .. } => unreachable!("handled above"),
         }
@@ -437,6 +484,22 @@ impl Event {
                 rule: prov::Rule::from_str_opt(st("rule")?)?,
                 src: st("src")?.into(),
                 dst: st("dst")?.into(),
+            },
+            k @ ("auto_candidate" | "auto_verdict")
+                if num("v") != Some(u64::from(AUTO_SCHEMA_VERSION)) =>
+            {
+                // A future (or missing) auto schema version: preserve, don't
+                // guess at field meanings.
+                unknown(k)
+            }
+            "auto_candidate" => EventKind::AutoCandidate {
+                index: num("index")? as u32,
+                config: st("config")?.into(),
+            },
+            "auto_verdict" => EventKind::AutoVerdict {
+                index: num("index")? as u32,
+                verdict: st("verdict")?.into(),
+                class: st("class")?.into(),
             },
             k => unknown(k),
         };
@@ -770,6 +833,15 @@ mod tests {
                 src: "Old.cons nat".into(),
                 dst: "New.cons nat".into(),
             },
+            EventKind::AutoCandidate {
+                index: 3,
+                config: "mapping#1 eta=off smart_elim=on cache=on".into(),
+            },
+            EventKind::AutoVerdict {
+                index: 3,
+                verdict: "rejected".into(),
+                class: "kernel".into(),
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let e = Event {
@@ -809,6 +881,18 @@ mod tests {
             other => panic!("expected Unknown, got {other:?}"),
         }
         assert_eq!(e.to_json(), line, "raw line preserved byte for byte");
+    }
+
+    #[test]
+    fn future_auto_schema_versions_parse_as_unknown() {
+        let future = format!(
+            "{{\"t_ns\":0,\"dur_ns\":0,\"worker\":0,\"kind\":\"auto_verdict\",\"v\":{},\
+             \"index\":0,\"verdict\":\"accepted\",\"class\":\"\"}}",
+            AUTO_SCHEMA_VERSION + 1
+        );
+        let e = Event::from_json(&future).expect("future auto events parse");
+        assert!(matches!(e.kind, EventKind::Unknown { .. }));
+        assert_eq!(e.to_json(), future);
     }
 
     #[test]

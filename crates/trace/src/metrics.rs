@@ -273,6 +273,11 @@ impl Metrics {
                     m.observe("serve.slow.queue_wait.ns", *queue_wait_ns);
                     m.observe("serve.slow.service.ns", *service_ns);
                 }
+                EventKind::AutoCandidate { .. } => m.incr("auto.candidates", 1),
+                EventKind::AutoVerdict { verdict, .. } => {
+                    m.incr(&format!("auto.verdict.{verdict}"), 1);
+                    m.observe("auto.candidate.ns", e.dur_ns);
+                }
                 EventKind::ProvConst { .. } => m.incr("prov.constants", 1),
                 EventKind::ProvSite { rule, .. } => {
                     m.incr("prov.sites", 1);

@@ -59,6 +59,10 @@ impl MethodStats {
 /// names in the `stats` reply's `"gauges"` object.
 #[derive(Debug, Default)]
 pub struct Gauges {
+    /// Auto-search candidate configurations run through the kernel oracle.
+    pub auto_candidates_tried: AtomicU64,
+    /// Auto-search candidates skipped by the process-wide failure cache.
+    pub auto_failure_cache_hits: AtomicU64,
     /// High-water mark of the work queue depth (post-enqueue).
     pub queue_depth_hwm: AtomicU64,
     /// `busy` replies because the work queue was full.
@@ -92,6 +96,8 @@ impl Gauges {
     pub fn read(&self) -> Vec<(&'static str, u64)> {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
         vec![
+            ("auto_candidates_tried", g(&self.auto_candidates_tried)),
+            ("auto_failure_cache_hits", g(&self.auto_failure_cache_hits)),
             ("busy_queue_full", g(&self.busy_queue_full)),
             ("busy_session_cap", g(&self.busy_session_cap)),
             ("config_cache_hits", g(&self.config_cache_hits)),

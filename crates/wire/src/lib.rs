@@ -32,7 +32,7 @@ pub mod spec;
 pub mod term;
 
 pub use json::Value;
-pub use report::{IncrWire, ReportWire};
+pub use report::{AutoWire, IncrWire, ReportWire, ReproWire, AUTO_WIRE_VERSION};
 pub use spec::LiftSpec;
 pub use term::{
     decl_digest, decl_from_value, decl_to_value, decode_decl, decode_term, encode_decl,

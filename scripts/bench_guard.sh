@@ -140,6 +140,22 @@ if [ -n "$rpc13" ] && [ -n "$batch13" ]; then
     fi
 fi
 
+# The automatic search's process-wide failure cache, asserted in-run:
+# re-searching a module whose candidate failures were already recorded
+# (auto_search/warm) must cost at most 0.5x of the cold enumeration run
+# in the same invocation. In practice the warm row skips every kernel
+# probe and lands orders of magnitude under the cold one; the 0.5x gate
+# catches the cache being bypassed, not its exact payoff.
+auto_cold=$(median "$new" 'auto_search/cold')
+auto_warm=$(median "$new" 'auto_search/warm')
+if [ -n "$auto_cold" ] && [ -n "$auto_warm" ]; then
+    echo "bench_guard: auto_search warm ${auto_warm} ns vs cold ${auto_cold} ns (need warm*2 <= cold)"
+    if [ $((auto_warm * 2)) -gt "$auto_cold" ]; then
+        echo "bench_guard: REGRESSION: failure-cache-warmed auto search is not 2x faster than cold" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
 # The hash-consing + NbE payoff, asserted in-run against a fixed ceiling:
 # scaling_term_size/list_len_64 measured 14,941,814 ns median under the
 # pre-interning kernel (Arc-per-node terms, whnf-rewriting conversion;
@@ -172,6 +188,20 @@ if [ -n "$sl_p50" ]; then
     elif [ "$sl_p50" -eq 0 ] || [ "$sl_tput" -eq 0 ] ||
         [ "$sl_p50" -gt "$sl_p95" ] || [ "$sl_p95" -gt "$sl_p99" ]; then
         echo "bench_guard: REGRESSION: serve_load percentiles are zero or unordered" >&2
+        failures=$((failures + 1))
+    fi
+fi
+
+# Broken-module mix sanity (loadgen --fail-rate): when the report carries
+# serve_load/auto_* rows, the repair_auto latencies behind them must be
+# nonzero and ordered — a zero p50 means the exhaustion replies were
+# dropped as errors instead of measured as completions.
+al_p50=$(median "$new" 'serve_load/auto_p50')
+if [ -n "$al_p50" ]; then
+    al_p99=$(median "$new" 'serve_load/auto_p99')
+    echo "bench_guard: serve_load auto_p50 ${al_p50} ns, auto_p99 ${al_p99:-MISSING} ns"
+    if [ -z "$al_p99" ] || [ "$al_p50" -eq 0 ] || [ "$al_p50" -gt "$al_p99" ]; then
+        echo "bench_guard: REGRESSION: serve_load auto rows are missing, zero, or unordered" >&2
         failures=$((failures + 1))
     fi
 fi

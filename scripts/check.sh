@@ -139,6 +139,35 @@ skipped=$(sed -n 's/.*skipped=\([0-9]*\)$/\1/p' "$watch_log" | tail -1)
 }
 rm -rf "$watch_dir"
 
+# Automatic-search smoke: a known-good module must be accepted by the
+# first checked candidate (exit 0, a winner named in the summary); a
+# module no candidate can repair (a name collision) must exhaust the
+# enumeration, exit with the dedicated auto_exhausted status (23), and
+# leave a minimized reproducer on disk via --emit-repro.
+echo "==> auto smoke (known-good accepts, known-bad minimizes)"
+auto_dir=$(mktemp -d)
+echo 'Definition Old.mine : nat := O.' >"$auto_dir/good.pi"
+good_out=$(timeout 120 ./target/release/pumpkin auto --names Old.rev,Old.app "$auto_dir/good.pi")
+case "$good_out" in
+    *'auto: accepted'*) ;;
+    *) echo "auto smoke: known-good module was not accepted: $good_out" >&2; exit 1 ;;
+esac
+{
+    echo 'Definition New.check_clash : nat := O.'
+    echo 'Definition Old.check_clash : forall (T : Type 1), Old.list T -> Old.list T := fun (T : Type 1) (l : Old.list T) => l.'
+} >"$auto_dir/bad.pi"
+set +e
+timeout 120 ./target/release/pumpkin auto --names Old.rev,Old.app,Old.length \
+    --emit-repro "$auto_dir/repro.pi" "$auto_dir/bad.pi" >"$auto_dir/bad.log" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 23 ] || { echo "auto smoke: known-bad exit code: got $rc, want 23" >&2; cat "$auto_dir/bad.log"; exit 1; }
+grep -q 'auto: wrote reproducer (1 of 4 constants)' "$auto_dir/bad.log" || {
+    echo "auto smoke: no minimized reproducer reported" >&2; cat "$auto_dir/bad.log"; exit 1; }
+grep -q 'Definition Old.check_clash' "$auto_dir/repro.pi" || {
+    echo "auto smoke: reproducer does not pin the colliding constant" >&2; cat "$auto_dir/repro.pi"; exit 1; }
+rm -rf "$auto_dir"
+
 # Smoke-run the parallel-repair + observability bench rows so scheduler or
 # probe regressions surface here, not only in full EXPERIMENTS.md runs,
 # plus the service rows: the cross-run lift cache cold vs warm (the guard
@@ -154,31 +183,46 @@ rm -rf "$watch_dir"
 # repair after one touch must cost at most 0.3x of the full warm repair.
 # PR 9 threads lifecycle timestamps and per-method histograms through the
 # daemon always-on; the shared-row comparison against the PR 8 baseline
-# is what bounds that overhead.
-echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve + scaling rows → BENCH_pr9.json"
+# is what bounds that overhead. PR 10 adds the auto_search rows: the
+# in-run guard asserts the failure-cache-warmed enumeration costs at most
+# 0.5x of the cold one.
+echo "==> bench: repair_parallel + trace_overhead + persist_cache + serve + scaling + auto rows → BENCH_pr10.json"
 # Absolute path: cargo runs the bench binary with cwd = the package dir.
 # Sample size 9: the batch-vs-rpc in-run gate needs a stable median on a
 # noisy single-CPU container.
 cargo bench -p pumpkin-bench --locked --bench ablation -- \
     --sample-size 9 \
-    --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip,repair_batch,scaling_term_size \
-    --json "$(pwd)/BENCH_pr9.json"
+    --filter repair_parallel/jobs=1,trace_overhead,persist_cache,serve_roundtrip,repair_batch,scaling_term_size,auto_search \
+    --json "$(pwd)/BENCH_pr10.json"
 
 # Loadgen smoke: a seed-replayable closed-loop run against a self-hosted
 # worker-pool daemon; its serve_load/{p50,p95,p99,throughput} rows join
 # the same report (the header line of the loadgen output is dropped —
-# BENCH_pr9.json already has one). --server-stats adds the daemon's own
+# BENCH_pr10.json already has one). --server-stats adds the daemon's own
 # view of the same load (serve_load/server_*), which the guard compares
-# against the client-side tail.
+# against the client-side tail. No --fail-rate here: these rows must stay
+# workload-comparable with the committed baseline report.
 echo "==> loadgen smoke (closed loop, 16 clients) → serve_load rows"
 loadgen_json=$(mktemp)
 timeout 300 ./target/release/pumpkin loadgen \
     --mode closed --clients 16 --requests 4 --workers 2 --seed 7 \
     --server-stats --json "$loadgen_json"
-tail -n +2 "$loadgen_json" >> BENCH_pr9.json
+tail -n +2 "$loadgen_json" >> BENCH_pr10.json
+
+# A second run mixes in 25% broken modules (repair_auto requests whose
+# expected auto_exhausted replies are completions). Only its
+# serve_load/auto_* rows join the report: its classic rows would
+# duplicate the clean run's ids, and its server-side histograms fold the
+# expensive auto requests in with everything else, so neither is
+# comparable to the baseline.
+echo "==> loadgen smoke (closed loop, 16 clients, 25% broken-module mix) → serve_load/auto rows"
+timeout 300 ./target/release/pumpkin loadgen \
+    --mode closed --clients 16 --requests 4 --workers 2 --seed 7 \
+    --fail-rate 0.25 --json "$loadgen_json"
+grep '"id":"serve_load/auto_' "$loadgen_json" >> BENCH_pr10.json
 rm -f "$loadgen_json"
 
 echo "==> bench guard (auto baseline)"
-scripts/bench_guard.sh BENCH_pr9.json
+scripts/bench_guard.sh BENCH_pr10.json
 
 echo "==> all checks passed"

@@ -35,10 +35,13 @@ const USAGE: &str = "usage: pumpkin [--jobs N] [--trace out.jsonl] [--metrics] <
                      \x20      pumpkin watch [--poll-ms MS] [--max-runs N] [--jobs N] [--cache-dir DIR]\n\
                      \x20                    [--cache-max-bytes N] [--swap A B] [--rename From.=To.]\n\
                      \x20                    [--names n1,n2,...] <module.pi>\n\
+                     \x20      pumpkin auto [--budget N] [--emit-repro PATH] [--jobs N] [--seed S]\n\
+                     \x20                   [--no-failure-cache] [--swap A B] [--rename From.=To.]\n\
+                     \x20                   [--names n1,n2,...] <module.pi>\n\
                      \x20      pumpkin loadgen [--connect ADDR] [--mode closed|open] [--clients N] [--requests N]\n\
                      \x20                      [--rate R] [--duration-ms D] [--seed S] [--workers N]\n\
                      \x20                      [--queue-depth N] [--jobs N] [--trials N] [--touch-rate R]\n\
-                     \x20                      [--json PATH] [--server-stats]";
+                     \x20                      [--fail-rate R] [--json PATH] [--server-stats]";
 
 fn serve(argv: &[String]) -> ExitCode {
     let mut cfg = ServerConfig {
@@ -356,14 +359,22 @@ fn render_stats_prometheus(result: &Value) -> String {
 /// branch on *why* a call failed (`busy` → back off and retry, `deadline`
 /// → raise the budget, version skew → upgrade) instead of parsing stderr.
 fn client_exit_code(err: &pumpkin_serve::ClientError) -> ExitCode {
-    use pumpkin_serve::proto::code;
     use pumpkin_serve::ClientError;
     let code = match err {
         ClientError::Server { code, .. } => code.as_str(),
         ClientError::Protocol(_) => return ExitCode::from(20),
         ClientError::Io(_) => return ExitCode::from(21),
     };
-    ExitCode::from(match code {
+    ExitCode::from(exit_status_for(code))
+}
+
+/// The server-code → exit-status map itself. Every code the server can
+/// emit ([`pumpkin_serve::proto::code::ALL`]) has its own status here —
+/// the audit test below fails the build of any server code left to the
+/// catch-all — and 19 is reserved for codes newer than this client.
+fn exit_status_for(code: &str) -> u8 {
+    use pumpkin_serve::proto::code;
+    match code {
         code::BUSY => 10,
         code::DEADLINE => 11,
         code::BAD_DIGEST => 12,
@@ -371,10 +382,12 @@ fn client_exit_code(err: &pumpkin_serve::ClientError) -> ExitCode {
         code::UNKNOWN_METHOD => 14,
         code::REPAIR_FAILED => 15,
         code::SHUTTING_DOWN => 16,
-        code::OVERSIZED | code::TRUNCATED => 17,
+        code::OVERSIZED => 17,
+        code::TRUNCATED => 24,
         code::PARSE => 18,
+        code::AUTO_EXHAUSTED => EXIT_AUTO_EXHAUSTED,
         _ => 19,
-    })
+    }
 }
 
 /// One-line human rendering for a failed call, with a hint where the
@@ -398,6 +411,11 @@ fn client_error_line(err: &pumpkin_serve::ClientError) -> String {
 /// Exit status for a `hello` version mismatch (distinct from every
 /// server-error status so scripts can tell skew from failure).
 const EXIT_VERSION_SKEW: u8 = 22;
+
+/// Exit status when an automatic search exhausts every candidate (the
+/// `pumpkin auto` verb locally, or a `repair_auto` RPC via the client) —
+/// scripts branch on it to pick up the minimized reproducer.
+const EXIT_AUTO_EXHAUSTED: u8 = 23;
 
 /// Negotiates with the server: calls `hello`, fails fast when the proto
 /// or wire version disagrees with ours, and refuses servers that predate
@@ -885,6 +903,152 @@ fn watch(argv: &[String]) -> ExitCode {
     }
 }
 
+/// `pumpkin auto`: the automatic repair search as a verb (DESIGN.md §18).
+/// Loads a vernacular module and searches candidate configurations —
+/// constructor-mapping permutations, eta/iota toggles, smart eliminators,
+/// cache reuse — running each through the kernel until one repair checks.
+/// When every candidate fails, the module is shrunk to a minimal failing
+/// reproducer (`--emit-repro FILE.pi` writes it as standalone vernacular)
+/// and the exit status is [`EXIT_AUTO_EXHAUSTED`].
+fn auto(argv: &[String]) -> ExitCode {
+    use pumpkin_core::{AutoPolicy, NameMap, RepairError, Repairer};
+
+    let mut policy = AutoPolicy::default();
+    let mut emit_repro: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut swap = ("Old.list".to_string(), "New.list".to_string());
+    let mut rename: Option<(String, String)> = None;
+    let mut names_arg: Option<Vec<String>> = None;
+    let mut path: Option<String> = None;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let number = |args: &mut std::slice::Iter<'_, String>| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| eprintln!("{arg} needs a number\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--budget" => match number(&mut args) {
+                Ok(n) => policy.budget = Some((n as usize).max(1)),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--seed" => match number(&mut args) {
+                Ok(n) => policy.seed = n,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--jobs" => match number(&mut args) {
+                Ok(n) => jobs = (n as usize).max(1),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--no-failure-cache" => policy.use_failure_cache = false,
+            "--emit-repro" => match args.next() {
+                Some(v) => emit_repro = Some(v.clone()),
+                None => {
+                    eprintln!("--emit-repro needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--swap" => match (args.next(), args.next()) {
+                (Some(a), Some(b)) => swap = (a.clone(), b.clone()),
+                _ => {
+                    eprintln!("--swap needs two type names\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rename" => match args.next().and_then(|v| v.split_once('=')) {
+                Some((f, t)) => rename = Some((f.to_string(), t.to_string())),
+                None => {
+                    eprintln!("--rename needs From.=To.\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--names" => match args.next() {
+                Some(list) => names_arg = Some(list.split(',').map(str::to_string).collect()),
+                None => {
+                    eprintln!("--names needs a comma-separated list\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("auto needs a .pi module to repair\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let module_of = |n: &str| {
+        n.rsplit_once('.')
+            .map_or(String::new(), |(m, _)| format!("{m}."))
+    };
+    let (from, to) = rename.unwrap_or_else(|| (module_of(&swap.0), module_of(&swap.1)));
+    // Work list: the swap module (or --names); constants the file defines
+    // under the source prefix join automatically inside the driver.
+    let names: Vec<String> = names_arg.unwrap_or_else(|| {
+        pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    });
+    let mut env = pumpkin_stdlib::std_env();
+    let borrowed: Vec<&str> = names.iter().map(String::as_str).collect();
+    let (search, result) = Repairer::auto(policy)
+        .types(
+            swap.0.as_str(),
+            swap.1.as_str(),
+            NameMap::prefix(&from, &to),
+        )
+        .source(src.as_str())
+        .jobs(jobs)
+        .run(&mut env, &borrowed);
+    println!("{}", search.summary());
+    match result {
+        Ok(report) => {
+            for (f, t) in &report.repaired {
+                println!("repaired {f} -> {t}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("auto: {e}");
+            if let Some(r) = &search.reproducer {
+                if let Some(out) = emit_repro {
+                    // Render against a world holding the module's decls;
+                    // the source must load under *some* configuration for
+                    // the names to resolve — fall back to comments if not.
+                    let mut scratch = pumpkin_stdlib::std_env();
+                    let _ = pumpkin_core::smartelim::packed_list(&mut scratch);
+                    let _ = pumpkin_lang::load_source(&mut scratch, &src);
+                    if let Err(io) = std::fs::write(&out, r.to_pi(&scratch)) {
+                        eprintln!("cannot write {out}: {io}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "auto: wrote reproducer ({} of {} constants) to {out}",
+                        r.names.len(),
+                        r.original
+                    );
+                }
+            }
+            if matches!(e, RepairError::AutoExhausted { .. }) {
+                ExitCode::from(EXIT_AUTO_EXHAUSTED)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 fn loadgen(argv: &[String]) -> ExitCode {
     use pumpkin_pi::loadgen::{LoadgenConfig, Mode};
     let mut cfg = LoadgenConfig::default();
@@ -940,6 +1104,16 @@ fn loadgen(argv: &[String]) -> ExitCode {
                 }
                 _ => {
                     eprintln!("--touch-rate needs a number in [0, 1]\n{USAGE}");
+                    Err(())
+                }
+            },
+            "--fail-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => {
+                    cfg.fail_rate = r;
+                    Ok(())
+                }
+                _ => {
+                    eprintln!("--fail-rate needs a number in [0, 1]\n{USAGE}");
                     Err(())
                 }
             },
@@ -1064,6 +1238,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("watch") {
         return watch(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("auto") {
+        return auto(&argv[1..]);
+    }
     if argv.first().map(String::as_str) == Some("loadgen") {
         return loadgen(&argv[1..]);
     }
@@ -1117,5 +1294,51 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Audits the client's error-code → exit-status map against the full
+    /// server code set: every code the server can emit must map to its
+    /// own status, never the catch-all — so scripts can branch on *which*
+    /// failure happened, and a new server code cannot ship without a
+    /// distinct client status.
+    #[test]
+    fn every_server_error_code_has_a_distinct_exit_status() {
+        use std::collections::HashMap;
+        let mut seen: HashMap<u8, &str> = HashMap::new();
+        for code in pumpkin_serve::proto::code::ALL {
+            let status = exit_status_for(code);
+            assert_ne!(
+                status, 19,
+                "server code `{code}` fell through to the unknown-code catch-all; \
+                 give it its own exit status"
+            );
+            if let Some(prev) = seen.insert(status, code) {
+                panic!("codes `{prev}` and `{code}` share exit status {status}");
+            }
+        }
+        // The statuses reserved for client-side failures stay distinct
+        // from every server-code status.
+        for reserved in [19, 20, 21, EXIT_VERSION_SKEW] {
+            assert!(
+                !seen.contains_key(&reserved),
+                "exit status {reserved} is reserved for client-side failures"
+            );
+        }
+        assert_eq!(exit_status_for("some_future_code"), 19);
+    }
+
+    #[test]
+    fn auto_exhausted_replies_map_to_the_auto_exit_status() {
+        let err = pumpkin_serve::ClientError::Server {
+            code: pumpkin_serve::proto::code::AUTO_EXHAUSTED.to_string(),
+            message: "every candidate failed".into(),
+            data: None,
+        };
+        assert_eq!(client_exit_code(&err), ExitCode::from(EXIT_AUTO_EXHAUSTED));
     }
 }

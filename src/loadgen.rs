@@ -79,6 +79,16 @@ pub struct LoadgenConfig {
     /// forcing a fresh diff. Zero (the default) keeps the classic
     /// all-cold stream byte-identical to previous releases.
     pub touch_rate: f64,
+    /// Broken-module mix: a `fail_rate` fraction of requests are
+    /// `repair_auto` calls over a seed-derived *broken* module (a name
+    /// collision no candidate configuration can repair), so the stream
+    /// exercises the automatic search's exhaustion path and its
+    /// process-wide failure cache under load. The expected
+    /// `auto_exhausted` replies count as completions (that *is* the
+    /// service's answer), and their latencies land in separate
+    /// `serve_load/auto_*` rows. Zero (the default) keeps the classic
+    /// stream.
+    pub fail_rate: f64,
     /// Snapshot the daemon's `stats` RPC after the trials and emit the
     /// server-side latency/queue-wait percentiles as extra
     /// `serve_load/server_*` rows — the server's own view of the same
@@ -101,6 +111,7 @@ impl Default for LoadgenConfig {
             jobs: 1,
             trials: 3,
             touch_rate: 0.0,
+            fail_rate: 0.0,
             server_stats: false,
         }
     }
@@ -119,6 +130,9 @@ pub struct LoadgenReport {
     pub busy: usize,
     /// Requests abandoned on non-`busy` errors.
     pub errors: usize,
+    /// Expected `auto_exhausted` replies from the broken-module mix
+    /// (completions, counted separately for the summary).
+    pub exhausted: usize,
     /// Wall time summed over trials.
     pub elapsed: Duration,
     /// All latencies merged across trials (drives [`LoadgenReport::summary`]).
@@ -133,6 +147,7 @@ pub struct LoadgenReport {
 #[derive(Debug)]
 struct Trial {
     hist: LatencyHistogram,
+    auto_hist: LatencyHistogram,
     elapsed: Duration,
 }
 
@@ -168,6 +183,22 @@ impl LoadgenReport {
             Sample::from_times("serve_load/p99", p99s),
             Sample::from_times("serve_load/throughput", thrs),
         ];
+        // Broken-module mix rows, present only when a fail-rate run put
+        // `repair_auto` latencies in every trial's auto population.
+        if self.trials.iter().all(|t| !t.auto_hist.is_empty()) && !self.trials.is_empty() {
+            let a50s = self
+                .trials
+                .iter()
+                .map(|t| t.auto_hist.percentile(50.0))
+                .collect();
+            let a99s = self
+                .trials
+                .iter()
+                .map(|t| t.auto_hist.percentile(99.0))
+                .collect();
+            rows.push(Sample::from_times("serve_load/auto_p50", a50s));
+            rows.push(Sample::from_times("serve_load/auto_p99", a99s));
+        }
         rows.extend(self.server_rows.iter().cloned());
         rows
     }
@@ -186,7 +217,7 @@ impl LoadgenReport {
             0.0
         };
         format!(
-            "loadgen: mode={:?} clients={} completed={} busy={} errors={}\n\
+            "loadgen: mode={:?} clients={} completed={} busy={} errors={} exhausted={}\n\
              loadgen: p50 {:.2} ms | p95 {:.2} ms | p99 {:.2} ms | max {:.2} ms\n\
              loadgen: {:.1} req/s over {:.2} s",
             self.mode,
@@ -194,6 +225,7 @@ impl LoadgenReport {
             self.completed,
             self.busy,
             self.errors,
+            self.exhausted,
             ms(self.hist.percentile(50.0)),
             ms(self.hist.percentile(95.0)),
             ms(self.hist.percentile(99.0)),
@@ -206,8 +238,13 @@ impl LoadgenReport {
 
 /// The request mix: mostly single-constant `repair`, some small
 /// `repair_module` lists, all over the swap-module constants so every
-/// request shares one lifting spec (the daemon's warm path).
-fn request_for(rng: &mut Rng, touch_rate: f64) -> (&'static str, Value) {
+/// request shares one lifting spec (the daemon's warm path). With
+/// `fail_rate > 0`, that fraction of requests become `repair_auto` calls
+/// over a seed-derived broken module instead.
+fn request_for(rng: &mut Rng, touch_rate: f64, fail_rate: f64) -> (&'static str, Value) {
+    if fail_rate > 0.0 && rng.chance((fail_rate * 1000.0).round() as u64, 1000) {
+        return auto_request_for(rng);
+    }
     let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
     let pool = pumpkin_stdlib::swap::OLD_MODULE_CONSTANTS;
     let mut params = vec![
@@ -237,6 +274,35 @@ fn request_for(rng: &mut Rng, touch_rate: f64) -> (&'static str, Value) {
     }
 }
 
+/// A `repair_auto` request over a broken module: the `Old.` constant's
+/// repaired name collides with a `New.` constant the module already
+/// defines, so every candidate configuration fails the kernel oracle and
+/// the daemon answers `auto_exhausted`. The clash id is drawn from a
+/// small pool so repeats hit the process-wide failure cache — the warm
+/// path this mix is meant to exercise. Minimization is off (the module
+/// is already minimal) and the budget is small to bound cold-search
+/// cost under load.
+fn auto_request_for(rng: &mut Rng) -> (&'static str, Value) {
+    let spec = LiftSpec::swap("Old.list", "New.list", "Old.", "New.");
+    let id = rng.index(8);
+    // The Old constant's type mentions Old.list, so every candidate
+    // lifts it to a list-typed New.lg_clash_N — clashing with the
+    // nat-typed one the module already declares.
+    let source = format!(
+        "Definition New.lg_clash_{id} : nat := O.\n\
+         Definition Old.lg_clash_{id} : forall (T : Type 1), Old.list T -> Old.list T := \
+         fun (T : Type 1) (l : Old.list T) => l.\n"
+    );
+    let params = vec![
+        ("lifting".to_string(), spec.to_value()),
+        ("deterministic".to_string(), Value::Bool(true)),
+        ("source".to_string(), Value::str(&source)),
+        ("budget".to_string(), Value::UInt(2)),
+        ("minimize".to_string(), Value::Bool(false)),
+    ];
+    ("repair_auto", Value::Obj(params))
+}
+
 /// Mixes run seed and request coordinates into one RNG seed (splitmix64
 /// finisher — the indices are tiny, the mix spreads them).
 fn seed_for(seed: u64, client: usize, req: usize) -> u64 {
@@ -250,8 +316,22 @@ fn seed_for(seed: u64, client: usize, req: usize) -> u64 {
 #[derive(Default)]
 struct Tally {
     hist: LatencyHistogram,
+    /// Latencies of the `repair_auto` broken-module requests, kept out
+    /// of the main population so the classic rows stay comparable.
+    auto_hist: LatencyHistogram,
     busy: usize,
     errors: usize,
+    exhausted: usize,
+}
+
+impl Tally {
+    fn record(&mut self, method: &str, ns: u64) {
+        if method == "repair_auto" {
+            self.auto_hist.record(ns);
+        } else {
+            self.hist.record(ns);
+        }
+    }
 }
 
 /// One call with `busy`-retry (closed loop): `busy` means backpressure,
@@ -278,6 +358,12 @@ fn call_until_ok(
         let client = conn.as_mut().expect("just connected");
         match client.call(method, params.clone()) {
             Ok(_) => return true,
+            // The broken-module mix *expects* exhaustion: that reply is
+            // the search's complete answer, so it completes the request.
+            Err(ClientError::Server { code, .. }) if code == "auto_exhausted" => {
+                tally.exhausted += 1;
+                return true;
+            }
             Err(ClientError::Server { code, .. }) if code == "busy" => {
                 tally.busy += 1;
                 // The queue-full refusal keeps the connection; the
@@ -307,12 +393,13 @@ fn run_closed(addr: &str, cfg: &LoadgenConfig, merged: &Mutex<Tally>) {
                 let mut conn: Option<Client> = None;
                 for r in 0..cfg.requests {
                     let mut rng = Rng::new(seed_for(cfg.seed, c, r));
-                    let (method, params) = request_for(&mut rng, cfg.touch_rate);
+                    let (method, params) = request_for(&mut rng, cfg.touch_rate, cfg.fail_rate);
                     let t0 = Instant::now();
                     if call_until_ok(addr, &mut conn, method, &params, &mut tally) {
-                        tally
-                            .hist
-                            .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        tally.record(
+                            method,
+                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
                     }
                 }
                 merge(merged, tally);
@@ -345,7 +432,7 @@ fn run_open(addr: &str, cfg: &LoadgenConfig, merged: &Mutex<Tally>) {
                         std::thread::sleep(scheduled - now);
                     }
                     let mut rng = Rng::new(seed_for(cfg.seed, 0, i));
-                    let (method, params) = request_for(&mut rng, cfg.touch_rate);
+                    let (method, params) = request_for(&mut rng, cfg.touch_rate, cfg.fail_rate);
                     if conn.is_none() {
                         conn = Client::connect(addr).ok();
                     }
@@ -354,9 +441,17 @@ fn run_open(addr: &str, cfg: &LoadgenConfig, merged: &Mutex<Tally>) {
                         continue;
                     };
                     match client.call(method, params) {
-                        Ok(_) => tally.hist.record(
+                        Ok(_) => tally.record(
+                            method,
                             u64::try_from(scheduled.elapsed().as_nanos()).unwrap_or(u64::MAX),
                         ),
+                        Err(ClientError::Server { code, .. }) if code == "auto_exhausted" => {
+                            tally.exhausted += 1;
+                            tally.record(
+                                method,
+                                u64::try_from(scheduled.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                        }
                         // Open loop: a refused arrival is load the server
                         // shed, not a request to retry later.
                         Err(ClientError::Server { code, .. }) if code == "busy" => {
@@ -378,8 +473,10 @@ fn run_open(addr: &str, cfg: &LoadgenConfig, merged: &Mutex<Tally>) {
 fn merge(merged: &Mutex<Tally>, tally: Tally) {
     let mut m = merged.lock().expect("tally lock poisoned");
     m.hist.merge(&tally.hist);
+    m.auto_hist.merge(&tally.auto_hist);
     m.busy += tally.busy;
     m.errors += tally.errors;
+    m.exhausted += tally.exhausted;
 }
 
 /// Runs one load generation pass.
@@ -435,7 +532,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     // request stream and lands one time in every row.
     let mut trials = Vec::with_capacity(cfg.trials.max(1));
     let mut merged_hist = LatencyHistogram::default();
-    let (mut busy, mut errors) = (0usize, 0usize);
+    let mut completed_auto = 0usize;
+    let (mut busy, mut errors, mut exhausted) = (0usize, 0usize, 0usize);
     let mut elapsed = Duration::ZERO;
     for _ in 0..cfg.trials.max(1) {
         let merged = Mutex::new(Tally::default());
@@ -447,11 +545,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         let trial_elapsed = t0.elapsed();
         let tally = merged.into_inner().expect("tally lock poisoned");
         merged_hist.merge(&tally.hist);
+        completed_auto += tally.auto_hist.len();
         busy += tally.busy;
         errors += tally.errors;
+        exhausted += tally.exhausted;
         elapsed += trial_elapsed;
         trials.push(Trial {
             hist: tally.hist,
+            auto_hist: tally.auto_hist,
             elapsed: trial_elapsed,
         });
     }
@@ -473,9 +574,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     Ok(LoadgenReport {
         mode: cfg.mode,
         clients: cfg.clients,
-        completed: merged_hist.len(),
+        completed: merged_hist.len() + completed_auto,
         busy,
         errors,
+        exhausted,
         elapsed,
         hist: merged_hist,
         trials,
@@ -516,20 +618,34 @@ mod tests {
     #[test]
     fn request_stream_is_a_pure_function_of_the_seed() {
         for (c, r) in [(0usize, 0usize), (3, 1), (200, 7)] {
-            let a = request_for(&mut Rng::new(seed_for(42, c, r)), 0.0);
-            let b = request_for(&mut Rng::new(seed_for(42, c, r)), 0.0);
+            let a = request_for(&mut Rng::new(seed_for(42, c, r)), 0.0, 0.0);
+            let b = request_for(&mut Rng::new(seed_for(42, c, r)), 0.0, 0.0);
             assert_eq!(a.0, b.0);
             assert_eq!(a.1.to_string(), b.1.to_string());
         }
         // Different coordinates decorrelate (not all identical).
         let reqs: Vec<String> = (0..16)
             .map(|r| {
-                request_for(&mut Rng::new(seed_for(42, 0, r)), 0.0)
+                request_for(&mut Rng::new(seed_for(42, 0, r)), 0.0, 0.0)
                     .1
                     .to_string()
             })
             .collect();
         assert!(reqs.iter().any(|x| *x != reqs[0]));
+    }
+
+    #[test]
+    fn fail_rate_one_turns_every_request_into_repair_auto() {
+        for r in 0..8 {
+            let (method, params) = request_for(&mut Rng::new(seed_for(9, 0, r)), 0.0, 1.0);
+            assert_eq!(method, "repair_auto");
+            let src = params
+                .get("source")
+                .and_then(Value::as_str)
+                .expect("auto request carries a module source");
+            assert!(src.contains("Definition New.lg_clash_"), "{src}");
+            assert!(src.contains("Definition Old.lg_clash_"), "{src}");
+        }
     }
 
     #[test]
@@ -569,6 +685,33 @@ mod tests {
             json.starts_with(r#"{"schema":"pumpkin-bench/v1""#),
             "{json}"
         );
+    }
+
+    #[test]
+    fn fail_rate_mix_counts_exhaustions_and_emits_auto_rows() {
+        let report = run(&LoadgenConfig {
+            clients: 2,
+            requests: 2,
+            workers: 2,
+            trials: 2,
+            fail_rate: 1.0,
+            ..LoadgenConfig::default()
+        })
+        .expect("loadgen run");
+        // Every request is a broken-module repair_auto: the expected
+        // exhaustion replies complete the requests instead of erroring.
+        assert_eq!(report.completed, 8, "{}", report.summary());
+        assert_eq!(report.errors, 0, "{}", report.summary());
+        assert_eq!(report.exhausted, 8, "{}", report.summary());
+        let rows = report.rows();
+        let ids: Vec<&str> = rows.iter().map(|s| s.id.as_str()).collect();
+        assert!(ids.contains(&"serve_load/auto_p50"), "{ids:?}");
+        assert!(ids.contains(&"serve_load/auto_p99"), "{ids:?}");
+        let auto_p50 = rows
+            .iter()
+            .find(|s| s.id == "serve_load/auto_p50")
+            .expect("auto row present");
+        assert_eq!(auto_p50.times_ns.len(), 2, "{auto_p50:?}");
     }
 
     #[test]

@@ -60,11 +60,31 @@ fn requests() -> Vec<String> {
         r#"{"id":10,"method":"repair","params":{"name":"Old.rev"}}"#.to_string(),
         r#"{"id":11,"method":"no_such_method"}"#.to_string(),
         r#"not json"#.to_string(),
+        // The automatic search: a clean work list is accepted by the
+        // first checked candidate, and the reply embeds the AutoReport
+        // wire block (deterministic mode zeroes every cost).
+        format!(
+            r#"{{"id":12,"method":"repair_auto","params":{{"lifting":{spec},"names":["Old.rev"],"deterministic":true}}}}"#
+        ),
+        // A name collision no candidate can repair. Cache probing off:
+        // the whole enumeration runs and every failure is recorded
+        // process-wide; the error reply carries the full accounting as
+        // structured data.
+        format!(
+            r#"{{"id":13,"method":"repair_auto","params":{{"lifting":{spec},"source":"Definition New.transcript_clash : nat := O.\nDefinition Old.transcript_clash : forall (T : Type 1), Old.list T -> Old.list T := fun (T : Type 1) (l : Old.list T) => l.","failure_cache":false,"minimize":false,"deterministic":true}}}}"#
+        ),
+        // The same module with cache probing on: the failures recorded by
+        // the previous request skip the entire enumeration (tried=0) —
+        // deterministic because the record always precedes the probe
+        // within one transcript.
+        format!(
+            r#"{{"id":14,"method":"repair_auto","params":{{"lifting":{spec},"source":"Definition New.transcript_clash : nat := O.\nDefinition Old.transcript_clash : forall (T : Type 1), Old.list T -> Old.list T := fun (T : Type 1) (l : Old.list T) => l.","minimize":false,"deterministic":true}}}}"#
+        ),
         // A bare session records no latency (that is the server layer's
         // job), so this reply is deterministic: empty method map, zeroed
         // totals, and only deterministic gauge traffic.
-        r#"{"id":12,"method":"stats"}"#.to_string(),
-        r#"{"id":13,"method":"shutdown"}"#.to_string(),
+        r#"{"id":15,"method":"stats"}"#.to_string(),
+        r#"{"id":16,"method":"shutdown"}"#.to_string(),
     ]
 }
 

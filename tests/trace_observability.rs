@@ -110,6 +110,45 @@ fn golden_jsonl_schema_is_stable() {
 }
 
 #[test]
+fn golden_auto_jsonl_schema_is_stable() {
+    // The automatic search's candidate/verdict stream. Cache probing is
+    // off so every candidate runs regardless of what other tests put in
+    // the process-wide failure cache, and deterministic mode zeroes the
+    // per-candidate costs — the stream is byte-stable by construction.
+    let src = "Definition New.golden_auto : nat := O.\n\
+               Definition Old.golden_auto : forall (T : Type 1), Old.list T -> Old.list T := \
+               fun (T : Type 1) (l : Old.list T) => l.";
+    let mut env = stdlib::std_env();
+    let (auto, result) = Repairer::auto(pumpkin_core::AutoPolicy {
+        use_failure_cache: false,
+        minimize: false,
+        deterministic: true,
+        ..Default::default()
+    })
+    .source(src)
+    .run(&mut env, &["Old.rev"]);
+    assert!(result.is_err(), "collision module must exhaust");
+    let got = normalized_jsonl(&auto.to_events());
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_auto.jsonl");
+    if std::env::var_os("PUMPKIN_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with PUMPKIN_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "auto trace schema drifted from {}; regenerate with PUMPKIN_UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}
+
+#[test]
 fn events_round_trip_through_json() {
     let events = traced_rev_repair();
     assert!(!events.is_empty());
